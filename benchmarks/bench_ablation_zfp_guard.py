@@ -1,0 +1,54 @@
+"""Ablation: ZFP accuracy mode's guard bits vs verify-and-patch load.
+
+DESIGN.md fixes ``GUARD_BITS_PER_DIM = 1`` empirically: fewer guard bits
+keep more ratio but push more points past the tolerance, all of which the
+patch section must then store verbatim.  This bench regenerates that
+tradeoff so the constant stays auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.zfp.compressor as zfp_mod
+from repro.codecs.container import Container
+
+
+def test_ablation_guard_bits(benchmark, report, hurricane_small):
+    data = hurricane_small.fields["TCf"].steps[0]
+    eb = float(data.max() - data.min()) * 1e-3
+
+    def run():
+        rows = {}
+        original = zfp_mod.GUARD_BITS_PER_DIM
+        try:
+            for guard in (0, 1, 2, 3):
+                zfp_mod.GUARD_BITS_PER_DIM = guard
+                comp = zfp_mod.ZFPCompressor(error_bound=eb)
+                payload = comp.compress(data)
+                ct = Container.frombytes(payload.payload)
+                n_patch = len(ct.get("patch_val")) // data.dtype.itemsize
+                recon = comp.decompress(payload)
+                err = float(
+                    np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+                )
+                rows[guard] = (payload.ratio, n_patch / data.size, err)
+        finally:
+            zfp_mod.GUARD_BITS_PER_DIM = original
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "",
+        "== Ablation: ZFP guard bits per dimension (default 1) ==",
+        f"{'guard':>6} {'ratio':>8} {'patched %':>10} {'max err':>11}",
+    )
+    for guard, (ratio, patch_frac, err) in rows.items():
+        report(f"{guard:>6} {ratio:>8.3f} {patch_frac * 100:>9.2f}% {err:>11.3e}")
+
+    # The bound holds at every guard level (patching is the backstop)...
+    for guard, (_, _, err) in rows.items():
+        assert err <= eb
+    # ...and more guard bits mean fewer patched points.
+    fracs = [rows[g][1] for g in (0, 1, 2, 3)]
+    assert fracs[0] >= fracs[1] >= fracs[2] >= fracs[3]

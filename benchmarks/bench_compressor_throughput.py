@@ -1,0 +1,59 @@
+"""Per-compressor throughput micro-benchmarks.
+
+Sec. VI-B2/B3 leans on per-compression cost differences ("ZFP may take
+less time for each compression"; FRaZ's runtime is compression-dominated).
+These are true pytest-benchmark timings — multiple rounds, statistics in
+the standard table — of compress and decompress for every backend on the
+same Hurricane TCf field, so the relative speeds behind Figs. 7/8 are
+auditable on this implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pressio import make_compressor
+
+_BACKENDS = ["sz", "sz-interp", "zfp", "zfp-rate", "mgard"]
+
+
+@pytest.fixture(scope="module")
+def field(request):
+    r = np.random.default_rng(17)
+    x, y, z = np.meshgrid(
+        np.linspace(0, 4, 48), np.linspace(0, 4, 48), np.linspace(0, 4, 24),
+        indexing="ij",
+    )
+    return (np.sin(x) * np.cos(y + z) + 0.01 * r.standard_normal(x.shape)).astype(
+        np.float32
+    )
+
+
+def _configured(name: str, data: np.ndarray):
+    if name == "zfp-rate":
+        return make_compressor(name, error_bound=4.0)
+    span = float(data.max() - data.min())
+    return make_compressor(name, error_bound=span * 1e-3)
+
+
+@pytest.mark.parametrize("name", _BACKENDS)
+def test_compress_throughput(benchmark, name, field):
+    comp = _configured(name, field)
+    payload = benchmark(comp.compress, field)
+    assert payload.ratio > 1.0
+    benchmark.extra_info["ratio"] = round(payload.ratio, 2)
+    benchmark.extra_info["MB/s"] = round(
+        field.nbytes / 1e6 / benchmark.stats.stats.mean, 1
+    )
+
+
+@pytest.mark.parametrize("name", _BACKENDS)
+def test_decompress_throughput(benchmark, name, field):
+    comp = _configured(name, field)
+    payload = comp.compress(field)
+    recon = benchmark(comp.decompress, payload)
+    assert recon.shape == field.shape
+    benchmark.extra_info["MB/s"] = round(
+        field.nbytes / 1e6 / benchmark.stats.stats.mean, 1
+    )

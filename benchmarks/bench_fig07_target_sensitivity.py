@@ -1,0 +1,64 @@
+"""Figure 7: runtime sensitivity to the target compression ratio.
+
+Paper result (rho_t swept 2..29 over all Hurricane-CLOUD time-steps):
+infeasible targets — below SZ's effective ratio floor (~7.5 in the paper)
+or in gaps of the achievable set — exhaust the iteration budget on every
+step and cost ~10x more than feasible targets, where early termination and
+time-step reuse kick in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fields import tune_time_series
+from repro.sz.compressor import SZCompressor
+
+
+def test_fig07_target_sweep(benchmark, report, hurricane_small):
+    series = hurricane_small.fields["CLOUDf"].steps[:8]
+    targets = [2, 4, 6, 8, 10, 14, 18, 24, 29]
+
+    def run():
+        rows = []
+        for rho_t in targets:
+            res = tune_time_series(
+                SZCompressor(), series, float(rho_t), tolerance=0.1,
+                regions=6, max_calls_per_region=10, seed=0,
+            )
+            rows.append(
+                (
+                    rho_t,
+                    res.total_wall_seconds,
+                    sum(s.compress_seconds for s in res.steps),
+                    res.total_evaluations,
+                    res.converged_fraction,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report(
+        "",
+        "== Fig. 7: sensitivity to rho_t (paper: infeasible targets ~10x "
+        "slower; floor at rho~7.5) ==",
+        f"{'rho_t':>6} {'total (s)':>10} {'compress (s)':>13} "
+        f"{'evals':>6} {'converged':>10}",
+    )
+    for rho_t, total, comp, evals, conv in rows:
+        report(f"{rho_t:6.1f} {total:10.3f} {comp:13.3f} {evals:6d} {conv:10.2f}")
+
+    evals = {r[0]: r[3] for r in rows}
+    conv = {r[0]: r[4] for r in rows}
+
+    # The SZ ratio floor makes very low targets infeasible & expensive.
+    floor_targets = [t for t in targets if conv[t] < 0.5]
+    feasible_targets = [t for t in targets if conv[t] > 0.9]
+    assert feasible_targets, "some targets should be feasible"
+    if floor_targets:
+        worst_feasible = max(evals[t] for t in feasible_targets)
+        best_infeasible = min(evals[t] for t in floor_targets)
+        assert best_infeasible > worst_feasible, (
+            "infeasible targets should cost more evaluations"
+        )

@@ -1,0 +1,78 @@
+"""Shared fixtures and report helpers for the benchmark harness.
+
+Every ``bench_figXX``/``bench_tableX`` module regenerates one figure or
+table from the paper's evaluation (Sec. VI); EXPERIMENTS.md records the
+paper-vs-measured comparison.  Benchmarks print their series/rows through
+:func:`report` so the output survives pytest's capture into
+``bench_output.txt`` runs with ``-s`` or ``--capture=no`` disabled alike.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+
+
+@lru_cache(maxsize=None)
+def _dataset(name: str, size: str):
+    return load_dataset(name, size)
+
+
+@pytest.fixture(scope="session")
+def hurricane_tiny():
+    return _dataset("Hurricane", "tiny")
+
+
+@pytest.fixture(scope="session")
+def hurricane_small():
+    return _dataset("Hurricane", "small")
+
+
+@pytest.fixture(scope="session")
+def nyx_small():
+    return _dataset("NYX", "small")
+
+
+@pytest.fixture(scope="session")
+def cesm_tiny():
+    return _dataset("CESM", "tiny")
+
+
+@pytest.fixture(scope="session")
+def hacc_tiny():
+    return _dataset("HACC", "tiny")
+
+
+@pytest.fixture(scope="session")
+def exaalt_tiny():
+    return _dataset("Exaalt", "tiny")
+
+
+@pytest.fixture(scope="session")
+def nyx_tiny():
+    return _dataset("NYX", "tiny")
+
+
+@pytest.fixture(scope="session")
+def nyx_paper():
+    return _dataset("NYX", "paper")
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print experiment output past pytest's capture."""
+
+    def _print(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+def maxerr(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.abs(a.astype(np.float64) - b.astype(np.float64)).max())

@@ -1,0 +1,40 @@
+"""FRaZ reproduction: generic high-fidelity fixed-ratio lossy compression.
+
+Reproduction of Underwood, Di, Calhoun & Cappello, *FRaZ: A Generic
+High-Fidelity Fixed-Ratio Lossy Compression Framework for Scientific
+Floating-point Data* (IPDPS 2020), built entirely from scratch in Python:
+the FRaZ autotuner itself plus the SZ / ZFP / MGARD compressors, the
+lossless coding substrate, the Dlib-style global optimizer, the libpressio
+abstraction layer, the SDRBench-like datasets, and the full benchmark
+harness.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FRaZ
+
+    data = np.random.default_rng(0).standard_normal((64, 64, 32)).astype("float32")
+    fraz = FRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1)
+    payload, result = fraz.compress(data)
+    print(result.ratio, result.error_bound)
+    recon = fraz.decompress(payload)
+"""
+
+from repro.core.fraz import FRaZ
+from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
+from repro.pressio.evaluation import evaluate
+from repro.pressio.registry import available_compressors, make_compressor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FRaZ",
+    "FieldResult",
+    "TimeSeriesResult",
+    "TrainingResult",
+    "available_compressors",
+    "evaluate",
+    "make_compressor",
+    "__version__",
+]

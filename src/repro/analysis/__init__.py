@@ -1,0 +1,32 @@
+"""Analysis helpers: ratio/quality sweeps and feasibility probing.
+
+The paper's evaluation revolves around three curve families — ratio vs
+bound (Figs. 3/4), rate distortion (Figs. 1/9) and achievable-ratio ranges
+(the feasibility question behind Figs. 6/7).  This package provides them
+as first-class library calls so downstream users don't rebuild sweep loops
+around the compressors.
+"""
+
+from repro.analysis.export import (
+    write_csv,
+    write_rate_distortion_csv,
+    write_ratio_curve_csv,
+)
+from repro.analysis.sweeps import (
+    RateDistortionPoint,
+    default_bound_sweep,
+    feasible_ratio_range,
+    rate_distortion_curve,
+    ratio_curve,
+)
+
+__all__ = [
+    "RateDistortionPoint",
+    "default_bound_sweep",
+    "feasible_ratio_range",
+    "rate_distortion_curve",
+    "ratio_curve",
+    "write_csv",
+    "write_rate_distortion_csv",
+    "write_ratio_curve_csv",
+]

@@ -1,0 +1,56 @@
+"""CSV export for experiment curves.
+
+The benchmark harness prints the paper's series; these helpers write the
+same data as CSV so figures can be regenerated in any plotting tool
+(matplotlib is deliberately not a dependency of this package).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.sweeps import RateDistortionPoint
+
+__all__ = ["write_csv", "write_rate_distortion_csv", "write_ratio_curve_csv"]
+
+
+def write_csv(
+    path: str | Path,
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write rows with a header; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def write_ratio_curve_csv(
+    path: str | Path, bounds: Sequence[float], ratios: Sequence[float]
+) -> Path:
+    """Export a Fig. 3/4-style ratio-vs-bound curve."""
+    if len(bounds) != len(ratios):
+        raise ValueError(
+            f"bounds ({len(bounds)}) and ratios ({len(ratios)}) differ in length"
+        )
+    return write_csv(path, ["error_bound", "ratio"], zip(bounds, ratios))
+
+
+def write_rate_distortion_csv(
+    path: str | Path, points: Sequence[RateDistortionPoint]
+) -> Path:
+    """Export a Fig. 1/9-style rate-distortion curve."""
+    return write_csv(
+        path,
+        ["error_bound", "bit_rate", "ratio", "psnr", "max_error", "ssim"],
+        (
+            (p.error_bound, p.bit_rate, p.ratio, p.psnr, p.max_error, p.ssim)
+            for p in points
+        ),
+    )

@@ -1,0 +1,106 @@
+"""Sweep utilities over a compressor's error-bound axis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics import max_abs_error, psnr, ssim
+from repro.pressio.compressor import Compressor
+
+__all__ = [
+    "default_bound_sweep",
+    "ratio_curve",
+    "rate_distortion_curve",
+    "RateDistortionPoint",
+    "feasible_ratio_range",
+]
+
+
+def default_bound_sweep(
+    compressor: Compressor, data: np.ndarray, points: int = 24
+) -> np.ndarray:
+    """Geometric grid over the compressor's admissible bound range."""
+    lo, hi = compressor.default_bound_range(np.asarray(data))
+    lo = max(lo, hi * 1e-12)
+    return np.geomspace(lo, hi, points)
+
+
+def ratio_curve(
+    compressor: Compressor, data: np.ndarray, bounds: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(bounds, ratios)`` — the Fig. 3/4 curve for one field."""
+    data = np.asarray(data)
+    if bounds is None:
+        bounds = default_bound_sweep(compressor, data)
+    bounds = np.asarray(bounds, dtype=np.float64)
+    ratios = np.array(
+        [compressor.with_error_bound(float(e)).compress(data).ratio for e in bounds]
+    )
+    return bounds, ratios
+
+
+@dataclass(frozen=True)
+class RateDistortionPoint:
+    """One point of a rate-distortion curve."""
+
+    error_bound: float
+    bit_rate: float
+    ratio: float
+    psnr: float
+    max_error: float
+    ssim: float
+
+
+def rate_distortion_curve(
+    compressor: Compressor,
+    data: np.ndarray,
+    bounds: np.ndarray | None = None,
+    compute_ssim: bool = True,
+) -> list[RateDistortionPoint]:
+    """Rate-distortion points (Figs. 1/9), sorted by bit rate.
+
+    Each probe costs a compression and a decompression.
+    """
+    data = np.asarray(data)
+    if bounds is None:
+        bounds = default_bound_sweep(compressor, data)
+    points = []
+    for e in np.asarray(bounds, dtype=np.float64):
+        configured = compressor.with_error_bound(float(e))
+        payload = configured.compress(data)
+        recon = configured.decompress(payload)
+        points.append(
+            RateDistortionPoint(
+                error_bound=float(e),
+                bit_rate=8.0 * payload.nbytes / data.size,
+                ratio=payload.ratio,
+                psnr=psnr(data, recon),
+                max_error=max_abs_error(data, recon),
+                ssim=ssim(data, recon) if compute_ssim and data.ndim <= 3 else float("nan"),
+            )
+        )
+    return sorted(points, key=lambda p: p.bit_rate)
+
+
+def feasible_ratio_range(
+    compressor: Compressor,
+    data: np.ndarray,
+    probes: int = 16,
+) -> tuple[float, float]:
+    """Approximate ``(min, max)`` achievable ratio over the bound range.
+
+    This answers the Fig. 7 feasibility question cheaply before a full
+    FRaZ search: targets outside the returned interval will hit the
+    iteration cap.  The estimate is a sweep, so gaps *inside* the range
+    (step-function compressors) are not detected — it bounds the feasible
+    set, it does not enumerate it.
+    """
+    _, ratios = ratio_curve(
+        compressor, data, default_bound_sweep(compressor, np.asarray(data), probes)
+    )
+    finite = ratios[np.isfinite(ratios)]
+    if finite.size == 0:
+        return (float("nan"), float("nan"))
+    return (float(finite.min()), float(finite.max()))

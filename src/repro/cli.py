@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compress``    fixed-ratio (FRaZ-tuned) or fixed-bound compression of a
+                ``.npy`` array into a ``.frz`` file
+``decompress``  reconstruct a ``.frz`` file back to ``.npy``
+``tune``        run the FRaZ search and report the recommended bound
+``info``        show a ``.frz`` file's metadata
+``datasets``    print the Table III analog of the bundled synthetic datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.fraz import FRaZ
+from repro.datasets import dataset_summaries
+from repro.io.files import load_field, read_info, save_field
+from repro.pressio.registry import available_compressors, make_compressor
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FRaZ fixed-ratio error-bounded lossy compression",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_compressor_arg(p):
+        p.add_argument(
+            "--compressor", "-c", default="sz", choices=available_compressors(),
+            help="compressor backend (default: sz)",
+        )
+
+    p = sub.add_parser("compress", help="compress a .npy array to .frz")
+    p.add_argument("input", help="input .npy file")
+    p.add_argument("output", help="output .frz file")
+    add_compressor_arg(p)
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--ratio", "-r", type=float, help="target compression ratio")
+    group.add_argument("--error-bound", "-e", type=float, help="fixed error bound")
+    p.add_argument("--tolerance", "-t", type=float, default=0.1,
+                   help="ratio tolerance eps (default 0.1)")
+    p.add_argument("--max-error-bound", "-U", type=float, default=None,
+                   help="cap on the bound the search may recommend")
+
+    p = sub.add_parser("decompress", help="decompress a .frz file to .npy")
+    p.add_argument("input", help="input .frz file")
+    p.add_argument("output", help="output .npy file")
+
+    p = sub.add_parser("tune", help="search the error bound for a target ratio")
+    p.add_argument("input", help="input .npy file")
+    add_compressor_arg(p)
+    p.add_argument("--ratio", "-r", type=float, required=True)
+    p.add_argument("--tolerance", "-t", type=float, default=0.1)
+    p.add_argument("--max-error-bound", "-U", type=float, default=None)
+
+    p = sub.add_parser("info", help="show .frz metadata")
+    p.add_argument("input", help="input .frz file")
+
+    sub.add_parser("datasets", help="list the bundled synthetic datasets")
+    return parser
+
+
+def _cmd_compress(args) -> int:
+    data = np.load(args.input)
+    if args.error_bound is not None:
+        compressor = make_compressor(args.compressor, error_bound=args.error_bound)
+        payload = save_field(args.output, data, compressor)
+        print(f"compressed at fixed bound {args.error_bound:.4e}: "
+              f"ratio {payload.ratio:.2f}:1 -> {args.output}")
+        return 0
+    fraz = FRaZ(compressor=args.compressor, target_ratio=args.ratio,
+                tolerance=args.tolerance, max_error_bound=args.max_error_bound)
+    payload, result = fraz.compress(data)
+    compressor = make_compressor(args.compressor, error_bound=result.error_bound)
+    save_field(args.output, payload, compressor,
+               metadata={"target_ratio": args.ratio, "feasible": result.feasible})
+    status = "in band" if result.within_tolerance else "closest achievable"
+    print(f"tuned bound {result.error_bound:.4e} ({result.evaluations} probes): "
+          f"ratio {payload.ratio:.2f}:1 ({status}) -> {args.output}")
+    return 0 if result.feasible else 2
+
+
+def _cmd_decompress(args) -> int:
+    data, meta = load_field(args.input)
+    np.save(args.output, data)
+    print(f"decompressed {meta['compressor']} payload "
+          f"(ratio {meta['ratio']:.2f}:1) -> {args.output}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    data = np.load(args.input)
+    fraz = FRaZ(compressor=args.compressor, target_ratio=args.ratio,
+                tolerance=args.tolerance, max_error_bound=args.max_error_bound)
+    result = fraz.tune(data)
+    print(json.dumps({
+        "compressor": args.compressor,
+        "target_ratio": args.ratio,
+        "error_bound": result.error_bound,
+        "ratio": result.ratio,
+        "feasible": result.feasible,
+        "evaluations": result.evaluations,
+        "wall_seconds": round(result.wall_seconds, 4),
+    }, indent=2))
+    return 0 if result.feasible else 2
+
+
+def _cmd_info(args) -> int:
+    print(json.dumps(read_info(args.input), indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compress":
+        return _cmd_compress(args)
+    if args.command == "decompress":
+        return _cmd_decompress(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "datasets":
+        print(dataset_summaries("small"))
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

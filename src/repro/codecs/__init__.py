@@ -1,0 +1,60 @@
+"""Lossless coding substrate used by the lossy compressors.
+
+This package provides, from scratch, the lossless building blocks that the
+compressors in :mod:`repro.sz`, :mod:`repro.zfp` and :mod:`repro.mgard` are
+built on:
+
+* :mod:`repro.codecs.bitstream` — vectorised variable-length bit packing and
+  a cursor-based bit reader.
+* :mod:`repro.codecs.huffman` — canonical, length-limited Huffman coding for
+  integer symbol streams (SZ stage 3).
+* :mod:`repro.codecs.lz77` — a from-scratch LZ77 dictionary coder (SZ stage 4
+  reference implementation).
+* :mod:`repro.codecs.zlib_codec` — a DEFLATE (stdlib ``zlib``) backend with
+  the same interface; this is the Gzip the paper's SZ build links against.
+* :mod:`repro.codecs.varint` — LEB128 / zigzag integer coding for headers.
+* :mod:`repro.codecs.rle` — byte-level run-length coding.
+* :mod:`repro.codecs.container` — a tiny framed container for multi-section
+  compressed payloads.
+
+All codecs are deterministic and round-trip exactly; this is enforced by
+property-based tests in ``tests/codecs``.
+"""
+
+from repro.codecs.bitstream import BitReader, BitWriter, pack_bits, unpack_bits
+from repro.codecs.container import Container
+from repro.codecs.huffman import HuffmanCodec
+from repro.codecs.interface import ByteCodec, get_byte_codec, register_byte_codec
+from repro.codecs.lz77 import LZ77Codec
+from repro.codecs.rle import rle_decode, rle_encode
+from repro.codecs.varint import (
+    decode_uvarint,
+    decode_uvarints,
+    encode_uvarint,
+    encode_uvarints,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.codecs.zlib_codec import ZlibCodec
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "ByteCodec",
+    "Container",
+    "HuffmanCodec",
+    "LZ77Codec",
+    "ZlibCodec",
+    "decode_uvarint",
+    "decode_uvarints",
+    "encode_uvarint",
+    "encode_uvarints",
+    "get_byte_codec",
+    "pack_bits",
+    "register_byte_codec",
+    "rle_decode",
+    "rle_encode",
+    "unpack_bits",
+    "zigzag_decode",
+    "zigzag_encode",
+]

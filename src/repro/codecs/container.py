@@ -1,0 +1,83 @@
+"""Framed multi-section payload container.
+
+Every lossy compressor in this package emits several independent byte
+sections (header, predictor metadata, entropy payload, literals, ...).  The
+container frames them with names and lengths so decompressors can address
+sections directly, and so payload-size accounting (compression-ratio
+measurement, the quantity FRaZ optimises) is exact and auditable.
+
+Layout::
+
+    magic "FRZC" | version u8 | section count (uvarint)
+    per section: name length (uvarint) | name utf-8 | payload length (uvarint)
+    concatenated payloads
+"""
+
+from __future__ import annotations
+
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["Container"]
+
+_MAGIC = b"FRZC"
+_VERSION = 1
+
+
+class Container:
+    """Ordered mapping of named byte sections with exact serialisation."""
+
+    def __init__(self) -> None:
+        self._sections: dict[str, bytes] = {}
+
+    def add(self, name: str, payload: bytes) -> None:
+        """Add a section; names must be unique."""
+        if name in self._sections:
+            raise KeyError(f"duplicate section {name!r}")
+        self._sections[name] = bytes(payload)
+
+    def get(self, name: str) -> bytes:
+        """Fetch a section by name."""
+        return self._sections[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def names(self) -> list[str]:
+        return list(self._sections)
+
+    def nbytes(self) -> int:
+        """Serialised size in bytes (frame overhead included)."""
+        return len(self.tobytes())
+
+    def tobytes(self) -> bytes:
+        parts = [_MAGIC, bytes([_VERSION]), encode_uvarint(len(self._sections))]
+        for name, payload in self._sections.items():
+            encoded = name.encode("utf-8")
+            parts.append(encode_uvarint(len(encoded)))
+            parts.append(encoded)
+            parts.append(encode_uvarint(len(payload)))
+        parts.extend(self._sections.values())
+        return b"".join(parts)
+
+    @classmethod
+    def frombytes(cls, blob: bytes) -> "Container":
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a FRZC container")
+        if blob[4] != _VERSION:
+            raise ValueError(f"unsupported container version {blob[4]}")
+        count, off = decode_uvarint(blob, 5)
+        names: list[str] = []
+        sizes: list[int] = []
+        for _ in range(count):
+            nlen, off = decode_uvarint(blob, off)
+            names.append(blob[off : off + nlen].decode("utf-8"))
+            off += nlen
+            plen, off = decode_uvarint(blob, off)
+            sizes.append(plen)
+        out = cls()
+        for name, size in zip(names, sizes):
+            out._sections[name] = blob[off : off + size]
+            off += size
+        if off != len(blob):
+            raise ValueError("container has trailing bytes")
+        return out

@@ -1,0 +1,251 @@
+"""Canonical, length-limited Huffman coding for integer symbol streams.
+
+This is SZ's stage-3 entropy coder (Sec. II-A1 of the paper): quantization
+codes are small integers with a highly skewed distribution, and a Huffman
+code customised to that distribution captures most of the redundancy.
+
+Implementation notes
+--------------------
+* Code lengths come from the classic two-queue/heap Huffman construction on
+  symbol frequencies.  If the deepest code exceeds :data:`MAX_CODE_LEN`, the
+  frequency table is repeatedly halved (``(f + 1) // 2``) and the tree
+  rebuilt — a standard, always-terminating length-limiting device (each
+  halving flattens the distribution toward uniform, whose depth is
+  ``ceil(log2(m))``).
+* Codes are *canonical*: ordered by (length, symbol), so only the lengths and
+  the symbol list need to be serialised.
+* Encoding is fully vectorised through :func:`repro.codecs.bitstream.pack_bits`.
+* Decoding is table-driven: a ``2**maxlen`` lookup table maps every possible
+  ``maxlen``-bit window to (symbol, code length).  The per-symbol decode loop
+  advances a cursor through a precomputed sliding-window array, the only
+  Python-level loop on the decompression path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.bitstream import pack_bits, unpack_bits
+from repro.codecs.varint import (
+    decode_uvarints,
+    encode_uvarints,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = ["HuffmanCodec", "HuffmanTable", "MAX_CODE_LEN", "code_lengths"]
+
+MAX_CODE_LEN = 16
+"""Maximum codeword length; keeps the decode table at 2**16 entries."""
+
+
+def code_lengths(freqs: np.ndarray, max_len: int = MAX_CODE_LEN) -> np.ndarray:
+    """Compute Huffman code lengths for positive frequencies.
+
+    Parameters
+    ----------
+    freqs:
+        Positive integer frequency per distinct symbol.
+    max_len:
+        Length limit; the frequency table is halved until respected.
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 code length per symbol.  A single-symbol alphabet gets length 1
+        (a degenerate but decodable code).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(freqs <= 0):
+        raise ValueError("all frequencies must be positive")
+    if freqs.size == 1:
+        return np.ones(1, dtype=np.int64)
+    if freqs.size > (1 << max_len):
+        raise ValueError(
+            f"{freqs.size} symbols cannot fit in {max_len}-bit codes"
+        )
+
+    work = freqs.copy()
+    while True:
+        lengths = _huffman_depths(work)
+        if lengths.max() <= max_len:
+            return lengths
+        work = (work + 1) // 2
+
+
+def _huffman_depths(freqs: np.ndarray) -> np.ndarray:
+    """Tree depths from the heap-based Huffman construction."""
+    n = freqs.size
+    # Heap entries: (weight, tiebreak, node id). Node ids < n are leaves.
+    heap: list[tuple[int, int, int]] = [
+        (int(f), i, i) for i, f in enumerate(freqs)
+    ]
+    heapq.heapify(heap)
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    next_id = n
+    tiebreak = n
+    while len(heap) > 1:
+        w1, _, a = heapq.heappop(heap)
+        w2, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (w1 + w2, tiebreak, next_id))
+        next_id += 1
+        tiebreak += 1
+
+    depths = np.zeros(n, dtype=np.int64)
+    # Depth of each internal node, computed root-down (ids increase toward
+    # the root, so a reverse sweep sees parents before children).
+    node_depth = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(2 * n - 3, -1, -1):
+        node_depth[node] = node_depth[parent[node]] + 1
+    depths[:] = node_depth[:n]
+    return depths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given code lengths.
+
+    Symbols are implicitly ordered as given; ties in length are broken by
+    position, matching :class:`HuffmanTable` serialisation (symbols are
+    stored sorted).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    code = 0
+    prev_len = 0
+    for idx in order:
+        length = int(lengths[idx])
+        code <<= length - prev_len
+        codes[idx] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A canonical Huffman code over a set of integer symbols."""
+
+    symbols: np.ndarray  # int64, sorted ascending
+    lengths: np.ndarray  # int64, aligned with symbols
+    codes: np.ndarray  # uint64, canonical
+
+    @classmethod
+    def from_symbols(cls, data: np.ndarray, max_len: int = MAX_CODE_LEN) -> "HuffmanTable":
+        """Build a table from the empirical distribution of ``data``."""
+        symbols, counts = np.unique(np.asarray(data, dtype=np.int64), return_counts=True)
+        lengths = code_lengths(counts, max_len)
+        return cls(symbols=symbols, lengths=lengths, codes=canonical_codes(lengths))
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def expected_bits(self, counts: np.ndarray) -> int:
+        """Total payload bits for the given per-symbol counts."""
+        return int((np.asarray(counts, dtype=np.int64) * self.lengths).sum())
+
+    def serialize(self) -> bytes:
+        """Serialise as (m, zigzag-delta symbols, lengths) varints."""
+        deltas = np.diff(self.symbols, prepend=np.int64(0))
+        parts = [
+            encode_uvarints(np.asarray([self.symbols.size], dtype=np.uint64)),
+            encode_uvarints(zigzag_encode(deltas)),
+            encode_uvarints(self.lengths.astype(np.uint64)),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> tuple["HuffmanTable", int]:
+        """Parse a serialised table; returns (table, bytes consumed)."""
+        (m,), off = decode_uvarints(data, 1, 0)
+        deltas, off = decode_uvarints(data, int(m), off)
+        symbols = np.cumsum(zigzag_decode(deltas))
+        raw_lengths, off = decode_uvarints(data, int(m), off)
+        lengths = raw_lengths.astype(np.int64)
+        return (
+            cls(symbols=symbols, lengths=lengths, codes=canonical_codes(lengths)),
+            off,
+        )
+
+    def build_decode_table(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Dense window -> (symbol index, length) lookup arrays."""
+        maxlen = self.max_length
+        size = 1 << maxlen
+        table_sym = np.zeros(size, dtype=np.int64)
+        table_len = np.zeros(size, dtype=np.int64)
+        for i in range(self.symbols.size):
+            length = int(self.lengths[i])
+            prefix = int(self.codes[i]) << (maxlen - length)
+            span = 1 << (maxlen - length)
+            table_sym[prefix : prefix + span] = i
+            table_len[prefix : prefix + span] = length
+        return table_sym, table_len, maxlen
+
+
+class HuffmanCodec:
+    """Encode/decode int64 symbol streams with a canonical Huffman code.
+
+    The payload layout is::
+
+        [table bytes][8-byte big-endian symbol count][packed code bits]
+    """
+
+    def __init__(self, max_len: int = MAX_CODE_LEN) -> None:
+        self.max_len = max_len
+
+    def encode(self, data: np.ndarray) -> bytes:
+        """Compress an integer array; round-trips exactly via :meth:`decode`."""
+        data = np.asarray(data, dtype=np.int64).ravel()
+        if data.size == 0:
+            return b"\x00" * 8
+        table = HuffmanTable.from_symbols(data, self.max_len)
+        index = np.searchsorted(table.symbols, data)
+        payload = pack_bits(table.codes[index], table.lengths[index])
+        return table.serialize() + data.size.to_bytes(8, "big") + payload
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Decompress a payload produced by :meth:`encode`."""
+        if len(blob) == 8 and blob == b"\x00" * 8:
+            return np.zeros(0, dtype=np.int64)
+        table, off = HuffmanTable.deserialize(blob)
+        count = int.from_bytes(blob[off : off + 8], "big")
+        bits = unpack_bits(blob[off + 8 :])
+        return self._decode_bits(table, bits, count)
+
+    @staticmethod
+    def _decode_bits(table: HuffmanTable, bits: np.ndarray, count: int) -> np.ndarray:
+        table_sym, table_len, maxlen = table.build_decode_table()
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        if table.symbols.size == 1:
+            # Degenerate single-symbol stream.
+            return np.full(count, table.symbols[0], dtype=np.int64)
+
+        # Sliding maxlen-bit window value at every bit offset -> O(1) peeks.
+        padded = np.concatenate([bits, np.zeros(maxlen, dtype=bits.dtype)])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, maxlen)
+        weights = (np.uint64(1) << np.arange(maxlen - 1, -1, -1, dtype=np.uint64))
+        win_vals = windows.astype(np.uint64) @ weights
+
+        out = np.empty(count, dtype=np.int64)
+        sym_idx = np.empty(count, dtype=np.int64)
+        pos = 0
+        wv = win_vals  # local aliases: this loop is the decode hot path
+        ts = table_sym
+        tl = table_len
+        for i in range(count):
+            w = wv[pos]
+            sym_idx[i] = ts[w]
+            pos += tl[w]
+        out[:] = table.symbols[sym_idx]
+        if pos > bits.size:
+            raise ValueError("Huffman payload truncated")
+        return out

@@ -1,0 +1,55 @@
+"""Common interface for byte-oriented lossless codecs.
+
+SZ's stage 4 (dictionary encoding) and the payload framing in ZFP/MGARD all
+operate on opaque byte strings.  :class:`ByteCodec` is the minimal contract;
+implementations register themselves by name so compressor options can select
+the backend (``"zlib"`` — stdlib DEFLATE, the default — or ``"lz77"`` — the
+from-scratch reference coder).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["ByteCodec", "register_byte_codec", "get_byte_codec", "list_byte_codecs"]
+
+_REGISTRY: dict[str, type["ByteCodec"]] = {}
+
+
+class ByteCodec(ABC):
+    """Lossless bytes -> bytes codec with exact round-trip."""
+
+    #: registry key; subclasses set this
+    name: str = ""
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; must round-trip via :meth:`decompress`."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+
+def register_byte_codec(cls: type[ByteCodec]) -> type[ByteCodec]:
+    """Class decorator adding a codec to the registry under ``cls.name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_byte_codec(name: str, **kwargs) -> ByteCodec:
+    """Instantiate a registered codec by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown byte codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def list_byte_codecs() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,42 @@
+"""Vectorised run-length coding for byte arrays.
+
+Used for sparse sign/flag planes where long zero runs dominate.  Runs are
+found with a single :func:`numpy.flatnonzero` over the change mask; no
+per-element Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.varint import decode_uvarints, encode_uvarints
+
+__all__ = ["rle_encode", "rle_decode"]
+
+
+def rle_encode(data: np.ndarray) -> bytes:
+    """Encode a uint8 array as (count, [value, run-length]*count) varints."""
+    data = np.asarray(data, dtype=np.uint8).ravel()
+    if data.size == 0:
+        return encode_uvarints(np.zeros(1, dtype=np.uint64))
+    change = np.flatnonzero(np.diff(data)) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [data.size]))
+    values = data[starts].astype(np.uint64)
+    runs = (ends - starts).astype(np.uint64)
+    header = encode_uvarints(np.asarray([values.size], dtype=np.uint64))
+    interleaved = np.empty(2 * values.size, dtype=np.uint64)
+    interleaved[0::2] = values
+    interleaved[1::2] = runs
+    return header + encode_uvarints(interleaved)
+
+
+def rle_decode(blob: bytes) -> np.ndarray:
+    """Invert :func:`rle_encode`."""
+    (count,), off = decode_uvarints(blob, 1, 0)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint8)
+    interleaved, _ = decode_uvarints(blob, 2 * int(count), off)
+    values = interleaved[0::2].astype(np.uint8)
+    runs = interleaved[1::2].astype(np.int64)
+    return np.repeat(values, runs)

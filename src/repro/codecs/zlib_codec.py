@@ -1,0 +1,33 @@
+"""DEFLATE byte codec backed by the standard library.
+
+The paper's SZ builds call out to Gzip (DEFLATE) or Zstd for the stage-4
+dictionary pass; Python's bundled :mod:`zlib` *is* DEFLATE, so this backend
+is the faithful default.  The from-scratch alternative lives in
+:mod:`repro.codecs.lz77`.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.codecs.interface import ByteCodec, register_byte_codec
+
+__all__ = ["ZlibCodec"]
+
+
+@register_byte_codec
+class ZlibCodec(ByteCodec):
+    """Stdlib DEFLATE with configurable level (default 6, zlib's default)."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not -1 <= level <= 9:
+            raise ValueError(f"zlib level must be in [-1, 9], got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        return zlib.decompress(data)

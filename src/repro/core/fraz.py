@@ -1,0 +1,155 @@
+"""The FRaZ public API.
+
+    from repro import FRaZ
+
+    fraz = FRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1)
+    result = fraz.tune(field)             # -> TrainingResult with the bound
+    payload, result = fraz.compress(field)  # tune + compress in one call
+
+For multi-time-step data use :meth:`FRaZ.tune_series`; for whole datasets
+(many fields) :meth:`FRaZ.tune_dataset`.  Error-control-based fixed-ratio
+compression (problem formulation Eq. 2) is expressed by ``max_error_bound``
+— the search never probes beyond it, so the returned configuration always
+respects the user's distortion constraint ``U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.core.fields import tune_fields, tune_time_series
+from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
+from repro.core.training import DEFAULT_OVERLAP, DEFAULT_REGIONS, train
+from repro.parallel.executor import BaseExecutor, make_executor
+from repro.pressio.compressor import CompressedField, Compressor
+from repro.pressio.registry import make_compressor
+
+__all__ = ["FRaZ"]
+
+
+@dataclass
+class FRaZ:
+    """Fixed-ratio lossy compression tuner.
+
+    Parameters
+    ----------
+    compressor:
+        A :class:`~repro.pressio.compressor.Compressor` instance or a
+        registry name (``"sz"``, ``"zfp"``, ``"mgard"``, ``"zfp-rate"``).
+    target_ratio:
+        ``rho_t`` — the requested compression ratio.
+    tolerance:
+        ``eps`` — acceptance band half-width as a fraction of the target.
+    max_error_bound:
+        ``U`` — optional cap on the error bound the search may recommend
+        (Eq. 2's distortion constraint).  ``None`` uses the compressor's
+        full admissible range.
+    regions, overlap:
+        Error-bound region count (paper default 12) and overlap fraction.
+    max_calls_per_region:
+        Iteration cap per worker task.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` (or an executor
+        instance) for the region/field fan-out.
+    workers:
+        Pool size for thread/process executors.
+    seed:
+        Determinism seed threaded through the optimizer.
+    """
+
+    compressor: Compressor | str = "sz"
+    target_ratio: float = 10.0
+    tolerance: float = 0.1
+    max_error_bound: float | None = None
+    regions: int = DEFAULT_REGIONS
+    overlap: float = DEFAULT_OVERLAP
+    max_calls_per_region: int = 16
+    executor: BaseExecutor | str = "serial"
+    workers: int = 4
+    seed: int = 0
+    reuse_prediction: bool = True
+    _compressor: Compressor = dataclass_field(init=False, repr=False)
+    _executor: BaseExecutor = dataclass_field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.target_ratio <= 0:
+            raise ValueError(f"target_ratio must be positive, got {self.target_ratio}")
+        if not 0 < self.tolerance < 1:
+            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        self._compressor = (
+            make_compressor(self.compressor)
+            if isinstance(self.compressor, str)
+            else self.compressor
+        )
+        self._executor = (
+            make_executor(self.executor, self.workers)
+            if isinstance(self.executor, str)
+            else self.executor
+        )
+
+    # ------------------------------------------------------------------
+    def tune(self, data: np.ndarray, prediction: float | None = None) -> TrainingResult:
+        """Search the error bound for a single field/time-step."""
+        return train(
+            self._compressor,
+            data,
+            self.target_ratio,
+            tolerance=self.tolerance,
+            upper=self.max_error_bound,
+            regions=self.regions,
+            overlap=self.overlap,
+            max_calls_per_region=self.max_calls_per_region,
+            prediction=prediction,
+            executor=self._executor,
+            seed=self.seed,
+        )
+
+    def tune_series(
+        self, series: list[np.ndarray], field_name: str = "field"
+    ) -> TimeSeriesResult:
+        """Tune a multi-time-step field with error-bound reuse."""
+        return tune_time_series(
+            self._compressor,
+            series,
+            self.target_ratio,
+            tolerance=self.tolerance,
+            field_name=field_name,
+            upper=self.max_error_bound,
+            regions=self.regions,
+            overlap=self.overlap,
+            max_calls_per_region=self.max_calls_per_region,
+            executor=self._executor,
+            seed=self.seed,
+            reuse_prediction=self.reuse_prediction,
+        )
+
+    def tune_dataset(self, fields: dict[str, list[np.ndarray]]) -> FieldResult:
+        """Tune every field of a dataset (parallel by field)."""
+        return tune_fields(
+            self._compressor,
+            fields,
+            self.target_ratio,
+            tolerance=self.tolerance,
+            upper=self.max_error_bound,
+            regions=self.regions,
+            overlap=self.overlap,
+            max_calls_per_region=self.max_calls_per_region,
+            executor=self._executor,
+            seed=self.seed,
+            reuse_prediction=self.reuse_prediction,
+        )
+
+    # ------------------------------------------------------------------
+    def compress(
+        self, data: np.ndarray, prediction: float | None = None
+    ) -> tuple[CompressedField, TrainingResult]:
+        """Tune, then compress with the recommended bound."""
+        result = self.tune(data, prediction=prediction)
+        configured = self._compressor.with_error_bound(result.error_bound)
+        return configured.compress(data), result
+
+    def decompress(self, payload: CompressedField | bytes) -> np.ndarray:
+        """Decompress a payload produced by :meth:`compress`."""
+        return self._compressor.decompress(payload)

@@ -1,0 +1,200 @@
+"""Quality-targeted tuning — the paper's future work #1.
+
+Sec. VII: "we would like to consider arbitrary user error bounds ... error
+bounds that correspond with the quality of a scientist's analysis result",
+citing Baker et al.'s finding that a particular SSIM level certifies valid
+climate analysis on lossy data.
+
+:func:`tune_quality` inverts a *quality* metric instead of the ratio: it
+finds the error bound whose reconstruction quality lands in a band around
+the target (e.g. SSIM = 0.95 +- 0.005), using the same cutoff-equipped
+global optimizer.  Because quality is monotone-decreasing in the bound
+(up to compressor noise), the search doubles as "largest bound — hence
+best ratio — that still meets the quality floor":
+:func:`max_ratio_at_quality`.
+
+Each probe costs a compression *and* a decompression (quality needs the
+reconstruction), so these searches are inherently pricier than ratio
+tuning; the memoised closure keeps re-probes free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.loss import DEFAULT_GAMMA
+from repro.metrics import psnr, ssim
+from repro.optimize import find_global_min
+from repro.pressio.compressor import Compressor
+
+__all__ = ["QualityResult", "tune_quality", "max_ratio_at_quality", "QUALITY_METRICS"]
+
+QUALITY_METRICS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "ssim": ssim,
+    "psnr": psnr,
+}
+
+
+@dataclass(frozen=True)
+class QualityResult:
+    """Outcome of a quality-targeted search."""
+
+    error_bound: float
+    quality: float
+    ratio: float
+    metric: str
+    target: float
+    feasible: bool
+    evaluations: int
+    wall_seconds: float
+
+
+class _QualityClosure:
+    """Memoised ``e -> (quality, ratio)`` over one (compressor, data) pair."""
+
+    def __init__(self, compressor: Compressor, data: np.ndarray, metric: str) -> None:
+        if metric not in QUALITY_METRICS:
+            raise KeyError(
+                f"unknown quality metric {metric!r}; available: {sorted(QUALITY_METRICS)}"
+            )
+        self.compressor = compressor
+        self.data = np.asarray(data)
+        self.metric_fn = QUALITY_METRICS[metric]
+        self.cache: dict[float, tuple[float, float]] = {}
+
+    def __call__(self, error_bound: float) -> tuple[float, float]:
+        e = float(error_bound)
+        if e in self.cache:
+            return self.cache[e]
+        configured = self.compressor.with_error_bound(e)
+        payload = configured.compress(self.data)
+        recon = configured.decompress(payload)
+        quality = float(self.metric_fn(self.data, recon))
+        self.cache[e] = (quality, payload.ratio)
+        return self.cache[e]
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.cache)
+
+
+def tune_quality(
+    compressor: Compressor,
+    data: np.ndarray,
+    target: float,
+    metric: str = "ssim",
+    tolerance: float = 0.005,
+    lower: float | None = None,
+    upper: float | None = None,
+    max_calls: int = 24,
+    seed: int = 0,
+) -> QualityResult:
+    """Find an error bound whose reconstruction quality hits ``target``.
+
+    Parameters
+    ----------
+    compressor:
+        Any ``abs``-mode compressor.
+    data:
+        The field to tune on.
+    target:
+        Quality target (SSIM in [0, 1], or PSNR in dB).
+    metric:
+        ``"ssim"`` or ``"psnr"`` (extensible via :data:`QUALITY_METRICS`).
+    tolerance:
+        Half-width of the acceptance band, in the metric's own units
+        (absolute, not relative — SSIM targets are near 1).
+    lower, upper:
+        Error-bound search interval; defaults to the compressor's range.
+    max_calls:
+        Probe budget (each probe = compress + decompress).
+    """
+    t0 = time.perf_counter()
+    data = np.asarray(data)
+    default_lo, default_hi = compressor.default_bound_range(data)
+    lo = default_lo if lower is None else float(lower)
+    hi = default_hi if upper is None else float(upper)
+
+    closure = _QualityClosure(compressor, data, metric)
+
+    def loss(e: float) -> float:
+        quality, _ = closure(e)
+        if not np.isfinite(quality):
+            return DEFAULT_GAMMA
+        return min((quality - target) ** 2, DEFAULT_GAMMA)
+
+    find_global_min(
+        loss, lo, hi, max_calls=max_calls, cutoff=tolerance**2, seed=seed
+    )
+
+    best_e = min(closure.cache, key=lambda e: (closure.cache[e][0] - target) ** 2)
+    quality, ratio = closure.cache[best_e]
+    return QualityResult(
+        error_bound=best_e,
+        quality=quality,
+        ratio=ratio,
+        metric=metric,
+        target=target,
+        feasible=abs(quality - target) <= tolerance,
+        evaluations=closure.evaluations,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def max_ratio_at_quality(
+    compressor: Compressor,
+    data: np.ndarray,
+    min_quality: float,
+    metric: str = "ssim",
+    lower: float | None = None,
+    upper: float | None = None,
+    max_calls: int = 24,
+    seed: int = 0,
+) -> QualityResult:
+    """Best compression ratio whose quality stays at or above a floor.
+
+    Runs :func:`tune_quality` at the floor, then returns the *highest-ratio*
+    probe among all evaluated bounds that satisfy the floor — the search's
+    whole history is reused, so this costs nothing extra.
+    """
+    t0 = time.perf_counter()
+    data = np.asarray(data)
+    default_lo, default_hi = compressor.default_bound_range(data)
+    lo = default_lo if lower is None else float(lower)
+    hi = default_hi if upper is None else float(upper)
+
+    closure = _QualityClosure(compressor, data, metric)
+
+    def loss(e: float) -> float:
+        quality, _ = closure(e)
+        if not np.isfinite(quality):
+            return DEFAULT_GAMMA
+        return min((quality - min_quality) ** 2, DEFAULT_GAMMA)
+
+    find_global_min(loss, lo, hi, max_calls=max_calls, seed=seed)
+
+    satisfying = {
+        e: (q, r) for e, (q, r) in closure.cache.items() if q >= min_quality
+    }
+    if satisfying:
+        best_e = max(satisfying, key=lambda e: satisfying[e][1])
+        quality, ratio = satisfying[best_e]
+        feasible = True
+    else:
+        best_e = max(closure.cache, key=lambda e: closure.cache[e][0])
+        quality, ratio = closure.cache[best_e]
+        feasible = False
+    return QualityResult(
+        error_bound=best_e,
+        quality=quality,
+        ratio=ratio,
+        metric=metric,
+        target=min_quality,
+        feasible=feasible,
+        evaluations=closure.evaluations,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,58 @@
+"""Overlapping error-bound search regions (Fig. 5).
+
+The full ``[lower, upper]`` interval is divided into ``k`` regions that
+overlap by a fixed fraction ``alpha`` of the region width (10% by default).
+The overlap matters: the search terminates on first success, so runtime is
+set by the region containing the target; without overlap, a target bound
+sitting on a border leaves its MPI rank with no stationary points for the
+quadratic refinement and a long worst-case search.  The end regions are
+clipped, so E1 and Ek are "slightly smaller", exactly as the figure notes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["split_regions"]
+
+
+def split_regions(
+    lower: float,
+    upper: float,
+    k: int,
+    overlap: float = 0.1,
+) -> list[tuple[float, float]]:
+    """Split ``[lower, upper]`` into ``k`` overlapping regions.
+
+    Parameters
+    ----------
+    lower, upper:
+        Search interval, ``upper > lower``.
+    k:
+        Number of regions (the paper's default task count is 12).
+    overlap:
+        Fraction of the region width each side extends into its neighbours
+        (``alpha`` in Table I).
+
+    Returns
+    -------
+    list of (lo, hi)
+        Regions in ascending order; their union is exactly
+        ``[lower, upper]``; interior boundaries overlap by
+        ``2 * overlap * width``.
+    """
+    if not upper > lower:
+        raise ValueError(f"need upper > lower, got [{lower}, {upper}]")
+    if k < 1:
+        raise ValueError(f"need at least one region, got {k}")
+    if not 0.0 <= overlap < 0.5:
+        raise ValueError(f"overlap must be in [0, 0.5), got {overlap}")
+
+    width = (upper - lower) / k
+    margin = overlap * width
+    regions = []
+    for i in range(k):
+        # Pin the outer edges exactly: `lower + k * (span / k)` need not
+        # round back to `upper` in floating point.
+        lo = lower if i == 0 else max(lower, lower + i * width - margin)
+        hi = upper if i == k - 1 else min(upper, lower + (i + 1) * width + margin)
+        regions.append((lo, hi))
+    return regions

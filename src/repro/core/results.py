@@ -1,0 +1,87 @@
+"""Result records for FRaZ searches.
+
+Notation follows the paper's Table I: ``rho_t`` target ratio, ``rho_r``
+achieved ratio, ``e`` the recommended error bound, ``eps`` the acceptable
+ratio tolerance, ``U`` the user's maximum allowed compression error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerResult", "TrainingResult", "TimeSeriesResult", "FieldResult"]
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """Outcome of one region's worker task (Algorithm 1)."""
+
+    error_bound: float
+    ratio: float
+    feasible: bool
+    evaluations: int
+    region: tuple[float, float]
+    used_prediction: bool
+    compress_seconds: float
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Outcome of a full search over all regions (Algorithm 2)."""
+
+    error_bound: float
+    ratio: float
+    target_ratio: float
+    tolerance: float
+    feasible: bool
+    evaluations: int
+    compress_seconds: float
+    wall_seconds: float
+    used_prediction: bool
+    workers: tuple[WorkerResult, ...] = ()
+
+    @property
+    def within_tolerance(self) -> bool:
+        lo = self.target_ratio * (1.0 - self.tolerance)
+        hi = self.target_ratio * (1.0 + self.tolerance)
+        return lo <= self.ratio <= hi
+
+
+@dataclass
+class TimeSeriesResult:
+    """Per-time-step results for one field (Sec. V-C time-step reuse)."""
+
+    field_name: str
+    steps: list[TrainingResult] = field(default_factory=list)
+    retrain_steps: list[int] = field(default_factory=list)
+
+    @property
+    def converged_fraction(self) -> float:
+        if not self.steps:
+            return 0.0
+        return sum(s.within_tolerance for s in self.steps) / len(self.steps)
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(s.evaluations for s in self.steps)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.steps)
+
+
+@dataclass
+class FieldResult:
+    """Results across all fields of a dataset (Algorithm 3)."""
+
+    fields: dict[str, TimeSeriesResult] = field(default_factory=dict)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(f.total_wall_seconds for f in self.fields.values())
+
+    @property
+    def longest_field_seconds(self) -> float:
+        if not self.fields:
+            return 0.0
+        return max(f.total_wall_seconds for f in self.fields.values())

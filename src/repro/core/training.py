@@ -1,0 +1,132 @@
+"""Algorithm 2: training over overlapping regions with early cancellation.
+
+The error-bound interval is split into ``k`` overlapping regions
+(:func:`repro.core.regions.split_regions`), one worker task per region,
+dispatched through a cancel-aware executor.  As workers complete, the first
+result inside the acceptance band cancels everything not yet started
+(lines 7-14); if none succeeds, the result whose ratio is *closest* to the
+target is reported and the request is deemed infeasible (lines 17-25).
+
+The paper found 12 regions the sweet spot ("there seems to be a floor for
+how many iterations are required to converge"); that is the default.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.regions import split_regions
+from repro.core.results import TrainingResult, WorkerResult
+from repro.core.worker import worker_task
+from repro.parallel.executor import BaseExecutor, SerialExecutor
+from repro.pressio.compressor import Compressor
+
+__all__ = ["train"]
+
+DEFAULT_REGIONS = 12
+DEFAULT_OVERLAP = 0.1
+
+
+def _run_worker(payload: tuple) -> WorkerResult:
+    """Module-level trampoline so process pools can pickle the task."""
+    compressor, data, target, tolerance, region, prediction, max_calls, seed = payload
+    return worker_task(
+        compressor,
+        data,
+        target,
+        tolerance,
+        region,
+        prediction=prediction,
+        max_calls=max_calls,
+        seed=seed,
+    )
+
+
+def train(
+    compressor: Compressor,
+    data: np.ndarray,
+    target_ratio: float,
+    tolerance: float = 0.1,
+    lower: float | None = None,
+    upper: float | None = None,
+    regions: int = DEFAULT_REGIONS,
+    overlap: float = DEFAULT_OVERLAP,
+    max_calls_per_region: int = 16,
+    prediction: float | None = None,
+    executor: BaseExecutor | None = None,
+    seed: int = 0,
+) -> TrainingResult:
+    """Find an error bound whose ratio hits ``target_ratio`` within ``tolerance``.
+
+    ``lower``/``upper`` default to the compressor's full admissible range;
+    pass ``upper`` explicitly to impose the user's maximum allowed
+    compression error ``U`` (Sec. V-B3 — if the search then fails, rerun
+    with the default upper bound or relax the constraint).
+    """
+    data = np.asarray(data)
+    t0 = time.perf_counter()
+    default_lo, default_hi = compressor.default_bound_range(data)
+    lo = default_lo if lower is None else float(lower)
+    hi = default_hi if upper is None else float(upper)
+    if not hi > lo:
+        raise ValueError(f"invalid error-bound range [{lo}, {hi}]")
+
+    # Fast path (Algorithm 1 lines 1-6 at the orchestration level): when a
+    # prediction exists, one worker checks it before any region fan-out.
+    if prediction is not None and prediction > 0:
+        probe = worker_task(
+            compressor,
+            data,
+            target_ratio,
+            tolerance,
+            (lo, hi),
+            prediction=prediction,
+            max_calls=1,
+            seed=seed,
+        )
+        if probe.used_prediction and probe.feasible:
+            return TrainingResult(
+                error_bound=probe.error_bound,
+                ratio=probe.ratio,
+                target_ratio=target_ratio,
+                tolerance=tolerance,
+                feasible=True,
+                evaluations=probe.evaluations,
+                compress_seconds=probe.compress_seconds,
+                wall_seconds=time.perf_counter() - t0,
+                used_prediction=True,
+                workers=(probe,),
+            )
+
+    executor = executor or SerialExecutor()
+    region_list = split_regions(lo, hi, regions, overlap)
+    payloads = [
+        (compressor, data, target_ratio, tolerance, region, None, max_calls_per_region, seed + i)
+        for i, region in enumerate(region_list)
+    ]
+    completed = executor.run_cancellable(
+        _run_worker, payloads, stop_when=lambda res: res.feasible
+    )
+    workers = tuple(res for _, res in completed)
+
+    # Lines 17-25: prefer a feasible result; otherwise the closest observed.
+    feasible = [w for w in workers if w.feasible]
+    if feasible:
+        best = feasible[0]
+    else:
+        best = min(workers, key=lambda w: (w.ratio - target_ratio) ** 2)
+
+    return TrainingResult(
+        error_bound=best.error_bound,
+        ratio=best.ratio,
+        target_ratio=target_ratio,
+        tolerance=tolerance,
+        feasible=bool(feasible),
+        evaluations=sum(w.evaluations for w in workers),
+        compress_seconds=sum(w.compress_seconds for w in workers),
+        wall_seconds=time.perf_counter() - t0,
+        used_prediction=False,
+        workers=workers,
+    )

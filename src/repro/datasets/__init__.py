@@ -1,0 +1,34 @@
+"""Synthetic SDRBench-analog datasets (paper Table III).
+
+The paper evaluates on five real datasets from the Scientific Data
+Reduction Benchmark [16].  Those total ~150 GB and are not available here,
+so each dataset is *simulated*: a seeded generator reproducing the
+properties FRaZ's behaviour depends on — dimensionality, field count,
+multi-time-step evolution, and value character (see DESIGN.md's
+substitution table):
+
+* :mod:`repro.datasets.hurricane` — 3D meteorology; smooth multi-scale
+  dynamics plus sparse log-scaled cloud/moisture fields (``QCLOUDf.log10``
+  drives the Fig. 3 non-monotonicity);
+* :mod:`repro.datasets.hacc` — 1D cosmology particles (clustered positions,
+  Maxwellian velocities);
+* :mod:`repro.datasets.cesm` — 2D climate fields;
+* :mod:`repro.datasets.exaalt` — 1D molecular-dynamics coordinates;
+* :mod:`repro.datasets.nyx` — 3D cosmology (lognormal density, temperature).
+
+All generators are deterministic in their seed, emit float32 (as SDRBench
+does), and evolve gradually across time-steps so the time-step reuse
+optimisation behaves as in the paper.
+"""
+
+from repro.datasets.base import Dataset, FieldSeries, fourier_field
+from repro.datasets.registry import DATASET_NAMES, dataset_summaries, load_dataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "FieldSeries",
+    "dataset_summaries",
+    "fourier_field",
+    "load_dataset",
+]

@@ -1,0 +1,146 @@
+"""Dataset containers and shared field synthesis.
+
+:func:`fourier_field` is the workhorse: a band-limited random Fourier
+series over the grid, evolving smoothly in time through per-mode phase
+drift.  It produces fields with realistic spatial correlation (what
+prediction-based compressors exploit) whose time-steps differ gradually
+(what the time-step-reuse optimisation exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FieldSeries", "Dataset", "fourier_field"]
+
+
+@dataclass
+class FieldSeries:
+    """One named field across time-steps."""
+
+    name: str
+    steps: list[np.ndarray]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.steps[0].shape if self.steps else ()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.steps)
+
+
+@dataclass
+class Dataset:
+    """A named collection of field series (one SDRBench application)."""
+
+    name: str
+    domain: str
+    fields: dict[str, FieldSeries] = field(default_factory=dict)
+
+    def add(self, series: FieldSeries) -> None:
+        if series.name in self.fields:
+            raise KeyError(f"duplicate field {series.name!r}")
+        self.fields[series.name] = series
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.fields)
+
+    @property
+    def n_steps(self) -> int:
+        return max((f.n_steps for f in self.fields.values()), default=0)
+
+    @property
+    def ndim(self) -> int:
+        for f in self.fields.values():
+            return len(f.shape)
+        return 0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(f.nbytes for f in self.fields.values())
+
+    def field_arrays(self) -> dict[str, list[np.ndarray]]:
+        """Plain dict-of-lists view used by :func:`repro.core.tune_fields`."""
+        return {name: series.steps for name, series in self.fields.items()}
+
+    def summary_row(self) -> str:
+        """Table III-style row: name, domain, steps, dim, fields, size."""
+        return (
+            f"{self.name:<10} {self.domain:<15} {self.n_steps:>5} "
+            f"{self.ndim:>3}D {self.n_fields:>7} {self.nbytes / 1e6:>9.1f} MB"
+        )
+
+
+def fourier_field(
+    shape: tuple[int, ...],
+    n_steps: int,
+    rng: np.random.Generator,
+    n_modes: int = 24,
+    max_wavenumber: float = 4.0,
+    drift: float = 0.05,
+    noise: float = 0.0,
+    amplitude_decay: float = 1.5,
+) -> list[np.ndarray]:
+    """Band-limited random Fourier series, evolving by phase drift.
+
+    Parameters
+    ----------
+    shape:
+        Grid shape (1D-3D).
+    n_steps:
+        Number of time-steps to synthesise.
+    rng:
+        Seeded generator (determinism contract).
+    n_modes:
+        Number of random Fourier modes.
+    max_wavenumber:
+        Band limit in cycles across the domain; smaller = smoother.
+    drift:
+        Per-step phase drift (radians) — controls how much consecutive
+        steps differ, hence how often FRaZ retrains.
+    noise:
+        Optional white-noise amplitude added per step (compressor stress).
+    amplitude_decay:
+        Spectral slope: mode amplitude ``~ |k|**-amplitude_decay``.
+
+    Returns
+    -------
+    list of float32 arrays, one per step.
+    """
+    ndim = len(shape)
+    axes = np.meshgrid(
+        *(np.linspace(0.0, 1.0, s, endpoint=False) for s in shape), indexing="ij"
+    )
+    k = rng.uniform(-max_wavenumber, max_wavenumber, size=(n_modes, ndim))
+    knorm = np.maximum(np.linalg.norm(k, axis=1), 0.5)
+    amp = knorm**-amplitude_decay
+    amp /= amp.max()
+    phase0 = rng.uniform(0, 2 * np.pi, n_modes)
+    omega = rng.uniform(0.5, 1.5, n_modes) * drift * 2 * np.pi
+
+    # phase_grid[m] = 2*pi * k_m . x, evaluated once.
+    phase_grid = np.zeros((n_modes,) + tuple(shape))
+    for m in range(n_modes):
+        acc = np.zeros(shape)
+        for d in range(ndim):
+            acc = acc + k[m, d] * axes[d]
+        phase_grid[m] = 2 * np.pi * acc
+
+    steps: list[np.ndarray] = []
+    for t in range(n_steps):
+        field_t = np.tensordot(
+            amp, np.sin(phase_grid + (phase0 + omega * t)[(slice(None),) + (None,) * ndim]),
+            axes=1,
+        )
+        if noise > 0:
+            field_t = field_t + noise * rng.standard_normal(shape)
+        steps.append(field_t.astype(np.float32))
+    return steps

@@ -1,0 +1,51 @@
+"""CESM-ATM analog: 2D climate fields, 62 time-steps, 6 fields.
+
+The paper uses the six representative CESM atmosphere fields CLDHGH,
+CLDLOW, CLOUD, FLDSC, FREQSH, PHIS ("other fields exhibit similar results
+with one of them").  Real CESM fields are 1800x3600 lat-lon grids; we
+synthesise 96x192 analogs: cloud-fraction fields are bounded in [0, 1] with
+banded zonal structure, FLDSC/PHIS are smooth with strong meridional
+gradients, and PHIS (surface geopotential) is *static* across time — as in
+the real data, where only a limited number of fields carry multi-step
+series (Table III's footnote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, FieldSeries, fourier_field
+
+__all__ = ["make_cesm"]
+
+
+def make_cesm(
+    shape: tuple[int, int] = (96, 192),
+    n_steps: int = 62,
+    seed: int = 13,
+) -> Dataset:
+    """Build the CESM-ATM analog dataset."""
+    rng = np.random.default_rng(seed)
+    ds = Dataset(name="CESM", domain="Climate")
+
+    lat = np.linspace(-np.pi / 2, np.pi / 2, shape[0])[:, None]
+
+    for name in ("CLDHGH", "CLDLOW", "CLOUD"):
+        base = fourier_field(shape, n_steps, rng, n_modes=32, max_wavenumber=6.0, drift=0.05)
+        zonal = (0.3 + 0.2 * np.cos(3 * lat)).astype(np.float32)
+        series = [
+            np.clip(zonal + 0.35 * s + 0.5, 0.0, 1.0).astype(np.float32) for s in base
+        ]
+        ds.add(FieldSeries(name, series))
+
+    for name in ("FLDSC", "FREQSH"):
+        base = fourier_field(shape, n_steps, rng, n_modes=24, max_wavenumber=4.0, drift=0.04)
+        grad = (200.0 * np.cos(lat) ** 2).astype(np.float32)
+        series = [(grad + np.float32(40.0) * s).astype(np.float32) for s in base]
+        ds.add(FieldSeries(name, series))
+
+    # PHIS: static orography — identical across steps.
+    oro = fourier_field(shape, 1, rng, n_modes=48, max_wavenumber=10.0, drift=0.0)[0]
+    phis = (np.clip(oro, 0, None) * np.float32(3.0e4)).astype(np.float32)
+    ds.add(FieldSeries("PHIS", [phis.copy() for _ in range(n_steps)]))
+    return ds

@@ -1,0 +1,71 @@
+"""Hurricane ISABEL analog: 3D meteorology, 48 time-steps, 13 fields.
+
+The real dataset (SDRBench "Hurricane ISABEL") has 100x500x500 grids; we
+synthesise the same field inventory at laptop scale.  Field character
+matters more than resolution:
+
+* wind components ``Uf/Vf/Wf`` — a translating vortex plus turbulence;
+* thermodynamic fields ``TCf/Pf/QVAPORf`` — smooth multi-scale structure
+  (``TCf`` is the field Figs. 1 and 9a use);
+* cloud/precip fields ``CLOUDf/QCLOUDf/QICEf/QRAINf/QSNOWf/QGRAUPf/PRECIPf``
+  — *sparse*: mostly an exact floor value with embedded smooth plumes.
+  ``QCLOUDf.log10`` (the log-scaled variant SDRBench ships and Fig. 3
+  sweeps) mixes a constant background with high-gradient islands, which is
+  precisely what makes SZ's ratio/bound curve spiky.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, FieldSeries, fourier_field
+
+__all__ = ["make_hurricane"]
+
+_SMOOTH_FIELDS = ["TCf", "Pf", "QVAPORf", "Uf", "Vf", "Wf"]
+_CLOUD_FIELDS = ["CLOUDf", "QCLOUDf", "QICEf", "QRAINf", "QSNOWf", "QGRAUPf", "PRECIPf"]
+
+
+def _sparse_cloud(base: np.ndarray, threshold: float, log10: bool) -> np.ndarray:
+    """Threshold a smooth field into a sparse, plume-like cloud variable."""
+    plume = np.clip(base - threshold, 0.0, None)
+    if log10:
+        # SDRBench's .log10 fields: log of the positive part, floored.
+        out = np.where(plume > 0, np.log10(plume + 1e-6), np.log10(1e-6))
+    else:
+        out = plume
+    return out.astype(np.float32)
+
+
+def make_hurricane(
+    shape: tuple[int, int, int] = (48, 48, 24),
+    n_steps: int = 48,
+    seed: int = 7,
+) -> Dataset:
+    """Build the Hurricane analog dataset."""
+    rng = np.random.default_rng(seed)
+    ds = Dataset(name="Hurricane", domain="Meteorology")
+
+    for name in _SMOOTH_FIELDS:
+        noise = 0.01 if name in ("Uf", "Vf", "Wf") else 0.002
+        steps = fourier_field(
+            shape, n_steps, rng, n_modes=24, max_wavenumber=4.0, drift=0.04, noise=noise
+        )
+        scale = {"TCf": 25.0, "Pf": 500.0, "QVAPORf": 0.02}.get(name, 30.0)
+        offset = {"TCf": 10.0, "Pf": 850.0, "QVAPORf": 0.02}.get(name, 0.0)
+        ds.add(
+            FieldSeries(
+                name, [np.float32(offset) + np.float32(scale) * s for s in steps]
+            )
+        )
+
+    for name in _CLOUD_FIELDS:
+        base = fourier_field(
+            shape, n_steps, rng, n_modes=16, max_wavenumber=5.0, drift=0.06
+        )
+        threshold = float(rng.uniform(0.3, 0.7))
+        log10 = name == "QCLOUDf"
+        series = [_sparse_cloud(s, threshold, log10) for s in base]
+        label = f"{name}.log10" if log10 else name
+        ds.add(FieldSeries(label, series))
+    return ds

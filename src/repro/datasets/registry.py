@@ -1,0 +1,89 @@
+"""Dataset registry and Table III reproduction.
+
+``load_dataset(name, size=...)`` builds any of the five analogs at three
+scales:
+
+* ``"tiny"`` — seconds-fast, for unit tests;
+* ``"small"`` — the default benchmark scale (laptop-friendly);
+* ``"paper"`` — the paper's time-step and field counts at reduced
+  resolution (the full 150 GB originals are out of scope by design).
+
+``dataset_summaries`` prints the Table III analog for whichever scale is
+requested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.cesm import make_cesm
+from repro.datasets.exaalt import make_exaalt
+from repro.datasets.hacc import make_hacc
+from repro.datasets.hurricane import make_hurricane
+from repro.datasets.nyx import make_nyx
+
+__all__ = ["DATASET_NAMES", "load_dataset", "dataset_summaries", "PAPER_TABLE3"]
+
+DATASET_NAMES = ("Hurricane", "HACC", "CESM", "Exaalt", "NYX")
+
+#: The paper's Table III, for side-by-side reporting.
+PAPER_TABLE3 = {
+    "Hurricane": {"domain": "Meteorology", "steps": 48, "dim": 3, "fields": 13, "size": "59 GB"},
+    "HACC": {"domain": "Cosmology", "steps": 101, "dim": 1, "fields": 6, "size": "11 GB"},
+    "CESM": {"domain": "Climate", "steps": 62, "dim": 2, "fields": 6, "size": "48 GB"},
+    "Exaalt": {"domain": "Molecular Dyn.", "steps": 82, "dim": 1, "fields": 3, "size": "1.1 GB"},
+    "NYX": {"domain": "Cosmology", "steps": 8, "dim": 3, "fields": 5, "size": "35 GB"},
+}
+
+_SIZES = ("tiny", "small", "paper")
+
+_BUILDERS: dict[str, dict[str, Callable[[int], Dataset]]] = {
+    "Hurricane": {
+        "tiny": lambda seed: make_hurricane((16, 16, 8), 6, seed),
+        "small": lambda seed: make_hurricane((32, 32, 16), 16, seed),
+        "paper": lambda seed: make_hurricane((48, 48, 24), 48, seed),
+    },
+    "HACC": {
+        "tiny": lambda seed: make_hacc(4096, 6, seed=seed),
+        "small": lambda seed: make_hacc(16384, 16, seed=seed),
+        "paper": lambda seed: make_hacc(65536, 101, seed=seed),
+    },
+    "CESM": {
+        "tiny": lambda seed: make_cesm((24, 48), 6, seed),
+        "small": lambda seed: make_cesm((48, 96), 16, seed),
+        "paper": lambda seed: make_cesm((96, 192), 62, seed),
+    },
+    "Exaalt": {
+        "tiny": lambda seed: make_exaalt(4096, 6, seed=seed),
+        "small": lambda seed: make_exaalt(16384, 16, seed=seed),
+        "paper": lambda seed: make_exaalt(43904, 82, seed=seed),
+    },
+    "NYX": {
+        "tiny": lambda seed: make_nyx((16, 16, 16), 4, seed),
+        "small": lambda seed: make_nyx((32, 32, 32), 8, seed),
+        "paper": lambda seed: make_nyx((48, 48, 48), 8, seed),
+    },
+}
+
+
+def load_dataset(name: str, size: str = "small", seed: int | None = None) -> Dataset:
+    """Build a dataset analog by name at the requested scale."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")
+    if size not in _SIZES:
+        raise ValueError(f"size must be one of {_SIZES}, got {size!r}")
+    default_seeds = {"Hurricane": 7, "HACC": 11, "CESM": 13, "Exaalt": 17, "NYX": 19}
+    return _BUILDERS[name][size](default_seeds[name] if seed is None else seed)
+
+
+def dataset_summaries(size: str = "small") -> str:
+    """Table III analog: one row per dataset at the given scale."""
+    header = (
+        f"{'Name':<10} {'Domain':<15} {'Steps':>5} {'Dim':>4} {'Fields':>7} "
+        f"{'Total size':>12}"
+    )
+    rows = [header, "-" * len(header)]
+    for name in DATASET_NAMES:
+        rows.append(load_dataset(name, size).summary_row())
+    return "\n".join(rows)

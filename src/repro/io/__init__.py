@@ -1,0 +1,14 @@
+"""File persistence for compressed fields.
+
+``.frz`` files wrap a compressor payload with enough metadata (compressor
+registry name, array geometry, the tuned error bound, arbitrary user
+key/values) that ``load`` can reconstruct the array with no other context —
+the random-access-per-time-step pattern the paper's users ask for
+(Sec. II-B: "users often require random-access decompression across time
+steps").  :class:`Archive` packs many named fields/steps into one file
+with per-entry random access.
+"""
+
+from repro.io.files import Archive, load_field, read_info, save_field
+
+__all__ = ["Archive", "load_field", "read_info", "save_field"]

@@ -1,0 +1,163 @@
+"""``.frz`` single-field files and multi-entry archives.
+
+Layout reuses :class:`repro.codecs.container.Container`:
+
+* single field — sections ``meta`` (JSON: compressor name, error bound,
+  original nbytes, user metadata) and ``payload`` (the compressor bytes);
+* archive — section ``index`` (JSON list of entry names + their meta) and
+  one payload section per entry, so individual time-steps decompress
+  without touching the rest (the paper's random-access requirement).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.codecs.container import Container
+from repro.pressio.compressor import CompressedField, Compressor
+from repro.pressio.registry import make_compressor
+
+__all__ = ["save_field", "load_field", "read_info", "Archive"]
+
+_FORMAT_VERSION = 1
+
+
+def _meta_dict(
+    compressor: Compressor, payload: CompressedField, extra: dict | None
+) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "compressor": compressor.name,
+        "mode": compressor.mode,
+        "error_bound": compressor.error_bound,
+        "original_nbytes": payload.original_nbytes,
+        "ratio": payload.ratio,
+        "user": extra or {},
+    }
+
+
+def save_field(
+    path: str | Path,
+    data_or_payload: np.ndarray | CompressedField,
+    compressor: Compressor,
+    metadata: dict | None = None,
+) -> CompressedField:
+    """Compress (if given an array) and persist one field.
+
+    Returns the payload that was written.
+    """
+    if isinstance(data_or_payload, CompressedField):
+        payload = data_or_payload
+    else:
+        payload = compressor.compress(np.asarray(data_or_payload))
+
+    outer = Container()
+    outer.add("meta", json.dumps(_meta_dict(compressor, payload, metadata)).encode())
+    outer.add("payload", payload.payload)
+    Path(path).write_bytes(outer.tobytes())
+    return payload
+
+
+def read_info(path: str | Path) -> dict:
+    """Read a ``.frz`` file's metadata without decompressing."""
+    outer = Container.frombytes(Path(path).read_bytes())
+    return json.loads(outer.get("meta").decode())
+
+
+def load_field(path: str | Path) -> tuple[np.ndarray, dict]:
+    """Decompress a ``.frz`` file; returns (array, metadata)."""
+    outer = Container.frombytes(Path(path).read_bytes())
+    meta = json.loads(outer.get("meta").decode())
+    compressor = make_compressor(meta["compressor"])
+    data = compressor.decompress(outer.get("payload"))
+    return data, meta
+
+
+class Archive:
+    """Multi-entry compressed container with per-entry random access.
+
+    Usage::
+
+        with Archive.create("run.frza") as ar:
+            ar.add("CLOUD/t000", step0, compressor)
+            ar.add("CLOUD/t001", step1, compressor)
+        names = Archive.open("run.frza").names()
+        data, meta = Archive.open("run.frza").load("CLOUD/t001")
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._entries: dict[str, tuple[dict, bytes]] = {}
+        self._writable = False
+
+    # -- writing ---------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | Path) -> "Archive":
+        ar = cls(path)
+        ar._writable = True
+        return ar
+
+    def add(
+        self,
+        name: str,
+        data_or_payload: np.ndarray | CompressedField,
+        compressor: Compressor,
+        metadata: dict | None = None,
+    ) -> CompressedField:
+        """Compress and stage one entry (written on close/exit)."""
+        if not self._writable:
+            raise PermissionError("archive opened read-only")
+        if name in self._entries:
+            raise KeyError(f"duplicate archive entry {name!r}")
+        if isinstance(data_or_payload, CompressedField):
+            payload = data_or_payload
+        else:
+            payload = compressor.compress(np.asarray(data_or_payload))
+        self._entries[name] = (
+            _meta_dict(compressor, payload, metadata),
+            payload.payload,
+        )
+        return payload
+
+    def close(self) -> None:
+        """Flush staged entries to disk (writable archives only)."""
+        if not self._writable:
+            return
+        outer = Container()
+        index = {name: meta for name, (meta, _) in self._entries.items()}
+        outer.add("index", json.dumps({"format_version": _FORMAT_VERSION,
+                                       "entries": index}).encode())
+        for name, (_, blob) in self._entries.items():
+            outer.add(f"entry:{name}", blob)
+        self._path.write_bytes(outer.tobytes())
+
+    def __enter__(self) -> "Archive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading ---------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path) -> "Archive":
+        ar = cls(path)
+        outer = Container.frombytes(ar._path.read_bytes())
+        index = json.loads(outer.get("index").decode())
+        for name, meta in index["entries"].items():
+            ar._entries[name] = (meta, outer.get(f"entry:{name}"))
+        return ar
+
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def info(self, name: str) -> dict:
+        return self._entries[name][0]
+
+    def load(self, name: str) -> tuple[np.ndarray, dict]:
+        """Decompress one entry (others are untouched)."""
+        meta, blob = self._entries[name]
+        compressor = make_compressor(meta["compressor"])
+        return compressor.decompress(blob), meta

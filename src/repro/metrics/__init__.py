@@ -1,0 +1,26 @@
+"""Compression-quality metrics used in the paper's evaluation (Sec. VI-B4).
+
+* :mod:`repro.metrics.error` — max error, MSE, RMSE, PSNR, value range.
+* :mod:`repro.metrics.ssim` — structural similarity on 2D slices.
+* :mod:`repro.metrics.acf` — autocorrelation of the compression-error field.
+* :mod:`repro.metrics.ratio` — compression ratio and bit rate.
+
+All functions accept arbitrary-dimensional float arrays and are vectorised.
+"""
+
+from repro.metrics.acf import error_acf
+from repro.metrics.error import max_abs_error, mse, psnr, rmse, value_range
+from repro.metrics.ratio import bit_rate, compression_ratio
+from repro.metrics.ssim import ssim
+
+__all__ = [
+    "bit_rate",
+    "compression_ratio",
+    "error_acf",
+    "max_abs_error",
+    "mse",
+    "psnr",
+    "rmse",
+    "ssim",
+    "value_range",
+]

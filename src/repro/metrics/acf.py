@@ -1,0 +1,40 @@
+"""Autocorrelation of the compression error.
+
+The paper reports ``ACF(error)`` — the lag-1 autocorrelation of the error
+field ``d - d'`` — as a fidelity indicator: highly autocorrelated error means
+structured artefacts (bad), white error means unbiased loss (good).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["error_acf", "acf"]
+
+
+def acf(series: np.ndarray, lag: int = 1) -> float:
+    """Lag-``lag`` autocorrelation of a flattened series.
+
+    Returns 0.0 for degenerate inputs (shorter than ``lag + 2`` or constant),
+    matching the convention that white/undefined error has no structure.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if lag < 1:
+        raise ValueError("lag must be >= 1")
+    if series.size < lag + 2:
+        return 0.0
+    centered = series - series.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        return 0.0
+    num = float(np.dot(centered[:-lag], centered[lag:]))
+    return num / denom
+
+
+def error_acf(original: np.ndarray, decompressed: np.ndarray, lag: int = 1) -> float:
+    """``acf(d - d', lag)`` — the paper's ACF(error)."""
+    original = np.asarray(original, dtype=np.float64)
+    decompressed = np.asarray(decompressed, dtype=np.float64)
+    if original.shape != decompressed.shape:
+        raise ValueError("shape mismatch between original and decompressed")
+    return acf(original - decompressed, lag=lag)

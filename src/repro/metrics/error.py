@@ -1,0 +1,68 @@
+"""Pointwise error metrics.
+
+PSNR follows the paper's definition: ``20 * log10((dmax - dmin) / rmse)``
+where the range is taken over the *original* data.  Identical inputs give
+``inf`` PSNR and zero errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_abs_error", "mse", "rmse", "psnr", "value_range"]
+
+
+def _pair(original: np.ndarray, decompressed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    original = np.asarray(original, dtype=np.float64)
+    decompressed = np.asarray(decompressed, dtype=np.float64)
+    if original.shape != decompressed.shape:
+        raise ValueError(
+            f"shape mismatch: original {original.shape} vs decompressed {decompressed.shape}"
+        )
+    return original, decompressed
+
+
+def value_range(data: np.ndarray) -> float:
+    """``dmax - dmin`` of a dataset (0 for empty or constant data)."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.size == 0:
+        return 0.0
+    return float(data.max() - data.min())
+
+
+def max_abs_error(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Infinity-norm of the error, the quantity absolute bounds must cap."""
+    original, decompressed = _pair(original, decompressed)
+    if original.size == 0:
+        return 0.0
+    return float(np.abs(original - decompressed).max())
+
+
+def mse(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Mean squared error."""
+    original, decompressed = _pair(original, decompressed)
+    if original.size == 0:
+        return 0.0
+    diff = original - decompressed
+    return float(np.mean(diff * diff))
+
+
+def rmse(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(original, decompressed)))
+
+
+def psnr(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (paper Sec. VI-B4).
+
+    ``inf`` for an exact reconstruction; ``-inf`` if the original is constant
+    but the reconstruction differs (zero range, nonzero error).
+    """
+    original, decompressed = _pair(original, decompressed)
+    err = rmse(original, decompressed)
+    if err == 0.0:
+        return float("inf")
+    rng = value_range(original)
+    if rng == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(rng / err))

@@ -1,0 +1,29 @@
+"""Compression ratio and bit rate.
+
+The paper defines the compression ratio ``rho = s(D) / s(D')`` (original over
+compressed bytes) and the bit rate as bits per data point after compression;
+for single-precision inputs ``bit_rate = 32 / rho``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_ratio", "bit_rate"]
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """``rho = s(D) / s(D')``; ``inf`` when the payload is empty."""
+    if original_nbytes < 0 or compressed_nbytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if compressed_nbytes == 0:
+        return float("inf")
+    return original_nbytes / compressed_nbytes
+
+
+def bit_rate(data: np.ndarray, compressed_nbytes: int) -> float:
+    """Bits per data point after compression."""
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ValueError("bit rate undefined for empty data")
+    return 8.0 * compressed_nbytes / data.size

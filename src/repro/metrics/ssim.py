@@ -1,0 +1,84 @@
+"""Structural similarity (SSIM) for 2D slices.
+
+Implements Wang et al. 2004 with the standard 7x7 uniform window (the
+convention scientific-data studies such as Baker et al. use for slice-wise
+comparisons).  Local means/variances come from separable uniform filtering
+via :func:`scipy.ndimage.uniform_filter` — fully vectorised.
+
+For 3D inputs :func:`ssim` averages slice SSIM over the leading axis, which
+matches how the paper visualises 3D fields (a 2D slice per figure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+__all__ = ["ssim"]
+
+_K1 = 0.01
+_K2 = 0.03
+
+
+def _ssim2d(x: np.ndarray, y: np.ndarray, data_range: float, win: int) -> float:
+    c1 = (_K1 * data_range) ** 2
+    c2 = (_K2 * data_range) ** 2
+
+    mu_x = uniform_filter(x, win)
+    mu_y = uniform_filter(y, win)
+    mu_xx = uniform_filter(x * x, win)
+    mu_yy = uniform_filter(y * y, win)
+    mu_xy = uniform_filter(x * y, win)
+
+    var_x = mu_xx - mu_x * mu_x
+    var_y = mu_yy - mu_y * mu_y
+    cov = mu_xy - mu_x * mu_y
+
+    num = (2 * mu_x * mu_y + c1) * (2 * cov + c2)
+    den = (mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2)
+    # Crop the window-radius border where the filter sees padding.
+    pad = win // 2
+    smap = num / den
+    if smap.shape[0] > 2 * pad and smap.shape[1] > 2 * pad:
+        smap = smap[pad:-pad, pad:-pad]
+    return float(smap.mean())
+
+
+def ssim(
+    original: np.ndarray,
+    decompressed: np.ndarray,
+    window: int = 7,
+    data_range: float | None = None,
+) -> float:
+    """SSIM between two fields; 1.0 means structurally identical.
+
+    Parameters
+    ----------
+    original, decompressed:
+        1D (treated as a single row), 2D, or 3D arrays of equal shape.
+    window:
+        Side of the uniform filter window (odd, >= 3).
+    data_range:
+        ``dmax - dmin`` normalisation; defaults to the original's range
+        (1.0 when the original is constant, so SSIM(x, x) stays 1).
+    """
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(decompressed, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    if window < 3 or window % 2 == 0:
+        raise ValueError("window must be odd and >= 3")
+    if data_range is None:
+        rng = float(x.max() - x.min()) if x.size else 0.0
+        data_range = rng if rng > 0 else 1.0
+
+    if x.ndim == 1:
+        x = x[None, :]
+        y = y[None, :]
+    if x.ndim == 2:
+        return _ssim2d(x, y, data_range, window)
+    if x.ndim == 3:
+        return float(
+            np.mean([_ssim2d(x[k], y[k], data_range, window) for k in range(x.shape[0])])
+        )
+    raise ValueError(f"ssim supports 1D-3D data, got {x.ndim}D")

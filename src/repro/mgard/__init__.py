@@ -1,0 +1,22 @@
+"""MGARD: multigrid adaptive reduction of data (paper Sec. II-A3).
+
+A from-scratch reimplementation of MGARD's architecture [15]: a dyadic
+multilevel decomposition where each level stores *detail coefficients* —
+the difference between the grid values and their multilinear interpolation
+from the next-coarser grid — plus the coarsest-grid values, all quantised
+with per-level error budgets and entropy coded.
+
+The infinity-norm guarantee is computable and simple: multilinear
+interpolation is non-expansive in the max norm, so reconstruction error
+accumulates additively across levels; budgets ``eb * 2**-(l+1)`` (finest
+level first) plus ``eb * 2**-L`` for the coarsest grid telescope to exactly
+``eb``.  As in the paper's build, only 2D and 3D data are supported — this
+is why MGARD is absent from the HACC and EXAALT results (Fig. 9 d/e).
+"""
+
+from repro.mgard.compressor import MGARDCompressor
+from repro.pressio.registry import register_compressor
+
+register_compressor("mgard", MGARDCompressor)
+
+__all__ = ["MGARDCompressor"]

@@ -1,0 +1,55 @@
+"""Multilevel decomposition and recomposition.
+
+``decompose`` peels levels finest-first: at each level the detail
+coefficients are the grid values minus their interpolation from the
+next-coarser grid; the coarse grid then recurses.  ``recompose`` replays
+the same interpolation with (de)quantised inputs — both sides perform
+identical float64 arithmetic, so reconstruction is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mgard.grid import detail_mask, level_shape, upsample
+
+__all__ = ["decompose", "recompose", "detail_sizes"]
+
+
+def decompose(data: np.ndarray, levels: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Split ``data`` into (coarsest grid values, per-level detail vectors).
+
+    ``details[0]`` belongs to the finest level.  All outputs are float64.
+    """
+    v = np.asarray(data, dtype=np.float64)
+    ndim = v.ndim
+    details: list[np.ndarray] = []
+    for _ in range(levels):
+        coarse = v[(slice(None, None, 2),) * ndim].copy()
+        pred = upsample(coarse, v.shape)
+        details.append((v - pred)[detail_mask(v.shape)])
+        v = coarse
+    return v, details
+
+
+def recompose(
+    coarse: np.ndarray, details: list[np.ndarray], shape: tuple[int, ...], levels: int
+) -> np.ndarray:
+    """Inverse of :func:`decompose` (given possibly-quantised inputs)."""
+    v = np.asarray(coarse, dtype=np.float64)
+    for l in range(levels - 1, -1, -1):
+        fine_shape = level_shape(shape, l)
+        pred = upsample(v, fine_shape)
+        pred[detail_mask(fine_shape)] += details[l]
+        v = pred
+    return v
+
+
+def detail_sizes(shape: tuple[int, ...], levels: int) -> list[int]:
+    """Number of detail coefficients per level (finest first)."""
+    sizes = []
+    for l in range(levels):
+        fine = level_shape(shape, l)
+        coarse = level_shape(shape, l + 1)
+        sizes.append(int(np.prod(fine)) - int(np.prod(coarse)))
+    return sizes

@@ -1,0 +1,92 @@
+"""Dyadic grid hierarchy and multilinear upsampling.
+
+Level ``l`` of an ``n``-point axis keeps every ``2**l``-th point, i.e.
+``ceil(n / 2**l)`` points — no power-of-two-plus-one restriction.  Fine
+points at odd positions are predicted by averaging their two coarse
+neighbours (or copying the single neighbour at an even-length boundary);
+the prediction stencil's coefficients are convex, so interpolation never
+amplifies max-norm error — the property the compressor's additive error
+budget relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["num_levels", "level_shape", "upsample", "detail_mask"]
+
+MIN_COARSE = 3
+MAX_LEVELS = 12
+
+
+def level_shape(shape: tuple[int, ...], level: int) -> tuple[int, ...]:
+    """Shape of the level-``level`` grid (ceil halving per level)."""
+    out = tuple(shape)
+    for _ in range(level):
+        out = tuple(-(-s // 2) for s in out)
+    return out
+
+
+def num_levels(shape: tuple[int, ...], max_levels: int = MAX_LEVELS) -> int:
+    """Deepest hierarchy whose coarsest grid keeps >= MIN_COARSE points per axis."""
+    levels = 0
+    while levels < max_levels:
+        nxt = level_shape(shape, levels + 1)
+        if any(s < MIN_COARSE for s in nxt):
+            break
+        levels += 1
+    return levels
+
+
+def _upsample_axis(arr: np.ndarray, new_len: int, axis: int) -> np.ndarray:
+    """Insert interpolated odd positions along one axis.
+
+    ``arr`` holds the even positions (``ceil(new_len / 2)`` of them); odd
+    position ``2k + 1`` becomes the mean of coarse ``k`` and ``k + 1``, or a
+    copy of coarse ``k`` when ``2k + 2 >= new_len`` (boundary).
+    """
+    if arr.shape[axis] != -(-new_len // 2):
+        raise ValueError(
+            f"coarse axis {axis} has {arr.shape[axis]} points; "
+            f"expected {-(-new_len // 2)} for fine length {new_len}"
+        )
+    out_shape = list(arr.shape)
+    out_shape[axis] = new_len
+    out = np.empty(out_shape, dtype=arr.dtype)
+
+    def ax(sl: slice) -> tuple[slice, ...]:
+        idx = [slice(None)] * arr.ndim
+        idx[axis] = sl
+        return tuple(idx)
+
+    out[ax(slice(0, None, 2))] = arr
+    n_odd = new_len // 2
+    if n_odd:
+        left = arr[ax(slice(0, n_odd))]
+        # Interior odd points average two neighbours; the trailing odd point
+        # of an even-length axis has no right neighbour and copies the left.
+        has_right = min(n_odd, arr.shape[axis] - 1)
+        odd = left.copy()
+        if has_right:
+            right = arr[ax(slice(1, has_right + 1))]
+            pair = ax(slice(0, has_right))
+            odd[pair] = 0.5 * (left[pair] + right)
+        out[ax(slice(1, None, 2))] = odd
+    return out
+
+
+def upsample(coarse: np.ndarray, fine_shape: tuple[int, ...]) -> np.ndarray:
+    """Multilinear interpolation of a coarse grid onto the fine grid."""
+    out = coarse.astype(np.float64, copy=True)
+    for axis, new_len in enumerate(fine_shape):
+        out = _upsample_axis(out, new_len, axis)
+    return out
+
+
+def detail_mask(fine_shape: tuple[int, ...]) -> np.ndarray:
+    """Boolean mask of fine-grid points *not* on the coarse grid."""
+    mask = np.zeros(fine_shape, dtype=bool)
+    grids = np.indices(fine_shape)
+    odd_any = (grids % 2 == 1).any(axis=0)
+    mask[:] = odd_any
+    return mask

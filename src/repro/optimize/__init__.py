@@ -1,0 +1,23 @@
+"""Derivative-free global minimisation (the Dlib ``find_global_min`` analog).
+
+FRaZ's autotuner is built on Davis King's global optimizer [8], which
+alternates two models:
+
+* **MaxLIPO** (Malherbe & Vayatis [40]) — a piecewise-linear *lower* bound
+  on the objective built from a data-driven Lipschitz estimate; the next
+  probe goes where the bound still admits an improvement over the incumbent
+  (:mod:`repro.optimize.lipo`);
+* **trust-region quadratic refinement** (Powell's NEWUOA idea [41]) — a
+  parabola through the best point's bracket, polishing the lowest valley
+  (:mod:`repro.optimize.trust_region`).
+
+:func:`repro.optimize.find_global_min` adds the paper's modification: a
+**global cutoff** — the search stops as soon as the objective value falls
+below a user threshold (FRaZ uses ``(eps * rho_t)**2``), which is what makes
+fixed-ratio tuning cheap in the common feasible case.
+"""
+
+from repro.optimize.global_search import find_global_min
+from repro.optimize.result import Evaluation, OptimizationResult
+
+__all__ = ["Evaluation", "OptimizationResult", "find_global_min"]

@@ -1,0 +1,178 @@
+"""``find_global_min``: the alternating LIPO / trust-region driver.
+
+Mirrors Dlib's global optimizer with FRaZ's modification:
+
+* evaluations alternate between a MaxLIPO exploration proposal and a
+  quadratic trust-region refinement of the best valley;
+* the **cutoff** terminates the search as soon as the best value drops to
+  the user's acceptance threshold (Sec. V-B3: stop once the loss is within
+  ``[0, (eps * rho_t)**2]``), trading exactness for speed;
+* the function is treated as deterministic and expensive — every proposal
+  is deduplicated against previous probes before being evaluated.
+
+Scale handling: compressor error bounds are *scale* parameters — a ratio
+curve's structure concentrates in the lowest decades of a wide interval.
+When ``upper / lower`` spans more than three decades the entire search
+(seeding, LIPO bounds, quadratic refinement) runs in log-space, where such
+objectives are far closer to uniformly Lipschitz.  Results are reported in
+the original coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.optimize.lipo import propose
+from repro.optimize.result import Evaluation, OptimizationResult
+from repro.optimize.trust_region import refine, v_refine
+
+__all__ = ["find_global_min"]
+
+_LOG_SPAN_THRESHOLD = 1e3
+
+
+def find_global_min(
+    func: Callable[[float], float],
+    lower: float,
+    upper: float,
+    max_calls: int = 40,
+    cutoff: float | None = None,
+    seed: int = 0,
+    initial_points: Iterable[float] = (),
+) -> OptimizationResult:
+    """Minimise a scalar black-box function over ``[lower, upper]``.
+
+    Parameters
+    ----------
+    func:
+        Deterministic objective (FRaZ passes the clamped-square ratio loss).
+    lower, upper:
+        Search interval; every probe stays inside it.
+    max_calls:
+        Hard budget on objective evaluations.
+    cutoff:
+        Early-termination threshold: stop as soon as ``f(x) <= cutoff``.
+    seed:
+        Seed for the (deterministic) candidate jitter.
+    initial_points:
+        Extra probes to evaluate first — FRaZ seeds the previous time-step's
+        error bound here.  Never trimmed by the seeding budget.
+
+    Returns
+    -------
+    OptimizationResult
+        Best probe, call count, cutoff flag and the full history (all in the
+        original, untransformed coordinates).
+    """
+    if not upper > lower:
+        raise ValueError(f"need upper > lower, got [{lower}, {upper}]")
+    if max_calls < 1:
+        raise ValueError("max_calls must be >= 1")
+
+    span = upper - lower
+    use_log = lower > 0 and upper / lower > _LOG_SPAN_THRESHOLD
+
+    if use_log:
+        t_lower, t_upper = float(np.log(lower)), float(np.log(upper))
+
+        def to_t(x: float) -> float:
+            return float(np.log(np.clip(x, lower, upper)))
+
+        def from_t(t: float) -> float:
+            # Clip in x-space too: exp(log(upper)) can overshoot by one ULP.
+            return float(np.clip(np.exp(np.clip(t, t_lower, t_upper)), lower, upper))
+
+    else:
+        t_lower, t_upper = float(lower), float(upper)
+
+        def to_t(x: float) -> float:
+            return float(np.clip(x, lower, upper))
+
+        def from_t(t: float) -> float:
+            return float(np.clip(t, lower, upper))
+
+    rng = np.random.default_rng(seed)
+    history: list[Evaluation] = []
+    t_seen: list[float] = []
+    seen_x: set[float] = set()
+
+    def evaluate(t: float) -> float:
+        x = from_t(t)
+        fx = float(func(x))
+        history.append(Evaluation(x, fx))
+        t_seen.append(t)
+        seen_x.add(x)
+        return fx
+
+    def done() -> bool:
+        if cutoff is not None and history and min(h.fx for h in history) <= cutoff:
+            return True
+        return len(history) >= max_calls
+
+    # Seed probes in t-space: user points first (never trimmed), then the
+    # interval ends and interior quantiles, capped at half the budget so
+    # the optimizer proper keeps its share of probes.
+    user_seeds = [to_t(float(p)) for p in initial_points]
+    t_span = t_upper - t_lower
+    generic = [
+        t_lower,
+        t_upper,
+        t_lower + 0.5 * t_span,
+        t_lower + 0.25 * t_span,
+        t_lower + 0.75 * t_span,
+        t_lower + 0.61803398875 * t_span,
+    ]
+    budget = max(3, max_calls // 2)
+    seeds = user_seeds + generic[: max(budget - len(user_seeds), 2)]
+    for t in seeds:
+        if done():
+            break
+        if from_t(t) not in seen_x:
+            evaluate(t)
+
+    # Adaptive alternation (Dlib-style): exploit the incumbent valley while
+    # it keeps improving the best value; fall back to one MaxLIPO
+    # exploration probe whenever exploitation stalls.  Exploitation leads
+    # with the sqrt-loss secant/V step — exact for FRaZ's squared-distance
+    # objective — and uses the quadratic trust region only when that step
+    # has no fresh proposal (the parabola's vertex is easily dragged off
+    # target by the tall far wall of an asymmetric valley).
+    explore_next = False
+    while not done():
+        ts = np.asarray(t_seen)
+        ys = np.asarray([h.fx for h in history])
+        best_before = float(ys.min())
+        exploring = explore_next
+        if exploring:
+            t_next = propose(ts, ys, t_lower, t_upper, rng)
+            explore_next = False
+        else:
+            t_next = v_refine(ts, ys, t_lower, t_upper)
+            if t_next is None:
+                t_next = refine(ts, ys, t_lower, t_upper)
+        if t_next is None or from_t(t_next) in seen_x:
+            # Degenerate proposal: fall back to a random unexplored probe.
+            for _ in range(16):
+                t_next = float(rng.uniform(t_lower, t_upper))
+                if from_t(t_next) not in seen_x:
+                    break
+            else:
+                break
+        fx = evaluate(t_next)
+        if not exploring and fx >= best_before:
+            # Exploitation stalled: spend the next probe exploring.  An
+            # exploration probe always hands back to exploitation, whatever
+            # it finds — otherwise a dry spell would explore forever.
+            explore_next = True
+
+    best = min(history, key=lambda h: h.fx)
+    hit = cutoff is not None and best.fx <= cutoff
+    return OptimizationResult(
+        x_best=best.x,
+        f_best=best.fx,
+        n_calls=len(history),
+        hit_cutoff=hit,
+        history=history,
+    )

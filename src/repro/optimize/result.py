@@ -1,0 +1,38 @@
+"""Result records for the global optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Evaluation", "OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One probe of the objective."""
+
+    x: float
+    fx: float
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of :func:`repro.optimize.find_global_min`.
+
+    Attributes
+    ----------
+    x_best, f_best:
+        Argument and value of the best (lowest) evaluation.
+    n_calls:
+        Number of objective evaluations performed.
+    hit_cutoff:
+        True when the search stopped early because ``f_best <= cutoff``.
+    history:
+        Every evaluation in probe order.
+    """
+
+    x_best: float
+    f_best: float
+    n_calls: int
+    hit_cutoff: bool
+    history: list[Evaluation] = field(default_factory=list)

@@ -1,0 +1,152 @@
+"""Quadratic (trust-region) refinement of the best valley.
+
+Mirrors the second half of Dlib's alternation: fit a parabola through the
+incumbent best point and its nearest evaluated neighbours on either side and
+jump to the parabola's vertex when it is a proper interior minimum;
+otherwise bisect the widest flank of the bracket.  This converges fast once
+LIPO has located the right step of the objective.
+
+:func:`v_refine` is a FRaZ-specific third proposal: the ratio loss is a
+*squared distance* ``(rho(e) - rho_t)**2``, so between the incumbent and a
+much-higher neighbour the objective is locally V-shaped in ``sqrt(y)``.
+Interpolating the V's tip (regula falsi on ``sqrt(y)``) homes in on the
+band crossing geometrically — exactly the move a parabola fit fumbles when
+one wall of the bracket is orders of magnitude taller than the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["refine", "v_refine"]
+
+
+def refine(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    lower: float,
+    upper: float,
+) -> float | None:
+    """Propose a refinement point near the incumbent minimum.
+
+    Returns ``None`` when no useful proposal exists (degenerate bracket or
+    the vertex collides with an existing sample).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    order = np.argsort(xs)
+    xs_sorted = xs[order]
+    ys_sorted = ys[order]
+    i_best = int(np.argmin(ys_sorted))
+
+    # Bracket around the best point.
+    left = i_best - 1 if i_best > 0 else None
+    right = i_best + 1 if i_best < xs_sorted.size - 1 else None
+
+    if left is None and right is None:
+        return None
+    if left is None or right is None:
+        # Best point on the hull: bisect toward the boundary beyond it.
+        x_b = xs_sorted[i_best]
+        target = lower if left is None else upper
+        mid = 0.5 * (x_b + target)
+        return _accept(mid, xs_sorted, lower, upper)
+
+    x0, x1, x2 = xs_sorted[left], xs_sorted[i_best], xs_sorted[right]
+    y0, y1, y2 = ys_sorted[left], ys_sorted[i_best], ys_sorted[right]
+    denom = (x0 - x1) * (x0 - x2) * (x1 - x2)
+    if denom == 0:
+        return None
+    a = (x2 * (y1 - y0) + x1 * (y0 - y2) + x0 * (y2 - y1)) / denom
+    b = (x2**2 * (y0 - y1) + x1**2 * (y2 - y0) + x0**2 * (y1 - y2)) / denom
+    if a > 0:
+        vertex = -b / (2 * a)
+        if x0 < vertex < x2:
+            return _accept(vertex, xs_sorted, lower, upper)
+    # Concave or exterior vertex: bisect the wider flank.
+    if (x1 - x0) >= (x2 - x1):
+        return _accept(0.5 * (x0 + x1), xs_sorted, lower, upper)
+    return _accept(0.5 * (x1 + x2), xs_sorted, lower, upper)
+
+
+def v_refine(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    lower: float,
+    upper: float,
+) -> float | None:
+    """Secant step on ``sqrt(y)`` toward the distance valley's zero.
+
+    ``sqrt`` of a squared-distance objective is locally linear on either
+    branch of the V; extrapolating the line through the best point and its
+    nearest neighbour to ``sqrt(y) = 0`` is a regula-falsi/secant move that
+    converges geometrically on the band crossing — including when both
+    samples sit on the *same* branch, where interpolating against a distant
+    far wall would crawl.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    order = np.argsort(xs)
+    xs_sorted = xs[order]
+    r = np.sqrt(np.maximum(ys[order], 0.0))  # distance values
+    i = int(np.argmin(r))
+    n = xs_sorted.size
+
+    def tip(a: int, b: int) -> float | None:
+        # Opposite-branch pairs straddle the crossing: the weighted V-tip
+        # interpolation is exact there.
+        if r[a] + r[b] <= 0:
+            return None
+        return float((r[b] * xs_sorted[a] + r[a] * xs_sorted[b]) / (r[a] + r[b]))
+
+    def secant(a: int, b: int) -> float | None:
+        # Same-branch pairs: extrapolate the line through them to r = 0.
+        if r[a] == r[b]:
+            return None
+        ta, tb = xs_sorted[a], xs_sorted[b]
+        return float(tb - r[b] * (tb - ta) / (r[b] - r[a]))
+
+    # A straddling pair and a same-branch pair are indistinguishable from
+    # two samples alone (both readings fit any two (x, r) points), so the
+    # ordering is heuristic: interior incumbents try the bounded tips
+    # first; an incumbent on the hull tries the outward secant first, but
+    # only when its root lands beyond the edge *inside* the interval — a
+    # root past the boundary means the same-branch reading is implausible
+    # and the tip is used instead.  A wrong first guess costs one probe;
+    # the new sample disambiguates the next call.
+    candidates: list[float | None] = []
+    if 0 < i < n - 1:
+        candidates += [tip(i, i + 1), tip(i - 1, i), secant(i - 1, i), secant(i, i + 1)]
+    elif i == n - 1 and n >= 2:
+        root = secant(i - 1, i)
+        if root is not None and xs_sorted[i] < root <= upper:
+            candidates.append(root)
+        candidates.append(tip(i - 1, i))
+    elif i == 0 and n >= 2:
+        root = secant(i, i + 1)
+        if root is not None and lower <= root < xs_sorted[i]:
+            candidates.append(root)
+        candidates.append(tip(i, i + 1))
+    for cand in candidates:
+        if cand is None:
+            continue
+        accepted = _accept(cand, xs_sorted, lower, upper)
+        if accepted is not None:
+            return accepted
+    return None
+
+
+def _accept(x: float, xs_sorted: np.ndarray, lower: float, upper: float) -> float | None:
+    """Clamp and reject proposals too close to an existing sample.
+
+    The rejection radius is deliberately coarse (0.1% of the interval): a
+    proposal that near-duplicates a sample gains almost no information, and
+    rejecting it makes the caller fall through to its next candidate
+    (e.g. from the right-flank V-tip to the left-flank bracket) instead of
+    micro-stepping around a stale point.
+    """
+    x = float(np.clip(x, lower, upper))
+    span = max(upper - lower, 1e-300)
+    if np.abs(xs_sorted - x).min() < 1e-3 * span:
+        return None
+    return x

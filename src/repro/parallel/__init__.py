@@ -1,0 +1,32 @@
+"""Parallel orchestration substrate (the paper's MPI layer, Sec. V-C).
+
+The paper parallelises FRaZ three ways: across error-bound regions (with
+first-success cancellation), across fields, and across time-steps.  All
+three are task-level fan-outs, which :mod:`concurrent.futures` expresses on
+one node; :class:`repro.parallel.executor.BaseExecutor` gives a uniform
+cancel-aware interface over serial, thread and process backends.
+
+The 36-416-core strong-scaling study (Fig. 8) cannot be hosted locally;
+:mod:`repro.parallel.simulate` replays *measured* single-task durations
+through a deterministic list scheduler, computing exactly the quantity the
+paper analyses — makespan lower-bounded by the longest field task.
+"""
+
+from repro.parallel.executor import (
+    BaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.parallel.simulate import simulate_makespan, simulate_scaling
+
+__all__ = [
+    "BaseExecutor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "simulate_makespan",
+    "simulate_scaling",
+]

@@ -1,0 +1,132 @@
+"""Cancel-aware task executors.
+
+The one primitive FRaZ's orchestration needs (Algorithm 2) is: run a batch
+of independent tasks, observe completions as they happen, and *cancel
+everything not yet started* once a completion satisfies the objective.
+:meth:`BaseExecutor.run_cancellable` provides exactly that; passing
+``stop_when=None`` degrades to a plain unordered map (used for the
+parallel-by-field loop, Algorithm 3).
+
+Backends:
+
+* :class:`SerialExecutor` — in-process, deterministic order; the default.
+* :class:`ThreadExecutor` — ``ThreadPoolExecutor``; NumPy-heavy tasks
+  release the GIL for part of their runtime.
+* :class:`ProcessExecutor` — ``ProcessPoolExecutor``; true parallelism;
+  task callables and payloads must be picklable (all compressor
+  configurations in this package are frozen dataclasses, by design).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+
+class BaseExecutor(ABC):
+    """Uniform interface over serial/thread/process execution."""
+
+    @abstractmethod
+    def run_cancellable(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        stop_when: Callable[[Any], bool] | None = None,
+    ) -> list[tuple[int, Any]]:
+        """Run ``fn`` over all payloads; stop early when a result satisfies
+        ``stop_when``.
+
+        Returns ``(index, result)`` pairs for every task that *completed*
+        (tasks cancelled before starting are absent).  Exceptions raised by
+        tasks propagate.
+        """
+
+    def map_all(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Run everything to completion; results in payload order."""
+        pairs = self.run_cancellable(fn, payloads, stop_when=None)
+        out: list[Any] = [None] * len(payloads)
+        for idx, res in pairs:
+            out[idx] = res
+        return out
+
+
+class SerialExecutor(BaseExecutor):
+    """In-order, in-process execution (deterministic reference backend)."""
+
+    def run_cancellable(self, fn, payloads, stop_when=None):
+        results: list[tuple[int, Any]] = []
+        for idx, payload in enumerate(payloads):
+            res = fn(payload)
+            results.append((idx, res))
+            if stop_when is not None and stop_when(res):
+                break
+        return results
+
+
+class _PoolExecutor(BaseExecutor):
+    """Shared futures-based implementation for thread/process pools."""
+
+    _pool_cls: type
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run_cancellable(self, fn, payloads, stop_when=None):
+        results: list[tuple[int, Any]] = []
+        with self._pool_cls(max_workers=self.workers) as pool:
+            futures = {pool.submit(fn, p): i for i, p in enumerate(payloads)}
+            pending = set(futures)
+            satisfied = False
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    res = fut.result()
+                    results.append((futures[fut], res))
+                    if stop_when is not None and stop_when(res):
+                        satisfied = True
+                if satisfied:
+                    # Cancel everything not yet started; tasks already
+                    # running finish and their results are kept.
+                    for fut in pending:
+                        fut.cancel()
+                    still_running = {f for f in pending if not f.cancelled()}
+                    for fut in still_running:
+                        res = fut.result()
+                        results.append((futures[fut], res))
+                    break
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend."""
+
+    _pool_cls = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend (payloads must be picklable)."""
+
+    _pool_cls = ProcessPoolExecutor
+
+
+def make_executor(kind: str = "serial", workers: int = 4) -> BaseExecutor:
+    """Factory: ``"serial"``, ``"thread"`` or ``"process"``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor kind {kind!r}")

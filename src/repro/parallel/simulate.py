@@ -1,0 +1,44 @@
+"""Deterministic cluster-replay scheduler for the strong-scaling study.
+
+The paper's Fig. 8 runs FRaZ's task graph (one search task per field and
+time-step window) on 36-416 Bebop cores and observes that total runtime
+flattens once it equals the longest single task — "the runtime of the
+algorithm is lower bounded by the longest running worker task".
+
+We cannot host hundreds of cores, but the quantity plotted is a pure
+scheduling outcome of the measured task durations.  ``simulate_makespan``
+replays durations through a greedy list scheduler (earliest-free worker,
+arrival order — matching the MPI orchestrator's dispatch), and
+``simulate_scaling`` sweeps worker counts, reproducing the curve's shape:
+steep drops while tasks still queue, then a floor at ``max(duration)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+__all__ = ["simulate_makespan", "simulate_scaling"]
+
+
+def simulate_makespan(durations: Sequence[float], workers: int) -> float:
+    """Makespan of a greedy list schedule of ``durations`` on ``workers``."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if any(d < 0 for d in durations):
+        raise ValueError("durations must be non-negative")
+    if not durations:
+        return 0.0
+    free = [0.0] * min(workers, len(durations))
+    heapq.heapify(free)
+    for d in durations:
+        start = heapq.heappop(free)
+        heapq.heappush(free, start + float(d))
+    return max(free)
+
+
+def simulate_scaling(
+    durations: Sequence[float], worker_counts: Sequence[int]
+) -> dict[int, float]:
+    """Makespan per worker count — the Fig. 8 curve."""
+    return {int(w): simulate_makespan(durations, int(w)) for w in worker_counts}

@@ -1,0 +1,31 @@
+"""Shared array header (shape + dtype) serialisation for compressor payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.varint import decode_uvarints, encode_uvarints
+
+__all__ = ["encode_array_header", "decode_array_header"]
+
+_DTYPES = ["float32", "float64"]
+
+
+def encode_array_header(data: np.ndarray) -> bytes:
+    """Serialise dtype code, ndim, and shape as varints."""
+    name = data.dtype.name
+    try:
+        code = _DTYPES.index(name)
+    except ValueError:
+        raise TypeError(
+            f"unsupported dtype {name!r}; compressors take float32/float64"
+        ) from None
+    fields = [code, data.ndim, *data.shape]
+    return encode_uvarints(np.asarray(fields, dtype=np.uint64))
+
+
+def decode_array_header(blob: bytes, offset: int = 0) -> tuple[np.dtype, tuple[int, ...], int]:
+    """Parse a header; returns (dtype, shape, next offset)."""
+    (code, ndim), off = decode_uvarints(blob, 2, offset)
+    shape, off = decode_uvarints(blob, int(ndim), off)
+    return np.dtype(_DTYPES[int(code)]), tuple(int(s) for s in shape), off

@@ -1,0 +1,74 @@
+"""The closure FRaZ optimises: ``e -> rho_r(D, e)``.
+
+Sec. V-B2: "we created a closure for each compressor, rho_r(D_{f,t}, e),
+that transformed its interface including a dataset D and parameters theta
+into a function accepting only the error bound e."
+
+:class:`RatioFunction` adds what a search loop needs on top of the bare
+closure: memoisation (the optimizer may revisit bounds), an evaluation
+counter (iteration budgets, Fig. 7's cost accounting), and a full history of
+``(e, rho_r, nbytes)`` observations so the training algorithm can report the
+*closest* observed ratio when the target is infeasible (Algorithm 2, lines
+17-25).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pressio.compressor import Compressor
+
+__all__ = ["RatioFunction", "Observation"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One compressor evaluation during a search."""
+
+    error_bound: float
+    ratio: float
+    nbytes: int
+    seconds: float
+
+
+@dataclass
+class RatioFunction:
+    """Memoised ``e -> rho_r`` closure over one (compressor, dataset) pair."""
+
+    compressor: Compressor
+    data: np.ndarray
+    history: list[Observation] = field(default_factory=list)
+    _cache: dict[float, float] = field(default_factory=dict)
+    compress_seconds: float = 0.0
+
+    def __call__(self, error_bound: float) -> float:
+        e = float(error_bound)
+        if e in self._cache:
+            return self._cache[e]
+        start = time.perf_counter()
+        compressed = self.compressor.with_error_bound(e).compress(self.data)
+        elapsed = time.perf_counter() - start
+        ratio = compressed.ratio
+        self.compress_seconds += elapsed
+        self.history.append(Observation(e, ratio, compressed.nbytes, elapsed))
+        self._cache[e] = ratio
+        return ratio
+
+    @property
+    def evaluations(self) -> int:
+        """Number of *distinct* compressor invocations so far."""
+        return len(self.history)
+
+    def best_observation(self, target_ratio: float) -> Observation | None:
+        """The observation whose ratio is closest to ``target_ratio``.
+
+        This is what FRaZ reports when no observation lands inside the
+        acceptable band (Sec. V-B3: "FRaZ will return the closest point that
+        it observes to the target").
+        """
+        if not self.history:
+            return None
+        return min(self.history, key=lambda obs: (obs.ratio - target_ratio) ** 2)

@@ -1,0 +1,117 @@
+"""Abstract lossy-compressor interface.
+
+A :class:`Compressor` is an immutable configuration object: changing the
+error bound produces a *new* instance via :meth:`with_error_bound`.  This is
+what lets FRaZ's search treat compression as a pure function of the bound
+(the paper requires a "deterministic function" for the optimizer) and lets
+the parallel orchestrator ship configurations across processes safely —
+the paper notes SZ/MGARD's C implementations could not be multithreaded
+because of global state; value-semantics configurations avoid that entirely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Compressor", "CompressedField"]
+
+
+@dataclass(frozen=True)
+class CompressedField:
+    """A compressed payload plus the bookkeeping FRaZ needs.
+
+    ``nbytes`` is the serialised payload size (what compression ratio is
+    measured against); ``original_nbytes`` the input size.
+    """
+
+    payload: bytes
+    original_nbytes: int
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``rho_r`` achieved by this payload."""
+        if self.nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.nbytes
+
+
+class Compressor(ABC):
+    """Error-controlled lossy compressor with value semantics.
+
+    Subclasses are frozen dataclasses (or otherwise immutable); every
+    configuration knob is a constructor argument.
+    """
+
+    #: registry name, e.g. ``"sz"``; set by subclasses.
+    name: str = ""
+
+    #: error-control mode: ``"abs"`` (absolute bound) or ``"rate"``
+    #: (fixed bits per value — ZFP's fixed-rate mode has no bound).
+    mode: str = "abs"
+
+    #: dimensionalities this compressor supports (MGARD: 2D/3D only).
+    supported_ndims: tuple[int, ...] = (1, 2, 3)
+
+    # -- core operations -------------------------------------------------
+    @abstractmethod
+    def compress(self, data: np.ndarray) -> CompressedField:
+        """Compress ``data`` under the current configuration."""
+
+    @abstractmethod
+    def decompress(self, field: CompressedField | bytes) -> np.ndarray:
+        """Reconstruct the array from a payload produced by :meth:`compress`."""
+
+    # -- error-bound configuration ---------------------------------------
+    @property
+    @abstractmethod
+    def error_bound(self) -> float:
+        """The current error-control parameter (bound, or rate in rate mode)."""
+
+    @abstractmethod
+    def with_error_bound(self, error_bound: float) -> "Compressor":
+        """A copy of this compressor with a different error-control value."""
+
+    # -- search-range defaults -------------------------------------------
+    def default_bound_range(self, data: np.ndarray) -> tuple[float, float]:
+        """Default error-bound search interval for FRaZ.
+
+        The upper end is "the maximum allowed level of an error bound by the
+        compressor" (Sec. V-B3) — for absolute bounds, the full value range
+        (a bound that wide permits collapsing the field to a constant).  The
+        lower end is a tiny positive fraction of the range, since a zero
+        bound degenerates to lossless.
+        """
+        data = np.asarray(data)
+        span = float(data.max() - data.min()) if data.size else 1.0
+        if span <= 0.0:
+            span = 1.0
+        return (span * 1e-9, span)
+
+    # -- capability checks -------------------------------------------------
+    def supports(self, data: np.ndarray) -> bool:
+        """Whether this compressor can handle the array's dimensionality."""
+        return np.asarray(data).ndim in self.supported_ndims
+
+    def check_supported(self, data: np.ndarray) -> None:
+        ndim = np.asarray(data).ndim
+        if ndim not in self.supported_ndims:
+            raise ValueError(
+                f"{self.name} supports {self.supported_ndims}-D data, got {ndim}-D"
+            )
+
+    # -- convenience -------------------------------------------------------
+    def roundtrip(self, data: np.ndarray) -> tuple[CompressedField, np.ndarray]:
+        """Compress then decompress; returns (payload, reconstruction)."""
+        field = self.compress(data)
+        return field, self.decompress(field)
+
+    def describe(self) -> str:
+        """``name:mode`` label used in the paper's plots (e.g. ``sz:abs``)."""
+        return f"{self.name}:{self.mode}"

@@ -1,0 +1,80 @@
+"""One-call quality evaluation: compress, decompress, measure everything.
+
+Produces the numbers the paper reports per figure: compression ratio, bit
+rate, PSNR, max error, SSIM, ACF(error), and wall times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics import (
+    bit_rate,
+    error_acf,
+    max_abs_error,
+    psnr,
+    rmse,
+    ssim,
+)
+from repro.pressio.compressor import Compressor
+
+__all__ = ["CompressionRecord", "evaluate"]
+
+
+@dataclass(frozen=True)
+class CompressionRecord:
+    """Quality + cost record for one compression run."""
+
+    compressor: str
+    error_bound: float
+    ratio: float
+    bit_rate: float
+    psnr: float
+    rmse: float
+    max_error: float
+    ssim: float
+    acf_error: float
+    compress_seconds: float
+    decompress_seconds: float
+    nbytes: int
+
+    def row(self) -> str:
+        """Fixed-width table row (benchmarks print these)."""
+        return (
+            f"{self.compressor:<16} e={self.error_bound:<12.4e} "
+            f"CR={self.ratio:<8.2f} bitrate={self.bit_rate:<6.3f} "
+            f"PSNR={self.psnr:<7.2f} maxerr={self.max_error:<10.3e} "
+            f"SSIM={self.ssim:<7.4f} ACF={self.acf_error:<7.3f}"
+        )
+
+
+def evaluate(
+    compressor: Compressor,
+    data: np.ndarray,
+    compute_ssim: bool = True,
+) -> CompressionRecord:
+    """Compress + decompress ``data`` and measure the paper's metric suite."""
+    data = np.asarray(data)
+    t0 = time.perf_counter()
+    compressed = compressor.compress(data)
+    t1 = time.perf_counter()
+    recon = compressor.decompress(compressed)
+    t2 = time.perf_counter()
+
+    return CompressionRecord(
+        compressor=compressor.describe(),
+        error_bound=compressor.error_bound,
+        ratio=compressed.ratio,
+        bit_rate=bit_rate(data, compressed.nbytes),
+        psnr=psnr(data, recon),
+        rmse=rmse(data, recon),
+        max_error=max_abs_error(data, recon),
+        ssim=ssim(data, recon) if compute_ssim and data.ndim <= 3 else float("nan"),
+        acf_error=error_acf(data, recon),
+        compress_seconds=t1 - t0,
+        decompress_seconds=t2 - t1,
+        nbytes=compressed.nbytes,
+    )

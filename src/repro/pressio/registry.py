@@ -1,0 +1,55 @@
+"""Name-based compressor construction.
+
+Mirrors libpressio's plugin registry: benchmarks and user code say
+``make_compressor("sz", error_bound=1e-3)`` and never import compressor
+internals.  Compressor subpackages self-register on import.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pressio.compressor import Compressor
+
+__all__ = ["register_compressor", "make_compressor", "available_compressors"]
+
+_FACTORIES: dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a compressor factory under ``name``."""
+    if name in _FACTORIES:
+        raise ValueError(f"compressor {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def make_compressor(name: str, **options) -> Compressor:
+    """Instantiate a registered compressor with keyword options."""
+    _ensure_builtin_imports()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {available_compressors()}"
+        ) from None
+    return factory(**options)
+
+
+def available_compressors() -> list[str]:
+    """Sorted names of registered compressors."""
+    _ensure_builtin_imports()
+    return sorted(_FACTORIES)
+
+
+def _ensure_builtin_imports() -> None:
+    """Import built-in compressor packages so they self-register."""
+    import importlib
+
+    for pkg in ("repro.sz", "repro.zfp", "repro.mgard"):
+        try:
+            importlib.import_module(pkg)
+        except ModuleNotFoundError as exc:
+            # Tolerate partially-built source trees (e.g. during bootstrap),
+            # but only for the compressor packages themselves.
+            if exc.name != pkg:
+                raise

@@ -1,0 +1,31 @@
+"""SZ: prediction-based error-bounded lossy compressor (paper Sec. II-A1).
+
+A from-scratch reimplementation of the SZ 2.x architecture the paper
+evaluates:
+
+1. **data prediction** — a hybrid of a 1-layer Lorenzo predictor (using
+   *decompressed* neighbour values, as the real SZ does — the source of the
+   non-monotonic ratio/bound relationship in Fig. 3) and a per-block linear
+   regression predictor, selected block by block;
+2. **linear-scaling quantization** — residuals quantised to integer codes
+   with bin width ``2 * error_bound``, out-of-range points stored verbatim;
+3. **entropy encoding** — canonical Huffman over the quantization codes
+   (:mod:`repro.codecs.huffman`);
+4. **dictionary encoding** — a DEFLATE/LZ77 pass over the entropy-coded
+   payload (:mod:`repro.codecs.zlib_codec` / :mod:`repro.codecs.lz77`).
+
+The Lorenzo stage is wavefront-vectorised: points on the hyperplane
+``i + j + k = s`` depend only on planes ``< s``, so each plane is one batch
+of NumPy gathers instead of a per-point Python loop.
+"""
+
+from repro.pressio.registry import register_compressor
+from repro.sz.compressor import SZCompressor
+from repro.sz.interpolation import SZInterpolationCompressor
+from repro.sz.pwrel import SZPointwiseRelative
+
+register_compressor("sz", SZCompressor)
+register_compressor("sz-pwrel", SZPointwiseRelative)
+register_compressor("sz-interp", SZInterpolationCompressor)
+
+__all__ = ["SZCompressor", "SZInterpolationCompressor", "SZPointwiseRelative"]

@@ -1,0 +1,92 @@
+"""Block decomposition helpers for SZ's per-block predictor selection.
+
+SZ splits the dataset into consecutive non-overlapping blocks (6^d by
+default) and picks a predictor per block.  Full (interior) blocks can be
+reshaped into a dense ``(nblocks, B**d)`` view for vectorised per-block math;
+ragged edge blocks always fall back to the Lorenzo predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockGrid"]
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """Geometry of the block decomposition of an array shape."""
+
+    shape: tuple[int, ...]
+    block: int
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Number of blocks along each axis (ceil division)."""
+        return tuple(-(-s // self.block) for s in self.shape)
+
+    @property
+    def full_counts(self) -> tuple[int, ...]:
+        """Number of *full* blocks along each axis."""
+        return tuple(s // self.block for s in self.shape)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(np.prod(self.counts))
+
+    @property
+    def n_full_blocks(self) -> int:
+        return int(np.prod(self.full_counts))
+
+    def full_region(self) -> tuple[slice, ...]:
+        """Slices selecting the region covered by full blocks."""
+        return tuple(slice(0, c * self.block) for c in self.full_counts)
+
+    def full_block_view(self, data: np.ndarray) -> np.ndarray:
+        """Dense ``(n_full_blocks, block**ndim)`` view of the full-block region.
+
+        The returned array is a reshaped copy-free view when possible; blocks
+        are ordered C-style over the full-block grid, matching
+        :meth:`full_block_ids`.
+        """
+        if data.shape != self.shape:
+            raise ValueError(f"expected array of shape {self.shape}, got {data.shape}")
+        b = self.block
+        region = data[self.full_region()]
+        fc = self.full_counts
+        # (n0, b, n1, b, ...) -> (n0, n1, ..., b, b, ...)
+        interleaved = region.reshape(
+            tuple(x for c in fc for x in (c, b))
+        )
+        axes = tuple(range(0, 2 * self.ndim, 2)) + tuple(range(1, 2 * self.ndim, 2))
+        return interleaved.transpose(axes).reshape(self.n_full_blocks, b**self.ndim)
+
+    def scatter_full_blocks(self, block_values: np.ndarray, out: np.ndarray) -> None:
+        """Inverse of :meth:`full_block_view`: write per-block data back."""
+        b = self.block
+        fc = self.full_counts
+        axes = tuple(range(0, 2 * self.ndim, 2)) + tuple(range(1, 2 * self.ndim, 2))
+        inverse_axes = np.argsort(axes)
+        shaped = block_values.reshape(fc + (b,) * self.ndim).transpose(inverse_axes)
+        out[self.full_region()] = shaped.reshape(tuple(c * b for c in fc))
+
+    def full_block_mask(self, selected: np.ndarray) -> np.ndarray:
+        """Boolean point mask for a boolean per-full-block selection."""
+        mask_blocks = np.zeros(self.n_full_blocks, dtype=bool)
+        mask_blocks[:] = selected
+        point_mask = np.zeros(self.shape, dtype=bool)
+        expanded = np.repeat(
+            mask_blocks.astype(np.uint8)[:, None], self.block**self.ndim, axis=1
+        )
+        self.scatter_full_blocks(expanded, point_mask.view(np.uint8).reshape(self.shape))
+        return point_mask
+
+    def block_coords(self) -> np.ndarray:
+        """Local coordinates inside a full block: ``(ndim, block**ndim)``."""
+        return np.indices((self.block,) * self.ndim).reshape(self.ndim, -1)

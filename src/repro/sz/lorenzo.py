@@ -1,0 +1,131 @@
+"""1-layer Lorenzo predictor with wavefront vectorisation.
+
+The Lorenzo predictor [22] estimates each point from its already-processed
+neighbours: in 3D,
+
+    pred[i,j,k] = + f[i-1,j,k] + f[i,j-1,k] + f[i,j,k-1]
+                  - f[i-1,j-1,k] - f[i-1,j,k-1] - f[i,j-1,k-1]
+                  + f[i-1,j-1,k-1]
+
+(inclusion-exclusion over the corner hypercube; out-of-bounds neighbours
+count as 0).  SZ evaluates it on *decompressed* values so compressor and
+decompressor stay in lockstep — which serialises the scan order.  The points
+on the anti-diagonal hyperplane ``i + j + ... = s`` only reference planes
+``< s``, so we precompute, per array shape, the flat indices of every plane
+(:class:`WavefrontPlan`, cached) and process one plane per iteration with
+batched gathers.  For a ``64x64x32`` field that is ~160 vectorised steps
+instead of 131k Python-level point updates.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+
+import numpy as np
+
+__all__ = ["lorenzo_offsets", "WavefrontPlan", "wavefront_plan", "lorenzo_predict_full"]
+
+
+def lorenzo_offsets(ndim: int) -> list[tuple[tuple[int, ...], int]]:
+    """Neighbour offsets and inclusion-exclusion signs for the predictor.
+
+    Returns every nonzero 0/1 offset vector ``o`` with sign
+    ``(-1)**(sum(o) + 1)``; e.g. in 2D: ``(1,0):+1, (0,1):+1, (1,1):-1``.
+    """
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
+    out = []
+    for offset in product((0, 1), repeat=ndim):
+        weight = sum(offset)
+        if weight == 0:
+            continue
+        out.append((offset, 1 if weight % 2 == 1 else -1))
+    return out
+
+
+class WavefrontPlan:
+    """Per-shape wavefront schedule for Lorenzo processing.
+
+    Attributes
+    ----------
+    planes:
+        List of int64 arrays; ``planes[s]`` holds the flat (C-order) indices
+        of the points with coordinate sum ``s``, in ascending flat order.
+    coords:
+        ``ndim``-row int64 array, ``coords[:, flat]`` = the point's
+        coordinates (indexed by flat position).
+    strides:
+        Element (not byte) strides of the C-order layout.
+    """
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        ndim = len(self.shape)
+        n = int(np.prod(self.shape))
+        idx = np.indices(self.shape).reshape(ndim, n)
+        self.coords = idx
+        plane_of = idx.sum(axis=0)
+        order = np.argsort(plane_of, kind="stable")
+        sorted_planes = plane_of[order]
+        boundaries = np.searchsorted(
+            sorted_planes, np.arange(int(sorted_planes[-1]) + 2 if n else 1)
+        )
+        self.planes: list[np.ndarray] = [
+            np.sort(order[boundaries[s] : boundaries[s + 1]])
+            for s in range(len(boundaries) - 1)
+        ]
+        strides = np.ones(ndim, dtype=np.int64)
+        for d in range(ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        self.strides = strides
+        self.offsets = lorenzo_offsets(ndim)
+        # Pre-resolve per-offset flat deltas.
+        self._deltas = [
+            (np.asarray(off, dtype=np.int64), int(np.dot(off, strides)), sign)
+            for off, sign in self.offsets
+        ]
+
+    def predict_plane(self, recon_flat: np.ndarray, plane: np.ndarray) -> np.ndarray:
+        """Lorenzo predictions for one wavefront plane.
+
+        ``recon_flat`` is the flattened reconstruction-so-far; out-of-bounds
+        neighbours contribute 0.  Returns float64 predictions aligned with
+        ``plane``.
+        """
+        coords = self.coords[:, plane]
+        pred = np.zeros(plane.size, dtype=np.float64)
+        for off_vec, delta, sign in self._deltas:
+            valid = np.all(coords >= off_vec[:, None], axis=0)
+            if not valid.any():
+                continue
+            vals = recon_flat[plane[valid] - delta].astype(np.float64, copy=False)
+            if sign == 1:
+                pred[valid] += vals
+            else:
+                pred[valid] -= vals
+        return pred
+
+
+@lru_cache(maxsize=32)
+def wavefront_plan(shape: tuple[int, ...]) -> WavefrontPlan:
+    """Cached :class:`WavefrontPlan` for a shape."""
+    return WavefrontPlan(shape)
+
+
+def lorenzo_predict_full(data: np.ndarray) -> np.ndarray:
+    """Lorenzo prediction of every point from *original* neighbours.
+
+    This is not usable for coding (the decompressor lacks originals) but is
+    the cheap vectorised proxy SZ-style predictor selection uses to compare
+    Lorenzo against regression per block: one shifted-add per offset.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    pred = np.zeros_like(data)
+    for offset, sign in lorenzo_offsets(data.ndim):
+        shifted = np.zeros_like(data)
+        src = tuple(slice(0, s - o) for s, o in zip(data.shape, offset))
+        dst = tuple(slice(o, None) for o in offset)
+        shifted[dst] = data[src]
+        pred += sign * shifted
+    return pred

@@ -1,0 +1,74 @@
+"""Linear-scaling quantization (SZ stage 2).
+
+Residuals ``d - pred`` are mapped to integer codes with bin width
+``2 * error_bound``; reconstruction ``pred + 2 * eb * q`` is then within
+``error_bound`` of the original *by construction* — provided the code fits
+the radius and the cast back to the storage dtype does not push the value
+over the bound.  Points violating either condition become *unpredictable*
+and are stored verbatim (exact, zero error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizeResult", "quantize", "dequantize"]
+
+
+@dataclass(frozen=True)
+class QuantizeResult:
+    """Vectorised quantization outcome for a batch of points."""
+
+    codes: np.ndarray  # int64, valid only where ``ok``
+    recon: np.ndarray  # storage-dtype reconstruction, valid only where ``ok``
+    ok: np.ndarray  # bool; False -> store the original value verbatim
+
+
+def quantize(
+    values: np.ndarray,
+    pred: np.ndarray,
+    error_bound: float,
+    radius: int,
+    dtype: np.dtype,
+) -> QuantizeResult:
+    """Quantize a batch of residuals.
+
+    Parameters
+    ----------
+    values:
+        Original float64 values.
+    pred:
+        Predictions (float64), same shape.
+    error_bound:
+        Absolute bound ``eb > 0``.
+    radius:
+        Codes are kept in ``(-radius, radius)`` exclusive; outliers are
+        marked unpredictable.
+    dtype:
+        Storage dtype; the bound is verified *after* casting so float32
+        round-off cannot break the guarantee.
+    """
+    two_eb = 2.0 * error_bound
+    with np.errstate(invalid="ignore", over="ignore"):
+        q = np.rint((values - pred) / two_eb)
+        in_range = np.abs(q) < radius
+        # NaN/Inf inputs produce non-finite codes and huge residuals overflow
+        # the int64 cast; clamp both — the ``ok`` mask already excludes them.
+        q = np.where(np.isfinite(q), q, 0.0)
+        q = np.clip(q, -float(radius), float(radius))
+        recon = (pred + two_eb * q).astype(dtype)
+        within = np.abs(recon.astype(np.float64) - values) <= error_bound
+    ok = in_range & within
+    return QuantizeResult(codes=q.astype(np.int64), recon=recon, ok=ok)
+
+
+def dequantize(
+    codes: np.ndarray,
+    pred: np.ndarray,
+    error_bound: float,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Inverse mapping: ``pred + 2 * eb * q`` cast to the storage dtype."""
+    return (pred + 2.0 * error_bound * codes.astype(np.float64)).astype(dtype)

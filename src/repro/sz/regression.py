@@ -1,0 +1,61 @@
+"""Per-block linear regression predictor (SZ 2.x's second predictor).
+
+Each full ``B**d`` block is fit with an affine model
+``d(c) ~ beta0 + sum_k beta_k * c_k`` over its local coordinates ``c``.
+Because the coordinates form a regular product grid, the design matrix is
+orthogonal after centering, so the least-squares solution is closed-form and
+vectorises across all blocks at once:
+
+    beta_k = sum((c_k - mean(c_k)) * d) / sum((c_k - mean(c_k))**2)
+    beta0  = mean(d) - sum_k beta_k * mean(c_k)
+
+Coefficients are stored as float32 (SZ quantises them similarly); prediction
+on both sides of the codec uses the *stored* float32 values so compressor
+and decompressor agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sz.blocks import BlockGrid
+
+__all__ = ["fit_full_blocks", "predict_full_blocks"]
+
+
+def fit_full_blocks(grid: BlockGrid, block_values: np.ndarray) -> np.ndarray:
+    """Fit the affine model per block.
+
+    Parameters
+    ----------
+    grid:
+        Block geometry.
+    block_values:
+        ``(n_full_blocks, B**d)`` array from :meth:`BlockGrid.full_block_view`.
+
+    Returns
+    -------
+    numpy.ndarray
+        float32 coefficients of shape ``(n_full_blocks, ndim + 1)`` laid out
+        as ``[beta0, beta_1..beta_ndim]``.
+    """
+    coords = grid.block_coords().astype(np.float64)  # (ndim, B**d)
+    centered = coords - coords.mean(axis=1, keepdims=True)
+    denom = (centered**2).sum(axis=1)  # (ndim,)
+    values = block_values.astype(np.float64, copy=False)
+
+    # slopes[b, k] = sum_i centered[k, i] * values[b, i] / denom[k]
+    slopes = values @ centered.T / denom  # (nblocks, ndim)
+    intercept = values.mean(axis=1) - slopes @ coords.mean(axis=1)
+    coeffs = np.concatenate([intercept[:, None], slopes], axis=1)
+    return coeffs.astype(np.float32)
+
+
+def predict_full_blocks(grid: BlockGrid, coeffs: np.ndarray) -> np.ndarray:
+    """Evaluate stored coefficients over each block's local grid.
+
+    Returns float64 predictions of shape ``(n_blocks_given, B**d)``.
+    """
+    coords = grid.block_coords().astype(np.float64)  # (ndim, B**d)
+    coeffs64 = coeffs.astype(np.float64, copy=False)
+    return coeffs64[:, :1] + coeffs64[:, 1:] @ coords

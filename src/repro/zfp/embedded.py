@@ -1,0 +1,135 @@
+"""Embedded bit-plane coding of negabinary coefficients, vectorised.
+
+ZFP codes each block's coefficients one bit plane at a time, most
+significant first, exploiting the sequency ordering: high-frequency
+coefficients are small, so at any plane only a *prefix* of the ordering is
+significant.  Per block and plane ``k`` we emit the bits of the first
+
+    m_k = #\\{ i : suffix_max(msb)_i >= k \\}
+
+coefficients (``m_k`` is exactly one past the last coefficient with any set
+bit at or above plane ``k``; coefficients beyond it are known-zero there).
+
+Layout is *sectioned* rather than block-interleaved so that both encoding
+and decoding are single vectorised passes over "units" (one unit = one
+block's one plane):
+
+* per-block headers (``emax``, ``kmax``, ``nplanes``) — fixed width;
+* 7-bit ``m_k`` counts, unit order (block-major, planes descending);
+* the plane payload bits themselves, same unit order.
+
+Truncating ``nplanes`` implements both modes: accuracy mode stops at the
+tolerance-derived minimum plane, fixed-rate mode at the per-block bit
+budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "suffix_max",
+    "unit_layout",
+    "unit_counts",
+    "encode_plane_bits",
+    "decode_plane_bits",
+    "rate_limited_nplanes",
+]
+
+COUNT_BITS = 7  # m_k <= 4**3 = 64 fits in 7 bits
+
+
+def suffix_max(msb: np.ndarray) -> np.ndarray:
+    """Running maximum of ``msb`` from the right, per block row."""
+    return np.maximum.accumulate(msb[:, ::-1], axis=1)[:, ::-1]
+
+
+def unit_layout(kmax: np.ndarray, nplanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten (block, plane) units in block-major, plane-descending order.
+
+    Returns ``(unit_block, unit_plane)``: for each unit, its block index and
+    the bit-plane number ``k`` it encodes (``kmax-1, kmax-2, ...``).
+    """
+    nplanes = np.asarray(nplanes, dtype=np.int64)
+    total = int(nplanes.sum())
+    unit_block = np.repeat(np.arange(nplanes.size, dtype=np.int64), nplanes)
+    offsets = np.concatenate(([0], np.cumsum(nplanes)[:-1]))
+    j = np.arange(total, dtype=np.int64) - offsets[unit_block]
+    unit_plane = kmax[unit_block] - 1 - j
+    return unit_block, unit_plane
+
+
+def unit_counts(smax: np.ndarray, unit_block: np.ndarray, unit_plane: np.ndarray) -> np.ndarray:
+    """``m_k`` per unit: coefficients significant at or above plane ``k``."""
+    if unit_block.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return (smax[unit_block] >= unit_plane[:, None]).sum(axis=1).astype(np.int64)
+
+
+def _bit_positions(
+    unit_block: np.ndarray, unit_plane: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand units into per-bit (block, coefficient, plane) coordinates."""
+    if counts.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    total_bits = int(counts.sum())
+    bit_block = np.repeat(unit_block, counts)
+    bit_plane = np.repeat(unit_plane, counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    bit_coeff = np.arange(total_bits, dtype=np.int64) - np.repeat(offsets, counts)
+    return bit_block, bit_coeff, bit_plane
+
+
+def encode_plane_bits(
+    neg: np.ndarray,
+    unit_block: np.ndarray,
+    unit_plane: np.ndarray,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Extract the payload bit array (uint8 0/1) for all units at once."""
+    bit_block, bit_coeff, bit_plane = _bit_positions(unit_block, unit_plane, counts)
+    values = neg[bit_block, bit_coeff]
+    return ((values >> bit_plane.astype(np.uint64)) & np.uint64(1)).astype(np.uint8)
+
+
+def decode_plane_bits(
+    bits: np.ndarray,
+    unit_block: np.ndarray,
+    unit_plane: np.ndarray,
+    counts: np.ndarray,
+    nblocks: int,
+    ncoeff: int,
+) -> np.ndarray:
+    """Rebuild (nblocks, ncoeff) negabinary values from the payload bits."""
+    neg = np.zeros((nblocks, ncoeff), dtype=np.uint64)
+    if bits.size == 0:
+        return neg
+    bit_block, bit_coeff, bit_plane = _bit_positions(unit_block, unit_plane, counts)
+    contrib = bits.astype(np.uint64) << bit_plane.astype(np.uint64)
+    np.add.at(neg, (bit_block, bit_coeff), contrib)
+    return neg
+
+
+def rate_limited_nplanes(
+    smax: np.ndarray, kmax: np.ndarray, budget_bits: int
+) -> np.ndarray:
+    """Planes per block that fit a fixed per-block bit budget.
+
+    Each plane unit costs ``COUNT_BITS + m_k`` payload bits; blocks keep the
+    maximal number of top planes whose cumulative cost fits ``budget_bits``.
+    """
+    nblocks, _ = smax.shape
+    max_planes = int(kmax.max()) if nblocks else 0
+    if max_planes == 0 or budget_bits <= 0:
+        return np.zeros(nblocks, dtype=np.int64)
+    # m for every (block, candidate plane j): plane k = kmax - 1 - j.
+    j = np.arange(max_planes, dtype=np.int64)
+    plane_k = kmax[:, None] - 1 - j[None, :]  # (nblocks, max_planes)
+    m = (smax[:, :, None] >= plane_k[:, None, :]).sum(axis=1)
+    cost = COUNT_BITS + m
+    valid = plane_k >= 0
+    cost = np.where(valid, cost, 0)
+    cum = np.cumsum(cost, axis=1)
+    fits = (cum <= budget_bits) & valid
+    return fits.sum(axis=1).astype(np.int64)

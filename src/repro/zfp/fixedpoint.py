@@ -1,0 +1,78 @@
+"""Block floating point: shared exponent + fixed-point integers.
+
+Each 4^d block is normalised by the power of two just above its largest
+magnitude (``emax``), then scaled to :data:`FRAC_BITS` fractional bits and
+rounded to int64.  With ``FRAC_BITS = 40`` the decorrelating transform's
+growth keeps every intermediate well below 2^53, so negabinary magnitudes
+remain exactly representable in float64 — which the vectorised MSB
+computation (:func:`msb_positions`) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FRAC_BITS",
+    "EMAX_BIAS",
+    "EMAX_BITS",
+    "block_exponents",
+    "to_fixed",
+    "from_fixed",
+    "to_negabinary",
+    "from_negabinary",
+    "msb_positions",
+]
+
+FRAC_BITS = 40
+EMAX_BITS = 12
+EMAX_BIAS = 2048
+
+_NB_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def block_exponents(blocks: np.ndarray) -> np.ndarray:
+    """Per-block ``emax``: smallest e with ``max|x| < 2**e`` (0 for all-zero)."""
+    flat = blocks.reshape(blocks.shape[0], -1)
+    maxabs = np.abs(flat).max(axis=1)
+    if not np.isfinite(maxabs).all():
+        raise ValueError("ZFP does not support NaN/Inf values")
+    _, exp = np.frexp(maxabs)
+    # frexp: maxabs = m * 2**exp with m in [0.5, 1) -> maxabs < 2**exp.
+    return np.where(maxabs > 0, exp, 0).astype(np.int64)
+
+
+def to_fixed(blocks: np.ndarray, emax: np.ndarray) -> np.ndarray:
+    """Scale float blocks to int64 with FRAC_BITS fractional bits."""
+    shape = (blocks.shape[0],) + (1,) * (blocks.ndim - 1)
+    scale = np.ldexp(1.0, (FRAC_BITS - emax).astype(np.int64)).reshape(shape)
+    return np.rint(blocks.astype(np.float64) * scale).astype(np.int64)
+
+
+def from_fixed(ints: np.ndarray, emax: np.ndarray) -> np.ndarray:
+    """Invert :func:`to_fixed` (up to the original rounding)."""
+    shape = (ints.shape[0],) + (1,) * (ints.ndim - 1)
+    scale = np.ldexp(1.0, (emax - FRAC_BITS).astype(np.int64)).reshape(shape)
+    return ints.astype(np.float64) * scale
+
+
+def to_negabinary(ints: np.ndarray) -> np.ndarray:
+    """Signed int64 -> negabinary uint64 (ZFP's sign-free coefficient coding)."""
+    u = ints.astype(np.uint64)
+    return (u + _NB_MASK) ^ _NB_MASK
+
+
+def from_negabinary(neg: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_negabinary`."""
+    u = np.asarray(neg, dtype=np.uint64)
+    return ((u ^ _NB_MASK) - _NB_MASK).astype(np.int64)
+
+
+def msb_positions(neg: np.ndarray) -> np.ndarray:
+    """Index of the highest set bit per value (-1 for zero).
+
+    Exact for values < 2**53 (guaranteed by the FRAC_BITS headroom).
+    """
+    as_float = neg.astype(np.float64)
+    _, exp = np.frexp(as_float)
+    return np.where(neg > 0, exp - 1, -1).astype(np.int64)

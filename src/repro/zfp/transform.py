@@ -1,0 +1,101 @@
+"""ZFP's 4-point lifted decorrelating transform.
+
+The forward/inverse lifting pairs are the integer-exact sequences from the
+reference implementation; with arithmetic shifts they invert each other
+exactly in int64.  The transform is applied separably along every axis of a
+``(nblocks, 4, 4, ..., 4)`` batch — all blocks at once.
+
+``sequency_order`` produces ZFP's coefficient ordering: ascending total
+frequency ``i + j + k``, which concentrates energy in a prefix and is what
+makes embedded prefix coding effective.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["fwd_lift", "inv_lift", "fwd_transform", "inv_transform", "sequency_order"]
+
+BLOCK = 4
+
+
+def fwd_lift(v: np.ndarray) -> np.ndarray:
+    """Forward lift along the last axis (length 4), vectorised, int64-exact."""
+    x = v[..., 0].copy()
+    y = v[..., 1].copy()
+    z = v[..., 2].copy()
+    w = v[..., 3].copy()
+
+    x += w
+    x >>= 1
+    w -= x
+    z += y
+    z >>= 1
+    y -= z
+    x += z
+    x >>= 1
+    z -= x
+    w += y
+    w >>= 1
+    y -= w
+    w += y >> 1
+    y -= w >> 1
+
+    return np.stack([x, y, z, w], axis=-1)
+
+
+def inv_lift(v: np.ndarray) -> np.ndarray:
+    """Exact inverse of :func:`fwd_lift`."""
+    x = v[..., 0].copy()
+    y = v[..., 1].copy()
+    z = v[..., 2].copy()
+    w = v[..., 3].copy()
+
+    y += w >> 1
+    w -= y >> 1
+    y += w
+    w <<= 1
+    w -= y
+    z += x
+    x <<= 1
+    x -= z
+    y += z
+    z <<= 1
+    z -= y
+    w += x
+    x <<= 1
+    x -= w
+
+    return np.stack([x, y, z, w], axis=-1)
+
+
+def _apply_along(blocks: np.ndarray, axis: int, lift) -> np.ndarray:
+    """Apply a lift along one spatial axis of a (nblocks, 4, ..., 4) batch."""
+    moved = np.moveaxis(blocks, axis, -1)
+    lifted = lift(moved)
+    return np.moveaxis(lifted, -1, axis)
+
+
+def fwd_transform(blocks: np.ndarray) -> np.ndarray:
+    """Decorrelate a batch of blocks: axis 0 is the batch dimension."""
+    out = blocks
+    for axis in range(1, blocks.ndim):
+        out = _apply_along(out, axis, fwd_lift)
+    return out
+
+
+def inv_transform(blocks: np.ndarray) -> np.ndarray:
+    """Invert :func:`fwd_transform` (inverse lifts, reverse axis order)."""
+    out = blocks
+    for axis in range(blocks.ndim - 1, 0, -1):
+        out = _apply_along(out, axis, inv_lift)
+    return out
+
+
+@lru_cache(maxsize=8)
+def sequency_order(ndim: int) -> np.ndarray:
+    """Permutation of the flattened 4^d block into ascending total frequency."""
+    freqs = np.indices((BLOCK,) * ndim).reshape(ndim, -1).sum(axis=0)
+    return np.argsort(freqs, kind="stable")

@@ -1,0 +1,130 @@
+"""Unit tests for canonical length-limited Huffman coding."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.huffman import (
+    MAX_CODE_LEN,
+    HuffmanCodec,
+    HuffmanTable,
+    canonical_codes,
+    code_lengths,
+)
+
+
+class TestCodeLengths:
+    def test_empty(self):
+        assert code_lengths(np.zeros(0, np.int64)).size == 0
+
+    def test_single_symbol_gets_length_one(self):
+        assert code_lengths(np.array([42])).tolist() == [1]
+
+    def test_two_symbols(self):
+        assert code_lengths(np.array([1, 9])).tolist() == [1, 1]
+
+    def test_uniform_four(self):
+        assert code_lengths(np.array([5, 5, 5, 5])).tolist() == [2, 2, 2, 2]
+
+    def test_skewed_distribution_gives_short_code_to_frequent(self):
+        lens = code_lengths(np.array([1000, 10, 10, 10]))
+        assert lens[0] == lens.min()
+
+    def test_kraft_inequality(self):
+        r = np.random.default_rng(1)
+        freqs = r.integers(1, 10_000, 300)
+        lens = code_lengths(freqs)
+        assert (2.0 ** (-lens.astype(float))).sum() <= 1.0 + 1e-12
+
+    def test_length_limit_enforced_on_fibonacci_frequencies(self):
+        # Fibonacci frequencies force maximal depth in unconstrained Huffman.
+        fib = [1, 1]
+        while len(fib) < 40:
+            fib.append(fib[-1] + fib[-2])
+        lens = code_lengths(np.array(fib))
+        assert lens.max() <= MAX_CODE_LEN
+        assert (2.0 ** (-lens.astype(float))).sum() <= 1.0 + 1e-12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            code_lengths(np.array([3, 0]))
+
+    def test_rejects_oversized_alphabet(self):
+        with pytest.raises(ValueError):
+            code_lengths(np.ones(1 << 17, dtype=np.int64), max_len=16)
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lens = code_lengths(np.array([50, 20, 20, 5, 5]))
+        codes = canonical_codes(lens)
+        entries = sorted(zip(lens.tolist(), codes.tolist()))
+        as_bits = [format(c, f"0{l}b") for l, c in entries]
+        for i, a in enumerate(as_bits):
+            for b in as_bits[i + 1 :]:
+                assert not b.startswith(a), f"{a} is a prefix of {b}"
+
+    def test_codes_fit_their_lengths(self):
+        lens = np.array([3, 3, 2, 4, 4])
+        codes = canonical_codes(lens)
+        assert all(int(c) < (1 << int(l)) for c, l in zip(codes, lens))
+
+
+class TestHuffmanTable:
+    def test_serialize_roundtrip(self):
+        data = np.array([5, -3, 5, 5, 100, -3], dtype=np.int64)
+        table = HuffmanTable.from_symbols(data)
+        blob = table.serialize()
+        parsed, consumed = HuffmanTable.deserialize(blob)
+        assert consumed == len(blob)
+        assert (parsed.symbols == table.symbols).all()
+        assert (parsed.lengths == table.lengths).all()
+        assert (parsed.codes == table.codes).all()
+
+    def test_expected_bits(self):
+        data = np.array([0, 0, 0, 1], dtype=np.int64)
+        table = HuffmanTable.from_symbols(data)
+        counts = np.array([3, 1])
+        assert table.expected_bits(counts) == int((counts * table.lengths).sum())
+
+
+class TestHuffmanCodec:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            np.zeros(0, np.int64),
+            np.array([7], np.int64),
+            np.array([7] * 100, np.int64),
+            np.array([-1, 0, 1] * 50, np.int64),
+            np.arange(-500, 500, dtype=np.int64),
+        ],
+        ids=["empty", "single", "constant", "ternary", "ramp"],
+    )
+    def test_roundtrip(self, data):
+        codec = HuffmanCodec()
+        assert (codec.decode(codec.encode(data)) == data).all()
+
+    def test_roundtrip_geometric(self):
+        r = np.random.default_rng(2)
+        data = (r.geometric(0.2, 20000) - 1).astype(np.int64)
+        codec = HuffmanCodec()
+        blob = codec.encode(data)
+        assert (codec.decode(blob) == data).all()
+        # Skewed data must actually compress.
+        assert len(blob) < data.nbytes / 4
+
+    def test_compresses_skewed_better_than_uniform(self):
+        r = np.random.default_rng(3)
+        skewed = (r.geometric(0.5, 10000) - 1).astype(np.int64)
+        uniform = r.integers(0, 256, 10000).astype(np.int64)
+        codec = HuffmanCodec()
+        assert len(codec.encode(skewed)) < len(codec.encode(uniform))
+
+    def test_large_symbol_values(self):
+        data = np.array([2**40, -(2**40), 2**40], dtype=np.int64)
+        codec = HuffmanCodec()
+        assert (codec.decode(codec.encode(data)) == data).all()
+
+    def test_multidimensional_input_flattened(self):
+        data = np.arange(24, dtype=np.int64).reshape(2, 3, 4)
+        codec = HuffmanCodec()
+        assert (codec.decode(codec.encode(data)) == data.ravel()).all()

@@ -1,0 +1,79 @@
+"""Unit tests for LEB128 varints and zigzag mapping."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.varint import (
+    decode_uvarint,
+    decode_uvarints,
+    encode_uvarint,
+    encode_uvarints,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestScalarVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**62])
+    def test_roundtrip(self, value):
+        blob = encode_uvarint(value)
+        decoded, off = decode_uvarint(blob)
+        assert decoded == value
+        assert off == len(blob)
+
+    def test_small_values_one_byte(self):
+        assert len(encode_uvarint(127)) == 1
+        assert len(encode_uvarint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        blob = encode_uvarint(300)[:-1]
+        with pytest.raises(ValueError):
+            decode_uvarint(blob)
+
+    def test_offset_chaining(self):
+        blob = encode_uvarint(5) + encode_uvarint(1000)
+        v1, off = decode_uvarint(blob, 0)
+        v2, off = decode_uvarint(blob, off)
+        assert (v1, v2) == (5, 1000)
+        assert off == len(blob)
+
+
+class TestArrayVarints:
+    def test_roundtrip(self):
+        values = np.array([0, 1, 127, 128, 2**40, 7], dtype=np.uint64)
+        blob = encode_uvarints(values)
+        decoded, off = decode_uvarints(blob, values.size)
+        assert (decoded == values).all()
+        assert off == len(blob)
+
+    def test_empty(self):
+        assert encode_uvarints(np.zeros(0, np.uint64)) == b""
+        decoded, off = decode_uvarints(b"", 0)
+        assert decoded.size == 0 and off == 0
+
+    def test_truncated_stream_raises(self):
+        blob = encode_uvarints(np.array([1, 2, 3], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            decode_uvarints(blob, 4)
+
+
+class TestZigzag:
+    def test_small_magnitude_maps_small(self):
+        values = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        assert zigzag_encode(values).tolist() == [0, 1, 2, 3, 4]
+
+    def test_roundtrip_extremes(self):
+        values = np.array(
+            [0, 1, -1, 2**62, -(2**62), np.iinfo(np.int64).max, np.iinfo(np.int64).min],
+            dtype=np.int64,
+        )
+        assert (zigzag_decode(zigzag_encode(values)) == values).all()
+
+    def test_roundtrip_random(self):
+        r = np.random.default_rng(4)
+        values = r.integers(-(2**60), 2**60, 1000)
+        assert (zigzag_decode(zigzag_encode(values)) == values).all()

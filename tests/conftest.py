@@ -1,0 +1,63 @@
+"""Shared fixtures: deterministic sample fields of every supported shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def _smooth(shape: tuple[int, ...], seed: int, noise: float = 0.01) -> np.ndarray:
+    """Band-limited smooth field + mild noise, float32."""
+    r = np.random.default_rng(seed)
+    axes = np.meshgrid(
+        *(np.linspace(0, 2 * np.pi, s, endpoint=False) for s in shape), indexing="ij"
+    )
+    out = np.zeros(shape)
+    for m in range(8):
+        k = r.uniform(0.5, 3.0, len(shape))
+        phase = r.uniform(0, 2 * np.pi)
+        acc = np.zeros(shape)
+        for d in range(len(shape)):
+            acc = acc + k[d] * axes[d]
+        out += np.sin(acc + phase) / (m + 1)
+    out += noise * r.standard_normal(shape)
+    return out.astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def smooth3d() -> np.ndarray:
+    return _smooth((24, 24, 12), seed=1)
+
+
+@pytest.fixture(scope="session")
+def smooth2d() -> np.ndarray:
+    return _smooth((48, 40), seed=2)
+
+
+@pytest.fixture(scope="session")
+def smooth1d() -> np.ndarray:
+    return _smooth((4000,), seed=3)
+
+
+@pytest.fixture(scope="session")
+def sparse3d() -> np.ndarray:
+    """Cloud-like sparse field: mostly a constant floor."""
+    base = _smooth((24, 24, 12), seed=4, noise=0.0)
+    return np.where(base > 0.5, base, np.float32(0.0)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def rough1d() -> np.ndarray:
+    """High-entropy 1D data (HACC-like positions)."""
+    r = np.random.default_rng(5)
+    return r.uniform(0, 64, 5000).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def smooth3d_f64(smooth3d) -> np.ndarray:
+    return smooth3d.astype(np.float64)

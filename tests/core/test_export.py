@@ -1,0 +1,50 @@
+"""Tests for CSV export helpers."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis import rate_distortion_curve, ratio_curve
+from repro.analysis.export import (
+    write_csv,
+    write_rate_distortion_csv,
+    write_ratio_curve_csv,
+)
+from repro.sz.compressor import SZCompressor
+
+
+class TestWriteCSV:
+    def test_basic_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [(1, 2), (3, 4)])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestRatioCurveCSV:
+    def test_export_from_real_sweep(self, tmp_path, smooth2d):
+        bounds, ratios = ratio_curve(SZCompressor(), smooth2d,
+                                     np.array([1e-3, 1e-2]))
+        path = write_ratio_curve_csv(tmp_path / "curve.csv", bounds, ratios)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["error_bound", "ratio"]
+        assert len(rows) == 3
+        assert float(rows[1][1]) == pytest.approx(ratios[0])
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ratio_curve_csv(tmp_path / "x.csv", [1.0], [1.0, 2.0])
+
+
+class TestRateDistortionCSV:
+    def test_export(self, tmp_path, smooth2d):
+        points = rate_distortion_curve(SZCompressor(), smooth2d,
+                                       np.array([1e-3, 1e-2]))
+        path = write_rate_distortion_csv(tmp_path / "rd.csv", points)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "error_bound"
+        assert len(rows) == 3
+        assert float(rows[1][3]) == pytest.approx(points[0].psnr)

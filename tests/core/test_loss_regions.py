@@ -1,0 +1,96 @@
+"""Unit tests for loss construction and region splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import (
+    DEFAULT_GAMMA,
+    clamped_absolute_loss,
+    clamped_square_loss,
+    cutoff_for,
+)
+from repro.core.regions import split_regions
+
+
+class TestLoss:
+    def test_square_distance(self):
+        loss = clamped_square_loss(lambda e: 12.0, target_ratio=10.0)
+        assert loss(0.1) == pytest.approx(4.0)
+
+    def test_exact_target_zero(self):
+        loss = clamped_square_loss(lambda e: 10.0, target_ratio=10.0)
+        assert loss(0.5) == 0.0
+
+    def test_clamped_at_gamma(self):
+        loss = clamped_square_loss(lambda e: 1e200, target_ratio=10.0)
+        assert loss(0.1) == DEFAULT_GAMMA
+
+    def test_infinite_ratio_clamped(self):
+        loss = clamped_square_loss(lambda e: float("inf"), target_ratio=10.0)
+        assert loss(0.1) == DEFAULT_GAMMA
+
+    def test_absolute_variant(self):
+        loss = clamped_absolute_loss(lambda e: 12.0, target_ratio=10.0)
+        assert loss(0.1) == pytest.approx(2.0)
+
+    def test_gamma_default_is_80_percent_of_max(self):
+        assert DEFAULT_GAMMA == pytest.approx(0.8 * np.finfo(np.float64).max)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            clamped_square_loss(lambda e: 1.0, target_ratio=0.0)
+
+    def test_cutoff_value(self):
+        assert cutoff_for(10.0, 0.1) == pytest.approx(1.0)
+        assert cutoff_for(10.0, 0.1, squared=False) == pytest.approx(1.0)
+        assert cutoff_for(20.0, 0.05) == pytest.approx(1.0)
+
+    def test_cutoff_consistent_with_band(self):
+        # A ratio exactly at the band edge produces loss exactly at cutoff.
+        target, eps = 15.0, 0.1
+        loss = clamped_square_loss(lambda e: target * (1 + eps), target)
+        assert loss(0.1) == pytest.approx(cutoff_for(target, eps))
+
+
+class TestRegions:
+    def test_union_covers_interval(self):
+        regions = split_regions(0.0, 1.0, 12, overlap=0.1)
+        assert regions[0][0] == 0.0
+        assert regions[-1][1] == 1.0
+        for (_, hi_prev), (lo_next, _) in zip(regions, regions[1:]):
+            assert lo_next < hi_prev  # genuine overlap
+
+    def test_region_count(self):
+        assert len(split_regions(0, 10, 7)) == 7
+
+    def test_overlap_amount(self):
+        regions = split_regions(0.0, 12.0, 12, overlap=0.1)
+        width = 1.0
+        lo, hi = regions[5]
+        assert hi - lo == pytest.approx(width * 1.2)
+
+    def test_end_regions_slightly_smaller(self):
+        regions = split_regions(0.0, 12.0, 12, overlap=0.1)
+        interior = regions[5][1] - regions[5][0]
+        first = regions[0][1] - regions[0][0]
+        last = regions[-1][1] - regions[-1][0]
+        assert first < interior and last < interior
+
+    def test_zero_overlap_partitions(self):
+        regions = split_regions(0.0, 10.0, 5, overlap=0.0)
+        for (_, hi_prev), (lo_next, _) in zip(regions, regions[1:]):
+            assert hi_prev == pytest.approx(lo_next)
+
+    def test_single_region(self):
+        assert split_regions(1.0, 2.0, 1) == [(1.0, 2.0)]
+
+    def test_monotone_ascending(self):
+        regions = split_regions(0.0, 5.0, 9, overlap=0.2)
+        los = [lo for lo, _ in regions]
+        assert los == sorted(los)
+
+    @pytest.mark.parametrize("bad", [(1.0, 1.0, 3, 0.1), (0.0, 1.0, 0, 0.1), (0.0, 1.0, 3, 0.7)])
+    def test_validation(self, bad):
+        lower, upper, k, overlap = bad
+        with pytest.raises(ValueError):
+            split_regions(lower, upper, k, overlap)

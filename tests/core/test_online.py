@@ -1,0 +1,85 @@
+"""Tests for the online/in-situ tuner (paper future work #2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineFRaZ
+
+
+def _stream(n_frames=10, shape=(24, 24, 12), drift=0.03, jump_at=None, seed=51):
+    r = np.random.default_rng(seed)
+    x, y, z = np.meshgrid(
+        np.linspace(0, 4, shape[0]), np.linspace(0, 4, shape[1]),
+        np.linspace(0, 4, shape[2]), indexing="ij",
+    )
+    frames = []
+    for t in range(n_frames):
+        f = np.sin(x + drift * t) * np.cos(y + z)
+        if jump_at is not None and t >= jump_at:
+            # Regime change: much rougher content.
+            f = f + 0.3 * r.standard_normal(shape)
+        else:
+            f = f + 0.01 * r.standard_normal(shape)
+        frames.append(f.astype(np.float32))
+    return frames
+
+
+class TestOnlineFRaZ:
+    def test_steady_state_one_compression_per_frame(self):
+        tuner = OnlineFRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1)
+        results = [tuner.push(f) for f in _stream()]
+        assert results[0].retrained  # cold start trains
+        steady = results[1:]
+        assert all(not r.retrained for r in steady)
+        assert all(r.evaluations == 1 for r in steady)
+        assert all(r.in_band for r in results)
+
+    def test_payload_decompresses_within_bound(self):
+        tuner = OnlineFRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1)
+        frames = _stream(4)
+        for frame in frames:
+            res = tuner.push(frame)
+            recon = tuner.decompress(res.payload)
+            err = np.abs(recon.astype(np.float64) - frame.astype(np.float64)).max()
+            assert err <= res.error_bound + 1e-12
+
+    def test_regime_change_triggers_retrain(self):
+        tuner = OnlineFRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1)
+        frames = _stream(n_frames=8, jump_at=4)
+        results = [tuner.push(f) for f in frames]
+        assert results[0].retrained
+        assert any(r.retrained for r in results[4:]), "jump must force a retrain"
+        # After adapting, the stream is back in band.
+        assert results[-1].in_band
+
+    def test_retrain_count_tracked(self):
+        tuner = OnlineFRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1)
+        for f in _stream(5):
+            tuner.push(f)
+        assert tuner.retrain_count >= 1
+        assert tuner.frames_seen == 5
+
+    def test_max_error_bound_respected(self):
+        tuner = OnlineFRaZ(compressor="sz", target_ratio=200.0, tolerance=0.1,
+                           max_error_bound=1e-4, regions=3, max_calls_per_region=5)
+        res = tuner.push(_stream(1)[0])
+        assert res.error_bound <= 1e-4
+
+    def test_drift_margin_preemptive_retrain(self):
+        # With an aggressive margin, slow drift retrains before a miss.
+        tuner = OnlineFRaZ(compressor="sz", target_ratio=10.0, tolerance=0.1,
+                           drift_margin=0.95, drift_window=2)
+        results = [tuner.push(f) for f in _stream(6, drift=0.1)]
+        assert sum(r.retrained for r in results) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineFRaZ(target_ratio=0)
+        with pytest.raises(ValueError):
+            OnlineFRaZ(tolerance=1.5)
+        with pytest.raises(ValueError):
+            OnlineFRaZ(drift_margin=1.5)
+
+    def test_band_property(self):
+        tuner = OnlineFRaZ(target_ratio=20.0, tolerance=0.05)
+        assert tuner.band == (19.0, 21.0)

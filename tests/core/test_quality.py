@@ -1,0 +1,77 @@
+"""Tests for quality-targeted tuning (paper future work #1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import max_ratio_at_quality, tune_quality
+from repro.metrics import psnr, ssim
+from repro.sz.compressor import SZCompressor
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(61)
+    x, y = np.meshgrid(np.linspace(0, 4, 48), np.linspace(0, 4, 48), indexing="ij")
+    return (np.sin(x) * np.cos(y) + 0.01 * r.standard_normal(x.shape)).astype(np.float32)
+
+
+class TestTuneQuality:
+    def test_ssim_target(self, field):
+        res = tune_quality(SZCompressor(), field, target=0.95, metric="ssim",
+                           tolerance=0.01, max_calls=20, seed=0)
+        assert res.feasible
+        # Re-running the returned bound reproduces the quality.
+        c = SZCompressor(error_bound=res.error_bound)
+        recon = c.decompress(c.compress(field))
+        assert abs(ssim(field, recon) - res.quality) < 1e-12
+
+    def test_psnr_target(self, field):
+        res = tune_quality(SZCompressor(), field, target=60.0, metric="psnr",
+                           tolerance=1.0, max_calls=20, seed=0)
+        assert res.feasible
+        c = SZCompressor(error_bound=res.error_bound)
+        recon = c.decompress(c.compress(field))
+        assert abs(psnr(field, recon) - 60.0) <= 1.0
+
+    def test_reports_metric_and_target(self, field):
+        res = tune_quality(SZCompressor(), field, target=0.9, metric="ssim",
+                           max_calls=8, seed=0)
+        assert res.metric == "ssim" and res.target == 0.9
+        assert res.evaluations <= 8
+        assert res.wall_seconds > 0
+
+    def test_unknown_metric(self, field):
+        with pytest.raises(KeyError):
+            tune_quality(SZCompressor(), field, target=1.0, metric="vibes")
+
+    def test_unreachable_target_infeasible(self, field):
+        # SSIM > 1 is impossible; the search reports the closest it saw.
+        res = tune_quality(SZCompressor(), field, target=1.5, metric="ssim",
+                           tolerance=0.001, max_calls=6, seed=0)
+        assert not res.feasible
+        assert res.quality <= 1.0
+
+
+class TestMaxRatioAtQuality:
+    def test_floor_respected(self, field):
+        floor = 0.97
+        res = max_ratio_at_quality(SZCompressor(), field, min_quality=floor,
+                                   metric="ssim", max_calls=20, seed=0)
+        assert res.feasible
+        assert res.quality >= floor
+        # The returned point is the best ratio among floor-satisfying probes,
+        # so it must beat a conservatively tiny bound's ratio.
+        tiny = SZCompressor(error_bound=1e-7).compress(field).ratio
+        assert res.ratio >= tiny
+
+    def test_higher_floor_means_lower_ratio(self, field):
+        loose = max_ratio_at_quality(SZCompressor(), field, min_quality=0.8,
+                                     metric="ssim", max_calls=20, seed=0)
+        strict = max_ratio_at_quality(SZCompressor(), field, min_quality=0.999,
+                                      metric="ssim", max_calls=20, seed=0)
+        assert loose.ratio >= strict.ratio
+
+    def test_impossible_floor(self, field):
+        res = max_ratio_at_quality(SZCompressor(), field, min_quality=2.0,
+                                   metric="ssim", max_calls=6, seed=0)
+        assert not res.feasible

@@ -1,0 +1,120 @@
+"""Tests for Algorithm 1 (worker task) and Algorithm 2 (training)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import train
+from repro.core.worker import worker_task
+from repro.parallel.executor import SerialExecutor, ThreadExecutor
+from repro.sz.compressor import SZCompressor
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(21)
+    x, y, z = np.meshgrid(
+        np.linspace(0, 4, 24), np.linspace(0, 4, 24), np.linspace(0, 4, 12),
+        indexing="ij",
+    )
+    return (np.sin(x) * np.cos(y + z) + 0.01 * r.standard_normal(x.shape)).astype(
+        np.float32
+    )
+
+
+@pytest.fixture(scope="module")
+def sz():
+    return SZCompressor()
+
+
+class TestWorkerTask:
+    def test_finds_feasible_target(self, sz, field):
+        lo, hi = sz.default_bound_range(field)
+        res = worker_task(sz, field, target_ratio=10.0, tolerance=0.1, region=(lo, hi))
+        assert res.feasible
+        assert 9.0 <= res.ratio <= 11.0
+
+    def test_returned_bound_reproduces_ratio(self, sz, field):
+        lo, hi = sz.default_bound_range(field)
+        res = worker_task(sz, field, 10.0, 0.1, (lo, hi))
+        again = sz.with_error_bound(res.error_bound).compress(field).ratio
+        assert again == pytest.approx(res.ratio)
+
+    def test_prediction_short_circuit(self, sz, field):
+        lo, hi = sz.default_bound_range(field)
+        first = worker_task(sz, field, 10.0, 0.1, (lo, hi))
+        res = worker_task(sz, field, 10.0, 0.1, (lo, hi), prediction=first.error_bound)
+        assert res.used_prediction
+        assert res.evaluations == 1
+
+    def test_bad_prediction_falls_through(self, sz, field):
+        lo, hi = sz.default_bound_range(field)
+        res = worker_task(sz, field, 10.0, 0.1, (lo, hi), prediction=hi)
+        assert not res.used_prediction
+
+    def test_infeasible_returns_closest(self, sz, field):
+        lo, hi = sz.default_bound_range(field)
+        # Every bound yields CR >= ~1.06, so 0.5 sits below the floor.
+        res = worker_task(sz, field, 0.5, 0.05, (lo, hi), max_calls=8)
+        assert not res.feasible
+        assert res.ratio > 0
+
+    def test_validation(self, sz, field):
+        with pytest.raises(ValueError):
+            worker_task(sz, field, -1.0, 0.1, (0.0, 1.0))
+        with pytest.raises(ValueError):
+            worker_task(sz, field, 10.0, 1.5, (0.0, 1.0))
+
+
+class TestTraining:
+    def test_feasible_search(self, sz, field):
+        res = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0)
+        assert res.feasible and res.within_tolerance
+
+    def test_result_reproducible(self, sz, field):
+        res = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0)
+        ratio = sz.with_error_bound(res.error_bound).compress(field).ratio
+        assert ratio == pytest.approx(res.ratio)
+
+    def test_infeasible_reports_closest(self, sz, field):
+        # Every error bound yields CR >= ~1.06, so 0.5 is unreachable.
+        res = train(sz, field, 0.5, tolerance=0.05, regions=3,
+                    max_calls_per_region=6, seed=0)
+        assert not res.feasible
+        # The reported point is the closest the search observed.
+        assert res.ratio == min(
+            (w.ratio for w in res.workers),
+            key=lambda r: (r - 0.5) ** 2,
+        )
+
+    def test_early_cancellation_limits_work(self, sz, field):
+        res = train(sz, field, 10.0, tolerance=0.1, regions=8,
+                    max_calls_per_region=16, seed=0)
+        # Serial executor stops at the first feasible region: far fewer
+        # evaluations than the full 8 * 16 worst case.
+        assert res.evaluations < 8 * 16 / 2
+
+    def test_prediction_fast_path(self, sz, field):
+        first = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0)
+        res = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0,
+                    prediction=first.error_bound)
+        assert res.used_prediction
+        assert res.evaluations == 1
+
+    def test_respects_upper_bound_cap(self, sz, field):
+        # A tiny U makes high ratios unreachable.
+        res = train(sz, field, 50.0, tolerance=0.1, upper=1e-6,
+                    regions=3, max_calls_per_region=5, seed=0)
+        for w in res.workers:
+            assert w.region[1] <= 1e-6
+
+    def test_thread_executor_equivalent_feasibility(self, sz, field):
+        serial = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0,
+                       executor=SerialExecutor())
+        threaded = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0,
+                         executor=ThreadExecutor(workers=4))
+        assert serial.feasible and threaded.feasible
+        assert threaded.within_tolerance
+
+    def test_invalid_range(self, sz, field):
+        with pytest.raises(ValueError):
+            train(sz, field, 10.0, lower=1.0, upper=0.5)

@@ -1,0 +1,123 @@
+"""Tests for the synthetic SDRBench-analog datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_summaries, fourier_field, load_dataset
+from repro.datasets.registry import PAPER_TABLE3
+
+
+class TestFourierField:
+    def test_shapes_and_dtype(self):
+        steps = fourier_field((8, 9), 3, np.random.default_rng(0))
+        assert len(steps) == 3
+        assert all(s.shape == (8, 9) and s.dtype == np.float32 for s in steps)
+
+    def test_deterministic(self):
+        a = fourier_field((16,), 2, np.random.default_rng(5))
+        b = fourier_field((16,), 2, np.random.default_rng(5))
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_steps_evolve_gradually(self):
+        steps = fourier_field((32, 32), 4, np.random.default_rng(1), drift=0.02)
+        d01 = np.abs(steps[1] - steps[0]).mean()
+        span = steps[0].max() - steps[0].min()
+        assert 0 < d01 < 0.2 * span  # changed, but not wholesale
+
+    def test_spatially_smooth(self):
+        step = fourier_field((64, 64), 1, np.random.default_rng(2))[0]
+        grad = np.abs(np.diff(step, axis=0)).mean()
+        span = step.max() - step.min()
+        assert grad < 0.15 * span
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_tiny_builds(self, name):
+        ds = load_dataset(name, "tiny")
+        assert ds.n_fields == PAPER_TABLE3[name]["fields"]
+        assert ds.ndim == PAPER_TABLE3[name]["dim"]
+        assert ds.nbytes > 0
+
+    def test_paper_scale_metadata(self):
+        # Paper-size builds carry the paper's step counts.
+        ds = load_dataset("NYX", "paper")
+        assert ds.n_steps == PAPER_TABLE3["NYX"]["steps"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("LHC")
+
+    def test_unknown_size(self):
+        with pytest.raises(ValueError):
+            load_dataset("NYX", size="huge")
+
+    def test_deterministic_by_seed(self):
+        a = load_dataset("CESM", "tiny", seed=3)
+        b = load_dataset("CESM", "tiny", seed=3)
+        fa = a.fields["CLOUD"].steps[0]
+        fb = b.fields["CLOUD"].steps[0]
+        assert (fa == fb).all()
+
+    def test_summaries_table(self):
+        table = dataset_summaries("tiny")
+        for name in DATASET_NAMES:
+            assert name in table
+
+
+class TestDatasetCharacter:
+    def test_hurricane_has_sparse_log_cloud_field(self):
+        ds = load_dataset("Hurricane", "tiny")
+        q = ds.fields["QCLOUDf.log10"].steps[0]
+        # Majority of points at the log floor (sparse), some structure above.
+        floor_frac = float((q == q.min()).mean())
+        assert 0.3 < floor_frac < 0.99
+
+    def test_hurricane_field_inventory(self):
+        ds = load_dataset("Hurricane", "tiny")
+        assert "TCf" in ds.fields and "CLOUDf" in ds.fields
+
+    def test_hacc_positions_high_entropy(self):
+        ds = load_dataset("HACC", "tiny")
+        x = ds.fields["x"].steps[0]
+        # Shuffled particle order: neighbouring entries nearly uncorrelated.
+        c = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert abs(c) < 0.2
+
+    def test_hacc_all_float32_1d(self):
+        ds = load_dataset("HACC", "tiny")
+        for f in ds.fields.values():
+            assert f.steps[0].ndim == 1 and f.steps[0].dtype == np.float32
+
+    def test_cesm_cloud_fraction_bounded(self):
+        ds = load_dataset("CESM", "tiny")
+        c = ds.fields["CLDHGH"].steps[0]
+        assert c.min() >= 0.0 and c.max() <= 1.0
+
+    def test_cesm_phis_static(self):
+        ds = load_dataset("CESM", "tiny")
+        phis = ds.fields["PHIS"]
+        assert (phis.steps[0] == phis.steps[-1]).all()
+
+    def test_exaalt_locally_smooth(self):
+        ds = load_dataset("Exaalt", "tiny")
+        z = ds.fields["z"].steps[0]
+        # Lattice in id-order: typical |diff| much smaller than range.
+        assert np.median(np.abs(np.diff(z))) < 0.1 * (z.max() - z.min())
+
+    def test_nyx_density_positive_heavy_tail(self):
+        ds = load_dataset("NYX", "tiny")
+        rho = ds.fields["baryon_density"].steps[0]
+        assert rho.min() > 0
+        assert rho.max() / np.median(rho) > 5  # lognormal tail
+
+    def test_field_arrays_view(self):
+        ds = load_dataset("NYX", "tiny")
+        arrays = ds.field_arrays()
+        assert set(arrays) == set(ds.fields)
+        assert arrays["temperature"][0] is ds.fields["temperature"].steps[0]
+
+    def test_duplicate_field_rejected(self):
+        ds = load_dataset("NYX", "tiny")
+        with pytest.raises(KeyError):
+            ds.add(ds.fields["temperature"])

@@ -1,0 +1,97 @@
+"""Integration tests: FRaZ across compressors, datasets and executors."""
+
+import numpy as np
+import pytest
+
+from repro import FRaZ, evaluate, make_compressor
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def hurricane():
+    return load_dataset("Hurricane", "tiny")
+
+
+@pytest.fixture(scope="module")
+def nyx():
+    return load_dataset("NYX", "tiny")
+
+
+class TestFRaZAcrossCompressors:
+    @pytest.mark.parametrize("name", ["sz", "zfp", "mgard"])
+    def test_fixed_ratio_on_real_field(self, hurricane, name):
+        data = hurricane.fields["TCf"].steps[0]
+        fraz = FRaZ(compressor=name, target_ratio=8.0, tolerance=0.15)
+        payload, result = fraz.compress(data)
+        # Either converged in band, or reported the closest achievable.
+        if result.feasible:
+            assert 8.0 * 0.85 <= payload.ratio <= 8.0 * 1.15
+        recon = fraz.decompress(payload)
+        err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+        assert err <= result.error_bound + 1e-12
+
+    def test_error_bound_constraint_respected(self, hurricane):
+        """Eq. 2: error-control-based fixed-ratio compression never exceeds U."""
+        data = hurricane.fields["TCf"].steps[0]
+        cap = 0.05
+        fraz = FRaZ(compressor="sz", target_ratio=200.0, tolerance=0.1,
+                    max_error_bound=cap, regions=4, max_calls_per_region=6)
+        payload, result = fraz.compress(data)
+        assert result.error_bound <= cap
+        recon = fraz.decompress(payload)
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= cap
+
+
+class TestFRaZOnDatasets:
+    def test_hurricane_multifield(self, hurricane):
+        fields = {
+            name: hurricane.fields[name].steps[:2]
+            for name in ("TCf", "CLOUDf")
+        }
+        fraz = FRaZ(compressor="sz", target_ratio=10.0, tolerance=0.15)
+        res = fraz.tune_dataset(fields)
+        assert set(res.fields) == {"TCf", "CLOUDf"}
+
+    def test_timestep_reuse_on_nyx(self, nyx):
+        series = nyx.fields["velocity_x"].steps
+        fraz = FRaZ(compressor="sz", target_ratio=10.0, tolerance=0.15)
+        res = fraz.tune_series(series, field_name="velocity_x")
+        assert res.converged_fraction >= 0.75
+        # Gradually evolving data: retraining should be rare after step 0.
+        assert len(res.retrain_steps) <= max(2, len(series) // 2)
+
+    def test_hacc_1d_sz_vs_zfp(self):
+        ds = load_dataset("HACC", "tiny")
+        data = ds.fields["x"].steps[0]
+        for name in ("sz", "zfp"):
+            fraz = FRaZ(compressor=name, target_ratio=4.0, tolerance=0.2)
+            res = fraz.tune(data)
+            assert res.ratio > 1.0
+
+
+class TestExecutorsEndToEnd:
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_executors_converge(self, hurricane, kind):
+        data = hurricane.fields["TCf"].steps[0]
+        fraz = FRaZ(compressor="sz", target_ratio=8.0, tolerance=0.15,
+                    executor=kind, workers=2, regions=4)
+        res = fraz.tune(data)
+        assert res.feasible
+
+
+class TestQualityAcrossCompressors:
+    def test_fraz_beats_zfp_fixed_rate_quality(self, nyx):
+        """Fig. 10's headline: at matched CR, error-bounded FRaZ-tuned
+        compression has higher PSNR than ZFP's fixed-rate mode."""
+        data = nyx.fields["temperature"].steps[0]
+        target = 16.0
+        rate_mode = make_compressor("zfp-rate", error_bound=32.0 / target)
+        rate_rec = evaluate(rate_mode, data)
+
+        fraz = FRaZ(compressor="zfp", target_ratio=target, tolerance=0.25)
+        res = fraz.tune(data)
+        tuned = make_compressor("zfp", error_bound=res.error_bound)
+        fraz_rec = evaluate(tuned, data)
+
+        if res.feasible:
+            assert fraz_rec.psnr > rate_rec.psnr

@@ -1,0 +1,132 @@
+"""Failure injection and determinism guarantees.
+
+Corrupted payloads must fail *loudly* (raise), never silently return wrong
+data; identical configurations must produce byte-identical payloads (the
+optimizer's determinism contract, and what makes results reproducible
+across the parallel backends).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codecs.container import Container
+from repro.core.training import train
+from repro.mgard.compressor import MGARDCompressor
+from repro.pressio import make_compressor
+from repro.sz.compressor import SZCompressor
+from repro.zfp.compressor import ZFPCompressor
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(91)
+    return r.standard_normal((20, 20)).cumsum(axis=0).astype(np.float32)
+
+
+def _flip_byte(blob: bytes, index: int) -> bytes:
+    out = bytearray(blob)
+    out[index] ^= 0xFF
+    return bytes(out)
+
+
+class TestCorruptPayloads:
+    @pytest.mark.parametrize("comp_name", ["sz", "zfp", "mgard"])
+    def test_truncated_payload_raises(self, field, comp_name):
+        comp = make_compressor(comp_name, error_bound=1e-2)
+        payload = comp.compress(field).payload
+        with pytest.raises(Exception):
+            comp.decompress(payload[: len(payload) // 2])
+
+    @pytest.mark.parametrize("comp_name", ["sz", "mgard"])
+    def test_corrupt_magic_raises(self, field, comp_name):
+        comp = make_compressor(comp_name, error_bound=1e-2)
+        payload = comp.compress(field).payload
+        with pytest.raises(Exception):
+            comp.decompress(_flip_byte(payload, 0))
+
+    def test_corrupt_zlib_body_raises(self, field):
+        comp = SZCompressor(error_bound=1e-2)
+        payload = comp.compress(field).payload
+        # Flip a byte deep in the body (past header sections).
+        with pytest.raises(Exception):
+            comp.decompress(_flip_byte(payload, len(payload) - 10))
+
+    def test_wrong_compressor_rejects_payload(self, field):
+        """A ZFP payload fed to SZ must not silently decode."""
+        zfp_payload = ZFPCompressor(error_bound=1e-2).compress(field)
+        sz = SZCompressor()
+        with pytest.raises(Exception):
+            sz.decompress(zfp_payload)
+
+    def test_trailing_garbage_rejected(self, field):
+        comp = SZCompressor(error_bound=1e-2)
+        payload = comp.compress(field).payload
+        with pytest.raises(ValueError):
+            comp.decompress(payload + b"extra")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("comp_name", ["sz", "zfp", "mgard"])
+    def test_identical_payload_across_runs(self, field, comp_name):
+        a = make_compressor(comp_name, error_bound=1e-3).compress(field)
+        b = make_compressor(comp_name, error_bound=1e-3).compress(field)
+        assert a.payload == b.payload
+
+    def test_training_deterministic_given_seed(self, field):
+        r1 = train(SZCompressor(), field, 8.0, tolerance=0.1, regions=4, seed=7)
+        r2 = train(SZCompressor(), field, 8.0, tolerance=0.1, regions=4, seed=7)
+        assert r1.error_bound == r2.error_bound
+        assert r1.ratio == r2.ratio
+        assert r1.evaluations == r2.evaluations
+
+    def test_container_sections_stable_order(self, field):
+        payload = SZCompressor(error_bound=1e-2).compress(field).payload
+        names = Container.frombytes(payload).names()
+        assert names == ["header", "body"]
+
+    def test_recompression_stays_bounded(self, field):
+        """Re-compressing a reconstruction keeps every generation within
+        the bound of its parent (exact idempotence is not guaranteed: the
+        hybrid predictor may re-fit differently on the reconstruction)."""
+        comp = SZCompressor(error_bound=1e-2)
+        recon1 = comp.decompress(comp.compress(field))
+        recon2 = comp.decompress(comp.compress(recon1))
+        drift = np.abs(recon2.astype(np.float64) - recon1.astype(np.float64)).max()
+        assert drift <= 1e-2
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize("shape", [(1,), (2, 2), (1, 1, 1), (3, 1, 5), (4096,)])
+    def test_sz_small_and_degenerate_shapes(self, shape):
+        r = np.random.default_rng(5)
+        data = r.standard_normal(shape).astype(np.float32)
+        comp = SZCompressor(error_bound=1e-3)
+        recon = comp.decompress(comp.compress(data))
+        assert recon.shape == data.shape
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1e-3
+
+    @pytest.mark.parametrize("shape", [(1,), (2, 2), (1, 1, 1), (3, 1, 5)])
+    def test_zfp_small_and_degenerate_shapes(self, shape):
+        r = np.random.default_rng(6)
+        data = r.standard_normal(shape).astype(np.float32)
+        comp = ZFPCompressor(error_bound=1e-3)
+        recon = comp.decompress(comp.compress(data))
+        assert recon.shape == data.shape
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1e-3
+
+    @pytest.mark.parametrize("shape", [(2, 2), (3, 1), (1, 1)])
+    def test_mgard_small_shapes(self, shape):
+        r = np.random.default_rng(7)
+        data = r.standard_normal(shape).astype(np.float32)
+        comp = MGARDCompressor(error_bound=1e-3)
+        recon = comp.decompress(comp.compress(data))
+        assert recon.shape == data.shape
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1e-3
+
+    def test_mixed_extreme_magnitudes(self):
+        data = np.array(
+            [[1e-30, 1e30], [0.0, -1e30]], dtype=np.float32
+        )
+        comp = SZCompressor(error_bound=1.0)
+        recon = comp.decompress(comp.compress(data))
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1.0

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def npy_field(tmp_path):
+    r = np.random.default_rng(81)
+    data = r.standard_normal((32, 32)).cumsum(axis=0).astype(np.float32)
+    path = tmp_path / "field.npy"
+    np.save(path, data)
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_fixed_bound_roundtrip(self, tmp_path, npy_field, capsys):
+        src, data = npy_field
+        frz = tmp_path / "field.frz"
+        out = tmp_path / "recon.npy"
+        assert main(["compress", str(src), str(frz), "-e", "1e-2"]) == 0
+        assert "ratio" in capsys.readouterr().out
+        assert main(["decompress", str(frz), str(out)]) == 0
+        recon = np.load(out)
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1e-2
+
+    def test_fixed_ratio_compress(self, tmp_path, npy_field, capsys):
+        src, data = npy_field
+        frz = tmp_path / "field.frz"
+        rc = main(["compress", str(src), str(frz), "-r", "8", "-t", "0.15"])
+        out = capsys.readouterr().out
+        assert "tuned bound" in out
+        if rc == 0:  # feasible
+            assert "in band" in out
+
+    def test_compressor_selection(self, tmp_path, npy_field):
+        src, _ = npy_field
+        frz = tmp_path / "z.frz"
+        assert main(["compress", str(src), str(frz), "-e", "1e-2", "-c", "zfp"]) == 0
+        assert main(["info", str(frz)]) == 0
+
+    def test_requires_ratio_or_bound(self, tmp_path, npy_field):
+        src, _ = npy_field
+        with pytest.raises(SystemExit):
+            main(["compress", str(src), str(tmp_path / "x.frz")])
+
+
+class TestTuneInfoDatasets:
+    def test_tune_prints_json(self, npy_field, capsys):
+        src, _ = npy_field
+        rc = main(["tune", str(src), "-r", "8", "-t", "0.15"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target_ratio"] == 8
+        assert payload["evaluations"] >= 1
+        assert rc in (0, 2)
+
+    def test_info_shows_metadata(self, tmp_path, npy_field, capsys):
+        src, _ = npy_field
+        frz = tmp_path / "f.frz"
+        main(["compress", str(src), str(frz), "-e", "1e-3"])
+        capsys.readouterr()
+        assert main(["info", str(frz)]) == 0
+        meta = json.loads(capsys.readouterr().out)
+        assert meta["compressor"] == "sz"
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Hurricane", "HACC", "CESM", "Exaalt", "NYX"):
+            assert name in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_max_error_bound_flag(self, npy_field, capsys):
+        src, _ = npy_field
+        main(["tune", str(src), "-r", "500", "-U", "1e-5"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error_bound"] <= 1e-5

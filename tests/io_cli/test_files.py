@@ -1,0 +1,100 @@
+"""Tests for .frz file persistence and archives."""
+
+import numpy as np
+import pytest
+
+from repro.io.files import Archive, load_field, read_info, save_field
+from repro.sz.compressor import SZCompressor
+from repro.zfp.compressor import ZFPCompressor
+
+
+@pytest.fixture()
+def field():
+    r = np.random.default_rng(71)
+    return r.standard_normal((24, 24)).cumsum(axis=0).astype(np.float32)
+
+
+class TestSingleField:
+    def test_save_load_roundtrip(self, tmp_path, field):
+        path = tmp_path / "f.frz"
+        comp = SZCompressor(error_bound=1e-3)
+        payload = save_field(path, field, comp)
+        data, meta = load_field(path)
+        assert data.shape == field.shape
+        err = np.abs(data.astype(np.float64) - field.astype(np.float64)).max()
+        assert err <= 1e-3
+        assert meta["compressor"] == "sz"
+        assert meta["ratio"] == pytest.approx(payload.ratio)
+
+    def test_save_precompressed_payload(self, tmp_path, field):
+        comp = ZFPCompressor(error_bound=1e-2)
+        payload = comp.compress(field)
+        path = tmp_path / "f.frz"
+        save_field(path, payload, comp)
+        data, meta = load_field(path)
+        assert meta["compressor"] == "zfp"
+        assert np.abs(data.astype(np.float64) - field.astype(np.float64)).max() <= 1e-2
+
+    def test_user_metadata_roundtrip(self, tmp_path, field):
+        path = tmp_path / "f.frz"
+        save_field(path, field, SZCompressor(error_bound=1e-2),
+                   metadata={"field": "CLOUD", "step": 7})
+        info = read_info(path)
+        assert info["user"] == {"field": "CLOUD", "step": 7}
+        assert info["error_bound"] == 1e-2
+
+    def test_read_info_does_not_decompress(self, tmp_path, field):
+        path = tmp_path / "f.frz"
+        save_field(path, field, SZCompressor(error_bound=1e-3))
+        info = read_info(path)
+        assert info["original_nbytes"] == field.nbytes
+
+
+class TestArchive:
+    def test_multi_entry_roundtrip(self, tmp_path, field):
+        path = tmp_path / "run.frza"
+        comp = SZCompressor(error_bound=1e-3)
+        steps = [field, (field * np.float32(2.0)).astype(np.float32)]
+        with Archive.create(path) as ar:
+            for t, step in enumerate(steps):
+                ar.add(f"CLOUD/t{t:03d}", step, comp, metadata={"step": t})
+
+        reader = Archive.open(path)
+        assert reader.names() == ["CLOUD/t000", "CLOUD/t001"]
+        data, meta = reader.load("CLOUD/t001")
+        assert meta["user"]["step"] == 1
+        err = np.abs(data.astype(np.float64) - steps[1].astype(np.float64)).max()
+        assert err <= 1e-3
+
+    def test_random_access_info(self, tmp_path, field):
+        path = tmp_path / "run.frza"
+        with Archive.create(path) as ar:
+            ar.add("a", field, SZCompressor(error_bound=1e-2))
+            ar.add("b", field, ZFPCompressor(error_bound=1e-2))
+        reader = Archive.open(path)
+        assert reader.info("a")["compressor"] == "sz"
+        assert reader.info("b")["compressor"] == "zfp"
+
+    def test_duplicate_entry_rejected(self, tmp_path, field):
+        with Archive.create(tmp_path / "x.frza") as ar:
+            ar.add("a", field, SZCompressor(error_bound=1e-2))
+            with pytest.raises(KeyError):
+                ar.add("a", field, SZCompressor(error_bound=1e-2))
+
+    def test_readonly_archive_rejects_add(self, tmp_path, field):
+        path = tmp_path / "x.frza"
+        with Archive.create(path) as ar:
+            ar.add("a", field, SZCompressor(error_bound=1e-2))
+        reader = Archive.open(path)
+        with pytest.raises(PermissionError):
+            reader.add("b", field, SZCompressor(error_bound=1e-2))
+
+    def test_mixed_compressors_per_entry(self, tmp_path, field):
+        path = tmp_path / "mixed.frza"
+        with Archive.create(path) as ar:
+            ar.add("sz", field, SZCompressor(error_bound=1e-3))
+            ar.add("zfp", field, ZFPCompressor(error_bound=1e-3))
+        reader = Archive.open(path)
+        for name in ("sz", "zfp"):
+            data, _ = reader.load(name)
+            assert np.abs(data.astype(np.float64) - field.astype(np.float64)).max() <= 1e-3

@@ -1,0 +1,144 @@
+"""Tests for the quality-metric suite."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bit_rate,
+    compression_ratio,
+    error_acf,
+    max_abs_error,
+    mse,
+    psnr,
+    rmse,
+    ssim,
+    value_range,
+)
+from repro.metrics.acf import acf
+
+
+class TestErrorMetrics:
+    def test_identical_arrays(self, smooth2d):
+        assert max_abs_error(smooth2d, smooth2d) == 0.0
+        assert mse(smooth2d, smooth2d) == 0.0
+        assert rmse(smooth2d, smooth2d) == 0.0
+        assert psnr(smooth2d, smooth2d) == float("inf")
+
+    def test_known_values(self):
+        a = np.array([0.0, 1.0, 2.0, 3.0])
+        b = np.array([0.0, 1.0, 2.0, 4.0])
+        assert max_abs_error(a, b) == 1.0
+        assert mse(a, b) == pytest.approx(0.25)
+        assert rmse(a, b) == pytest.approx(0.5)
+        assert psnr(a, b) == pytest.approx(20 * np.log10(3.0 / 0.5))
+
+    def test_value_range(self):
+        assert value_range(np.array([-2.0, 5.0])) == 7.0
+        assert value_range(np.array([])) == 0.0
+        assert value_range(np.array([3.0, 3.0])) == 0.0
+
+    def test_psnr_constant_original_mismatch(self):
+        assert psnr(np.zeros(5), np.ones(5)) == float("-inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_psnr_decreases_with_noise(self, smooth2d):
+        r = np.random.default_rng(0)
+        small = smooth2d + 1e-4 * r.standard_normal(smooth2d.shape)
+        large = smooth2d + 1e-2 * r.standard_normal(smooth2d.shape)
+        assert psnr(smooth2d, small) > psnr(smooth2d, large)
+
+
+class TestRatioMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 10) == 10.0
+        assert compression_ratio(100, 0) == float("inf")
+        with pytest.raises(ValueError):
+            compression_ratio(-1, 5)
+
+    def test_bit_rate(self):
+        data = np.zeros(100, np.float32)
+        assert bit_rate(data, 100) == 8.0  # 800 bits over 100 points
+        with pytest.raises(ValueError):
+            bit_rate(np.zeros(0), 10)
+
+    def test_bitrate_ratio_relation(self):
+        data = np.zeros(64, np.float32)  # 32 bits per value originally
+        nbytes = 64
+        assert bit_rate(data, nbytes) == pytest.approx(32.0 / compression_ratio(data.nbytes, nbytes))
+
+
+class TestACF:
+    def test_white_noise_near_zero(self):
+        r = np.random.default_rng(1)
+        noise = r.standard_normal(100_000)
+        assert abs(acf(noise)) < 0.02
+
+    def test_smooth_signal_near_one(self):
+        t = np.linspace(0, 4 * np.pi, 10_000)
+        assert acf(np.sin(t)) > 0.99
+
+    def test_alternating_signal_negative(self):
+        sig = np.tile([1.0, -1.0], 500)
+        assert acf(sig) < -0.9
+
+    def test_degenerate_inputs(self):
+        assert acf(np.array([1.0])) == 0.0
+        assert acf(np.ones(100)) == 0.0
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            acf(np.arange(10.0), lag=0)
+
+    def test_error_acf_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_acf(np.zeros(3), np.zeros(4))
+
+    def test_error_acf_structured_vs_white(self, smooth2d):
+        r = np.random.default_rng(2)
+        white = smooth2d + 1e-3 * r.standard_normal(smooth2d.shape).astype(np.float32)
+        # Structured error: a smooth offset field.
+        i = np.linspace(0, 2 * np.pi, smooth2d.shape[0])[:, None]
+        structured = smooth2d + 1e-3 * np.sin(i).astype(np.float32)
+        assert error_acf(smooth2d, structured) > error_acf(smooth2d, white)
+
+
+class TestSSIM:
+    def test_identity(self, smooth2d):
+        assert ssim(smooth2d, smooth2d) == pytest.approx(1.0)
+
+    def test_constant_image_identity(self):
+        img = np.full((32, 32), 5.0)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_decreases_with_distortion(self, smooth2d):
+        r = np.random.default_rng(3)
+        mild = smooth2d + 0.01 * r.standard_normal(smooth2d.shape).astype(np.float32)
+        heavy = smooth2d + 0.5 * r.standard_normal(smooth2d.shape).astype(np.float32)
+        assert ssim(smooth2d, mild) > ssim(smooth2d, heavy)
+
+    def test_bounded(self, smooth2d):
+        r = np.random.default_rng(4)
+        noisy = r.standard_normal(smooth2d.shape).astype(np.float32)
+        s = ssim(smooth2d, noisy)
+        assert -1.0 <= s <= 1.0
+
+    def test_3d_averages_slices(self, smooth3d):
+        assert ssim(smooth3d, smooth3d) == pytest.approx(1.0)
+
+    def test_1d_supported(self, smooth1d):
+        assert ssim(smooth1d, smooth1d) == pytest.approx(1.0)
+
+    def test_window_validation(self, smooth2d):
+        with pytest.raises(ValueError):
+            ssim(smooth2d, smooth2d, window=4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((2, 2, 2, 2)), np.zeros((2, 2, 2, 2)))

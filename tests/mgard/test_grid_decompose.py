@@ -1,0 +1,104 @@
+"""Unit tests for the MGARD grid hierarchy and decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.mgard.decompose import decompose, detail_sizes, recompose
+from repro.mgard.grid import detail_mask, level_shape, num_levels, upsample
+
+
+class TestLevelShape:
+    def test_ceil_halving(self):
+        assert level_shape((9, 8), 1) == (5, 4)
+        assert level_shape((9, 8), 2) == (3, 2)
+
+    def test_level_zero_identity(self):
+        assert level_shape((7, 7), 0) == (7, 7)
+
+
+class TestNumLevels:
+    def test_small_grid_no_levels(self):
+        assert num_levels((3, 3)) == 0
+        assert num_levels((4, 4)) == 0  # next level would be (2, 2) < MIN_COARSE
+
+    def test_larger_grid(self):
+        assert num_levels((9, 9)) >= 1
+
+    def test_cap(self):
+        assert num_levels((10**6, 10**6), max_levels=3) == 3
+
+
+class TestUpsample:
+    def test_even_positions_copied(self):
+        coarse = np.array([1.0, 2.0, 3.0])
+        fine = upsample(coarse, (5,))
+        assert fine[::2].tolist() == [1.0, 2.0, 3.0]
+
+    def test_odd_positions_averaged(self):
+        coarse = np.array([0.0, 2.0, 4.0])
+        fine = upsample(coarse, (5,))
+        assert fine.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_even_length_boundary_copies(self):
+        coarse = np.array([1.0, 3.0])
+        fine = upsample(coarse, (4,))
+        # Position 3 has no right neighbour: copy coarse[1].
+        assert fine.tolist() == [1.0, 2.0, 3.0, 3.0]
+
+    def test_2d_separable(self):
+        coarse = np.array([[0.0, 2.0], [4.0, 6.0]])
+        fine = upsample(coarse, (3, 3))
+        assert fine[0].tolist() == [0.0, 1.0, 2.0]
+        assert fine[1].tolist() == [2.0, 3.0, 4.0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            upsample(np.zeros(2), (7,))
+
+    def test_nonexpansive_max_norm(self):
+        r = np.random.default_rng(0)
+        coarse = r.normal(0, 1, (5, 5))
+        fine = upsample(coarse, (9, 9))
+        assert np.abs(fine).max() <= np.abs(coarse).max() + 1e-12
+
+
+class TestDetailMask:
+    def test_counts(self):
+        mask = detail_mask((5, 5))
+        assert int(mask.sum()) == 25 - 9  # fine minus coarse points
+
+    def test_coarse_points_excluded(self):
+        mask = detail_mask((5, 5))
+        assert not mask[::2, ::2].any()
+        assert mask[1::2, :].all()
+
+
+class TestDecompose:
+    def test_roundtrip_exact_without_quantization(self, smooth2d):
+        levels = num_levels(smooth2d.shape)
+        coarse, details = decompose(smooth2d, levels)
+        recon = recompose(coarse, details, smooth2d.shape, levels)
+        assert np.allclose(recon, smooth2d.astype(np.float64), atol=1e-12)
+
+    def test_roundtrip_3d(self, smooth3d):
+        levels = num_levels(smooth3d.shape)
+        coarse, details = decompose(smooth3d, levels)
+        recon = recompose(coarse, details, smooth3d.shape, levels)
+        assert np.allclose(recon, smooth3d.astype(np.float64), atol=1e-12)
+
+    def test_detail_sizes_match(self, smooth2d):
+        levels = num_levels(smooth2d.shape)
+        _, details = decompose(smooth2d, levels)
+        sizes = detail_sizes(smooth2d.shape, levels)
+        assert [d.size for d in details] == sizes
+
+    def test_smooth_field_details_are_small(self, smooth2d):
+        levels = num_levels(smooth2d.shape)
+        _, details = decompose(smooth2d, levels)
+        # Fine-level details of a smooth field are much smaller than values.
+        assert np.abs(details[0]).mean() < 0.1 * np.abs(smooth2d).mean()
+
+    def test_zero_levels(self, smooth2d):
+        coarse, details = decompose(smooth2d, 0)
+        assert details == []
+        assert (coarse == smooth2d.astype(np.float64)).all()

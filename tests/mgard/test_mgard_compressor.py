@@ -1,0 +1,100 @@
+"""Behavioural tests for the MGARD compressor."""
+
+import numpy as np
+import pytest
+
+from repro.mgard.compressor import MGARDCompressor, _level_budgets
+from repro.pressio import make_compressor
+
+
+def _maxerr(a, b):
+    return float(np.abs(a.astype(np.float64) - b.astype(np.float64)).max())
+
+
+class TestBudgets:
+    def test_budgets_telescope_to_bound(self):
+        for levels in (0, 1, 3, 7):
+            det, coarse = _level_budgets(1.0, levels)
+            assert sum(det) + coarse == pytest.approx(1.0)
+
+    def test_finest_level_largest_budget(self):
+        det, coarse = _level_budgets(1.0, 4)
+        assert det[0] == max(det)
+        assert coarse <= det[-1]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-4, 1e-3, 1e-2, 1e-1])
+    def test_error_bound_2d(self, smooth2d, eb):
+        c = MGARDCompressor(error_bound=eb)
+        assert _maxerr(smooth2d, c.decompress(c.compress(smooth2d))) <= eb
+
+    @pytest.mark.parametrize("eb", [1e-3, 1e-1])
+    def test_error_bound_3d(self, smooth3d, eb):
+        c = MGARDCompressor(error_bound=eb)
+        assert _maxerr(smooth3d, c.decompress(c.compress(smooth3d))) <= eb
+
+    def test_error_bound_sparse(self, sparse3d):
+        c = MGARDCompressor(error_bound=1e-2)
+        assert _maxerr(sparse3d, c.decompress(c.compress(sparse3d))) <= 1e-2
+
+    def test_float64(self, smooth2d):
+        data = smooth2d.astype(np.float64)
+        c = MGARDCompressor(error_bound=1e-9)
+        recon = c.decompress(c.compress(data))
+        assert recon.dtype == np.float64
+        assert _maxerr(data, recon) <= 1e-9
+
+    def test_shape_preserved_odd_sizes(self):
+        r = np.random.default_rng(0)
+        data = r.normal(0, 1, (17, 23)).astype(np.float32)
+        c = MGARDCompressor(error_bound=1e-2)
+        recon = c.decompress(c.compress(data))
+        assert recon.shape == (17, 23)
+        assert _maxerr(data, recon) <= 1e-2
+
+    def test_tiny_grid_zero_levels(self):
+        data = np.ones((3, 3), np.float32) * 2.0
+        c = MGARDCompressor(error_bound=1e-3)
+        assert _maxerr(data, c.decompress(c.compress(data))) <= 1e-3
+
+    def test_ratio_grows_with_bound(self, smooth2d):
+        r1 = MGARDCompressor(error_bound=1e-4).compress(smooth2d).ratio
+        r2 = MGARDCompressor(error_bound=1e-1).compress(smooth2d).ratio
+        assert r2 > r1
+
+    def test_escape_path_extreme_dynamic_range(self):
+        # Huge outliers force quantization codes past the radius -> escapes.
+        data = np.ones((20, 20), np.float32)
+        data[5, 5] = 1e9
+        data[10, 10] = -1e9
+        c = MGARDCompressor(error_bound=1e-3)
+        assert _maxerr(data, c.decompress(c.compress(data))) <= 1e-3
+
+
+class TestValidation:
+    def test_rejects_1d(self, smooth1d):
+        with pytest.raises(ValueError):
+            MGARDCompressor().compress(smooth1d)
+
+    def test_rejects_nonpositive_bound(self, smooth2d):
+        with pytest.raises(ValueError):
+            MGARDCompressor(error_bound=0).compress(smooth2d)
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeError):
+            MGARDCompressor().compress(np.ones((4, 4), np.int32))
+
+    def test_empty(self):
+        c = MGARDCompressor()
+        recon = c.decompress(c.compress(np.zeros((0, 0), np.float32)))
+        assert recon.shape == (0, 0)
+
+    def test_registry_and_describe(self):
+        c = make_compressor("mgard", error_bound=0.1)
+        assert isinstance(c, MGARDCompressor)
+        assert c.describe() == "mgard:abs"
+
+    def test_with_error_bound(self):
+        c = MGARDCompressor(error_bound=1.0).with_error_bound(2.0)
+        assert c.error_bound == 2.0

@@ -1,0 +1,105 @@
+"""Tests for the cancel-aware executors."""
+
+import time
+
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.02)
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_map_all_order(self):
+        ex = SerialExecutor()
+        assert ex.map_all(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_stop_when_halts_immediately(self):
+        ex = SerialExecutor()
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x
+
+        results = ex.run_cancellable(fn, list(range(10)), stop_when=lambda r: r == 3)
+        assert calls == [0, 1, 2, 3]
+        assert results[-1] == (3, 3)
+
+    def test_no_stop_runs_all(self):
+        ex = SerialExecutor()
+        results = ex.run_cancellable(_square, [1, 2, 3])
+        assert len(results) == 3
+
+    def test_exception_propagates(self):
+        ex = SerialExecutor()
+
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            ex.run_cancellable(boom, [1])
+
+
+class TestThreadExecutor:
+    def test_map_all(self):
+        ex = ThreadExecutor(workers=4)
+        assert ex.map_all(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_early_stop_cancels_unstarted(self):
+        # 1 worker, long tasks: stopping on the first result should leave
+        # most of the queue cancelled.
+        ex = ThreadExecutor(workers=1)
+        results = ex.run_cancellable(
+            _slow_square, list(range(20)), stop_when=lambda r: True
+        )
+        assert len(results) < 20
+
+    def test_results_sorted_by_index(self):
+        ex = ThreadExecutor(workers=4)
+        results = ex.run_cancellable(_slow_square, [3, 1, 2])
+        assert [i for i, _ in results] == [0, 1, 2]
+
+    def test_exception_propagates(self):
+        ex = ThreadExecutor(workers=2)
+
+        def boom(x):
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            ex.run_cancellable(boom, [1, 2])
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(workers=0)
+
+
+class TestProcessExecutor:
+    def test_map_all(self):
+        ex = ProcessExecutor(workers=2)
+        assert ex.map_all(_square, [2, 3]) == [4, 9]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [("serial", SerialExecutor), ("thread", ThreadExecutor), ("process", ProcessExecutor)],
+    )
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_executor(kind), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu")

@@ -1,0 +1,55 @@
+"""Tests for the simulated-cluster list scheduler."""
+
+import pytest
+
+from repro.parallel.simulate import simulate_makespan, simulate_scaling
+
+
+class TestMakespan:
+    def test_single_worker_sums(self):
+        assert simulate_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_workers_equals_longest(self):
+        assert simulate_makespan([1.0, 2.0, 3.0], 3) == 3.0
+        assert simulate_makespan([1.0, 2.0, 3.0], 100) == 3.0
+
+    def test_two_workers_greedy(self):
+        # Arrival order: w0 gets 3, w1 gets 1 then 2 -> makespan 3.
+        assert simulate_makespan([3.0, 1.0, 2.0], 2) == 3.0
+
+    def test_empty(self):
+        assert simulate_makespan([], 4) == 0.0
+
+    def test_monotone_in_workers(self):
+        durations = [5.0, 1.0, 4.0, 2.0, 2.0, 3.0, 1.0]
+        prev = float("inf")
+        for w in (1, 2, 3, 4, 8):
+            cur = simulate_makespan(durations, w)
+            assert cur <= prev
+            prev = cur
+
+    def test_floor_is_longest_task(self):
+        """The paper's Fig. 8 analysis: runtime is lower-bounded by the
+        longest worker task, however many cores are added."""
+        durations = [10.0] + [0.5] * 50
+        assert simulate_makespan(durations, 1000) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            simulate_makespan([-1.0], 2)
+
+
+class TestScaling:
+    def test_curve_shape(self):
+        durations = [4.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0]
+        curve = simulate_scaling(durations, [1, 2, 4, 8])
+        assert curve[1] == 14.0
+        assert curve[8] == 4.0
+        assert curve[1] > curve[2] > curve[4] >= curve[8]
+
+    def test_knee_at_longest_task(self):
+        durations = [8.0] + [1.0] * 20
+        curve = simulate_scaling(durations, [1, 4, 16, 64])
+        assert curve[16] == curve[64] == 8.0

@@ -1,0 +1,121 @@
+"""Property-based tests: every lossless codec round-trips exactly."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codecs.bitstream import BitReader, pack_bits
+from repro.codecs.huffman import HuffmanCodec
+from repro.codecs.lz77 import lz77_compress, lz77_decompress
+from repro.codecs.rle import rle_decode, rle_encode
+from repro.codecs.varint import (
+    decode_uvarints,
+    encode_uvarints,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.codecs.zlib_codec import ZlibCodec
+
+_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestBitstreamProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**30), st.integers(1, 31)),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_pack_then_cursor_read(self, items):
+        codes = np.array([c & ((1 << l) - 1) for c, l in items], dtype=np.uint64)
+        lengths = np.array([l for _, l in items], dtype=np.int64)
+        packed = pack_bits(codes, lengths)
+        reader = BitReader(packed)
+        for code, length in zip(codes, lengths):
+            assert reader.read(int(length)) == int(code)
+
+
+class TestHuffmanProperties:
+    @given(
+        arrays(
+            np.int64,
+            st.integers(1, 2000),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_roundtrip(self, data):
+        codec = HuffmanCodec()
+        assert (codec.decode(codec.encode(data)) == data).all()
+
+    @given(st.integers(1, 500), st.integers(1, 8))
+    @settings(**_SETTINGS)
+    def test_roundtrip_small_alphabet(self, n, alphabet):
+        r = np.random.default_rng(n)
+        data = r.integers(0, alphabet, n).astype(np.int64)
+        codec = HuffmanCodec()
+        assert (codec.decode(codec.encode(data)) == data).all()
+
+
+class TestLZ77Properties:
+    @given(st.binary(min_size=0, max_size=3000))
+    @settings(**_SETTINGS)
+    def test_roundtrip(self, payload):
+        assert lz77_decompress(lz77_compress(payload)) == payload
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(2, 20))
+    @settings(**_SETTINGS)
+    def test_roundtrip_repeated(self, unit, reps):
+        payload = unit * reps
+        assert lz77_decompress(lz77_compress(payload)) == payload
+
+
+class TestZlibProperties:
+    @given(st.binary(max_size=3000))
+    @settings(**_SETTINGS)
+    def test_roundtrip(self, payload):
+        codec = ZlibCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+
+class TestVarintProperties:
+    @given(st.lists(st.integers(0, 2**63 - 1), max_size=200))
+    @settings(**_SETTINGS)
+    def test_uvarints_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        blob = encode_uvarints(arr)
+        decoded, off = decode_uvarints(blob, arr.size)
+        assert off == len(blob)
+        assert (decoded == arr).all()
+
+    @given(
+        arrays(
+            np.int64,
+            st.integers(0, 300),
+            elements=st.integers(-(2**62), 2**62),
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_zigzag_roundtrip(self, values):
+        assert (zigzag_decode(zigzag_encode(values)) == values).all()
+
+
+class TestRLEProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.integers(1, 50)),
+            max_size=100,
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_roundtrip(self, runs):
+        if runs:
+            arr = np.concatenate(
+                [np.full(n, v, np.uint8) for v, n in runs]
+            )
+        else:
+            arr = np.zeros(0, np.uint8)
+        assert (rle_decode(rle_encode(arr)) == arr).all()

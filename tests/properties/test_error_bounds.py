@@ -1,0 +1,101 @@
+"""Property-based tests: the central invariant of every ``abs``-mode
+compressor is ``max|d - d'| <= error_bound`` for arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mgard.compressor import MGARDCompressor
+from repro.sz.compressor import SZCompressor
+from repro.zfp.compressor import ZFPCompressor
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+_FINITE32 = st.floats(
+    min_value=np.float32(-1e30),
+    max_value=np.float32(1e30),
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+
+
+def _field(draw, shapes):
+    shape = draw(shapes)
+    n = int(np.prod(shape))
+    seed = draw(st.integers(0, 2**31))
+    kind = draw(st.sampled_from(["smooth", "noise", "sparse", "mixed"]))
+    r = np.random.default_rng(seed)
+    if kind == "smooth":
+        base = r.standard_normal(n).cumsum()
+    elif kind == "noise":
+        base = r.standard_normal(n) * draw(st.floats(1e-3, 1e3))
+    elif kind == "sparse":
+        base = r.standard_normal(n)
+        base[base < 1.0] = 0.0
+    else:
+        base = r.standard_normal(n).cumsum() + 10 * (r.random(n) < 0.01)
+    return base.reshape(shape).astype(np.float32)
+
+
+@st.composite
+def fields_1to3d(draw):
+    shapes = st.sampled_from([(64,), (500,), (13, 17), (24, 24), (7, 9, 11), (12, 12, 12)])
+    return _field(draw, shapes)
+
+
+@st.composite
+def fields_2to3d(draw):
+    shapes = st.sampled_from([(13, 17), (24, 24), (7, 9, 11), (12, 12, 12)])
+    return _field(draw, shapes)
+
+
+_BOUNDS = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+
+
+def _check(compressor, data, eb):
+    recon = compressor.decompress(compressor.compress(data))
+    assert recon.shape == data.shape
+    assert recon.dtype == data.dtype
+    err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+    assert err <= eb, f"bound {eb} violated: max err {err}"
+
+
+class TestSZBound:
+    @given(fields_1to3d(), _BOUNDS)
+    @settings(**_SETTINGS)
+    def test_abs_bound(self, data, eb):
+        _check(SZCompressor(error_bound=eb), data, eb)
+
+    @given(fields_1to3d(), _BOUNDS)
+    @settings(max_examples=10, deadline=None)
+    def test_abs_bound_pure_lorenzo(self, data, eb):
+        _check(SZCompressor(error_bound=eb, use_regression=False), data, eb)
+
+
+class TestZFPBound:
+    @given(fields_1to3d(), _BOUNDS)
+    @settings(**_SETTINGS)
+    def test_abs_bound(self, data, eb):
+        _check(ZFPCompressor(error_bound=eb), data, eb)
+
+
+class TestMGARDBound:
+    @given(fields_2to3d(), _BOUNDS)
+    @settings(**_SETTINGS)
+    def test_abs_bound(self, data, eb):
+        _check(MGARDCompressor(error_bound=eb), data, eb)
+
+
+class TestExtremeValues:
+    @given(st.lists(_FINITE32, min_size=4, max_size=64), _BOUNDS)
+    @settings(**_SETTINGS)
+    def test_sz_arbitrary_floats(self, values, eb):
+        data = np.array(values, dtype=np.float32)
+        _check(SZCompressor(error_bound=eb), data, eb)
+
+    @given(st.lists(_FINITE32, min_size=4, max_size=64), _BOUNDS)
+    @settings(**_SETTINGS)
+    def test_zfp_arbitrary_floats(self, values, eb):
+        data = np.array(values, dtype=np.float32)
+        _check(ZFPCompressor(error_bound=eb), data, eb)

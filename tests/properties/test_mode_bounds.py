@@ -1,0 +1,77 @@
+"""Property-based tests for the extended error-control modes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import mse
+from repro.mgard.compressor import MGARDCompressor
+from repro.sz.compressor import SZCompressor
+from repro.zfp.compressor import ZFPPrecisionCompressor
+
+_SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def _field(seed: int, shape: tuple[int, ...], kind: str) -> np.ndarray:
+    r = np.random.default_rng(seed)
+    n = int(np.prod(shape))
+    if kind == "smooth":
+        base = r.standard_normal(n).cumsum()
+    elif kind == "noise":
+        base = r.standard_normal(n) * 100.0
+    else:
+        base = r.standard_normal(n)
+        base[base < 0.5] = 0.0
+    return base.reshape(shape).astype(np.float32)
+
+
+_KINDS = st.sampled_from(["smooth", "noise", "sparse"])
+_SEEDS = st.integers(0, 2**31)
+
+
+class TestSZRelativeBound:
+    @given(
+        _SEEDS,
+        st.sampled_from([(200,), (15, 14), (8, 9, 10)]),
+        _KINDS,
+        st.floats(1e-6, 0.5),
+    )
+    @settings(**_SETTINGS)
+    def test_rel_bound_holds(self, seed, shape, kind, rel):
+        data = _field(seed, shape, kind)
+        span = float(data.max() - data.min())
+        comp = SZCompressor(error_bound=rel, bound_mode="rel")
+        recon = comp.decompress(comp.compress(data))
+        err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+        allowed = rel * (span if span > 0 else 1.0)
+        assert err <= allowed
+
+
+class TestMGARDMSEBound:
+    @given(
+        _SEEDS,
+        st.sampled_from([(15, 14), (8, 9, 10)]),
+        _KINDS,
+        st.floats(1e-8, 1.0),
+    )
+    @settings(**_SETTINGS)
+    def test_mse_bound_holds(self, seed, shape, kind, target):
+        data = _field(seed, shape, kind)
+        comp = MGARDCompressor(error_bound=target, norm="l2")
+        recon = comp.decompress(comp.compress(data))
+        assert mse(data, recon) <= target
+
+
+class TestZFPPrecisionMonotone:
+    @given(_SEEDS, st.sampled_from([(64,), (12, 12)]), _KINDS)
+    @settings(**_SETTINGS)
+    def test_error_nonincreasing_in_precision(self, seed, shape, kind):
+        data = _field(seed, shape, kind)
+        errs = []
+        for planes in (4, 12, 24):
+            comp = ZFPPrecisionCompressor(error_bound=planes)
+            recon = comp.decompress(comp.compress(data))
+            errs.append(
+                float(np.abs(recon.astype(np.float64) - data.astype(np.float64)).max())
+            )
+        assert errs[0] >= errs[1] >= errs[2]

@@ -1,0 +1,76 @@
+"""Property-based tests for the optimizer, regions and FRaZ invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import split_regions
+from repro.optimize import find_global_min
+
+_SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class TestOptimizerProperties:
+    @given(
+        st.floats(-100, 100),
+        st.floats(0.1, 100),
+        st.integers(5, 40),
+        st.integers(0, 1000),
+    )
+    @settings(**_SETTINGS)
+    def test_probes_stay_in_bounds(self, lower, width, max_calls, seed):
+        upper = lower + width
+        f = lambda x: np.sin(x) + 0.01 * x
+        r = find_global_min(f, lower, upper, max_calls=max_calls, seed=seed)
+        assert all(lower <= h.x <= upper for h in r.history)
+
+    @given(st.integers(1, 30), st.integers(0, 100))
+    @settings(**_SETTINGS)
+    def test_budget_respected(self, max_calls, seed):
+        r = find_global_min(lambda x: x * x, -1, 1, max_calls=max_calls, seed=seed)
+        assert r.n_calls <= max_calls
+
+    @given(st.integers(0, 100))
+    @settings(**_SETTINGS)
+    def test_best_equals_history_min(self, seed):
+        f = lambda x: np.cos(3 * x) * np.exp(-0.1 * x)
+        r = find_global_min(f, 0, 10, max_calls=20, seed=seed)
+        assert r.f_best == min(h.fx for h in r.history)
+        assert any(h.x == r.x_best for h in r.history)
+
+    @given(st.floats(0.01, 10), st.integers(0, 50))
+    @settings(**_SETTINGS)
+    def test_cutoff_semantics(self, cutoff, seed):
+        f = lambda x: abs(x - 5)
+        r = find_global_min(f, 0, 10, max_calls=60, cutoff=cutoff, seed=seed)
+        if r.hit_cutoff:
+            assert r.f_best <= cutoff
+
+
+class TestRegionProperties:
+    @given(
+        st.floats(-1e3, 1e3),
+        st.floats(0.01, 1e3),
+        st.integers(1, 40),
+        st.floats(0, 0.49),
+    )
+    @settings(**_SETTINGS)
+    def test_cover_and_order(self, lower, width, k, overlap):
+        upper = lower + width
+        regions = split_regions(lower, upper, k, overlap)
+        assert len(regions) == k
+        assert regions[0][0] == lower
+        assert regions[-1][1] == upper
+        for lo, hi in regions:
+            assert lower <= lo < hi <= upper
+        # Consecutive regions connect (no gaps).
+        for (_, hi_prev), (lo_next, _) in zip(regions, regions[1:]):
+            assert lo_next <= hi_prev
+
+    @given(st.integers(2, 30))
+    @settings(**_SETTINGS)
+    def test_interior_widths_equal(self, k):
+        regions = split_regions(0.0, 1.0, k, overlap=0.1)
+        widths = [hi - lo for lo, hi in regions[1:-1]]
+        if widths:
+            assert max(widths) - min(widths) < 1e-12

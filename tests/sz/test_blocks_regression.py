@@ -1,0 +1,100 @@
+"""Unit tests for block decomposition and the regression predictor."""
+
+import numpy as np
+import pytest
+
+from repro.sz.blocks import BlockGrid
+from repro.sz.regression import fit_full_blocks, predict_full_blocks
+
+
+class TestBlockGrid:
+    def test_counts_ceil_division(self):
+        grid = BlockGrid((13, 12), 6)
+        assert grid.counts == (3, 2)
+        assert grid.full_counts == (2, 2)
+
+    def test_n_blocks(self):
+        grid = BlockGrid((12, 12, 12), 6)
+        assert grid.n_blocks == 8 and grid.n_full_blocks == 8
+
+    def test_full_block_view_roundtrip(self):
+        grid = BlockGrid((12, 18), 6)
+        data = np.arange(12 * 18, dtype=np.float64).reshape(12, 18)
+        view = grid.full_block_view(data)
+        assert view.shape == (grid.n_full_blocks, 36)
+        out = np.zeros_like(data)
+        grid.scatter_full_blocks(view, out)
+        assert (out == data).all()
+
+    def test_full_block_view_first_block_contents(self):
+        grid = BlockGrid((6, 6), 3)
+        data = np.arange(36).reshape(6, 6).astype(np.float64)
+        view = grid.full_block_view(data)
+        assert view[0].tolist() == data[:3, :3].ravel().tolist()
+
+    def test_partial_region_excluded(self):
+        grid = BlockGrid((7, 7), 6)
+        assert grid.full_counts == (1, 1)
+        data = np.ones((7, 7))
+        assert grid.full_block_view(data).shape == (1, 36)
+
+    def test_wrong_shape_raises(self):
+        grid = BlockGrid((6, 6), 6)
+        with pytest.raises(ValueError):
+            grid.full_block_view(np.ones((5, 5)))
+
+    def test_full_block_mask(self):
+        grid = BlockGrid((6, 12), 6)
+        mask = grid.full_block_mask(np.array([True, False]))
+        assert mask[:6, :6].all()
+        assert not mask[:, 6:].any()
+
+    def test_block_coords_shape(self):
+        grid = BlockGrid((12, 12, 12), 6)
+        coords = grid.block_coords()
+        assert coords.shape == (3, 216)
+
+
+class TestRegression:
+    def test_exact_on_affine_blocks(self):
+        grid = BlockGrid((12, 12), 6)
+        i, j = np.meshgrid(np.arange(12.0), np.arange(12.0), indexing="ij")
+        data = 3.0 + 0.5 * i - 0.25 * j
+        view = grid.full_block_view(data)
+        coeffs = fit_full_blocks(grid, view)
+        pred = predict_full_blocks(grid, coeffs)
+        assert np.allclose(pred, view, atol=1e-5)
+
+    def test_coefficient_values_recover_plane(self):
+        grid = BlockGrid((6, 6), 6)
+        i, j = np.meshgrid(np.arange(6.0), np.arange(6.0), indexing="ij")
+        data = 1.0 + 2.0 * i + 3.0 * j
+        coeffs = fit_full_blocks(grid, grid.full_block_view(data))
+        beta0, beta_i, beta_j = coeffs[0]
+        assert beta_i == pytest.approx(2.0, abs=1e-4)
+        assert beta_j == pytest.approx(3.0, abs=1e-4)
+        assert beta0 == pytest.approx(1.0, abs=1e-3)
+
+    def test_least_squares_beats_mean_on_sloped_noise(self):
+        rng = np.random.default_rng(0)
+        grid = BlockGrid((6, 6), 6)
+        i, j = np.meshgrid(np.arange(6.0), np.arange(6.0), indexing="ij")
+        data = 5.0 * i + rng.normal(0, 0.1, (6, 6))
+        view = grid.full_block_view(data)
+        pred = predict_full_blocks(grid, fit_full_blocks(grid, view))
+        mean_err = np.abs(view - view.mean()).sum()
+        reg_err = np.abs(view - pred).sum()
+        assert reg_err < mean_err / 5
+
+    def test_3d_blocks(self):
+        grid = BlockGrid((6, 6, 6), 6)
+        i, j, k = np.meshgrid(*(np.arange(6.0),) * 3, indexing="ij")
+        data = i - j + 2 * k
+        view = grid.full_block_view(data)
+        pred = predict_full_blocks(grid, fit_full_blocks(grid, view))
+        assert np.allclose(pred, view, atol=1e-4)
+
+    def test_float32_coefficient_storage(self):
+        grid = BlockGrid((6, 6), 6)
+        coeffs = fit_full_blocks(grid, grid.full_block_view(np.ones((6, 6))))
+        assert coeffs.dtype == np.float32

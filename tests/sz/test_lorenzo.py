@@ -1,0 +1,92 @@
+"""Unit tests for the Lorenzo predictor and wavefront machinery."""
+
+import numpy as np
+import pytest
+
+from repro.sz.lorenzo import (
+    WavefrontPlan,
+    lorenzo_offsets,
+    lorenzo_predict_full,
+    wavefront_plan,
+)
+
+
+class TestOffsets:
+    def test_1d(self):
+        assert lorenzo_offsets(1) == [((1,), 1)]
+
+    def test_2d_signs(self):
+        offs = dict(lorenzo_offsets(2))
+        assert offs[(1, 0)] == 1
+        assert offs[(0, 1)] == 1
+        assert offs[(1, 1)] == -1
+
+    def test_3d_count_and_sign_sum(self):
+        offs = lorenzo_offsets(3)
+        assert len(offs) == 7
+        # Inclusion-exclusion weights sum to 1 -> constant fields predicted exactly.
+        assert sum(sign for _, sign in offs) == 1
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError):
+            lorenzo_offsets(0)
+
+
+class TestWavefrontPlan:
+    @pytest.mark.parametrize("shape", [(7,), (5, 4), (3, 4, 5)])
+    def test_planes_partition_all_points(self, shape):
+        plan = WavefrontPlan(shape)
+        seen = np.concatenate(plan.planes)
+        assert np.sort(seen).tolist() == list(range(int(np.prod(shape))))
+
+    def test_plane_index_sums_match(self):
+        plan = WavefrontPlan((3, 4))
+        for s, plane in enumerate(plan.planes):
+            coords = plan.coords[:, plane]
+            assert (coords.sum(axis=0) == s).all()
+
+    def test_cache_returns_same_object(self):
+        assert wavefront_plan((6, 6)) is wavefront_plan((6, 6))
+
+    def test_predict_plane_zero_border(self):
+        # First plane (origin) has no neighbours -> prediction 0.
+        plan = WavefrontPlan((4, 4))
+        recon = np.arange(16, dtype=np.float64)
+        pred = plan.predict_plane(recon, plan.planes[0])
+        assert pred.tolist() == [0.0]
+
+    def test_predict_plane_matches_manual_2d(self):
+        plan = WavefrontPlan((3, 3))
+        recon = np.arange(9, dtype=np.float64)  # row-major grid values
+        # Point (1,1) -> flat 4; pred = f(0,1) + f(1,0) - f(0,0) = 1 + 3 - 0.
+        plane = np.array([4])
+        pred = plan.predict_plane(recon, plane)
+        assert pred.tolist() == [4.0]
+
+
+class TestLorenzoPredictFull:
+    @pytest.mark.parametrize("shape", [(50,), (12, 13), (6, 7, 8)])
+    def test_constant_field_interior_exact(self, shape):
+        data = np.full(shape, 3.7)
+        pred = lorenzo_predict_full(data)
+        interior = tuple(slice(1, None) for _ in shape)
+        assert np.allclose(pred[interior], 3.7)
+
+    def test_linear_field_interior_exact_2d(self):
+        i, j = np.meshgrid(np.arange(10.0), np.arange(12.0), indexing="ij")
+        data = 2 * i + 3 * j + 1
+        pred = lorenzo_predict_full(data)
+        assert np.allclose(pred[1:, 1:], data[1:, 1:])
+
+    def test_linear_field_interior_exact_3d(self):
+        i, j, k = np.meshgrid(
+            np.arange(6.0), np.arange(7.0), np.arange(8.0), indexing="ij"
+        )
+        data = 1.5 * i - 2.0 * j + 0.5 * k
+        pred = lorenzo_predict_full(data)
+        assert np.allclose(pred[1:, 1:, 1:], data[1:, 1:, 1:])
+
+    def test_border_uses_zero_padding(self):
+        data = np.ones((4, 4))
+        pred = lorenzo_predict_full(data)
+        assert pred[0, 0] == 0.0  # no neighbours at origin

@@ -1,0 +1,155 @@
+"""Unit and behavioural tests for the SZ pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.pressio import make_compressor
+from repro.sz.compressor import SZCompressor
+from repro.sz.quantizer import dequantize, quantize
+
+
+def _maxerr(a, b):
+    return float(np.abs(a.astype(np.float64) - b.astype(np.float64)).max())
+
+
+class TestQuantizer:
+    def test_codes_reconstruct_within_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 10, 1000)
+        pred = values + rng.normal(0, 0.5, 1000)
+        q = quantize(values, pred, 0.01, 32768, np.dtype(np.float64))
+        recon = dequantize(q.codes[q.ok], pred[q.ok], 0.01, np.dtype(np.float64))
+        assert np.abs(recon - values[q.ok]).max() <= 0.01
+
+    def test_out_of_range_marked_not_ok(self):
+        values = np.array([1e9])
+        pred = np.array([0.0])
+        q = quantize(values, pred, 1e-6, 32768, np.dtype(np.float64))
+        assert not q.ok[0]
+
+    def test_nan_marked_not_ok(self):
+        q = quantize(np.array([np.nan]), np.array([0.0]), 0.1, 32768, np.dtype(np.float64))
+        assert not q.ok[0]
+
+    def test_float32_cast_violation_detected(self):
+        # A value whose float32 rounding pushes it past a razor-thin bound.
+        values = np.array([1.0 + 2.0**-30])
+        pred = np.array([1.0])
+        q = quantize(values, pred, 2.0**-32, 32768, np.dtype(np.float32))
+        # Either ok with the bound held after cast, or flagged not-ok.
+        if q.ok[0]:
+            assert abs(float(q.recon[0]) - values[0]) <= 2.0**-32
+
+
+class TestSZRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-4, 1e-3, 1e-2, 1e-1])
+    def test_error_bound_3d(self, smooth3d, eb):
+        c = SZCompressor(error_bound=eb)
+        f = c.compress(smooth3d)
+        assert _maxerr(smooth3d, c.decompress(f)) <= eb
+
+    def test_error_bound_2d(self, smooth2d):
+        c = SZCompressor(error_bound=1e-3)
+        assert _maxerr(smooth2d, c.decompress(c.compress(smooth2d))) <= 1e-3
+
+    def test_error_bound_1d(self, smooth1d):
+        c = SZCompressor(error_bound=1e-3)
+        assert _maxerr(smooth1d, c.decompress(c.compress(smooth1d))) <= 1e-3
+
+    def test_error_bound_sparse(self, sparse3d):
+        c = SZCompressor(error_bound=1e-3)
+        assert _maxerr(sparse3d, c.decompress(c.compress(sparse3d))) <= 1e-3
+
+    def test_error_bound_rough(self, rough1d):
+        c = SZCompressor(error_bound=1e-2)
+        assert _maxerr(rough1d, c.decompress(c.compress(rough1d))) <= 1e-2
+
+    def test_float64_input(self, smooth3d_f64):
+        c = SZCompressor(error_bound=1e-6)
+        recon = c.decompress(c.compress(smooth3d_f64))
+        assert recon.dtype == np.float64
+        assert _maxerr(smooth3d_f64, recon) <= 1e-6
+
+    def test_shape_and_dtype_preserved(self, smooth2d):
+        c = SZCompressor(error_bound=1e-3)
+        recon = c.decompress(c.compress(smooth2d))
+        assert recon.shape == smooth2d.shape
+        assert recon.dtype == smooth2d.dtype
+
+    def test_constant_field(self):
+        data = np.full((20, 20), 5.5, np.float32)
+        c = SZCompressor(error_bound=1e-3)
+        f = c.compress(data)
+        assert _maxerr(data, c.decompress(f)) <= 1e-3
+        assert f.ratio > 10  # constants compress extremely well (frame overhead
+        # dominates at this tiny size; larger constants reach 100x+)
+
+    def test_nan_survives_as_literal(self):
+        data = np.ones((8, 8), np.float32)
+        data[3, 3] = np.nan
+        c = SZCompressor(error_bound=1e-3)
+        recon = c.decompress(c.compress(data))
+        assert np.isnan(recon[3, 3])
+        mask = ~np.isnan(data)
+        assert _maxerr(data[mask], recon[mask]) <= 1e-3
+
+
+class TestSZBehaviour:
+    def test_ratio_grows_with_bound_coarsely(self, smooth3d):
+        # Monotone on decades even if locally spiky (Fig. 3).
+        ratios = [
+            SZCompressor(error_bound=eb).compress(smooth3d).ratio
+            for eb in (1e-4, 1e-2, 1.0)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_regression_toggle_changes_payload(self, smooth3d):
+        with_reg = SZCompressor(error_bound=1e-2, use_regression=True).compress(smooth3d)
+        without = SZCompressor(error_bound=1e-2, use_regression=False).compress(smooth3d)
+        assert with_reg.payload != without.payload
+        # Pure-Lorenzo payload still decodes within bound.
+        c = SZCompressor(error_bound=1e-2, use_regression=False)
+        assert _maxerr(smooth3d, c.decompress(without)) <= 1e-2
+
+    def test_lz77_dict_codec_roundtrip(self, smooth2d):
+        c = SZCompressor(error_bound=1e-2, dict_codec="lz77")
+        assert _maxerr(smooth2d, c.decompress(c.compress(smooth2d))) <= 1e-2
+
+    def test_with_error_bound_returns_new_instance(self):
+        c = SZCompressor(error_bound=1e-3)
+        c2 = c.with_error_bound(1e-2)
+        assert c.error_bound == 1e-3 and c2.error_bound == 1e-2
+        assert isinstance(c2, SZCompressor)
+
+    def test_describe(self):
+        assert SZCompressor().describe() == "sz:abs"
+
+    def test_registry_construction(self):
+        c = make_compressor("sz", error_bound=0.5)
+        assert isinstance(c, SZCompressor) and c.error_bound == 0.5
+
+
+class TestSZValidation:
+    def test_rejects_nonpositive_bound(self, smooth2d):
+        with pytest.raises(ValueError):
+            SZCompressor(error_bound=0.0).compress(smooth2d)
+
+    def test_rejects_integer_dtype(self):
+        with pytest.raises(TypeError):
+            SZCompressor().compress(np.arange(10))
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            SZCompressor().compress(np.zeros((2, 2, 2, 2), np.float32))
+
+    def test_empty_array(self):
+        data = np.zeros((0,), np.float32)
+        c = SZCompressor(error_bound=1e-3)
+        recon = c.decompress(c.compress(data))
+        assert recon.shape == (0,)
+
+    def test_decompress_accepts_raw_bytes(self, smooth2d):
+        c = SZCompressor(error_bound=1e-2)
+        f = c.compress(smooth2d)
+        recon = c.decompress(f.payload)
+        assert _maxerr(smooth2d, recon) <= 1e-2

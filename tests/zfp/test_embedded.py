@@ -1,0 +1,121 @@
+"""Unit tests for the vectorised embedded plane coding."""
+
+import numpy as np
+
+from repro.zfp.embedded import (
+    decode_plane_bits,
+    encode_plane_bits,
+    rate_limited_nplanes,
+    suffix_max,
+    unit_counts,
+    unit_layout,
+)
+from repro.zfp.fixedpoint import msb_positions
+
+
+def _setup(neg):
+    msb = msb_positions(neg)
+    smax = suffix_max(msb)
+    kmax = (smax[:, 0] + 1).astype(np.int64)
+    return msb, smax, kmax
+
+
+class TestSuffixMax:
+    def test_nonincreasing_rows(self):
+        r = np.random.default_rng(0)
+        msb = r.integers(-1, 40, (10, 16))
+        smax = suffix_max(msb)
+        assert (np.diff(smax, axis=1) <= 0).all()
+
+    def test_matches_naive(self):
+        msb = np.array([[3, -1, 7, 2]])
+        assert suffix_max(msb)[0].tolist() == [7, 7, 7, 2]
+
+
+class TestUnitLayout:
+    def test_planes_descend_from_kmax(self):
+        kmax = np.array([3, 1], dtype=np.int64)
+        nplanes = np.array([2, 1], dtype=np.int64)
+        ub, up = unit_layout(kmax, nplanes)
+        assert ub.tolist() == [0, 0, 1]
+        assert up.tolist() == [2, 1, 0]
+
+    def test_empty(self):
+        ub, up = unit_layout(np.zeros(3, np.int64), np.zeros(3, np.int64))
+        assert ub.size == 0 and up.size == 0
+
+
+class TestUnitCounts:
+    def test_counts_match_definition(self):
+        neg = np.array([[0b1000, 0b100, 0b1, 0]], dtype=np.uint64)
+        msb, smax, kmax = _setup(neg)
+        ub, up = unit_layout(kmax, kmax)  # all planes
+        counts = unit_counts(smax, ub, up)
+        # Plane 3: only coeff 0 -> m=1; plane 2: suffix_max >= 2 for 0,1 -> 2;
+        # plane 1: still 2; plane 0: coeff 2 significant -> 3.
+        assert counts.tolist() == [1, 2, 2, 3]
+
+
+class TestRoundtrip:
+    def test_full_precision_roundtrip(self):
+        r = np.random.default_rng(1)
+        neg = r.integers(0, 2**45, (30, 64)).astype(np.uint64)
+        msb, smax, kmax = _setup(neg)
+        ub, up = unit_layout(kmax, kmax)
+        counts = unit_counts(smax, ub, up)
+        bits = encode_plane_bits(neg, ub, up, counts)
+        out = decode_plane_bits(bits, ub, up, counts, 30, 64)
+        assert (out == neg).all()
+
+    def test_truncated_planes_zero_low_bits(self):
+        neg = np.array([[0b1111]], dtype=np.uint64)
+        msb, smax, kmax = _setup(neg)
+        nplanes = np.array([2], dtype=np.int64)  # keep planes 3 and 2 only
+        ub, up = unit_layout(kmax, nplanes)
+        counts = unit_counts(smax, ub, up)
+        bits = encode_plane_bits(neg, ub, up, counts)
+        out = decode_plane_bits(bits, ub, up, counts, 1, 1)
+        assert out[0, 0] == 0b1100
+
+    def test_zero_blocks_produce_no_bits(self):
+        neg = np.zeros((5, 16), dtype=np.uint64)
+        msb, smax, kmax = _setup(neg)
+        assert kmax.tolist() == [0] * 5
+        ub, up = unit_layout(kmax, kmax)
+        counts = unit_counts(smax, ub, up)
+        assert encode_plane_bits(neg, ub, up, counts).size == 0
+
+
+class TestRateLimit:
+    def test_budget_zero_keeps_nothing(self):
+        neg = np.array([[2**30, 5, 1, 0]], dtype=np.uint64)
+        msb, smax, kmax = _setup(neg)
+        assert rate_limited_nplanes(smax, kmax, 0).tolist() == [0]
+
+    def test_huge_budget_keeps_everything(self):
+        neg = np.array([[2**30, 5, 1, 0]], dtype=np.uint64)
+        msb, smax, kmax = _setup(neg)
+        assert rate_limited_nplanes(smax, kmax, 10**9).tolist() == kmax.tolist()
+
+    def test_cost_model_respected(self):
+        r = np.random.default_rng(2)
+        neg = r.integers(0, 2**20, (8, 16)).astype(np.uint64)
+        msb, smax, kmax = _setup(neg)
+        budget = 120
+        nplanes = rate_limited_nplanes(smax, kmax, budget)
+        ub, up = unit_layout(kmax, nplanes)
+        counts = unit_counts(smax, ub, up)
+        # Per-block cost = sum over its units of (7 + m) <= budget.
+        for b in range(8):
+            cost = int(((counts + 7) * (ub == b)).sum())
+            assert cost <= budget
+
+    def test_monotone_in_budget(self):
+        r = np.random.default_rng(3)
+        neg = r.integers(0, 2**25, (6, 16)).astype(np.uint64)
+        msb, smax, kmax = _setup(neg)
+        prev = np.zeros(6, np.int64)
+        for budget in (0, 50, 100, 200, 400, 10**6):
+            cur = rate_limited_nplanes(smax, kmax, budget)
+            assert (cur >= prev).all()
+            prev = cur

@@ -1,0 +1,112 @@
+"""Unit tests for the ZFP block transform and fixed-point layers."""
+
+import numpy as np
+import pytest
+
+from repro.zfp.fixedpoint import (
+    FRAC_BITS,
+    block_exponents,
+    from_fixed,
+    from_negabinary,
+    msb_positions,
+    to_fixed,
+    to_negabinary,
+)
+from repro.zfp.transform import fwd_lift, fwd_transform, inv_lift, inv_transform, sequency_order
+
+
+class TestLift:
+    def test_near_inverse_small_error(self):
+        # ZFP's lifting is NOT bit-exact invertible (the >>1 steps drop
+        # parity bits); the documented contract is a few-LSB residual.
+        r = np.random.default_rng(0)
+        v = r.integers(-(2**40), 2**40, (500, 4)).astype(np.int64)
+        err = np.abs(inv_lift(fwd_lift(v)) - v).max()
+        assert err <= 64  # few LSBs out of 2**40 magnitude
+
+    def test_constant_vector_concentrates_energy(self):
+        v = np.full((1, 4), 1 << 20, dtype=np.int64)
+        out = fwd_lift(v)[0]
+        assert out[0] == 1 << 20
+        assert np.abs(out[1:]).max() <= 1  # AC coefficients collapse
+
+    def test_linear_ramp_small_high_frequencies(self):
+        v = (np.arange(4, dtype=np.int64) * (1 << 20))[None, :]
+        out = fwd_lift(v)[0]
+        # DC and first AC dominate; highest frequency is tiny.
+        assert abs(int(out[3])) < abs(int(out[0]))
+
+
+class TestBlockTransform:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_near_inverse(self, ndim):
+        r = np.random.default_rng(1)
+        shape = (50,) + (4,) * ndim
+        v = r.integers(-(2**40), 2**40, shape).astype(np.int64)
+        err = np.abs(inv_transform(fwd_transform(v)) - v).max()
+        assert err <= 256
+
+    def test_smooth_blocks_decay_in_sequency_order(self):
+        x = np.linspace(0, 1, 4)
+        grid = np.add.outer(np.add.outer(x, x), x)
+        block = (grid[None] * (1 << 30)).astype(np.int64)
+        coeff = fwd_transform(block).reshape(1, 64)[:, sequency_order(3)][0]
+        head = np.abs(coeff[:8]).max()
+        tail = np.abs(coeff[32:]).max()
+        assert tail < head / 16
+
+
+class TestSequencyOrder:
+    def test_permutation(self):
+        for ndim in (1, 2, 3):
+            perm = sequency_order(ndim)
+            assert np.sort(perm).tolist() == list(range(4**ndim))
+
+    def test_total_frequency_nondecreasing(self):
+        perm = sequency_order(3)
+        freqs = np.indices((4, 4, 4)).reshape(3, -1).sum(axis=0)
+        assert (np.diff(freqs[perm]) >= 0).all()
+
+    def test_dc_first(self):
+        assert sequency_order(2)[0] == 0
+
+
+class TestFixedPoint:
+    def test_block_exponents_power_bound(self):
+        blocks = np.array([[0.9, -1.6, 0.1, 0.0]])
+        e = block_exponents(blocks)
+        assert np.abs(blocks[0]).max() < 2.0 ** e[0]
+        assert np.abs(blocks[0]).max() >= 2.0 ** (e[0] - 1)
+
+    def test_zero_block_exponent(self):
+        assert block_exponents(np.zeros((1, 4)))[0] == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            block_exponents(np.array([[np.nan, 0, 0, 0]]))
+
+    def test_to_from_fixed_roundtrip(self):
+        r = np.random.default_rng(2)
+        blocks = r.normal(0, 100, (20, 4, 4))
+        e = block_exponents(blocks)
+        recon = from_fixed(to_fixed(blocks, e), e)
+        # Rounding error is at most half a fixed-point ULP per value.
+        ulp = 2.0 ** (e.astype(float) - FRAC_BITS)
+        assert (np.abs(recon - blocks).reshape(20, -1).max(axis=1) <= ulp).all()
+
+    def test_negabinary_roundtrip(self):
+        r = np.random.default_rng(3)
+        v = r.integers(-(2**45), 2**45, 10_000)
+        assert (from_negabinary(to_negabinary(v)) == v).all()
+
+    def test_negabinary_nonnegative_representation(self):
+        v = np.array([-5, -1, 0, 1, 5], dtype=np.int64)
+        neg = to_negabinary(v)
+        # Negabinary magnitudes stay within ~2x the absolute value.
+        assert (neg < 2**48).all()
+
+    def test_msb_positions(self):
+        assert msb_positions(np.array([0], dtype=np.uint64))[0] == -1
+        assert msb_positions(np.array([1], dtype=np.uint64))[0] == 0
+        assert msb_positions(np.array([0b1000_0000], dtype=np.uint64))[0] == 7
+        assert msb_positions(np.array([2**52], dtype=np.uint64))[0] == 52

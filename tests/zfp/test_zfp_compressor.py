@@ -1,0 +1,145 @@
+"""Behavioural tests for ZFP accuracy and fixed-rate modes."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.container import Container
+from repro.pressio import make_compressor
+from repro.zfp.compressor import ZFPCompressor, ZFPFixedRateCompressor
+
+
+def _maxerr(a, b):
+    return float(np.abs(a.astype(np.float64) - b.astype(np.float64)).max())
+
+
+class TestAccuracyMode:
+    @pytest.mark.parametrize("eb", [1e-4, 1e-3, 1e-2, 1e-1, 1.0])
+    def test_error_bound_3d(self, smooth3d, eb):
+        c = ZFPCompressor(error_bound=eb)
+        assert _maxerr(smooth3d, c.decompress(c.compress(smooth3d))) <= eb
+
+    def test_error_bound_2d(self, smooth2d):
+        c = ZFPCompressor(error_bound=1e-3)
+        assert _maxerr(smooth2d, c.decompress(c.compress(smooth2d))) <= 1e-3
+
+    def test_error_bound_1d(self, smooth1d):
+        c = ZFPCompressor(error_bound=1e-3)
+        assert _maxerr(smooth1d, c.decompress(c.compress(smooth1d))) <= 1e-3
+
+    def test_error_bound_sparse(self, sparse3d):
+        c = ZFPCompressor(error_bound=1e-3)
+        assert _maxerr(sparse3d, c.decompress(c.compress(sparse3d))) <= 1e-3
+
+    def test_float64(self, smooth3d_f64):
+        c = ZFPCompressor(error_bound=1e-8)
+        recon = c.decompress(c.compress(smooth3d_f64))
+        assert recon.dtype == np.float64
+        assert _maxerr(smooth3d_f64, recon) <= 1e-8
+
+    def test_non_multiple_of_four_shapes(self):
+        r = np.random.default_rng(0)
+        for shape in [(5,), (9, 7), (6, 5, 7)]:
+            data = r.normal(0, 1, shape).astype(np.float32)
+            c = ZFPCompressor(error_bound=1e-2)
+            recon = c.decompress(c.compress(data))
+            assert recon.shape == shape
+            assert _maxerr(data, recon) <= 1e-2
+
+    def test_step_function_ratio_vs_bound(self, smooth3d):
+        # The minexp flooring makes the coded planes piecewise-constant in
+        # the bound: tolerances within the same power-of-two bracket keep
+        # identical plane payloads (only the verify-and-patch set differs).
+        a = Container.frombytes(ZFPCompressor(error_bound=0.010).compress(smooth3d).payload)
+        b = Container.frombytes(ZFPCompressor(error_bound=0.0125).compress(smooth3d).payload)
+        assert a.get("payload") == b.get("payload")
+        assert a.get("counts") == b.get("counts")
+
+    def test_ratio_grows_across_decades(self, smooth3d):
+        r1 = ZFPCompressor(error_bound=1e-4).compress(smooth3d).ratio
+        r2 = ZFPCompressor(error_bound=1e-1).compress(smooth3d).ratio
+        assert r2 > r1
+
+    def test_patches_present_and_small(self, smooth3d):
+        f = ZFPCompressor(error_bound=1e-2).compress(smooth3d)
+        ct = Container.frombytes(f.payload)
+        n_patch = len(ct.get("patch_val")) // 4
+        assert n_patch <= smooth3d.size * 0.02  # <2% of points patched
+
+    def test_constant_field_tiny_payload(self):
+        data = np.full((16, 16, 16), 2.5, np.float32)
+        f = ZFPCompressor(error_bound=1e-3).compress(data)
+        # Each constant block still carries its header and DC planes, so the
+        # ceiling is structural (~12-15x at this size), not ~100x like SZ.
+        assert f.ratio > 10
+
+
+class TestFixedRateMode:
+    @pytest.mark.parametrize("rate", [2.0, 4.0, 8.0])
+    def test_ratio_matches_rate(self, smooth3d, rate):
+        c = ZFPFixedRateCompressor(error_bound=rate)
+        f = c.compress(smooth3d)
+        expected = 32.0 / rate
+        assert f.ratio == pytest.approx(expected, rel=0.05)
+
+    def test_rate_mode_not_error_bounded(self, smooth3d):
+        # At 1 bit/value the reconstruction error is large - that is the point.
+        c = ZFPFixedRateCompressor(error_bound=1.0)
+        recon = c.decompress(c.compress(smooth3d))
+        err = _maxerr(smooth3d, recon)
+        assert err > 1e-3
+
+    def test_quality_improves_with_rate(self, smooth3d):
+        errs = []
+        for rate in (1.0, 4.0, 16.0):
+            c = ZFPFixedRateCompressor(error_bound=rate)
+            errs.append(_maxerr(smooth3d, c.decompress(c.compress(smooth3d))))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_accuracy_mode_beats_rate_mode_at_same_ratio(self, smooth3d):
+        """The paper's central comparison (Fig. 1): at matched compression
+        ratio, accuracy mode has lower error than fixed-rate mode."""
+        rate_c = ZFPFixedRateCompressor(error_bound=4.0)
+        f_rate = rate_c.compress(smooth3d)
+        err_rate = _maxerr(smooth3d, rate_c.decompress(f_rate))
+
+        # Find an accuracy-mode bound with ratio >= the rate mode's.
+        best = None
+        for eb in np.geomspace(1e-6, 1.0, 40):
+            acc_c = ZFPCompressor(error_bound=float(eb))
+            f = acc_c.compress(smooth3d)
+            if f.ratio >= f_rate.ratio and best is None:
+                best = _maxerr(smooth3d, acc_c.decompress(f))
+        assert best is not None
+        assert best < err_rate
+
+    def test_default_bound_range_is_rate_range(self, smooth3d):
+        lo, hi = ZFPFixedRateCompressor().default_bound_range(smooth3d)
+        assert lo == 0.5 and hi == 32.0
+
+    def test_describe(self):
+        assert ZFPFixedRateCompressor().describe() == "zfp-rate:rate"
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self, smooth2d):
+        with pytest.raises(ValueError):
+            ZFPCompressor(error_bound=-1.0).compress(smooth2d)
+
+    def test_rejects_int_dtype(self):
+        with pytest.raises(TypeError):
+            ZFPCompressor().compress(np.arange(16))
+
+    def test_rejects_nan(self):
+        data = np.ones((4, 4), np.float32)
+        data[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            ZFPCompressor(error_bound=1e-3).compress(data)
+
+    def test_empty(self):
+        c = ZFPCompressor(error_bound=1e-3)
+        recon = c.decompress(c.compress(np.zeros((0,), np.float32)))
+        assert recon.shape == (0,)
+
+    def test_registry(self):
+        assert isinstance(make_compressor("zfp"), ZFPCompressor)
+        assert isinstance(make_compressor("zfp-rate"), ZFPFixedRateCompressor)
