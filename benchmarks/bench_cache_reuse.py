@@ -1,0 +1,126 @@
+"""Shared evaluation cache: fewer compressor calls on a combined workload.
+
+FRaZ's cost model is the number of compressor evaluations (Fig. 6/7 count
+iterations, not seconds), and a *tuning service* runs many searches over
+the same data: feasibility pre-checks, FRaZ trainings at several target
+ratios, and baseline comparisons — each of which re-compresses
+``(data, compressor, bound)`` triples the others already paid for.
+
+This bench runs that combined workload on a 2-field x 4-time-step dataset
+with 4 regions per search, once without and once with a shared
+:class:`~repro.cache.EvalCache`, and requires the cache to absorb at least
+30% of the compressor calls.  The savings are structural, not incidental:
+
+* the global optimizer's seed probes depend only on the bound interval,
+  so every retraining at a new target re-probes them (cache hits);
+* the feasibility sweep and the grid-search baseline walk the same
+  geometric grid for every target;
+* binary search's first bisections are target-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.sweeps import feasible_ratio_range
+from repro.cache import EvalCache
+from repro.core.baselines import binary_search_ratio, grid_search_ratio
+from repro.core.fields import tune_fields
+from repro.sz.compressor import SZCompressor
+
+TARGETS = (6.0, 8.0, 10.0)
+REGIONS = 4
+SWEEP_PROBES = 16
+
+
+def _make_fields() -> dict[str, list[np.ndarray]]:
+    """2 fields x 4 time-steps of drifting smooth-noise data."""
+    fields = {}
+    for name, seed in (("TEMP", 1), ("PRES", 2)):
+        r = np.random.default_rng(seed)
+        base = r.standard_normal((20, 20, 10)).astype(np.float32)
+        drift = r.standard_normal((20, 20, 10)).astype(np.float32)
+        fields[name] = [(base + 0.02 * t * drift).astype(np.float32) for t in range(4)]
+    return fields
+
+
+def _run_workload(cache: EvalCache | None) -> tuple[int, int]:
+    """Run the combined workload; returns (compressor_calls, probes)."""
+    sz = SZCompressor()
+    fields = _make_fields()
+    calls = 0
+    probes = 0
+
+    # Feasibility pre-check per field (Fig. 7's question, answered cheaply).
+    for series in fields.values():
+        feasible_ratio_range(sz, series[0], probes=SWEEP_PROBES, cache=cache)
+        calls += SWEEP_PROBES if cache is None else 0
+        probes += SWEEP_PROBES
+    if cache is not None:
+        calls = cache.stats.misses
+
+    for target in TARGETS:
+        res = tune_fields(sz, fields, target, regions=REGIONS, seed=0, cache=cache)
+        calls += res.total_compressor_calls
+        probes += res.total_evaluations
+        # Baseline comparison on each field's training step, as the
+        # paper's evaluation does (Sec. VI-B).
+        for series in fields.values():
+            g = grid_search_ratio(sz, series[0], target, points=SWEEP_PROBES, cache=cache)
+            b = binary_search_ratio(sz, series[0], target, max_calls=SWEEP_PROBES, cache=cache)
+            calls += g.compressor_calls + b.compressor_calls
+            probes += g.evaluations + b.evaluations
+    return calls, probes
+
+
+def test_cache_reuse_reduces_compressor_calls(benchmark, report):
+    uncached_calls, uncached_probes = _run_workload(None)
+
+    cache = EvalCache()
+    cached_calls, cached_probes = benchmark.pedantic(
+        lambda: _run_workload(cache), rounds=1, iterations=1
+    )
+
+    saving = 1.0 - cached_calls / uncached_calls
+    report(
+        "",
+        "== Shared-cache reuse: 2 fields x 4 steps x 4 regions, "
+        f"targets {TARGETS}, baselines + feasibility sweeps ==",
+        f"probes issued      : {uncached_probes} uncached / {cached_probes} cached",
+        f"compressor calls   : {uncached_calls} uncached / {cached_calls} cached",
+        f"calls saved        : {saving:.1%} (acceptance floor: 30%)",
+        f"cache stats        : {cache.stats.as_dict()}",
+    )
+    # Equal work was requested either way; the cache only changes who pays.
+    assert cached_probes == uncached_probes
+    assert cache.stats.hits > 0
+    assert saving >= 0.30
+
+
+def test_cached_results_identical_to_uncached(report):
+    """The cache must be invisible in results: same bounds, same ratios."""
+    sz = SZCompressor()
+    fields = _make_fields()
+    plain = tune_fields(sz, fields, 8.0, regions=REGIONS, seed=0)
+    cached = tune_fields(sz, fields, 8.0, regions=REGIONS, seed=0, cache=EvalCache())
+    for name in fields:
+        for s_plain, s_cached in zip(plain.fields[name].steps, cached.fields[name].steps):
+            assert s_plain.error_bound == s_cached.error_bound
+            assert s_plain.ratio == s_cached.ratio
+    report("cached/uncached tuning results identical: OK")
+
+
+def test_training_result_reports_hit_miss_counts():
+    """TrainingResult surfaces the cache's hit/miss split (acceptance)."""
+    sz = SZCompressor()
+    fields = _make_fields()
+    cache = EvalCache()
+    first = tune_fields(sz, fields, 8.0, regions=REGIONS, seed=0, cache=cache)
+    second = tune_fields(sz, fields, 8.0, regions=REGIONS, seed=0, cache=cache)
+    for res in (first, second):
+        for ts in res.fields.values():
+            for step in ts.steps:
+                assert step.cache_hits + step.cache_misses == step.evaluations
+    # An identical rerun is answered entirely from cache.
+    assert second.total_compressor_calls == 0
+    assert second.total_cache_hits == second.total_evaluations

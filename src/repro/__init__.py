@@ -21,14 +21,16 @@ Quickstart::
     recon = fraz.decompress(payload)
 """
 
+from repro.cache import EvalCache
 from repro.core.fraz import FRaZ
 from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
 from repro.pressio.evaluation import evaluate
 from repro.pressio.registry import available_compressors, make_compressor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EvalCache",
     "FRaZ",
     "FieldResult",
     "TimeSeriesResult",

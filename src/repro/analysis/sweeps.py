@@ -1,4 +1,13 @@
-"""Sweep utilities over a compressor's error-bound axis."""
+"""Sweep utilities over a compressor's error-bound axis.
+
+Sweeps are the most cache-friendly workload in the package: a Fig. 3/4
+curve probes a fixed geometric grid, and the same grid points recur across
+benchmark runs and alongside searches.  ``ratio_curve`` therefore accepts
+an injected :class:`~repro.cache.EvalCache` and, with one attached, routes
+cold probes through :meth:`~repro.cache.EvalCache.evaluate_many` — the
+batched path that fans independent misses over an executor instead of a
+serial loop.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache.evalcache import EvalCache
 from repro.metrics import max_abs_error, psnr, ssim
+from repro.parallel.executor import BaseExecutor
 from repro.pressio.compressor import Compressor
 
 __all__ = [
@@ -28,13 +39,26 @@ def default_bound_sweep(
 
 
 def ratio_curve(
-    compressor: Compressor, data: np.ndarray, bounds: np.ndarray | None = None
+    compressor: Compressor,
+    data: np.ndarray,
+    bounds: np.ndarray | None = None,
+    cache: EvalCache | None = None,
+    executor: BaseExecutor | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """``(bounds, ratios)`` — the Fig. 3/4 curve for one field."""
+    """``(bounds, ratios)`` — the Fig. 3/4 curve for one field.
+
+    With a ``cache``, previously-probed bounds are answered for free and
+    the remaining misses are evaluated through ``executor`` as one batch
+    (``executor`` is ignored without a cache — the serial loop is the
+    reference path).
+    """
     data = np.asarray(data)
     if bounds is None:
         bounds = default_bound_sweep(compressor, data)
     bounds = np.asarray(bounds, dtype=np.float64)
+    if cache is not None:
+        entries = cache.evaluate_many(compressor, data, bounds, executor=executor)
+        return bounds, np.array([entry.ratio for entry in entries])
     ratios = np.array(
         [compressor.with_error_bound(float(e)).compress(data).ratio for e in bounds]
     )
@@ -88,6 +112,8 @@ def feasible_ratio_range(
     compressor: Compressor,
     data: np.ndarray,
     probes: int = 16,
+    cache: EvalCache | None = None,
+    executor: BaseExecutor | None = None,
 ) -> tuple[float, float]:
     """Approximate ``(min, max)`` achievable ratio over the bound range.
 
@@ -98,7 +124,11 @@ def feasible_ratio_range(
     set, it does not enumerate it.
     """
     _, ratios = ratio_curve(
-        compressor, data, default_bound_sweep(compressor, np.asarray(data), probes)
+        compressor,
+        data,
+        default_bound_sweep(compressor, np.asarray(data), probes),
+        cache=cache,
+        executor=executor,
     )
     finite = ratios[np.isfinite(ratios)]
     if finite.size == 0:

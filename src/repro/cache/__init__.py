@@ -1,0 +1,31 @@
+"""Shared cross-search evaluation cache (see :mod:`repro.cache.evalcache`).
+
+Public surface::
+
+    from repro.cache import EvalCache
+
+    cache = EvalCache(cache_dir="~/.frz-cache")   # disk tier optional
+    fraz = FRaZ(compressor="sz", target_ratio=10.0, cache=cache)
+    ...
+    cache.save()                                   # persist for next run
+"""
+
+from repro.cache.evalcache import CacheEntry, CacheStats, EvalCache
+from repro.cache.keys import (
+    bound_key,
+    config_hash,
+    fingerprint_array,
+    make_key,
+    normalize_bound,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "EvalCache",
+    "bound_key",
+    "config_hash",
+    "fingerprint_array",
+    "make_key",
+    "normalize_bound",
+]

@@ -1,0 +1,104 @@
+"""Cache keys: data fingerprints, compressor-config hashes, bound normalisation.
+
+An :class:`~repro.cache.evalcache.EvalCache` entry is addressed by the
+triple ``(data fingerprint, compressor config hash, error bound)`` — the
+three inputs that fully determine a compressor evaluation ``rho_r(D, e)``
+(compressors in this package are pure functions of their frozen
+configuration, by design; see ``repro/pressio/compressor.py``).
+
+Why each component looks the way it does:
+
+* **Data fingerprint** — BLAKE2b over the raw buffer *plus* shape and
+  dtype.  Two arrays with identical bytes but different shapes (or dtypes
+  reinterpreting the same bytes) compress differently, so the structural
+  metadata is part of the digest, not just the payload.
+* **Config hash** — the compressor's class name and every dataclass field
+  *except* the error bound (the bound is the search variable and gets its
+  own key axis).  Changing any other knob (block size, codec, mode...)
+  changes the hash, which is the cache's invalidation rule: there is no
+  TTL, entries are invalidated by construction because a different
+  configuration is a different key.
+* **Bound normalisation** — raw ``float`` keys are hazardous: two bounds
+  that differ only past the 12th significant digit are the same probe for
+  every compressor here, yet hash to different keys (and ``repr`` round-
+  trips through JSON can perturb the last bits).  :func:`normalize_bound`
+  rounds to 12 significant digits, giving repr-stable keys that survive a
+  JSON round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle: pressio.closures consults this package
+    from repro.pressio.compressor import Compressor
+
+__all__ = ["fingerprint_array", "config_hash", "normalize_bound", "bound_key", "make_key"]
+
+#: Significant digits kept by :func:`normalize_bound`.  12 digits is far
+#: below any compressor's sensitivity to the bound and well within what
+#: ``repr``/JSON round-trip exactly for IEEE doubles (17 digits).
+BOUND_DIGITS = 12
+
+
+def fingerprint_array(data: np.ndarray) -> str:
+    """Stable digest of an array's contents, shape and dtype.
+
+    C-contiguous arrays hash their buffer directly; non-contiguous views
+    are copied first (correctness over speed — fingerprints are computed
+    once per search, not once per probe).
+    """
+    arr = np.ascontiguousarray(data)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode())
+    h.update(repr(arr.shape).encode())
+    h.update(arr.view(np.uint8).data)
+    return h.hexdigest()
+
+
+def config_hash(compressor: "Compressor") -> str:
+    """Digest of a compressor's configuration, excluding its error bound.
+
+    The bound is the axis the search varies, so it is keyed separately;
+    every *other* field participates.  Non-dataclass compressors fall back
+    to ``repr`` (immutable configurations are expected to have faithful
+    reprs).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(type(compressor).__qualname__.encode())
+    h.update(compressor.name.encode())
+    if is_dataclass(compressor):
+        for f in sorted(fields(compressor), key=lambda f: f.name):
+            if f.name == "error_bound":
+                continue
+            h.update(f.name.encode())
+            h.update(repr(getattr(compressor, f.name)).encode())
+    else:  # pragma: no cover - all built-ins are dataclasses
+        h.update(repr(compressor).encode())
+    return h.hexdigest()
+
+
+def normalize_bound(error_bound: float) -> float:
+    """Round a bound to :data:`BOUND_DIGITS` significant digits.
+
+    The result is a float whose ``repr`` is stable across JSON
+    round-trips, so memory-tier and disk-tier keys agree exactly.
+    """
+    e = float(error_bound)
+    if e == 0.0 or not np.isfinite(e):
+        return e
+    return float(f"{e:.{BOUND_DIGITS - 1}e}")
+
+
+def bound_key(error_bound: float) -> str:
+    """String form of a normalised bound, used inside composite keys."""
+    return repr(normalize_bound(error_bound))
+
+
+def make_key(data_fp: str, cfg_hash: str, error_bound: float) -> str:
+    """Composite cache key ``fingerprint:config:bound``."""
+    return f"{data_fp}:{cfg_hash}:{bound_key(error_bound)}"

@@ -39,6 +39,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="compressor backend (default: sz)",
         )
 
+    def add_cache_args(p):
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="persist the evaluation cache under DIR; repeated runs on "
+                 "the same data reuse each other's compressor probes",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the shared evaluation cache entirely",
+        )
+
     p = sub.add_parser("compress", help="compress a .npy array to .frz")
     p.add_argument("input", help="input .npy file")
     p.add_argument("output", help="output .frz file")
@@ -50,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ratio tolerance eps (default 0.1)")
     p.add_argument("--max-error-bound", "-U", type=float, default=None,
                    help="cap on the bound the search may recommend")
+    add_cache_args(p)
 
     p = sub.add_parser("decompress", help="decompress a .frz file to .npy")
     p.add_argument("input", help="input .frz file")
@@ -61,12 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ratio", "-r", type=float, required=True)
     p.add_argument("--tolerance", "-t", type=float, default=0.1)
     p.add_argument("--max-error-bound", "-U", type=float, default=None)
+    add_cache_args(p)
 
     p = sub.add_parser("info", help="show .frz metadata")
     p.add_argument("input", help="input .frz file")
 
     sub.add_parser("datasets", help="list the bundled synthetic datasets")
     return parser
+
+
+def _make_fraz(args) -> FRaZ:
+    """Build a tuner from CLI arguments, honouring the cache flags."""
+    return FRaZ(compressor=args.compressor, target_ratio=args.ratio,
+                tolerance=args.tolerance, max_error_bound=args.max_error_bound,
+                cache=not args.no_cache, cache_dir=args.cache_dir)
+
+
+def _persist_cache(fraz: FRaZ) -> None:
+    cache = fraz.evaluation_cache
+    if cache is not None and cache.cache_dir is not None:
+        try:
+            cache.save()
+        except OSError as exc:
+            # An unwritable cache dir must not eat the tuning result.
+            print(f"warning: could not persist evaluation cache: {exc}", file=sys.stderr)
 
 
 def _cmd_compress(args) -> int:
@@ -77,9 +107,9 @@ def _cmd_compress(args) -> int:
         print(f"compressed at fixed bound {args.error_bound:.4e}: "
               f"ratio {payload.ratio:.2f}:1 -> {args.output}")
         return 0
-    fraz = FRaZ(compressor=args.compressor, target_ratio=args.ratio,
-                tolerance=args.tolerance, max_error_bound=args.max_error_bound)
+    fraz = _make_fraz(args)
     payload, result = fraz.compress(data)
+    _persist_cache(fraz)
     compressor = make_compressor(args.compressor, error_bound=result.error_bound)
     save_field(args.output, payload, compressor,
                metadata={"target_ratio": args.ratio, "feasible": result.feasible})
@@ -99,9 +129,9 @@ def _cmd_decompress(args) -> int:
 
 def _cmd_tune(args) -> int:
     data = np.load(args.input)
-    fraz = FRaZ(compressor=args.compressor, target_ratio=args.ratio,
-                tolerance=args.tolerance, max_error_bound=args.max_error_bound)
+    fraz = _make_fraz(args)
     result = fraz.tune(data)
+    _persist_cache(fraz)
     print(json.dumps({
         "compressor": args.compressor,
         "target_ratio": args.ratio,
@@ -109,6 +139,8 @@ def _cmd_tune(args) -> int:
         "ratio": result.ratio,
         "feasible": result.feasible,
         "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
         "wall_seconds": round(result.wall_seconds, 4),
     }, indent=2))
     return 0 if result.feasible else 2

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.evalcache import EvalCache
 from repro.core.results import TrainingResult
 from repro.pressio.closures import RatioFunction
 from repro.pressio.compressor import Compressor
@@ -28,6 +29,7 @@ def binary_search_ratio(
     lower: float | None = None,
     upper: float | None = None,
     max_calls: int = 64,
+    cache: EvalCache | None = None,
 ) -> TrainingResult:
     """Bisect the error bound toward ``target_ratio``.
 
@@ -42,7 +44,7 @@ def binary_search_ratio(
     default_lo, default_hi = compressor.default_bound_range(data)
     lo = default_lo if lower is None else float(lower)
     hi = default_hi if upper is None else float(upper)
-    ratio_fn = RatioFunction(compressor, data)
+    ratio_fn = RatioFunction(compressor, data, cache=cache)
     lo_band = target_ratio * (1.0 - tolerance)
     hi_band = target_ratio * (1.0 + tolerance)
 
@@ -69,6 +71,8 @@ def binary_search_ratio(
         compress_seconds=ratio_fn.compress_seconds,
         wall_seconds=time.perf_counter() - t0,
         used_prediction=False,
+        cache_hits=ratio_fn.cache_hits,
+        cache_misses=ratio_fn.cache_misses,
     )
 
 
@@ -81,6 +85,7 @@ def grid_search_ratio(
     upper: float | None = None,
     points: int = 64,
     log_spaced: bool = True,
+    cache: EvalCache | None = None,
 ) -> TrainingResult:
     """Exhaustive sweep over ``points`` candidate bounds (trial-and-error)."""
     import time
@@ -95,7 +100,7 @@ def grid_search_ratio(
     else:
         grid = np.linspace(lo, hi, points)
 
-    ratio_fn = RatioFunction(compressor, data)
+    ratio_fn = RatioFunction(compressor, data, cache=cache)
     lo_band = target_ratio * (1.0 - tolerance)
     hi_band = target_ratio * (1.0 + tolerance)
     feasible = False
@@ -116,4 +121,6 @@ def grid_search_ratio(
         compress_seconds=ratio_fn.compress_seconds,
         wall_seconds=time.perf_counter() - t0,
         used_prediction=False,
+        cache_hits=ratio_fn.cache_hits,
+        cache_misses=ratio_fn.cache_misses,
     )

@@ -9,12 +9,21 @@ Hurricane CLOUD field this retrains just 4 times in 48 steps (steps 0, 8,
 
 ``tune_fields`` fans the per-field loops out over an executor — the
 "embarrassingly parallel" field dimension.
+
+Both accept a shared :class:`~repro.cache.EvalCache`, which composes with
+the prediction-reuse optimisation rather than replacing it: prediction
+reuse avoids *searches*, the cache avoids *re-compressions* when a search
+(or a verification probe) revisits a bound any previous step, region or
+baseline already evaluated.  Under a process-pool executor each field task
+works on a pickled copy and ships its new entries back for a deterministic
+field-order merge.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.evalcache import CacheEntry, EvalCache
 from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
 from repro.core.training import DEFAULT_OVERLAP, DEFAULT_REGIONS, train
 from repro.parallel.executor import BaseExecutor, SerialExecutor
@@ -37,6 +46,7 @@ def tune_time_series(
     executor: BaseExecutor | None = None,
     seed: int = 0,
     reuse_prediction: bool = True,
+    cache: EvalCache | None = None,
 ) -> TimeSeriesResult:
     """Tune every time-step of one field, reusing bounds across steps."""
     result = TimeSeriesResult(field_name=field_name)
@@ -55,6 +65,7 @@ def tune_time_series(
             prediction=prediction if reuse_prediction else None,
             executor=executor,
             seed=seed + 1000 * t,
+            cache=cache,
         )
         result.steps.append(step)
         if not step.used_prediction:
@@ -64,13 +75,17 @@ def tune_time_series(
     return result
 
 
-def _run_field(payload: tuple) -> TimeSeriesResult:
-    """Module-level trampoline for process pools."""
+def _run_field(payload: tuple) -> tuple[TimeSeriesResult, dict[str, CacheEntry] | None]:
+    """Module-level trampoline for process pools; returns the cache delta too.
+
+    ``ship_delta`` is False for shared-memory executors, where the field
+    tasks write straight into the parent's cache instance.
+    """
     (
         compressor, series, target, tolerance, name, lower, upper,
-        regions, overlap, max_calls, seed, reuse,
+        regions, overlap, max_calls, seed, reuse, cache, ship_delta,
     ) = payload
-    return tune_time_series(
+    result = tune_time_series(
         compressor,
         series,
         target,
@@ -84,7 +99,9 @@ def _run_field(payload: tuple) -> TimeSeriesResult:
         executor=None,  # regions run serially inside each field task
         seed=seed,
         reuse_prediction=reuse,
+        cache=cache,
     )
+    return result, (cache.new_entries() if cache is not None and ship_delta else None)
 
 
 def tune_fields(
@@ -100,16 +117,22 @@ def tune_fields(
     executor: BaseExecutor | None = None,
     seed: int = 0,
     reuse_prediction: bool = True,
+    cache: EvalCache | None = None,
 ) -> FieldResult:
     """Tune all fields of a dataset in parallel (Algorithm 3)."""
     executor = executor or SerialExecutor()
+    ship_delta = cache is not None and not getattr(executor, "shares_memory", True)
     names = list(fields)
     payloads = [
         (
             compressor, fields[name], target_ratio, tolerance, name, lower, upper,
             regions, overlap, max_calls_per_region, seed + 10_000 * i, reuse_prediction,
+            cache, ship_delta,
         )
         for i, name in enumerate(names)
     ]
-    series_results = executor.map_all(_run_field, payloads)
-    return FieldResult(fields=dict(zip(names, series_results)))
+    pairs = executor.map_all(_run_field, payloads)
+    if ship_delta:
+        for _series_result, entries in pairs:
+            cache.merge_entries(entries)
+    return FieldResult(fields=dict(zip(names, (res for res, _ in pairs))))

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field as dataclass_field
 
 import numpy as np
 
+from repro.cache.evalcache import EvalCache
 from repro.core.fields import tune_fields, tune_time_series
 from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
 from repro.core.training import DEFAULT_OVERLAP, DEFAULT_REGIONS, train
@@ -57,6 +58,16 @@ class FRaZ:
         Pool size for thread/process executors.
     seed:
         Determinism seed threaded through the optimizer.
+    cache:
+        Evaluation-cache policy: ``True`` (default) builds a private
+        in-memory :class:`~repro.cache.EvalCache` shared by every search
+        this instance runs (regions, time-steps, fields); ``False``
+        disables caching; an :class:`~repro.cache.EvalCache` instance is
+        used as-is — share one across tuners/baselines for cross-search
+        reuse.
+    cache_dir:
+        Optional persistent-tier directory for the auto-built cache
+        (ignored when an explicit instance is injected).
     """
 
     compressor: Compressor | str = "sz"
@@ -70,8 +81,11 @@ class FRaZ:
     workers: int = 4
     seed: int = 0
     reuse_prediction: bool = True
+    cache: EvalCache | bool = True
+    cache_dir: str | None = None
     _compressor: Compressor = dataclass_field(init=False, repr=False)
     _executor: BaseExecutor = dataclass_field(init=False, repr=False)
+    _cache: EvalCache | None = dataclass_field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.target_ratio <= 0:
@@ -88,6 +102,17 @@ class FRaZ:
             if isinstance(self.executor, str)
             else self.executor
         )
+        if isinstance(self.cache, EvalCache):
+            self._cache = self.cache
+        elif self.cache:
+            self._cache = EvalCache(cache_dir=self.cache_dir)
+        else:
+            self._cache = None
+
+    @property
+    def evaluation_cache(self) -> EvalCache | None:
+        """The shared :class:`~repro.cache.EvalCache` (``None`` if disabled)."""
+        return self._cache
 
     # ------------------------------------------------------------------
     def tune(self, data: np.ndarray, prediction: float | None = None) -> TrainingResult:
@@ -104,6 +129,7 @@ class FRaZ:
             prediction=prediction,
             executor=self._executor,
             seed=self.seed,
+            cache=self._cache,
         )
 
     def tune_series(
@@ -123,6 +149,7 @@ class FRaZ:
             executor=self._executor,
             seed=self.seed,
             reuse_prediction=self.reuse_prediction,
+            cache=self._cache,
         )
 
     def tune_dataset(self, fields: dict[str, list[np.ndarray]]) -> FieldResult:
@@ -139,6 +166,7 @@ class FRaZ:
             executor=self._executor,
             seed=self.seed,
             reuse_prediction=self.reuse_prediction,
+            cache=self._cache,
         )
 
     # ------------------------------------------------------------------

@@ -16,6 +16,13 @@ best ratio — that still meets the quality floor":
 Each probe costs a compression *and* a decompression (quality needs the
 reconstruction), so these searches are inherently pricier than ratio
 tuning; the memoised closure keeps re-probes free.
+
+Closure keys are normalised through :func:`repro.cache.normalize_bound` —
+raw ``float`` keys were a stale-cache hazard (two bounds differing past the
+12th significant digit hashed to different keys yet are the same probe).
+A shared :class:`~repro.cache.EvalCache` can be injected: quality values
+piggyback on ratio entries as aux metrics (``"quality:ssim"``), so a
+quality search warms the ratio cache and vice versa.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.cache.evalcache import CacheEntry, EvalCache
+from repro.cache.keys import normalize_bound
 from repro.core.loss import DEFAULT_GAMMA
 from repro.metrics import psnr, ssim
 from repro.optimize import find_global_min
@@ -51,29 +60,63 @@ class QualityResult:
     feasible: bool
     evaluations: int
     wall_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class _QualityClosure:
-    """Memoised ``e -> (quality, ratio)`` over one (compressor, data) pair."""
+    """Memoised ``e -> (quality, ratio)`` over one (compressor, data) pair.
 
-    def __init__(self, compressor: Compressor, data: np.ndarray, metric: str) -> None:
+    Keys are normalised bounds (repr-stable rounding), matching
+    :class:`~repro.cache.EvalCache` — raw-float keys let near-identical
+    bounds slip past the memo and re-probe.
+    """
+
+    def __init__(
+        self,
+        compressor: Compressor,
+        data: np.ndarray,
+        metric: str,
+        shared: EvalCache | None = None,
+    ) -> None:
         if metric not in QUALITY_METRICS:
             raise KeyError(
                 f"unknown quality metric {metric!r}; available: {sorted(QUALITY_METRICS)}"
             )
         self.compressor = compressor
         self.data = np.asarray(data)
+        self.metric = metric
         self.metric_fn = QUALITY_METRICS[metric]
+        self.shared = shared
         self.cache: dict[float, tuple[float, float]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def __call__(self, error_bound: float) -> tuple[float, float]:
-        e = float(error_bound)
+        e = normalize_bound(error_bound)
         if e in self.cache:
             return self.cache[e]
+        aux_name = f"quality:{self.metric}"
+        key = None
+        if self.shared is not None:
+            key = self.shared.key_for(self.compressor, self.data, e)
+            entry = self.shared.get_aux(key, aux_name, data_nbytes=self.data.nbytes)
+            if entry is not None:
+                self.cache_hits += 1
+                self.cache[e] = (float(entry.aux_get(aux_name)), entry.ratio)
+                return self.cache[e]
         configured = self.compressor.with_error_bound(e)
+        start = time.perf_counter()
         payload = configured.compress(self.data)
+        elapsed = time.perf_counter() - start
         recon = configured.decompress(payload)
         quality = float(self.metric_fn(self.data, recon))
+        self.cache_misses += 1
+        if self.shared is not None and key is not None:
+            self.shared.put(
+                key,
+                CacheEntry(payload.ratio, payload.nbytes, elapsed).with_aux(aux_name, quality),
+            )
         self.cache[e] = (quality, payload.ratio)
         return self.cache[e]
 
@@ -92,6 +135,7 @@ def tune_quality(
     upper: float | None = None,
     max_calls: int = 24,
     seed: int = 0,
+    cache: EvalCache | None = None,
 ) -> QualityResult:
     """Find an error bound whose reconstruction quality hits ``target``.
 
@@ -112,6 +156,9 @@ def tune_quality(
         Error-bound search interval; defaults to the compressor's range.
     max_calls:
         Probe budget (each probe = compress + decompress).
+    cache:
+        Optional shared :class:`~repro.cache.EvalCache`; quality values
+        ride on ratio entries as aux metrics.
     """
     t0 = time.perf_counter()
     data = np.asarray(data)
@@ -119,7 +166,7 @@ def tune_quality(
     lo = default_lo if lower is None else float(lower)
     hi = default_hi if upper is None else float(upper)
 
-    closure = _QualityClosure(compressor, data, metric)
+    closure = _QualityClosure(compressor, data, metric, shared=cache)
 
     def loss(e: float) -> float:
         quality, _ = closure(e)
@@ -142,6 +189,8 @@ def tune_quality(
         feasible=abs(quality - target) <= tolerance,
         evaluations=closure.evaluations,
         wall_seconds=time.perf_counter() - t0,
+        cache_hits=closure.cache_hits,
+        cache_misses=closure.cache_misses,
     )
 
 
@@ -154,6 +203,7 @@ def max_ratio_at_quality(
     upper: float | None = None,
     max_calls: int = 24,
     seed: int = 0,
+    cache: EvalCache | None = None,
 ) -> QualityResult:
     """Best compression ratio whose quality stays at or above a floor.
 
@@ -167,7 +217,7 @@ def max_ratio_at_quality(
     lo = default_lo if lower is None else float(lower)
     hi = default_hi if upper is None else float(upper)
 
-    closure = _QualityClosure(compressor, data, metric)
+    closure = _QualityClosure(compressor, data, metric, shared=cache)
 
     def loss(e: float) -> float:
         quality, _ = closure(e)
@@ -197,4 +247,6 @@ def max_ratio_at_quality(
         feasible=feasible,
         evaluations=closure.evaluations,
         wall_seconds=time.perf_counter() - t0,
+        cache_hits=closure.cache_hits,
+        cache_misses=closure.cache_misses,
     )

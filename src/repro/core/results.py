@@ -23,6 +23,8 @@ class WorkerResult:
     region: tuple[float, float]
     used_prediction: bool
     compress_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -39,12 +41,24 @@ class TrainingResult:
     wall_seconds: float
     used_prediction: bool
     workers: tuple[WorkerResult, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def within_tolerance(self) -> bool:
         lo = self.target_ratio * (1.0 - self.tolerance)
         hi = self.target_ratio * (1.0 + self.tolerance)
         return lo <= self.ratio <= hi
+
+    @property
+    def compressor_calls(self) -> int:
+        """Actual compressor invocations this search paid for.
+
+        ``evaluations`` counts probes; with a shared cache attached some
+        probes are answered without compressing, so
+        ``compressor_calls == evaluations - cache_hits``.
+        """
+        return self.evaluations - self.cache_hits
 
 
 @dataclass
@@ -66,6 +80,14 @@ class TimeSeriesResult:
         return sum(s.evaluations for s in self.steps)
 
     @property
+    def total_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.steps)
+
+    @property
+    def total_compressor_calls(self) -> int:
+        return sum(s.compressor_calls for s in self.steps)
+
+    @property
     def total_wall_seconds(self) -> float:
         return sum(s.wall_seconds for s in self.steps)
 
@@ -79,6 +101,18 @@ class FieldResult:
     @property
     def total_wall_seconds(self) -> float:
         return sum(f.total_wall_seconds for f in self.fields.values())
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(f.total_evaluations for f in self.fields.values())
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(f.total_cache_hits for f in self.fields.values())
+
+    @property
+    def total_compressor_calls(self) -> int:
+        return sum(f.total_compressor_calls for f in self.fields.values())
 
     @property
     def longest_field_seconds(self) -> float:

@@ -9,6 +9,14 @@ target is reported and the request is deemed infeasible (lines 17-25).
 
 The paper found 12 regions the sweet spot ("there seems to be a floor for
 how many iterations are required to converge"); that is the default.
+
+Because regions *overlap* (Fig. 5), adjacent workers routinely probe the
+same bounds.  Passing a shared :class:`~repro.cache.EvalCache` deduplicates
+those probes: serial/thread executors share the instance directly, while
+process-pool workers receive a pickled copy and ship their new entries back
+in the worker payload for a deterministic merge (results are folded in
+region order, and entries are pure functions of their key, so completion
+order cannot change the merged state).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import time
 
 import numpy as np
 
+from repro.cache.evalcache import CacheEntry, EvalCache
 from repro.core.regions import split_regions
 from repro.core.results import TrainingResult, WorkerResult
 from repro.core.worker import worker_task
@@ -29,10 +38,18 @@ DEFAULT_REGIONS = 12
 DEFAULT_OVERLAP = 0.1
 
 
-def _run_worker(payload: tuple) -> WorkerResult:
-    """Module-level trampoline so process pools can pickle the task."""
-    compressor, data, target, tolerance, region, prediction, max_calls, seed = payload
-    return worker_task(
+def _run_worker(payload: tuple) -> tuple[WorkerResult, dict[str, CacheEntry] | None]:
+    """Module-level trampoline so process pools can pickle the task.
+
+    Returns the worker's result plus its cache delta — the entries this
+    worker stored — so the parent process can fold them into the shared
+    cache.  ``ship_delta`` is False for shared-memory executors, where
+    workers write straight into the parent's instance and a delta would
+    be a wasted copy.
+    """
+    (compressor, data, target, tolerance, region, prediction, max_calls, seed,
+     cache, ship_delta) = payload
+    result = worker_task(
         compressor,
         data,
         target,
@@ -41,7 +58,9 @@ def _run_worker(payload: tuple) -> WorkerResult:
         prediction=prediction,
         max_calls=max_calls,
         seed=seed,
+        cache=cache,
     )
+    return result, (cache.new_entries() if cache is not None and ship_delta else None)
 
 
 def train(
@@ -57,6 +76,7 @@ def train(
     prediction: float | None = None,
     executor: BaseExecutor | None = None,
     seed: int = 0,
+    cache: EvalCache | None = None,
 ) -> TrainingResult:
     """Find an error bound whose ratio hits ``target_ratio`` within ``tolerance``.
 
@@ -64,6 +84,11 @@ def train(
     pass ``upper`` explicitly to impose the user's maximum allowed
     compression error ``U`` (Sec. V-B3 — if the search then fails, rerun
     with the default upper bound or relax the constraint).
+
+    ``cache`` is an optional shared :class:`~repro.cache.EvalCache`; all
+    region workers consult it, and entries probed by pool workers are
+    merged back so later searches (other regions, time-steps, baselines)
+    reuse them.
     """
     data = np.asarray(data)
     t0 = time.perf_counter()
@@ -85,6 +110,7 @@ def train(
             prediction=prediction,
             max_calls=1,
             seed=seed,
+            cache=cache,
         )
         if probe.used_prediction and probe.feasible:
             return TrainingResult(
@@ -98,18 +124,28 @@ def train(
                 wall_seconds=time.perf_counter() - t0,
                 used_prediction=True,
                 workers=(probe,),
+                cache_hits=probe.cache_hits,
+                cache_misses=probe.cache_misses,
             )
 
     executor = executor or SerialExecutor()
+    ship_delta = cache is not None and not getattr(executor, "shares_memory", True)
     region_list = split_regions(lo, hi, regions, overlap)
     payloads = [
-        (compressor, data, target_ratio, tolerance, region, None, max_calls_per_region, seed + i)
+        (compressor, data, target_ratio, tolerance, region, None, max_calls_per_region,
+         seed + i, cache, ship_delta)
         for i, region in enumerate(region_list)
     ]
     completed = executor.run_cancellable(
-        _run_worker, payloads, stop_when=lambda res: res.feasible
+        _run_worker, payloads, stop_when=lambda res: res[0].feasible
     )
-    workers = tuple(res for _, res in completed)
+    workers = tuple(res for _, (res, _entries) in completed)
+    if ship_delta:
+        # run_cancellable returns results sorted by region index, so the
+        # merge order — hence the final LRU state — is deterministic even
+        # under process pools.
+        for _, (_res, entries) in completed:
+            cache.merge_entries(entries)
 
     # Lines 17-25: prefer a feasible result; otherwise the closest observed.
     feasible = [w for w in workers if w.feasible]
@@ -129,4 +165,6 @@ def train(
         wall_seconds=time.perf_counter() - t0,
         used_prediction=False,
         workers=workers,
+        cache_hits=sum(w.cache_hits for w in workers),
+        cache_misses=sum(w.cache_misses for w in workers),
     )

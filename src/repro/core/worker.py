@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.evalcache import EvalCache
 from repro.core.loss import clamped_square_loss, cutoff_for
 from repro.core.results import WorkerResult
 from repro.optimize import find_global_min
@@ -29,6 +30,7 @@ def worker_task(
     prediction: float | None = None,
     max_calls: int = 16,
     seed: int = 0,
+    cache: EvalCache | None = None,
 ) -> WorkerResult:
     """Search one region for an error bound achieving ``target_ratio``.
 
@@ -52,13 +54,17 @@ def worker_task(
         iterations rather than time, Sec. V-C).
     seed:
         Optimizer determinism seed.
+    cache:
+        Optional shared :class:`~repro.cache.EvalCache`; probes another
+        worker or time-step already paid for are answered without
+        compressing.
     """
     if target_ratio <= 0:
         raise ValueError(f"target ratio must be positive, got {target_ratio}")
     if not 0 < tolerance < 1:
         raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
     lower, upper = region
-    ratio_fn = RatioFunction(compressor, data)
+    ratio_fn = RatioFunction(compressor, data, cache=cache)
     lo_band = target_ratio * (1.0 - tolerance)
     hi_band = target_ratio * (1.0 + tolerance)
 
@@ -74,6 +80,8 @@ def worker_task(
                 region=region,
                 used_prediction=True,
                 compress_seconds=ratio_fn.compress_seconds,
+                cache_hits=ratio_fn.cache_hits,
+                cache_misses=ratio_fn.cache_misses,
             )
 
     # Line 7: train with cutoff.
@@ -101,4 +109,6 @@ def worker_task(
         region=region,
         used_prediction=False,
         compress_seconds=ratio_fn.compress_seconds,
+        cache_hits=ratio_fn.cache_hits,
+        cache_misses=ratio_fn.cache_misses,
     )

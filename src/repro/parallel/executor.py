@@ -35,6 +35,11 @@ __all__ = [
 class BaseExecutor(ABC):
     """Uniform interface over serial/thread/process execution."""
 
+    #: Whether tasks see the caller's objects (serial/thread) or pickled
+    #: copies (process pools).  Orchestrators use this to decide if shared
+    #: state — e.g. the evaluation cache — needs an explicit merge step.
+    shares_memory: bool = True
+
     @abstractmethod
     def run_cancellable(
         self,
@@ -119,6 +124,7 @@ class ProcessExecutor(_PoolExecutor):
     """Process-pool backend (payloads must be picklable)."""
 
     _pool_cls = ProcessPoolExecutor
+    shares_memory = False
 
 
 def make_executor(kind: str = "serial", workers: int = 4) -> BaseExecutor:

@@ -10,6 +10,13 @@ counter (iteration budgets, Fig. 7's cost accounting), and a full history of
 ``(e, rho_r, nbytes)`` observations so the training algorithm can report the
 *closest* observed ratio when the target is infeasible (Algorithm 2, lines
 17-25).
+
+When a shared :class:`~repro.cache.EvalCache` is attached, it is consulted
+before the compressor: probes another worker, time-step or baseline already
+paid for come back free, and the hit/miss split is tracked per closure so
+result records can report how much work the cache absorbed.  Bounds are
+normalised (:func:`repro.cache.normalize_bound`) so the local memo, the
+shared cache and the disk tier all agree on keys.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cache.evalcache import CacheEntry, EvalCache
+from repro.cache.keys import normalize_bound
 from repro.pressio.compressor import Compressor
 
 __all__ = ["RatioFunction", "Observation"]
@@ -40,26 +49,38 @@ class RatioFunction:
 
     compressor: Compressor
     data: np.ndarray
+    cache: EvalCache | None = None
     history: list[Observation] = field(default_factory=list)
     _cache: dict[float, float] = field(default_factory=dict)
     compress_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __call__(self, error_bound: float) -> float:
-        e = float(error_bound)
+        e = normalize_bound(error_bound)
         if e in self._cache:
             return self._cache[e]
-        start = time.perf_counter()
-        compressed = self.compressor.with_error_bound(e).compress(self.data)
-        elapsed = time.perf_counter() - start
-        ratio = compressed.ratio
+        if self.cache is not None:
+            entry, was_hit = self.cache.evaluate(self.compressor, self.data, e)
+            elapsed = 0.0 if was_hit else entry.seconds
+            if was_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        else:
+            start = time.perf_counter()
+            compressed = self.compressor.with_error_bound(e).compress(self.data)
+            elapsed = time.perf_counter() - start
+            entry = CacheEntry(compressed.ratio, compressed.nbytes, elapsed)
+            self.cache_misses += 1
         self.compress_seconds += elapsed
-        self.history.append(Observation(e, ratio, compressed.nbytes, elapsed))
-        self._cache[e] = ratio
-        return ratio
+        self.history.append(Observation(e, entry.ratio, entry.nbytes, elapsed))
+        self._cache[e] = entry.ratio
+        return entry.ratio
 
     @property
     def evaluations(self) -> int:
-        """Number of *distinct* compressor invocations so far."""
+        """Number of *distinct* probes so far (cache hits included)."""
         return len(self.history)
 
     def best_observation(self, target_ratio: float) -> Observation | None:

@@ -1,0 +1,268 @@
+"""EvalCache behaviour: accounting, LRU, persistence, snapshots, batching."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheEntry, EvalCache
+from repro.parallel.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.sz.compressor import SZCompressor
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(91)
+    return (r.standard_normal((16, 16, 8))).astype(np.float32)
+
+
+class TestAccounting:
+    def test_miss_then_hit(self, field):
+        cache = EvalCache()
+        sz = SZCompressor()
+        entry, was_hit = cache.evaluate(sz, field, 1e-3)
+        assert not was_hit
+        again, was_hit = cache.evaluate(sz, field, 1e-3)
+        assert was_hit
+        assert again.ratio == entry.ratio
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.seconds_saved > 0
+        assert cache.stats.bytes_saved == field.nbytes  # one avoided re-compress
+
+    def test_normalised_bounds_share_an_entry(self, field):
+        cache = EvalCache()
+        sz = SZCompressor()
+        cache.evaluate(sz, field, 1e-3)
+        _, was_hit = cache.evaluate(sz, field, 1e-3 * (1 + 1e-14))
+        assert was_hit
+
+    def test_different_data_misses(self, field):
+        """Fingerprint collision safety via the full evaluate path."""
+        cache = EvalCache()
+        sz = SZCompressor()
+        other = field.copy()
+        other[0, 0, 0] += np.float32(1e-3)
+        cache.evaluate(sz, field, 1e-3)
+        _, was_hit = cache.evaluate(sz, other, 1e-3)
+        assert not was_hit
+
+    def test_different_config_misses(self, field):
+        cache = EvalCache()
+        cache.evaluate(SZCompressor(), field, 1e-3)
+        _, was_hit = cache.evaluate(SZCompressor(use_regression=False), field, 1e-3)
+        assert not was_hit
+
+    def test_hit_rate(self, field):
+        cache = EvalCache()
+        sz = SZCompressor()
+        assert cache.stats.hit_rate == 0.0
+        cache.evaluate(sz, field, 1e-3)
+        cache.evaluate(sz, field, 1e-3)
+        cache.evaluate(sz, field, 2e-3)
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = EvalCache(maxsize=2)
+        cache.put("a", CacheEntry(1.0, 10, 0.0))
+        cache.put("b", CacheEntry(2.0, 10, 0.0))
+        assert cache.get("a") is not None  # refresh "a": now "b" is LRU
+        cache.put("c", CacheEntry(3.0, 10, 0.0))
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            EvalCache(maxsize=0)
+
+    def test_unbounded(self):
+        cache = EvalCache(maxsize=None)
+        for i in range(500):
+            cache.put(str(i), CacheEntry(float(i), 1, 0.0))
+        assert len(cache) == 500 and cache.stats.evictions == 0
+
+
+class TestAuxMetrics:
+    def test_put_merges_aux(self):
+        cache = EvalCache()
+        cache.put("k", CacheEntry(2.0, 10, 0.1).with_aux("quality:ssim", 0.9))
+        cache.put("k", CacheEntry(2.0, 10, 0.2).with_aux("quality:psnr", 55.0))
+        entry = cache.peek("k")
+        assert entry.aux_get("quality:ssim") == 0.9
+        assert entry.aux_get("quality:psnr") == 55.0
+
+    def test_get_aux_requires_metric(self):
+        cache = EvalCache()
+        cache.put("k", CacheEntry(2.0, 10, 0.1))
+        assert cache.get_aux("k", "quality:ssim") is None  # ratio-only entry
+        assert cache.stats.misses == 1
+        cache.put("k", CacheEntry(2.0, 10, 0.1).with_aux("quality:ssim", 0.9))
+        assert cache.get_aux("k", "quality:ssim") is not None
+        assert cache.stats.hits == 1
+
+
+class TestPersistence:
+    def test_roundtrip(self, field, tmp_path):
+        sz = SZCompressor()
+        first = EvalCache(cache_dir=tmp_path)
+        entry, _ = first.evaluate(sz, field, 1e-3)
+        first.put(
+            first.key_for(sz, field, 2e-3),
+            CacheEntry(4.0, 25, 0.5).with_aux("quality:ssim", 0.97),
+        )
+        first.save()
+
+        second = EvalCache(cache_dir=tmp_path)
+        assert second.stats.disk_loads == len(first)
+        hit, was_hit = second.evaluate(sz, field, 1e-3)
+        assert was_hit and hit.ratio == entry.ratio
+        aux = second.peek(second.key_for(sz, field, 2e-3))
+        assert aux.aux_get("quality:ssim") == 0.97
+
+    def test_context_manager_saves(self, field, tmp_path):
+        sz = SZCompressor()
+        with EvalCache(cache_dir=tmp_path) as cache:
+            cache.evaluate(sz, field, 1e-3)
+        reloaded = EvalCache(cache_dir=tmp_path)
+        _, was_hit = reloaded.evaluate(sz, field, 1e-3)
+        assert was_hit
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        (tmp_path / "evalcache.json").write_text("{not json")
+        cache = EvalCache(cache_dir=tmp_path)
+        assert len(cache) == 0
+        cache.put("k", CacheEntry(1.0, 1, 0.0))
+        assert cache.save() is not None  # save still works afterwards
+
+    def test_unknown_format_ignored(self, tmp_path):
+        (tmp_path / "evalcache.json").write_text('{"format": 99, "entries": {"x": {}}}')
+        assert len(EvalCache(cache_dir=tmp_path)) == 0
+
+    def test_no_dir_means_no_disk(self):
+        cache = EvalCache()
+        assert cache.disk_path is None and cache.save() is None
+
+    def test_tilde_cache_dir_expands(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        cache = EvalCache(cache_dir="~/frz-cache")
+        assert cache.cache_dir == str(tmp_path / "frz-cache")
+        cache.put("k", CacheEntry(1.0, 1, 0.0))
+        cache.save()
+        assert (tmp_path / "frz-cache" / "evalcache.json").exists()
+
+
+class TestSnapshotMerge:
+    def test_pickle_drops_disk_tier_and_stats(self, field, tmp_path):
+        sz = SZCompressor()
+        cache = EvalCache(cache_dir=tmp_path)
+        cache.evaluate(sz, field, 1e-3)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.cache_dir is None
+        assert clone.stats.misses == 0
+        _, was_hit = clone.evaluate(sz, field, 1e-3)
+        assert was_hit  # entries travelled
+
+    def test_new_entries_tracks_only_local_stores(self, field):
+        sz = SZCompressor()
+        cache = EvalCache()
+        cache.evaluate(sz, field, 1e-3)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.new_entries() == {}
+        clone.evaluate(sz, field, 2e-3)
+        assert len(clone.new_entries()) == 1
+
+    def test_merge_is_idempotent_and_deterministic(self, field):
+        sz = SZCompressor()
+        parent = EvalCache()
+        parent.evaluate(sz, field, 1e-3)
+        worker_a = pickle.loads(pickle.dumps(parent))
+        worker_b = pickle.loads(pickle.dumps(parent))
+        worker_a.evaluate(sz, field, 2e-3)
+        worker_b.evaluate(sz, field, 2e-3)  # same probe, both pay (no sharing)
+        worker_b.evaluate(sz, field, 4e-3)
+
+        merged_ab = EvalCache()
+        merged_ab.merge_entries(parent.new_entries())
+        merged_ab.merge_entries(worker_a.new_entries())
+        merged_ab.merge_entries(worker_b.new_entries())
+
+        merged_ba = EvalCache()
+        merged_ba.merge_entries(parent.new_entries())
+        merged_ba.merge_entries(worker_b.new_entries())
+        merged_ba.merge_entries(worker_a.new_entries())
+        merged_ba.merge_entries(worker_a.new_entries())  # replay: idempotent
+
+        keys_ab = sorted(merged_ab.new_entries())
+        keys_ba = sorted(merged_ba.new_entries())
+        assert keys_ab == keys_ba
+        for k in keys_ab:
+            assert merged_ab.peek(k).ratio == merged_ba.peek(k).ratio
+
+    def test_executors_declare_memory_sharing(self):
+        """Orchestrators skip the delta round-trip for in-process executors."""
+        assert SerialExecutor.shares_memory
+        assert ThreadExecutor.shares_memory
+        assert not ProcessExecutor.shares_memory
+
+    def test_merge_counts_unseen(self):
+        cache = EvalCache()
+        cache.put("a", CacheEntry(1.0, 1, 0.0))
+        added = cache.merge_entries({"a": CacheEntry(1.0, 1, 0.0), "b": CacheEntry(2.0, 1, 0.0)})
+        assert added == 1
+        assert cache.merge_entries(None) == 0
+
+
+class TestEvaluateMany:
+    def test_batch_partition(self, field):
+        sz = SZCompressor()
+        cache = EvalCache()
+        cache.evaluate(sz, field, 1e-3)
+        bounds = [1e-3, 2e-3, 4e-3, 2e-3]  # one hit, two cold, one duplicate
+        entries = cache.evaluate_many(sz, field, bounds)
+        assert len(entries) == 4
+        assert entries[1].ratio == entries[3].ratio  # duplicate answered once
+        assert cache.stats.misses == 1 + 2  # initial miss + two cold probes
+
+    def test_batch_matches_serial(self, field):
+        sz = SZCompressor()
+        bounds = [1e-4, 1e-3, 1e-2]
+        expected = [sz.with_error_bound(e).compress(field).ratio for e in bounds]
+        for executor in (None, SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)):
+            cache = EvalCache()
+            entries = cache.evaluate_many(sz, field, bounds, executor=executor)
+            assert [e.ratio for e in entries] == expected
+
+    def test_warm_batch_issues_no_probes(self, field):
+        sz = SZCompressor()
+        cache = EvalCache()
+        bounds = [1e-4, 1e-3, 1e-2]
+        cache.evaluate_many(sz, field, bounds)
+        before = cache.stats.misses
+        cache.evaluate_many(sz, field, bounds)
+        assert cache.stats.misses == before
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets(self):
+        cache = EvalCache(maxsize=64)
+        errors = []
+
+        def work(tid):
+            try:
+                for i in range(200):
+                    key = f"{tid}:{i % 10}"
+                    cache.put(key, CacheEntry(float(i), 1, 0.0))
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,100 @@
+"""Cache key construction: fingerprints, config hashes, bound normalisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.keys import (
+    bound_key,
+    config_hash,
+    fingerprint_array,
+    make_key,
+    normalize_bound,
+)
+from repro.sz.compressor import SZCompressor
+from repro.zfp.compressor import ZFPCompressor
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)
+        assert fingerprint_array(a) == fingerprint_array(a.copy())
+
+    def test_different_values_differ(self):
+        """Collision safety: same shape/dtype, different values."""
+        a = np.zeros((8, 8), dtype=np.float32)
+        b = np.zeros((8, 8), dtype=np.float32)
+        b[3, 4] = 1e-30  # one ULP-ish of difference must change the key
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_shape_is_part_of_key(self):
+        """Same bytes, different shape: compressors treat these differently."""
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)
+        b = a.reshape(6, 4)
+        assert a.tobytes() == b.tobytes()
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_dtype_is_part_of_key(self):
+        """Same bytes reinterpreted as another dtype must not collide."""
+        a = np.zeros(16, dtype=np.float32)
+        b = a.view(np.int32)
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_non_contiguous_view_equals_its_copy(self):
+        a = np.arange(64, dtype=np.float64).reshape(8, 8)
+        view = a[::2, ::2]
+        assert fingerprint_array(view) == fingerprint_array(view.copy())
+
+
+class TestConfigHash:
+    def test_bound_excluded(self):
+        """The bound is the search axis — it must not change the config hash."""
+        assert config_hash(SZCompressor(error_bound=1e-3)) == config_hash(
+            SZCompressor(error_bound=1e-6)
+        )
+
+    def test_other_knobs_included(self):
+        base = SZCompressor()
+        assert config_hash(base) != config_hash(SZCompressor(block_size=8))
+        assert config_hash(base) != config_hash(SZCompressor(dict_codec="lz77"))
+        assert config_hash(base) != config_hash(SZCompressor(use_regression=False))
+        assert config_hash(base) != config_hash(SZCompressor(bound_mode="rel"))
+
+    def test_different_compressors_differ(self):
+        assert config_hash(SZCompressor()) != config_hash(ZFPCompressor())
+
+
+class TestNormalizeBound:
+    def test_near_identical_bounds_collapse(self):
+        e = 1.234567890123e-3
+        assert normalize_bound(e) == normalize_bound(e * (1 + 1e-14))
+
+    def test_distinct_bounds_stay_distinct(self):
+        assert normalize_bound(1.0e-3) != normalize_bound(1.001e-3)
+
+    def test_idempotent(self):
+        for e in (1e-300, 3.14159e-3, 7.0, 1e12):
+            assert normalize_bound(normalize_bound(e)) == normalize_bound(e)
+
+    def test_zero_and_nonfinite_pass_through(self):
+        assert normalize_bound(0.0) == 0.0
+        assert normalize_bound(float("inf")) == float("inf")
+
+    def test_json_roundtrip_stable(self):
+        """Disk-tier keys must survive JSON encode/decode bit-exactly."""
+        for e in (1e-9, 2.718281828459045e-4, 0.1, 123456.789):
+            key = bound_key(e)
+            assert bound_key(json.loads(json.dumps(float(key)))) == key
+
+
+class TestMakeKey:
+    def test_composite_key_varies_with_each_axis(self):
+        a = np.ones((4, 4), dtype=np.float32)
+        b = np.full((4, 4), 2.0, dtype=np.float32)
+        sz, zfp = SZCompressor(), ZFPCompressor()
+        fp_a, fp_b = fingerprint_array(a), fingerprint_array(b)
+        base = make_key(fp_a, config_hash(sz), 1e-3)
+        assert make_key(fp_b, config_hash(sz), 1e-3) != base
+        assert make_key(fp_a, config_hash(zfp), 1e-3) != base
+        assert make_key(fp_a, config_hash(sz), 2e-3) != base
