@@ -1,9 +1,9 @@
 """Ablation: SZ's dictionary stage — DEFLATE backend vs from-scratch LZ77
 vs no dictionary stage at all.
 
-The paper's SZ links Gzip/Zstd for stage 4; DESIGN.md substitutes stdlib
+The paper's SZ links Gzip/Zstd for stage 4; this package substitutes stdlib
 DEFLATE by default and ships a from-scratch LZ77 as the reference
-implementation.  This ablation quantifies what the stage buys (ratio) and
+implementation (docs/COMPRESSORS.md).  This ablation quantifies what the stage buys (ratio) and
 what each backend costs (time), plus the effect of removing it — the
 dictionary stage is also implicated in the Fig. 3 non-monotonicity.
 """

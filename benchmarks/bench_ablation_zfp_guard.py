@@ -1,6 +1,6 @@
 """Ablation: ZFP accuracy mode's guard bits vs verify-and-patch load.
 
-DESIGN.md fixes ``GUARD_BITS_PER_DIM = 1`` empirically: fewer guard bits
+``GUARD_BITS_PER_DIM = 1`` was fixed empirically: fewer guard bits
 keep more ratio but push more points past the tolerance, all of which the
 patch section must then store verbatim.  This bench regenerates that
 tradeoff so the constant stays auditable.

@@ -1,4 +1,4 @@
-"""Ablations of FRaZ's design choices (DESIGN.md Sec. 4).
+"""Ablations of FRaZ's design choices.
 
 Four knobs the paper fixes with brief justification; each ablation measures
 the knob's actual effect on this implementation:

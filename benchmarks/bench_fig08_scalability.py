@@ -6,7 +6,7 @@ the longest single field task (QCLOUD took 1022 s vs a <500 s 75th
 percentile); sz:abs scales past zfp:accuracy because ZFP's sparser feasible
 ratios leave more budget-exhausting infeasible searches.
 
-We cannot host hundreds of cores; per DESIGN.md the *measured* single-task
+We cannot host hundreds of cores, so the *measured* single-task
 durations are replayed through a deterministic list scheduler
 (:mod:`repro.parallel.simulate`) — the same quantity the paper analyses.
 """

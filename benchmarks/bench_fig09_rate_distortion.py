@@ -19,7 +19,7 @@ from repro.pressio import make_compressor
 # 3D fields sweep low rates; the 1D particle datasets only express low
 # ratios (Fig. 9 d/e reach bit rate 14-18), and our ZFP's 24-bit block
 # header makes sub-2-bit rates degenerate in 1D/2D (documented overhead of
-# the sectioned layout — see EXPERIMENTS.md).
+# the sectioned layout — see docs/BENCHMARKS.md).
 _PANELS = [
     ("Hurricane", "TCf", "hurricane_tiny", [1.0, 2.0, 4.0, 8.0]),
     ("NYX", "temperature", "nyx_tiny", [1.0, 2.0, 4.0, 8.0]),

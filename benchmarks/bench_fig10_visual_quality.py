@@ -5,7 +5,7 @@ SSIM=0.999, ZFP(FRaZ) 76 / 0.997, MGARD(FRaZ) 70 / 0.977, ZFP(fixed-rate)
 56 / 0.986 — i.e. SZ best, MGARD the worst of the error-bounded trio, and
 fixed-rate far behind the FRaZ-tuned error-bounded modes.
 
-Scale substitution (see DESIGN.md / EXPERIMENTS.md): our synthetic NYX is
+Scale substitution (see docs/BENCHMARKS.md): our synthetic NYX is
 48^3, so each voxel carries ~1200x more of the field's structure than in
 the 512^3 original; a literal 85:1 would destroy it.  The
 resolution-equivalent stress point is ~10:1 here, where both the ordering

@@ -1,0 +1,128 @@
+"""Streamed vs in-memory compression: throughput and peak memory.
+
+The streaming layer exists to trade *nothing* for memory: on data that
+fits in memory its throughput must stay within 20% of the in-memory path
+(the chunked pipeline adds only container framing and per-chunk planning
+on top of the same compressor work), while on data larger than the
+``max_memory`` cap its peak traced allocation must stay under the cap the
+in-memory path blows straight through.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_stream_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.pressio.registry import make_compressor
+from repro.stream import stream_compress, stream_decompress
+
+BOUND = 1e-3
+ACCEPTANCE_FLOOR = 0.80  # streamed >= 80% of in-memory MB/s
+
+
+def _field(shape, dtype=np.float32):
+    axes = np.meshgrid(*(np.linspace(0, 11, s) for s in shape), indexing="ij")
+    return sum(np.sin(a + i) for i, a in enumerate(axes)).astype(dtype)
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_streamed_throughput_within_20pct_of_in_memory(tmp_path, report):
+    """Acceptance: streamed MB/s >= 80% of in-memory on fitting data."""
+    data = _field((128, 96, 32))  # 1.5 MiB, fits comfortably
+    src = tmp_path / "f.npy"
+    np.save(src, data)
+    comp = make_compressor("sz", error_bound=BOUND)
+    comp.compress(data)  # warm plans/caches for both paths
+
+    t_mem = _best_of(2, lambda: comp.compress(data))
+    t_stream = _best_of(
+        2,
+        lambda: stream_compress(src, tmp_path / "f.frzs", error_bound=BOUND,
+                                chunk_shape=(32, 96, 32)),
+    )
+    mb = data.nbytes / 1e6
+    mem_mbs, stream_mbs = mb / t_mem, mb / t_stream
+    relative = stream_mbs / mem_mbs
+    report(
+        "",
+        "== Streamed vs in-memory throughput (1.5 MiB float32, fits in memory) ==",
+        f"in-memory : {mem_mbs:6.2f} MB/s",
+        f"streamed  : {stream_mbs:6.2f} MB/s ({relative:.0%} of in-memory; "
+        f"floor {ACCEPTANCE_FLOOR:.0%})",
+    )
+    assert relative >= ACCEPTANCE_FLOOR
+
+
+def test_streamed_peak_memory_under_cap_in_memory_is_not(tmp_path, report):
+    """4 MiB dataset, 1 MiB cap: only the streamed path respects it."""
+    cap = 1 << 20
+    data = _field((128, 64, 64), dtype=np.float64)  # 4 MiB
+    src = tmp_path / "big.npy"
+    np.save(src, data)
+    comp = make_compressor("sz", error_bound=BOUND)
+
+    # Warm both paths so one-time costs (imports, wavefront plans) don't
+    # pollute the traced peaks.
+    stream_compress(src, tmp_path / "w.frzs", error_bound=BOUND, max_memory=cap)
+    comp.compress(data)
+
+    tracemalloc.start()
+    res = stream_compress(src, tmp_path / "s.frzs", error_bound=BOUND,
+                          max_memory=cap)
+    _, peak_stream = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    comp.compress(np.load(src))  # the in-memory path must load it all
+    _, peak_mem = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    report(
+        "",
+        f"== Peak traced allocation, 4 MiB dataset, cap {cap >> 20} MiB ==",
+        f"in-memory : {peak_mem / 1e6:6.2f} MB peak",
+        f"streamed  : {peak_stream / 1e6:6.2f} MB peak "
+        f"({res.n_chunks} chunks of {'x'.join(map(str, res.chunk_shape))})",
+        f"ratio     : {res.ratio:.2f}:1 at {res.mb_per_second:.2f} MB/s",
+    )
+    assert peak_stream < cap
+    assert peak_mem > cap  # the comparison is meaningful
+
+    recon = stream_decompress(tmp_path / "s.frzs")
+    assert float(np.abs(recon - data).max()) <= BOUND * 1.0000001
+
+
+def test_streamed_decompress_throughput(tmp_path, report):
+    """Decompression symmetry: streamed reassembly vs in-memory decode."""
+    data = _field((96, 96, 24))
+    src = tmp_path / "f.npy"
+    np.save(src, data)
+    comp = make_compressor("sz", error_bound=BOUND)
+    payload = comp.compress(data)
+    out = tmp_path / "f.frzs"
+    stream_compress(src, out, error_bound=BOUND, chunk_shape=(24, 96, 24))
+    comp.decompress(payload)  # warm
+
+    t_mem = _best_of(2, lambda: comp.decompress(payload))
+    t_stream = _best_of(2, lambda: stream_decompress(out))
+    mb = data.nbytes / 1e6
+    report(
+        "",
+        "== Streamed vs in-memory decompression ==",
+        f"in-memory : {mb / t_mem:6.2f} MB/s",
+        f"streamed  : {mb / t_stream:6.2f} MB/s",
+    )

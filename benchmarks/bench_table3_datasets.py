@@ -2,7 +2,7 @@
 
 The analogs match the paper's dimensionality and field counts exactly and
 its time-step counts at the ``paper`` scale; sizes are reduced (the
-originals total ~150 GB, unavailable offline — see DESIGN.md).
+originals total ~150 GB, unavailable offline).
 """
 
 from __future__ import annotations

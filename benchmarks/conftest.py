@@ -1,8 +1,8 @@
 """Shared fixtures and report helpers for the benchmark harness.
 
 Every ``bench_figXX``/``bench_tableX`` module regenerates one figure or
-table from the paper's evaluation (Sec. VI); EXPERIMENTS.md records the
-paper-vs-measured comparison.  Benchmarks print their series/rows through
+table from the paper's evaluation (Sec. VI); docs/BENCHMARKS.md records the
+paper-vs-measured expectations.  Benchmarks print their series/rows through
 :func:`report` so the output survives pytest's capture into
 ``bench_output.txt`` runs with ``-s`` or ``--capture=no`` disabled alike.
 """

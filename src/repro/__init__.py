@@ -6,8 +6,8 @@ Floating-point Data* (IPDPS 2020), built entirely from scratch in Python:
 the FRaZ autotuner itself plus the SZ / ZFP / MGARD compressors, the
 lossless coding substrate, the Dlib-style global optimizer, the libpressio
 abstraction layer, the SDRBench-like datasets, and the full benchmark
-harness.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+harness.  See README.md for the system inventory and docs/BENCHMARKS.md for
+the paper-vs-measured record.
 
 Quickstart::
 
@@ -27,7 +27,7 @@ from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
 from repro.pressio.evaluation import evaluate
 from repro.pressio.registry import available_compressors, make_compressor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EvalCache",

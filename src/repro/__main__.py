@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Delegates to :func:`repro.cli.main`; see ``docs/CLI.md`` for the command
+reference (``compress``, ``stream``, ``decompress``, ``tune``, ``info``,
+``datasets``).
+"""
 
 import sys
 
 from repro.cli import main
+
+__all__ = ["main"]
 
 sys.exit(main())

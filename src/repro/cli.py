@@ -4,9 +4,11 @@ Commands
 --------
 ``compress``    fixed-ratio (FRaZ-tuned) or fixed-bound compression of a
                 ``.npy`` array into a ``.frz`` file
-``decompress``  reconstruct a ``.frz`` file back to ``.npy``
+``stream``      out-of-core chunked compression of a larger-than-memory
+                ``.npy``/raw-binary file into a ``.frzs`` container
+``decompress``  reconstruct a ``.frz``/``.frzs`` file back to ``.npy``
 ``tune``        run the FRaZ search and report the recommended bound
-``info``        show a ``.frz`` file's metadata
+``info``        show a ``.frz``/``.frzs`` file's metadata
 ``datasets``    print the Table III analog of the bundled synthetic datasets
 """
 
@@ -14,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 import numpy as np
@@ -23,7 +26,40 @@ from repro.datasets import dataset_summaries
 from repro.io.files import load_field, read_info, save_field
 from repro.pressio.registry import available_compressors, make_compressor
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_memory_size", "parse_chunk_shape"]
+
+
+def parse_memory_size(text: str) -> int:
+    """Parse ``"64MB"``/``"2GiB"``/``"1048576"`` into bytes."""
+    units = {"": 1, "b": 1,
+             "kb": 10**3, "mb": 10**6, "gb": 10**9,
+             "kib": 2**10, "mib": 2**20, "gib": 2**30,
+             "k": 2**10, "m": 2**20, "g": 2**30}
+    s = text.strip().lower()
+    digits = s.rstrip("bgikm")
+    try:
+        value = float(digits)
+        scale = units[s[len(digits):]]
+    except (ValueError, KeyError):
+        raise argparse.ArgumentTypeError(
+            f"invalid memory size {text!r} (try 64MB, 2GiB, 1048576)"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"memory size must be positive: {text!r}")
+    return int(value * scale)
+
+
+def parse_chunk_shape(text: str) -> tuple[int, ...]:
+    """Parse ``"64,64,32"`` into a shape tuple."""
+    try:
+        shape = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid chunk shape {text!r} (try 64,64,32)"
+        ) from None
+    if not shape or any(c < 1 for c in shape):
+        raise argparse.ArgumentTypeError(f"chunk shape must be positive: {text!r}")
+    return shape
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,8 +99,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cap on the bound the search may recommend")
     add_cache_args(p)
 
-    p = sub.add_parser("decompress", help="decompress a .frz file to .npy")
-    p.add_argument("input", help="input .frz file")
+    p = sub.add_parser(
+        "stream",
+        help="out-of-core chunked compression to a .frzs container",
+        description="Compress a larger-than-memory .npy or raw binary file "
+                    "chunk by chunk, training the error bound on a prefix of "
+                    "chunks and reusing it with drift detection.",
+    )
+    p.add_argument("input", help="input .npy file (or raw binary with --shape/--dtype)")
+    p.add_argument("output", help="output .frzs container")
+    add_compressor_arg(p)
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--ratio", "-r", type=float, help="target compression ratio")
+    group.add_argument("--error-bound", "-e", type=float, help="fixed error bound")
+    p.add_argument("--tolerance", "-t", type=float, default=0.1,
+                   help="ratio tolerance eps (default 0.1)")
+    p.add_argument("--max-error-bound", "-U", type=float, default=None,
+                   help="cap on the bound the search may recommend")
+    p.add_argument("--chunk-shape", type=parse_chunk_shape, default=None,
+                   metavar="N,N,...",
+                   help="explicit chunk shape, e.g. 64,64,32 (default: sized "
+                        "from --max-memory, or one chunk)")
+    p.add_argument("--max-memory", type=parse_memory_size, default=None,
+                   metavar="SIZE",
+                   help="pipeline working-set cap, e.g. 64MB; chunks are "
+                        "sized so compression stays under it")
+    p.add_argument("--workers", "-j", type=int, default=1,
+                   help="chunks compressed concurrently (default 1)")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   default=None,
+                   help="executor backend (default: thread when --workers > 1)")
+    p.add_argument("--train-chunks", type=int, default=4,
+                   help="chunks in the tuning prefix (default 4)")
+    p.add_argument("--drift-margin", type=float, default=0.0,
+                   help="pre-emptive retrain margin in (0, 1); 0 disables")
+    p.add_argument("--shape", type=parse_chunk_shape, default=None, metavar="N,N,...",
+                   help="array shape for raw (non-.npy) binary input")
+    p.add_argument("--dtype", default=None,
+                   help="array dtype for raw binary input, e.g. float32")
+    add_cache_args(p)
+
+    p = sub.add_parser("decompress", help="decompress a .frz/.frzs file to .npy")
+    p.add_argument("input", help="input .frz or .frzs file")
     p.add_argument("output", help="output .npy file")
 
     p = sub.add_parser("tune", help="search the error bound for a target ratio")
@@ -89,8 +165,8 @@ def _make_fraz(args) -> FRaZ:
                 cache=not args.no_cache, cache_dir=args.cache_dir)
 
 
-def _persist_cache(fraz: FRaZ) -> None:
-    cache = fraz.evaluation_cache
+def _persist_cache(cache) -> None:
+    """Persist an :class:`~repro.cache.EvalCache` if it has a disk tier."""
     if cache is not None and cache.cache_dir is not None:
         try:
             cache.save()
@@ -109,7 +185,7 @@ def _cmd_compress(args) -> int:
         return 0
     fraz = _make_fraz(args)
     payload, result = fraz.compress(data)
-    _persist_cache(fraz)
+    _persist_cache(fraz.evaluation_cache)
     compressor = make_compressor(args.compressor, error_bound=result.error_bound)
     save_field(args.output, payload, compressor,
                metadata={"target_ratio": args.ratio, "feasible": result.feasible})
@@ -119,7 +195,59 @@ def _cmd_compress(args) -> int:
     return 0 if result.feasible else 2
 
 
+def _cmd_stream(args) -> int:
+    from repro.cache import EvalCache
+    from repro.stream import stream_compress
+
+    cache: EvalCache | bool
+    if args.no_cache:
+        cache = False
+    else:
+        cache = EvalCache(cache_dir=args.cache_dir)
+    result = stream_compress(
+        args.input,
+        args.output,
+        compressor=args.compressor,
+        target_ratio=args.ratio,
+        error_bound=args.error_bound,
+        tolerance=args.tolerance,
+        max_error_bound=args.max_error_bound,
+        chunk_shape=args.chunk_shape,
+        max_memory=args.max_memory,
+        workers=args.workers,
+        executor=args.executor,
+        train_chunks=args.train_chunks,
+        drift_margin=args.drift_margin,
+        shape=args.shape,
+        dtype=args.dtype,
+        cache=cache,
+    )
+    if isinstance(cache, EvalCache):
+        _persist_cache(cache)
+    chunk_desc = "x".join(str(c) for c in result.chunk_shape)
+    print(f"streamed {result.n_chunks} chunks of {chunk_desc} "
+          f"({result.original_nbytes / 1e6:.1f} MB) at bound "
+          f"{result.error_bound:.4e}: ratio {result.ratio:.2f}:1, "
+          f"{result.mb_per_second:.2f} MB/s, {result.retrains} retrains "
+          f"-> {result.path}")
+    if args.ratio is not None and result.in_band_chunks < result.n_chunks:
+        print(f"note: {result.n_chunks - result.in_band_chunks}/{result.n_chunks} "
+              f"chunks landed outside the ratio band", file=sys.stderr)
+    return 0
+
+
 def _cmd_decompress(args) -> int:
+    from repro.stream import is_streamed_file
+
+    if is_streamed_file(args.input):
+        from repro.stream import StreamedField
+
+        out = args.output if args.output.endswith(".npy") else args.output + ".npy"
+        with StreamedField(args.input) as field:
+            field.decompress(out)
+            print(f"decompressed {field.meta['compressor']} streamed container "
+                  f"({field.n_chunks} chunks, ratio {field.ratio:.2f}:1) -> {out}")
+        return 0
     data, meta = load_field(args.input)
     np.save(args.output, data)
     print(f"decompressed {meta['compressor']} payload "
@@ -131,7 +259,7 @@ def _cmd_tune(args) -> int:
     data = np.load(args.input)
     fraz = _make_fraz(args)
     result = fraz.tune(data)
-    _persist_cache(fraz)
+    _persist_cache(fraz.evaluation_cache)
     print(json.dumps({
         "compressor": args.compressor,
         "target_ratio": args.ratio,
@@ -147,6 +275,20 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_info(args) -> int:
+    from repro.stream import is_streamed_file
+
+    if is_streamed_file(args.input):
+        from repro.stream import StreamedField
+
+        with StreamedField(args.input) as field:
+            meta = dict(field.meta)
+            # The per-chunk index can run to thousands of records; summarise.
+            chunks = meta.pop("chunks", [])
+            meta["ratio"] = round(field.ratio, 4)
+            meta["compressed_nbytes"] = field.compressed_nbytes
+            meta["retrained_chunks"] = sum(1 for c in chunks if c.get("retrained"))
+            print(json.dumps(meta, indent=2))
+        return 0
     print(json.dumps(read_info(args.input), indent=2))
     return 0
 
@@ -155,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compress":
         return _cmd_compress(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "decompress":
         return _cmd_decompress(args)
     if args.command == "tune":

@@ -58,12 +58,16 @@ def pack_bits(codes: np.ndarray, lengths: np.ndarray) -> bytes:
     if total_bits == 0:
         return b""
 
-    # Output-bit index -> (owning symbol, bit position inside the symbol).
-    sym_of_bit = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
-    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    pos_in_sym = np.arange(total_bits, dtype=np.int64) - starts[sym_of_bit]
-    shift = (lengths[sym_of_bit] - 1 - pos_in_sym).astype(np.uint64)
-    bits = ((codes[sym_of_bit] >> shift) & np.uint64(1)).astype(np.uint8)
+    # Scatter one bit *position* at a time (<= max code length iterations)
+    # rather than materialising per-output-bit index arrays: transients stay
+    # a few words per symbol instead of ~32 bytes per output bit, which is
+    # what lets memory-capped streaming compress small chunks cheaply.
+    starts = np.cumsum(lengths) - lengths
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    for p in range(int(lengths.max())):
+        mask = lengths > p
+        shift = (lengths[mask] - 1 - p).astype(np.uint64)
+        bits[starts[mask] + p] = (codes[mask] >> shift) & np.uint64(1)
     return np.packbits(bits).tobytes()
 
 

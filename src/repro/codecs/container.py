@@ -1,4 +1,4 @@
-"""Framed multi-section payload container.
+"""Framed multi-section payload containers.
 
 Every lossy compressor in this package emits several independent byte
 sections (header, predictor metadata, entropy payload, literals, ...).  The
@@ -6,21 +6,49 @@ container frames them with names and lengths so decompressors can address
 sections directly, and so payload-size accounting (compression-ratio
 measurement, the quantity FRaZ optimises) is exact and auditable.
 
-Layout::
+Two layouts share the ``FRZC`` magic and differ by version byte:
 
-    magic "FRZC" | version u8 | section count (uvarint)
+**Version 1** — :class:`Container`, fully in memory.  All section names
+and lengths are known before serialisation, so the header is up front::
+
+    magic "FRZC" | version u8 = 1 | section count (uvarint)
     per section: name length (uvarint) | name utf-8 | payload length (uvarint)
     concatenated payloads
+
+**Version 2** — :class:`ContainerWriter` / :class:`ContainerReader`, file
+backed and *streamed*: sections are appended one at a time (the writer
+never holds more than the section being written), and a JSON index plus a
+fixed-size footer land at the end so readers seek straight to any section
+without scanning — the layout behind out-of-core chunked compression
+(:mod:`repro.stream`)::
+
+    magic "FRZC" | version u8 = 2
+    per section: name length (uvarint) | name utf-8
+                 | payload length (uvarint) | payload
+    index section (reserved name "\\x00index",
+                   JSON {name: [payload offset, length]})
+    footer: index section offset (u64 LE) | magic "FRZE"
 """
 
 from __future__ import annotations
 
+import io
+import json
+import os
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 
-__all__ = ["Container"]
+__all__ = ["Container", "ContainerWriter", "ContainerReader", "is_streamed_container"]
 
 _MAGIC = b"FRZC"
 _VERSION = 1
+_STREAM_VERSION = 2
+_INDEX_NAME = "\x00index"
+_FOOTER_MAGIC = b"FRZE"
+_FOOTER_STRUCT = struct.Struct("<Q4s")  # index section offset, footer magic
 
 
 class Container:
@@ -81,3 +109,155 @@ class Container:
         if off != len(blob):
             raise ValueError("container has trailing bytes")
         return out
+
+
+def is_streamed_container(path: str | os.PathLike) -> bool:
+    """Whether ``path`` holds a version-2 (streamed) container."""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(5)
+    except OSError:
+        return False
+    return head[:4] == _MAGIC and len(head) == 5 and head[4] == _STREAM_VERSION
+
+
+def _write_frame_header(fh: BinaryIO, name: str, payload_len: int) -> None:
+    encoded = name.encode("utf-8")
+    fh.write(encode_uvarint(len(encoded)))
+    fh.write(encoded)
+    fh.write(encode_uvarint(payload_len))
+
+
+class ContainerWriter:
+    """Append-only, file-backed container (version 2).
+
+    Sections are flushed to disk as they are added, so peak memory is one
+    section regardless of how many the file ends up holding.  The index and
+    footer are written by :meth:`close` (or on context-manager exit); a file
+    whose writer died before ``close`` has no footer and is rejected by
+    :class:`ContainerReader`.
+
+    Usage::
+
+        with ContainerWriter(path) as w:
+            w.add("meta", meta_bytes)
+            w.add("chunk:0", payload0)
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        self._fh: BinaryIO | None = open(self._path, "wb")
+        self._index: dict[str, tuple[int, int]] = {}
+        self._fh.write(_MAGIC)
+        self._fh.write(bytes([_STREAM_VERSION]))
+
+    def add(self, name: str, payload: bytes) -> None:
+        """Append one section; names must be unique and not reserved."""
+        if self._fh is None:
+            raise ValueError("writer is closed")
+        if name in self._index:
+            raise KeyError(f"duplicate section {name!r}")
+        if name.startswith("\x00"):
+            raise ValueError(f"section names starting with NUL are reserved: {name!r}")
+        payload = bytes(payload)
+        _write_frame_header(self._fh, name, len(payload))
+        offset = self._fh.tell()
+        self._fh.write(payload)
+        # Flush per section: the writer's contract is that added payloads
+        # are on disk, so peak memory never includes buffered sections.
+        self._fh.flush()
+        self._index[name] = (offset, len(payload))
+
+    def names(self) -> list[str]:
+        return list(self._index)
+
+    def tell(self) -> int:
+        """Bytes written so far (payload accounting for ratio reports)."""
+        if self._fh is None:
+            return self._path.stat().st_size
+        return self._fh.tell()
+
+    def close(self) -> None:
+        """Write the index + footer and close the file (idempotent)."""
+        if self._fh is None:
+            return
+        index_blob = json.dumps(
+            {name: [off, length] for name, (off, length) in self._index.items()}
+        ).encode("utf-8")
+        _write_frame_header(self._fh, _INDEX_NAME, len(index_blob))
+        index_offset = self._fh.tell()
+        self._fh.write(index_blob)
+        self._fh.write(_FOOTER_STRUCT.pack(index_offset, _FOOTER_MAGIC))
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "ContainerWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ContainerReader:
+    """Random-access reader for version-2 (streamed) containers.
+
+    Only the index lives in memory; :meth:`get` seeks directly to the
+    requested section, so decompressing one chunk of a huge file reads
+    just that chunk's bytes.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        self._fh: BinaryIO | None = open(self._path, "rb")
+        head = self._fh.read(5)
+        if head[:4] != _MAGIC:
+            raise ValueError("not a FRZC container")
+        if len(head) < 5 or head[4] != _STREAM_VERSION:
+            raise ValueError(
+                f"not a streamed container (version "
+                f"{head[4] if len(head) == 5 else '?'}, expected "
+                f"{_STREAM_VERSION}); use Container.frombytes for version 1"
+            )
+        if self._fh.seek(0, io.SEEK_END) < 5 + _FOOTER_STRUCT.size:
+            raise ValueError("streamed container has no footer (truncated write?)")
+        self._fh.seek(-_FOOTER_STRUCT.size, io.SEEK_END)
+        index_offset, magic = _FOOTER_STRUCT.unpack(self._fh.read(_FOOTER_STRUCT.size))
+        if magic != _FOOTER_MAGIC:
+            raise ValueError("streamed container has no footer (truncated write?)")
+        end = self._fh.seek(0, io.SEEK_END) - _FOOTER_STRUCT.size
+        self._fh.seek(index_offset)
+        self._index: dict[str, tuple[int, int]] = {
+            name: (int(off), int(length))
+            for name, (off, length) in json.loads(
+                self._fh.read(end - index_offset).decode("utf-8")
+            ).items()
+        }
+
+    def names(self) -> list[str]:
+        return list(self._index)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def length(self, name: str) -> int:
+        """Payload size of one section without reading it."""
+        return self._index[name][1]
+
+    def get(self, name: str) -> bytes:
+        """Read one section's payload (a single seek + read)."""
+        if self._fh is None:
+            raise ValueError("reader is closed")
+        offset, length = self._index[name]
+        self._fh.seek(offset)
+        return self._fh.read(length)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ContainerReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,11 +1,11 @@
 """From-scratch LZ77 dictionary coder.
 
 This is the reference implementation of SZ's stage-4 "dictionary encoder"
-(the paper's builds link Gzip or Zstd; see DESIGN.md for the substitution
-notes).  The default SZ pipeline uses the stdlib-``zlib`` backend for speed;
+(the paper's builds link Gzip or Zstd; see docs/COMPRESSORS.md for the
+substitution notes).  The default SZ pipeline uses the stdlib-``zlib`` backend for speed;
 this module exists so the substrate is genuinely built, is covered by the
 same property tests, and can be selected with
-``CompressorOptions(dict_codec="lz77")``.
+``make_compressor("sz", dict_codec="lz77")``.
 
 Format
 ------

@@ -27,7 +27,16 @@ class ZlibCodec(ByteCodec):
         self.level = level
 
     def compress(self, data: bytes) -> bytes:
-        return zlib.compress(data, self.level)
+        # Deflate's working state is ~(1 << (wbits + 2)) + (1 << (memLevel
+        # + 9)) bytes — ~384 KB at the 15/8 defaults, which dwarfs small
+        # inputs (the streaming layer compresses many small chunks under a
+        # memory cap).  A window already covering the whole input loses no
+        # compression, so scale both down to the input size; decompression
+        # is unaffected (a 15-bit inflate window accepts any smaller one).
+        wbits = min(15, max(9, len(data).bit_length()))
+        mem_level = min(8, max(1, len(data).bit_length() - 8))
+        obj = zlib.compressobj(self.level, zlib.DEFLATED, wbits, mem_level)
+        return obj.compress(data) + obj.flush()
 
     def decompress(self, data: bytes) -> bytes:
         return zlib.decompress(data)

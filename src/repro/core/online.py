@@ -26,7 +26,50 @@ from repro.parallel.executor import BaseExecutor
 from repro.pressio.compressor import CompressedField, Compressor
 from repro.pressio.registry import make_compressor
 
-__all__ = ["OnlineFRaZ", "OnlineStepResult"]
+__all__ = ["DriftMonitor", "OnlineFRaZ", "OnlineStepResult"]
+
+
+@dataclass
+class DriftMonitor:
+    """Rolling-ratio drift detector over an acceptance band.
+
+    Tracks the last ``window`` observed ratios; :meth:`drifting` fires when
+    their mean creeps within ``margin`` (a fraction of the band half-width)
+    of either band edge — the signal that the carried-over error bound is
+    about to start missing, so retraining *now* is cheaper than waiting for
+    the miss.  Shared by :class:`OnlineFRaZ` (frames arriving in time) and
+    :class:`repro.stream.ChunkTuner` (chunks arriving in space).
+
+    ``margin = 0`` disables the monitor; the window must fill before it can
+    fire, so isolated outliers right after a retrain don't trigger.
+    """
+
+    band: tuple[float, float]
+    margin: float = 0.0
+    window: int = 4
+    _recent: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.margin < 1:
+            raise ValueError(f"margin must be in [0, 1), got {self.margin}")
+        self._recent = deque(maxlen=max(self.window, 1))
+
+    def observe(self, ratio: float) -> None:
+        """Record one achieved ratio."""
+        self._recent.append(float(ratio))
+
+    def reset(self) -> None:
+        """Forget history (call after a retrain)."""
+        self._recent.clear()
+
+    def drifting(self) -> bool:
+        """Whether the rolling mean has crept into the margin zone."""
+        if self.margin <= 0 or len(self._recent) < self._recent.maxlen:
+            return False
+        lo, hi = self.band
+        pad = self.margin * (hi - lo) / 2.0
+        mean = float(np.mean(self._recent))
+        return mean < lo + pad or mean > hi - pad
 
 
 @dataclass(frozen=True)
@@ -67,18 +110,18 @@ class OnlineFRaZ:
     current_bound: float | None = None
     frames_seen: int = 0
     retrain_count: int = 0
-    _recent_ratios: deque = field(default_factory=deque, repr=False)
+    _drift: DriftMonitor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.target_ratio <= 0:
             raise ValueError(f"target_ratio must be positive, got {self.target_ratio}")
         if not 0 < self.tolerance < 1:
             raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
-        if not 0 <= self.drift_margin < 1:
-            raise ValueError(f"drift_margin must be in [0, 1), got {self.drift_margin}")
         if isinstance(self.compressor, str):
             self.compressor = make_compressor(self.compressor)
-        self._recent_ratios = deque(maxlen=max(self.drift_window, 1))
+        self._drift = DriftMonitor(
+            band=self.band, margin=self.drift_margin, window=self.drift_window
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -90,12 +133,7 @@ class OnlineFRaZ:
 
     def _drift_predicted(self) -> bool:
         """Pre-emptive retrain signal from the rolling ratio trend."""
-        if self.drift_margin <= 0 or len(self._recent_ratios) < self._recent_ratios.maxlen:
-            return False
-        lo, hi = self.band
-        margin = self.drift_margin * (hi - lo) / 2.0
-        mean = float(np.mean(self._recent_ratios))
-        return mean < lo + margin or mean > hi - margin
+        return self._drift.drifting()
 
     def push(self, frame: np.ndarray) -> OnlineStepResult:
         """Compress one arriving frame at the target ratio."""
@@ -111,7 +149,7 @@ class OnlineFRaZ:
             payload = configured.compress(frame)
             evaluations = 1
             if lo <= payload.ratio <= hi:
-                self._recent_ratios.append(payload.ratio)
+                self._drift.observe(payload.ratio)
                 return OnlineStepResult(
                     payload=payload,
                     ratio=payload.ratio,
@@ -142,7 +180,8 @@ class OnlineFRaZ:
         self.current_bound = result.error_bound
         payload = self.compressor.with_error_bound(result.error_bound).compress(frame)
         evaluations += 1
-        self._recent_ratios.append(payload.ratio)
+        self._drift.reset()
+        self._drift.observe(payload.ratio)
         return OnlineStepResult(
             payload=payload,
             ratio=payload.ratio,

@@ -4,8 +4,8 @@ The paper evaluates on five real datasets from the Scientific Data
 Reduction Benchmark [16].  Those total ~150 GB and are not available here,
 so each dataset is *simulated*: a seeded generator reproducing the
 properties FRaZ's behaviour depends on — dimensionality, field count,
-multi-time-step evolution, and value character (see DESIGN.md's
-substitution table):
+multi-time-step evolution, and value character (docs/BENCHMARKS.md records
+how the analogs compare to the paper's originals):
 
 * :mod:`repro.datasets.hurricane` — 3D meteorology; smooth multi-scale
   dynamics plus sparse log-scaled cloud/moisture fields (``QCLOUDf.log10``

@@ -1,0 +1,191 @@
+"""Chunk planning and out-of-core block reading.
+
+The streaming pipeline never holds a whole field: :func:`plan_chunks`
+tiles an N-d grid into fixed-shape blocks (the final block along each axis
+may be ragged), and :class:`ChunkReader` yields those blocks one at a time
+from a memory-mapped source — a ``.npy`` file (``numpy.load(mmap_mode)``),
+a raw binary dump (``numpy.memmap``, shape/dtype supplied by the caller, as
+SDRBench distributes its fields), or an in-memory array (for testing and
+for data that happens to fit).
+
+Chunks are cut along the *leading* axes first (C order), so each block is a
+contiguous-ish slab and reading it touches a minimal number of pages.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ChunkSpec", "ChunkReader", "plan_chunks", "chunk_shape_for_budget"]
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One block of the chunk grid.
+
+    ``index`` is the flat chunk number (C order over the grid);
+    ``start``/``stop`` delimit the block per axis.  ``shape`` equals the
+    nominal chunk shape except for ragged final blocks.
+    """
+
+    index: int
+    start: tuple[int, ...]
+    stop: tuple[int, ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(b - a for a, b in zip(self.start, self.stop))
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def slices(self) -> tuple[slice, ...]:
+        return tuple(slice(a, b) for a, b in zip(self.start, self.stop))
+
+    def as_json(self) -> dict:
+        return {"index": self.index, "start": list(self.start), "stop": list(self.stop)}
+
+    @classmethod
+    def from_json(cls, rec: dict) -> "ChunkSpec":
+        return cls(
+            index=int(rec["index"]),
+            start=tuple(int(v) for v in rec["start"]),
+            stop=tuple(int(v) for v in rec["stop"]),
+        )
+
+
+def chunk_shape_for_budget(
+    shape: tuple[int, ...], itemsize: int, budget_bytes: int
+) -> tuple[int, ...]:
+    """Largest chunk shape whose buffer fits in ``budget_bytes``.
+
+    Axes are cut outermost-first (C order): trailing axes stay whole as
+    long as they fit, so blocks stay contiguous slabs.  Always returns at
+    least one element per axis — a budget smaller than one row of the
+    innermost axis degrades to element-thin slabs, never to failure.
+    """
+    if budget_bytes < 1:
+        raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+    budget_elems = max(1, budget_bytes // itemsize)
+    chunk = list(shape)
+    for axis in range(len(shape)):
+        rest = int(np.prod(chunk[axis + 1 :], dtype=np.int64)) if axis + 1 < len(shape) else 1
+        if rest >= budget_elems:
+            chunk[axis] = 1
+        else:
+            chunk[axis] = max(1, min(shape[axis], budget_elems // rest))
+            break
+    return tuple(chunk)
+
+
+def plan_chunks(
+    shape: tuple[int, ...], chunk_shape: tuple[int, ...]
+) -> list[ChunkSpec]:
+    """Tile ``shape`` into blocks of ``chunk_shape`` (ragged tails allowed)."""
+    if len(chunk_shape) != len(shape):
+        raise ValueError(
+            f"chunk_shape {chunk_shape} must match dimensionality of {shape}"
+        )
+    if any(c < 1 for c in chunk_shape):
+        raise ValueError(f"chunk_shape must be positive, got {chunk_shape}")
+    counts = [math.ceil(s / c) for s, c in zip(shape, chunk_shape)]
+    specs: list[ChunkSpec] = []
+    for index, grid_pos in enumerate(np.ndindex(*counts)):
+        start = tuple(g * c for g, c in zip(grid_pos, chunk_shape))
+        stop = tuple(min(a + c, s) for a, c, s in zip(start, chunk_shape, shape))
+        specs.append(ChunkSpec(index=index, start=start, stop=stop))
+    return specs
+
+
+class ChunkReader:
+    """Yield fixed-shape blocks of a larger-than-memory array.
+
+    Parameters
+    ----------
+    source:
+        A ``.npy`` path (opened with ``mmap_mode="r"``), a raw binary path
+        (``numpy.memmap``; ``shape`` and ``dtype`` are then required), or
+        an ndarray already in memory.
+    chunk_shape:
+        Block shape; mutually exclusive with ``max_chunk_bytes``.
+    max_chunk_bytes:
+        Pick the largest slab shape fitting this budget instead
+        (:func:`chunk_shape_for_budget`).
+    shape, dtype:
+        Geometry for raw binary sources (ignored otherwise).
+
+    Iterating yields ``(ChunkSpec, ndarray)`` pairs; each array is a fresh
+    in-memory **copy** of the block, so downstream compression never holds
+    a reference that pins the map and peak memory stays one chunk per
+    in-flight task.
+    """
+
+    def __init__(
+        self,
+        source: str | os.PathLike | np.ndarray,
+        chunk_shape: tuple[int, ...] | None = None,
+        max_chunk_bytes: int | None = None,
+        shape: tuple[int, ...] | None = None,
+        dtype: np.dtype | str | None = None,
+    ) -> None:
+        if isinstance(source, np.ndarray):
+            self._data = source
+        else:
+            path = Path(source)
+            if path.suffix == ".npy":
+                self._data = np.load(path, mmap_mode="r")
+            else:
+                if shape is None or dtype is None:
+                    raise ValueError(
+                        "raw binary sources need explicit shape= and dtype="
+                    )
+                self._data = np.memmap(path, mode="r", shape=tuple(shape), dtype=dtype)
+        if self._data.ndim < 1:
+            raise ValueError("cannot chunk a 0-d array")
+
+        if chunk_shape is not None and max_chunk_bytes is not None:
+            raise ValueError("pass chunk_shape or max_chunk_bytes, not both")
+        if chunk_shape is None:
+            if max_chunk_bytes is None:
+                chunk_shape = self.shape  # one chunk: the whole array
+            else:
+                chunk_shape = chunk_shape_for_budget(
+                    self.shape, self._data.dtype.itemsize, max_chunk_bytes
+                )
+        self.chunk_shape = tuple(int(c) for c in chunk_shape)
+        self.specs = plan_chunks(self.shape, self.chunk_shape)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self._data.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.specs)
+
+    def read(self, spec: ChunkSpec) -> np.ndarray:
+        """Materialise one block as an in-memory array."""
+        return np.array(self._data[spec.slices])
+
+    def __iter__(self) -> Iterator[tuple[ChunkSpec, np.ndarray]]:
+        for spec in self.specs:
+            yield spec, self.read(spec)
+
+    def __len__(self) -> int:
+        return self.n_chunks

@@ -1,0 +1,190 @@
+"""Self-describing multi-chunk ``.frzs`` files.
+
+A streamed field is a version-2 :mod:`repro.codecs.container` file holding
+one section per chunk (``chunk:<index>``) plus a ``meta`` section written
+at close: global geometry (shape, dtype, chunk shape, compressor) and a
+chunk index with per-chunk metadata (grid position, error bound, ratio,
+whether that chunk triggered a retrain).  Everything needed to reconstruct
+the field — or any single chunk of it — lives in the file.
+
+:class:`ShardWriter` appends chunks as the pipeline produces them (peak
+memory: one payload); :class:`StreamedField` reads the index and
+decompresses chunks on demand, into memory or into an ``.npy`` memmap for
+outputs that don't fit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.codecs.container import ContainerReader, ContainerWriter, is_streamed_container
+from repro.pressio.registry import make_compressor
+from repro.stream.chunks import ChunkSpec
+
+__all__ = ["ShardWriter", "StreamedField", "is_streamed_file"]
+
+_FORMAT_VERSION = 1
+
+
+def is_streamed_file(path: str | os.PathLike) -> bool:
+    """Whether ``path`` is a streamed multi-chunk ``.frzs`` container."""
+    return is_streamed_container(path)
+
+
+class ShardWriter:
+    """Append compressed chunks; emits the self-describing container.
+
+    Usage::
+
+        with ShardWriter(path, shape, dtype, chunk_shape, "sz") as w:
+            w.write_chunk(spec, payload_bytes, error_bound=e, ratio=r)
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        shape: tuple[int, ...],
+        dtype: np.dtype | str,
+        chunk_shape: tuple[int, ...],
+        compressor_name: str,
+        metadata: dict | None = None,
+    ) -> None:
+        self._writer = ContainerWriter(path)
+        self._shape = tuple(int(s) for s in shape)
+        self._dtype = np.dtype(dtype)
+        self._chunk_shape = tuple(int(c) for c in chunk_shape)
+        self._compressor_name = compressor_name
+        self._metadata = metadata or {}
+        self._chunks: list[dict] = []
+
+    def write_chunk(
+        self,
+        spec: ChunkSpec,
+        payload: bytes,
+        error_bound: float,
+        ratio: float,
+        retrained: bool = False,
+    ) -> None:
+        """Append one chunk's compressed payload and stage its metadata."""
+        self._writer.add(f"chunk:{spec.index}", payload)
+        self._chunks.append(
+            {
+                **spec.as_json(),
+                "nbytes": len(payload),
+                "error_bound": float(error_bound),
+                "ratio": float(ratio),
+                "retrained": bool(retrained),
+            }
+        )
+
+    @property
+    def bytes_written(self) -> int:
+        return self._writer.tell()
+
+    def close(self) -> None:
+        """Write the ``meta`` section (global + chunk index) and finish."""
+        if self._writer is None:
+            return
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "kind": "streamed-field",
+            "shape": list(self._shape),
+            "dtype": self._dtype.str,
+            "chunk_shape": list(self._chunk_shape),
+            "compressor": self._compressor_name,
+            "n_chunks": len(self._chunks),
+            "original_nbytes": int(
+                np.prod(self._shape, dtype=np.int64) * self._dtype.itemsize
+            ),
+            "chunks": self._chunks,
+            "user": self._metadata,
+        }
+        self._writer.add("meta", json.dumps(meta).encode("utf-8"))
+        self._writer.close()
+        self._writer = None
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StreamedField:
+    """Random-access reader for ``.frzs`` streamed fields."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        self._reader = ContainerReader(self._path)
+        self.meta = json.loads(self._reader.get("meta").decode("utf-8"))
+        if self.meta.get("kind") != "streamed-field":
+            raise ValueError(f"{self._path} is not a streamed field container")
+        self.shape = tuple(int(s) for s in self.meta["shape"])
+        self.dtype = np.dtype(self.meta["dtype"])
+        self.chunk_shape = tuple(int(c) for c in self.meta["chunk_shape"])
+        self._compressor = make_compressor(self.meta["compressor"])
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.meta["n_chunks"])
+
+    @property
+    def original_nbytes(self) -> int:
+        return int(self.meta["original_nbytes"])
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Whole-file size: payloads plus framing and index (auditable)."""
+        return self._path.stat().st_size
+
+    @property
+    def ratio(self) -> float:
+        return self.original_nbytes / self.compressed_nbytes
+
+    def chunk_spec(self, index: int) -> ChunkSpec:
+        return ChunkSpec.from_json(self.meta["chunks"][index])
+
+    def chunk_meta(self, index: int) -> dict:
+        return self.meta["chunks"][index]
+
+    def decompress_chunk(self, index: int) -> np.ndarray:
+        """Decompress one chunk (only its bytes are read from disk)."""
+        spec = self.chunk_spec(index)
+        payload = self._reader.get(f"chunk:{spec.index}")
+        block = self._compressor.decompress(payload)
+        return np.asarray(block).reshape(spec.shape)
+
+    def decompress(self, out: np.ndarray | str | os.PathLike | None = None) -> np.ndarray:
+        """Reassemble the full field chunk by chunk.
+
+        ``out`` may be a preallocated array, a path (written as an ``.npy``
+        memmap, so outputs larger than memory stream straight to disk), or
+        ``None`` for a fresh in-memory array.
+        """
+        if out is None:
+            target = np.empty(self.shape, dtype=self.dtype)
+        elif isinstance(out, np.ndarray):
+            if tuple(out.shape) != self.shape:
+                raise ValueError(f"out has shape {out.shape}, field is {self.shape}")
+            target = out
+        else:
+            target = np.lib.format.open_memmap(
+                Path(out), mode="w+", shape=self.shape, dtype=self.dtype
+            )
+        for index in range(self.n_chunks):
+            spec = self.chunk_spec(index)
+            target[spec.slices] = self.decompress_chunk(index)
+        return target
+
+    def close(self) -> None:
+        self._reader.close()
+
+    def __enter__(self) -> "StreamedField":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

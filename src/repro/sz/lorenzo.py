@@ -63,10 +63,14 @@ class WavefrontPlan:
         self.shape = tuple(int(s) for s in shape)
         ndim = len(self.shape)
         n = int(np.prod(self.shape))
-        idx = np.indices(self.shape).reshape(ndim, n)
+        # Plans are lru_cached per shape and index arrays dominate their
+        # footprint; int32 indices halve it (fields with 2**31+ elements per
+        # chunk are far past the streaming layer's chunk sizes).
+        itype = np.int32 if n < 2**31 else np.int64
+        idx = np.indices(self.shape).reshape(ndim, n).astype(itype, copy=False)
         self.coords = idx
-        plane_of = idx.sum(axis=0)
-        order = np.argsort(plane_of, kind="stable")
+        plane_of = idx.sum(axis=0, dtype=itype)
+        order = np.argsort(plane_of, kind="stable").astype(itype, copy=False)
         sorted_planes = plane_of[order]
         boundaries = np.searchsorted(
             sorted_planes, np.arange(int(sorted_planes[-1]) + 2 if n else 1)
@@ -82,7 +86,7 @@ class WavefrontPlan:
         self.offsets = lorenzo_offsets(ndim)
         # Pre-resolve per-offset flat deltas.
         self._deltas = [
-            (np.asarray(off, dtype=np.int64), int(np.dot(off, strides)), sign)
+            (np.asarray(off, dtype=itype), int(np.dot(off, strides)), sign)
             for off, sign in self.offsets
         ]
 

@@ -1,0 +1,26 @@
+"""Documentation snippets and path references must stay runnable.
+
+Runs ``tools/check_docs.py`` (the same script the CI docs job uses) so a
+broken README/docs example fails the tier-1 suite, not just CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_doc_snippets_run_and_paths_exist():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"doc check failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "0 failures" in result.stdout

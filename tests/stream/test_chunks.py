@@ -1,0 +1,109 @@
+"""Chunk planning and the memory-mapped block reader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.chunks import (
+    ChunkReader,
+    ChunkSpec,
+    chunk_shape_for_budget,
+    plan_chunks,
+)
+
+
+class TestChunkShapeForBudget:
+    def test_whole_array_fits(self):
+        assert chunk_shape_for_budget((8, 8), 4, 1 << 20) == (8, 8)
+
+    def test_splits_outermost_axis_first(self):
+        # 16 rows of 32 floats; budget for 4 rows.
+        assert chunk_shape_for_budget((16, 32), 4, 4 * 32 * 4) == (4, 32)
+
+    def test_degrades_to_thin_slabs(self):
+        # Budget below one row: outer axes collapse to 1, inner splits.
+        shape = chunk_shape_for_budget((4, 4, 1024), 4, 512)
+        assert shape == (1, 1, 128)
+
+    def test_always_at_least_one_element(self):
+        assert chunk_shape_for_budget((64, 64), 8, 1) == (1, 1)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            chunk_shape_for_budget((4, 4), 4, 0)
+
+
+class TestPlanChunks:
+    def test_exact_tiling(self):
+        specs = plan_chunks((8, 8), (4, 4))
+        assert len(specs) == 4
+        assert [s.index for s in specs] == [0, 1, 2, 3]
+        assert specs[0].start == (0, 0) and specs[0].stop == (4, 4)
+        assert specs[-1].start == (4, 4) and specs[-1].stop == (8, 8)
+
+    def test_ragged_tail(self):
+        specs = plan_chunks((10,), (4,))
+        assert [s.shape for s in specs] == [(4,), (4,), (2,)]
+
+    def test_covers_every_element_once(self):
+        shape = (7, 5, 3)
+        seen = np.zeros(shape, dtype=int)
+        for spec in plan_chunks(shape, (3, 2, 2)):
+            seen[spec.slices] += 1
+        assert np.array_equal(seen, np.ones(shape, dtype=int))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_chunks((8, 8), (4,))
+
+    def test_spec_json_roundtrip(self):
+        spec = plan_chunks((10, 6), (4, 4))[3]
+        assert ChunkSpec.from_json(spec.as_json()) == spec
+
+
+class TestChunkReader:
+    def test_in_memory_array(self):
+        data = np.arange(24, dtype=np.float32).reshape(4, 6)
+        reader = ChunkReader(data, chunk_shape=(2, 6))
+        blocks = list(reader)
+        assert len(blocks) == 2
+        spec, block = blocks[1]
+        assert np.array_equal(block, data[2:4])
+        assert block.base is None  # a materialised copy, not a view
+
+    def test_npy_file_is_memory_mapped(self, tmp_path):
+        data = np.arange(60, dtype=np.float64).reshape(10, 6)
+        path = tmp_path / "d.npy"
+        np.save(path, data)
+        reader = ChunkReader(path, chunk_shape=(4, 6))
+        assert isinstance(reader._data, np.memmap)
+        assembled = np.empty_like(data)
+        for spec, block in reader:
+            assembled[spec.slices] = block
+        assert np.array_equal(assembled, data)
+
+    def test_raw_binary_needs_geometry(self, tmp_path):
+        data = np.arange(32, dtype=np.float32)
+        path = tmp_path / "d.bin"
+        data.tofile(path)
+        with pytest.raises(ValueError):
+            ChunkReader(path)
+        reader = ChunkReader(path, shape=(8, 4), dtype="float32", chunk_shape=(3, 4))
+        assert reader.shape == (8, 4)
+        assert [s.shape for s in reader.specs] == [(3, 4), (3, 4), (2, 4)]
+
+    def test_budget_mode(self):
+        data = np.zeros((16, 8), dtype=np.float32)
+        reader = ChunkReader(data, max_chunk_bytes=4 * 8 * 4)
+        assert reader.chunk_shape == (4, 8)
+        assert reader.n_chunks == 4
+
+    def test_default_is_single_chunk(self):
+        reader = ChunkReader(np.zeros((5, 5)))
+        assert reader.n_chunks == 1
+        assert reader.specs[0].shape == (5, 5)
+
+    def test_chunk_shape_and_budget_exclusive(self):
+        with pytest.raises(ValueError):
+            ChunkReader(np.zeros(8), chunk_shape=(2,), max_chunk_bytes=64)

@@ -1,0 +1,97 @@
+"""Streamed (version-2) container layer and the .frzs shard format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.container import (
+    Container,
+    ContainerReader,
+    ContainerWriter,
+    is_streamed_container,
+)
+from repro.stream.chunks import plan_chunks
+from repro.stream.container import ShardWriter, StreamedField
+
+
+class TestContainerWriterReader:
+    def test_roundtrip_random_access(self, tmp_path):
+        path = tmp_path / "c.bin"
+        with ContainerWriter(path) as w:
+            w.add("a", b"alpha")
+            w.add("b", b"" )
+            w.add("c", b"x" * 1000)
+        with ContainerReader(path) as r:
+            assert r.names() == ["a", "b", "c"]
+            assert r.get("c") == b"x" * 1000
+            assert r.get("a") == b"alpha"  # out of order: random access
+            assert r.get("b") == b""
+            assert r.length("c") == 1000
+            assert "a" in r and "zzz" not in r
+
+    def test_duplicate_and_reserved_names_rejected(self, tmp_path):
+        w = ContainerWriter(tmp_path / "c.bin")
+        w.add("a", b"1")
+        with pytest.raises(KeyError):
+            w.add("a", b"2")
+        with pytest.raises(ValueError):
+            w.add("\x00index", b"evil")
+        w.close()
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "c.bin"
+        with ContainerWriter(path) as w:
+            w.add("a", b"payload")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-4])  # chop the footer magic
+        with pytest.raises(ValueError, match="footer"):
+            ContainerReader(path)
+
+    def test_version_detection(self, tmp_path):
+        v2 = tmp_path / "v2.bin"
+        with ContainerWriter(v2) as w:
+            w.add("a", b"1")
+        v1 = tmp_path / "v1.bin"
+        c = Container()
+        c.add("a", b"1")
+        v1.write_bytes(c.tobytes())
+        assert is_streamed_container(v2)
+        assert not is_streamed_container(v1)
+        assert not is_streamed_container(tmp_path / "missing.bin")
+        with pytest.raises(ValueError, match="version 1"):
+            ContainerReader(v1)
+
+    def test_writer_is_incremental(self, tmp_path):
+        # Bytes hit the file as sections are added, not at close.
+        path = tmp_path / "c.bin"
+        w = ContainerWriter(path)
+        w.add("a", b"x" * 512)
+        assert path.stat().st_size >= 512
+        w.close()
+
+
+class TestShardFormat:
+    def test_metadata_and_chunk_access(self, tmp_path):
+        path = tmp_path / "f.frzs"
+        specs = plan_chunks((6, 4), (4, 4))
+        with ShardWriter(path, (6, 4), np.float32, (4, 4), "sz",
+                         metadata={"run": 7}) as w:
+            for spec, blob in zip(specs, (b"AA", b"BBB")):
+                w.write_chunk(spec, blob, error_bound=1e-3, ratio=2.0)
+        with StreamedField(path) as field:
+            assert field.shape == (6, 4)
+            assert field.dtype == np.float32
+            assert field.n_chunks == 2
+            assert field.meta["user"] == {"run": 7}
+            assert field.chunk_spec(1).shape == (2, 4)
+            assert field.chunk_meta(0)["nbytes"] == 2
+            assert field.chunk_meta(1)["error_bound"] == 1e-3
+            assert field.original_nbytes == 6 * 4 * 4
+
+    def test_rejects_non_shard_container(self, tmp_path):
+        path = tmp_path / "other.bin"
+        with ContainerWriter(path) as w:
+            w.add("meta", b'{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="streamed field"):
+            StreamedField(path)

@@ -1,0 +1,112 @@
+"""Streamed round-trips must match the in-memory path bit for bit.
+
+Chunked lossy compression is *defined* as the in-memory compressor applied
+per chunk: for every chunk shape — including ragged tails — the streamed
+pipeline's reconstruction must equal compressing and decompressing each
+block in memory at the same bound, bit for bit.  With a single chunk the
+streamed path must degenerate to exactly the whole-array in-memory
+round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pressio.registry import make_compressor
+from repro.stream import ChunkReader, stream_compress, stream_decompress
+
+BOUND = 1e-3
+
+
+def _field(shape, seed=3):
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(
+        *(np.linspace(0, 4, s) for s in shape), indexing="ij"
+    )
+    smooth = sum(np.sin(a + i) for i, a in enumerate(axes))
+    return (smooth + 0.05 * rng.standard_normal(shape)).astype(np.float32)
+
+
+def _in_memory_per_chunk(data, chunk_shape, compressor="sz"):
+    comp = make_compressor(compressor, error_bound=BOUND)
+    out = np.empty_like(data)
+    for spec, block in ChunkReader(data, chunk_shape=chunk_shape):
+        out[spec.slices] = comp.decompress(comp.compress(block).payload)
+    return out
+
+
+@pytest.mark.parametrize(
+    "shape,chunk_shape",
+    [
+        ((1000,), (256,)),          # 1D with ragged tail
+        ((48, 40), (16, 17)),       # 2D, ragged on both axes
+        ((24, 20, 12), (10, 20, 12)),  # 3D, ragged leading axis
+    ],
+)
+def test_streamed_equals_in_memory_per_chunk(tmp_path, shape, chunk_shape):
+    data = _field(shape)
+    src = tmp_path / "f.npy"
+    np.save(src, data)
+    out = tmp_path / "f.frzs"
+    res = stream_compress(src, out, error_bound=BOUND, chunk_shape=chunk_shape)
+    assert res.shape == shape
+    recon = stream_decompress(out)
+    assert recon.dtype == data.dtype
+    assert np.array_equal(recon, _in_memory_per_chunk(data, chunk_shape))
+    assert float(np.abs(recon - data).max()) <= BOUND * 1.0000001
+
+
+def test_single_chunk_equals_whole_array_roundtrip(tmp_path):
+    data = _field((32, 24))
+    src = tmp_path / "f.npy"
+    np.save(src, data)
+    out = tmp_path / "f.frzs"
+    stream_compress(src, out, error_bound=BOUND)  # default: one chunk
+    comp = make_compressor("sz", error_bound=BOUND)
+    expected = comp.decompress(comp.compress(data).payload)
+    assert np.array_equal(stream_decompress(out), expected)
+
+
+def test_float64_roundtrip_preserves_dtype(tmp_path):
+    data = _field((30, 22)).astype(np.float64)
+    src = tmp_path / "f.npy"
+    np.save(src, data)
+    out = tmp_path / "f.frzs"
+    stream_compress(src, out, error_bound=BOUND, chunk_shape=(16, 16))
+    recon = stream_decompress(out)
+    assert recon.dtype == np.float64
+    assert np.array_equal(recon, _in_memory_per_chunk(data, (16, 16)))
+
+
+def test_decompress_into_memmap_and_preallocated(tmp_path):
+    data = _field((20, 18))
+    src = tmp_path / "f.npy"
+    np.save(src, data)
+    out = tmp_path / "f.frzs"
+    stream_compress(src, out, error_bound=BOUND, chunk_shape=(8, 18))
+
+    in_memory = stream_decompress(out)
+    npy_out = tmp_path / "recon.npy"
+    stream_decompress(out, out=npy_out)
+    assert np.array_equal(np.load(npy_out), in_memory)
+
+    target = np.empty_like(data)
+    returned = stream_decompress(out, out=target)
+    assert returned is target
+    assert np.array_equal(target, in_memory)
+
+    with pytest.raises(ValueError, match="shape"):
+        stream_decompress(out, out=np.empty((3, 3), dtype=data.dtype))
+
+
+def test_raw_binary_source(tmp_path):
+    data = _field((25, 16))
+    src = tmp_path / "f.bin"
+    data.tofile(src)
+    out = tmp_path / "f.frzs"
+    stream_compress(src, out, error_bound=BOUND, chunk_shape=(10, 16),
+                    shape=(25, 16), dtype="float32")
+    assert np.array_equal(
+        stream_decompress(out), _in_memory_per_chunk(data, (10, 16))
+    )
