@@ -1,0 +1,144 @@
+"""Service scheduler: compressor-call reduction and jobs/sec scaling.
+
+The service's value proposition over one-shot CLI runs is structural:
+
+* **request coalescing** — concurrent identical submissions attach to
+  one in-flight computation instead of queueing their own;
+* **a shared EvalCache** — whatever one job probed, every later job
+  reuses, across clients and across time;
+* **a resident worker pool** — job-level concurrency without paying
+  process start-up per request.
+
+This bench drives the acceptance workload from ISSUE 3: 8 clients
+submitting the *same* small set of tune jobs (the overlap a busy tuning
+service sees — many users asking for the popular dataset at the popular
+target), measured against a serial replay where each submission pays
+for itself, exactly as 32 separate CLI invocations would.
+
+Acceptance floor: the service spends >= 30% fewer compressor calls
+than serial submission.  The jobs/sec section reports worker-count
+scaling; on single-core CI runners the assertion is only that more
+workers is never pathological (<= 25% slower), while the report shows
+the actual scaling measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fraz import FRaZ
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import Scheduler
+
+N_CLIENTS = 8
+TARGETS = (6.0, 9.0)
+TOLERANCE = 0.15
+
+
+def _make_fields() -> list[np.ndarray]:
+    out = []
+    for seed in (31, 32):
+        r = np.random.default_rng(seed)
+        out.append(r.standard_normal((20, 20, 8)).cumsum(axis=0).astype(np.float32))
+    return out
+
+
+def _workload(fields: list[np.ndarray]) -> list[dict]:
+    """One client's submissions: every field at every target."""
+    encoded = [JobSpec.encode_array(f) for f in fields]
+    return [
+        dict(kind="tune", target_ratio=t, tolerance=TOLERANCE, data_b64=b64)
+        for b64 in encoded
+        for t in TARGETS
+    ]
+
+
+def _serial_replay(fields: list[np.ndarray]) -> int:
+    """Compressor calls when each submission pays for itself (CLI model:
+    one fresh tuner — and thus one private cache — per invocation)."""
+    calls = 0
+    for _ in range(N_CLIENTS):
+        for field in fields:
+            for target in TARGETS:
+                res = FRaZ(compressor="sz", target_ratio=target,
+                           tolerance=TOLERANCE).tune(field)
+                calls += res.compressor_calls
+    return calls
+
+
+def test_serve_coalescing_reduces_compressor_calls(report):
+    fields = _make_fields()
+    serial_calls = _serial_replay(fields)
+
+    specs = _workload(fields)
+    with Scheduler(workers=2, queue_size=64, paused=True) as sched:
+        jobs = [sched.submit(dict(s)) for _ in range(N_CLIENTS) for s in specs]
+        sched.resume()
+        for job in jobs:
+            assert job.wait(timeout=300), job.id
+        stats = sched.stats_payload()
+
+    service_calls = stats["search"]["compressor_calls"]
+    saving = 1.0 - service_calls / serial_calls
+    report(
+        "",
+        f"== Service vs serial submission: {N_CLIENTS} clients x "
+        f"{len(specs)} overlapping tune jobs ==",
+        f"serial compressor calls  : {serial_calls}",
+        f"service compressor calls : {service_calls}",
+        f"coalesced jobs           : {stats['jobs']['coalesced']} "
+        f"of {stats['jobs']['submitted']}",
+        f"cache                    : {stats['cache']}",
+        f"calls saved              : {saving:.1%} (acceptance floor: 30%)",
+    )
+    assert all(j.state.value == "done" for j in jobs)
+    assert stats["jobs"]["coalesced"] > 0
+    assert saving >= 0.30
+
+    # The savings must not change the answers: every job's bound matches
+    # its serial counterpart.
+    for spec, job in zip(specs * N_CLIENTS, jobs):
+        direct = FRaZ(compressor="sz", target_ratio=spec["target_ratio"],
+                      tolerance=TOLERANCE).tune(
+            JobSpec.from_dict(spec).load_array())
+        assert job.result["error_bound"] == direct.error_bound
+
+
+def _run_distinct_jobs(workers: int, fields: list[np.ndarray]) -> float:
+    """Jobs/sec over a batch of *distinct* tunes (no coalescing, cold
+    cache) at a given worker count."""
+    specs = [
+        dict(kind="tune", target_ratio=t, tolerance=TOLERANCE,
+             data_b64=JobSpec.encode_array(f))
+        for i, f in enumerate(fields)
+        for t in (5.0 + i, 7.5 + i, 10.0 + i)
+    ]
+    with Scheduler(workers=workers, queue_size=64, cache=False, paused=True) as sched:
+        jobs = [sched.submit(s) for s in specs]
+        t0 = time.perf_counter()
+        sched.resume()
+        for job in jobs:
+            assert job.wait(timeout=300), job.id
+        elapsed = time.perf_counter() - t0
+    assert all(j.state.value == "done" for j in jobs)
+    return len(jobs) / elapsed
+
+
+def test_serve_jobs_per_second_scales_with_workers(report):
+    fields = _make_fields()
+    _run_distinct_jobs(1, fields)  # warm numpy/compressor code paths
+    single = _run_distinct_jobs(1, fields)
+    quad = _run_distinct_jobs(4, fields)
+    scaling = quad / single
+    report(
+        "",
+        "== Scheduler jobs/sec vs worker count (distinct jobs, no cache) ==",
+        f"1 worker  : {single:6.2f} jobs/s",
+        f"4 workers : {quad:6.2f} jobs/s",
+        f"scaling   : {scaling:.2f}x "
+        "(NumPy releases the GIL for part of each probe; gains track cores)",
+    )
+    # Adding workers must never be pathological, even on 1-core CI hosts.
+    assert scaling >= 0.75

@@ -8,6 +8,8 @@ Commands
                 ``.npy``/raw-binary file into a ``.frzs`` container
 ``decompress``  reconstruct a ``.frz``/``.frzs`` file back to ``.npy``
 ``tune``        run the FRaZ search and report the recommended bound
+``serve``       run the resident compression service (HTTP JSON API)
+``submit``      send one job to a running ``serve`` instance
 ``info``        show a ``.frz``/``.frzs`` file's metadata
 ``datasets``    print the Table III analog of the bundled synthetic datasets
 """
@@ -47,6 +49,21 @@ def parse_memory_size(text: str) -> int:
     if not math.isfinite(value) or value <= 0:
         raise argparse.ArgumentTypeError(f"memory size must be positive: {text!r}")
     return int(value * scale)
+
+
+def parse_priority(text: str) -> int:
+    """Parse ``high``/``normal``/``low`` or a raw integer priority."""
+    from repro.serve.jobs import PRIORITY_NAMES
+
+    key = text.strip().lower()
+    if key in PRIORITY_NAMES:
+        return PRIORITY_NAMES[key]
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid priority {text!r} (try high, normal, low, or an integer)"
+        ) from None
 
 
 def parse_chunk_shape(text: str) -> tuple[int, ...]:
@@ -97,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ratio tolerance eps (default 0.1)")
     p.add_argument("--max-error-bound", "-U", type=float, default=None,
                    help="cap on the bound the search may recommend")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable result schema instead of "
+                        "the human summary (same schema the service returns)")
     add_cache_args(p)
 
     p = sub.add_parser(
@@ -149,7 +169,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ratio", "-r", type=float, required=True)
     p.add_argument("--tolerance", "-t", type=float, default=0.1)
     p.add_argument("--max-error-bound", "-U", type=float, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="print the full machine-readable result schema "
+                        "(shared with the service) instead of the compact report")
     add_cache_args(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident compression service",
+        description="Start an HTTP JSON service that accepts tune/compress "
+                    "jobs, coalesces identical concurrent requests, shares "
+                    "one evaluation cache across all jobs, and applies "
+                    "backpressure when the queue fills.  See docs/SERVICE.md.",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8077,
+                   help="TCP port (default 8077; 0 picks a free port)")
+    p.add_argument("--workers", "-j", type=int, default=None,
+                   help="concurrent jobs (default: one per core)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="pending-job bound before 429 backpressure (default 64)")
+    p.add_argument("--intra-executor", choices=("serial", "thread", "process"),
+                   default="serial",
+                   help="executor for the fan-out inside one job (default serial)")
+    p.add_argument("--intra-workers", type=int, default=1,
+                   help="pool size for --intra-executor (default 1)")
+    p.add_argument("--stream-threshold", type=parse_memory_size,
+                   default=32 * 2**20, metavar="SIZE",
+                   help="file inputs above SIZE are compressed out of core "
+                        "via the stream pipeline (default 32MiB)")
+    p.add_argument("--max-memory", type=parse_memory_size, default=None,
+                   metavar="SIZE", help="per-job working-set cap for streamed jobs")
+    p.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    add_cache_args(p)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one job to a running service",
+        description="Send a tune or compress job to a `repro serve` instance "
+                    "and (by default) wait for and print its result.",
+    )
+    p.add_argument("kind", choices=("tune", "compress"), help="job type")
+    p.add_argument("input", help="input .npy file")
+    p.add_argument("output", nargs="?", default=None,
+                   help="output path (required for compress jobs)")
+    add_compressor_arg(p)
+    p.add_argument("--url", default="http://127.0.0.1:8077",
+                   help="service endpoint (default http://127.0.0.1:8077)")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--ratio", "-r", type=float, default=None,
+                       help="target compression ratio")
+    group.add_argument("--error-bound", "-e", type=float, default=None,
+                       help="fixed error bound (compress only)")
+    p.add_argument("--tolerance", "-t", type=float, default=0.1)
+    p.add_argument("--max-error-bound", "-U", type=float, default=None)
+    p.add_argument("--priority", type=parse_priority, default=0,
+                   help="high, normal, low, or an integer (lower runs sooner)")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="extra attempts the service may make on failure (default 1)")
+    p.add_argument("--inline", action="store_true",
+                   help="ship the array inline instead of referencing the "
+                        "path (use when the server cannot see your files)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job ticket and exit without waiting")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the result (default 300)")
 
     p = sub.add_parser("info", help="show .frz metadata")
     p.add_argument("input", help="input .frz file")
@@ -176,12 +260,24 @@ def _persist_cache(cache) -> None:
 
 
 def _cmd_compress(args) -> int:
+    import time
+
+    from repro.serve import schema
+
     data = np.load(args.input)
+    t0 = time.perf_counter()
     if args.error_bound is not None:
         compressor = make_compressor(args.compressor, error_bound=args.error_bound)
         payload = save_field(args.output, data, compressor)
-        print(f"compressed at fixed bound {args.error_bound:.4e}: "
-              f"ratio {payload.ratio:.2f}:1 -> {args.output}")
+        if args.json:
+            print(json.dumps(schema.compress_payload(
+                payload, compressor=args.compressor, error_bound=args.error_bound,
+                output=args.output, input=args.input,
+                wall_seconds=time.perf_counter() - t0,
+            ), indent=2))
+        else:
+            print(f"compressed at fixed bound {args.error_bound:.4e}: "
+                  f"ratio {payload.ratio:.2f}:1 -> {args.output}")
         return 0
     fraz = _make_fraz(args)
     payload, result = fraz.compress(data)
@@ -189,9 +285,21 @@ def _cmd_compress(args) -> int:
     compressor = make_compressor(args.compressor, error_bound=result.error_bound)
     save_field(args.output, payload, compressor,
                metadata={"target_ratio": args.ratio, "feasible": result.feasible})
-    status = "in band" if result.within_tolerance else "closest achievable"
-    print(f"tuned bound {result.error_bound:.4e} ({result.evaluations} probes): "
-          f"ratio {payload.ratio:.2f}:1 ({status}) -> {args.output}")
+    if args.json:
+        print(json.dumps(schema.compress_payload(
+            payload, compressor=args.compressor, error_bound=result.error_bound,
+            output=args.output, input=args.input,
+            tuning=schema.tune_payload(
+                result, compressor=args.compressor, input=args.input,
+                max_error_bound=args.max_error_bound,
+            ),
+            wall_seconds=time.perf_counter() - t0,
+            cache=fraz.evaluation_cache,
+        ), indent=2))
+    else:
+        status = "in band" if result.within_tolerance else "closest achievable"
+        print(f"tuned bound {result.error_bound:.4e} ({result.evaluations} probes): "
+              f"ratio {payload.ratio:.2f}:1 ({status}) -> {args.output}")
     return 0 if result.feasible else 2
 
 
@@ -260,18 +368,110 @@ def _cmd_tune(args) -> int:
     fraz = _make_fraz(args)
     result = fraz.tune(data)
     _persist_cache(fraz.evaluation_cache)
-    print(json.dumps({
+    if args.json:
+        from repro.serve import schema
+
+        payload = schema.tune_payload(
+            result, compressor=args.compressor, input=args.input,
+            max_error_bound=args.max_error_bound, cache=fraz.evaluation_cache,
+        )
+    else:
+        payload = {
+            "compressor": args.compressor,
+            "target_ratio": args.ratio,
+            "error_bound": result.error_bound,
+            "ratio": result.ratio,
+            "feasible": result.feasible,
+            "evaluations": result.evaluations,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "wall_seconds": round(result.wall_seconds, 4),
+        }
+    print(json.dumps(payload, indent=2))
+    return 0 if result.feasible else 2
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ServiceServer
+
+    server = ServiceServer(
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        intra_executor=args.intra_executor,
+        intra_workers=args.intra_workers,
+        stream_threshold=args.stream_threshold,
+        max_memory=args.max_memory,
+    )
+    print(f"repro serve listening on {server.url} "
+          f"({server.scheduler.workers} workers, queue {args.queue_size})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import os
+
+    from repro.serve import JobFailedError, ServiceClient
+
+    if args.kind == "tune":
+        if args.ratio is None:
+            print("error: tune jobs require --ratio", file=sys.stderr)
+            return 2
+    elif args.output is None:
+        print("error: compress jobs require an output path", file=sys.stderr)
+        return 2
+    spec: dict = {
+        "kind": args.kind,
         "compressor": args.compressor,
         "target_ratio": args.ratio,
-        "error_bound": result.error_bound,
-        "ratio": result.ratio,
-        "feasible": result.feasible,
-        "evaluations": result.evaluations,
-        "cache_hits": result.cache_hits,
-        "cache_misses": result.cache_misses,
-        "wall_seconds": round(result.wall_seconds, 4),
-    }, indent=2))
-    return 0 if result.feasible else 2
+        "error_bound": args.error_bound,
+        "tolerance": args.tolerance,
+        "max_error_bound": args.max_error_bound,
+        "priority": args.priority,
+        "max_retries": args.max_retries,
+    }
+    if args.inline:
+        from repro.serve import JobSpec
+
+        spec["data_b64"] = JobSpec.encode_array(np.load(args.input))
+    else:
+        spec["input"] = os.path.abspath(args.input)
+    if args.output is not None:
+        spec["output"] = os.path.abspath(args.output)
+
+    from repro.serve import ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        ticket = client.submit(spec)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.no_wait:
+        print(json.dumps(ticket, indent=2))
+        return 0
+    try:
+        result = client.result(ticket["job_id"], timeout=args.timeout)
+    except JobFailedError as exc:
+        print(f"error: job {ticket['job_id']} failed: {exc}", file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2))
+    feasible = result.get("feasible")
+    if feasible is None and isinstance(result.get("tuning"), dict):
+        feasible = result["tuning"].get("feasible")
+    return 0 if feasible in (None, True) else 2
 
 
 def _cmd_info(args) -> int:
@@ -303,6 +503,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_decompress(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "datasets":

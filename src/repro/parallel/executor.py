@@ -19,6 +19,7 @@ Backends:
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence
@@ -29,7 +30,28 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "resolve_workers",
 ]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request into a concrete pool size.
+
+    ``None`` and every non-positive integer mean "use all available cores"
+    (``os.cpu_count()``, or 1 when the platform cannot report it) — that is
+    what long-lived services pass so one config works on any host.  Anything
+    that is not an integer is rejected with a clear error rather than being
+    truncated or coerced.
+    """
+    if workers is None:
+        return os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(
+            f"workers must be an int or None, got {type(workers).__name__} {workers!r}"
+        )
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
 
 
 class BaseExecutor(ABC):
@@ -82,7 +104,13 @@ class _PoolExecutor(BaseExecutor):
 
     _pool_cls: type
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(self, workers: int | None = 4) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise TypeError(
+                f"workers must be an int or None, got {type(workers).__name__} {workers!r}"
+            )
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -127,8 +155,16 @@ class ProcessExecutor(_PoolExecutor):
     shares_memory = False
 
 
-def make_executor(kind: str = "serial", workers: int = 4) -> BaseExecutor:
-    """Factory: ``"serial"``, ``"thread"`` or ``"process"``."""
+def make_executor(kind: str = "serial", workers: int | None = 4) -> BaseExecutor:
+    """Factory: ``"serial"``, ``"thread"`` or ``"process"``.
+
+    ``workers`` sizes the thread/process pool and defaults to 4 (serial
+    executors ignore it).  ``None`` and non-positive values request one
+    worker per core — ``os.cpu_count()`` via :func:`resolve_workers` — so
+    service configurations can say "auto" without probing the host
+    themselves.  Non-integer values raise :class:`TypeError`.
+    """
+    workers = resolve_workers(workers)
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":

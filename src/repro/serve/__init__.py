@@ -1,0 +1,55 @@
+"""Resident compression service: queue, scheduler, HTTP server, client.
+
+Turns the one-shot FRaZ tooling into a long-lived process::
+
+    from repro.serve import ServiceServer, ServiceClient
+
+    with ServiceServer(port=0, workers=2) as server:
+        client = ServiceClient(server.url)
+        ticket = client.submit_array(data, kind="tune", target_ratio=10.0)
+        result = client.result(ticket["job_id"])
+
+Submitted jobs flow through a bounded priority queue (backpressure),
+identical concurrent requests are coalesced onto one computation, all
+jobs share one :class:`~repro.cache.EvalCache`, and oversized file
+inputs are routed through the out-of-core ``repro.stream`` pipeline.
+See ``docs/SERVICE.md`` for the full protocol.
+"""
+
+from repro.serve.client import (
+    BackpressureError,
+    JobFailedError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.serve.jobs import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Job,
+    JobSpec,
+    JobState,
+)
+from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.scheduler import DEFAULT_STREAM_THRESHOLD, Scheduler, SchedulerStats
+from repro.serve.server import DEFAULT_PORT, ServiceServer
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobQueue",
+    "QueueFull",
+    "Scheduler",
+    "SchedulerStats",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceError",
+    "BackpressureError",
+    "JobFailedError",
+    "DEFAULT_PORT",
+    "DEFAULT_STREAM_THRESHOLD",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]

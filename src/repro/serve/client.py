@@ -1,0 +1,162 @@
+"""Thin stdlib client for the compression service.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.serve.server` over ``urllib`` — no dependencies, safe to use
+from scripts, tests, benchmarks and the ``repro submit`` CLI alike.
+
+Backpressure is handled here so callers don't have to: a ``429`` from
+``/submit`` is retried with the server-suggested ``Retry-After`` delay
+until ``backpressure_wait`` is exhausted, at which point
+:class:`BackpressureError` propagates the overload to the caller.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.serve.jobs import JobSpec
+
+__all__ = ["ServiceClient", "ServiceError", "BackpressureError", "JobFailedError"]
+
+
+class ServiceError(RuntimeError):
+    """Protocol-level failure (unexpected status, malformed body)."""
+
+    def __init__(self, message: str, status: int | None = None, body: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+class BackpressureError(ServiceError):
+    """The queue stayed full for longer than ``backpressure_wait``."""
+
+
+class JobFailedError(ServiceError):
+    """A waited-on job finished in ``failed`` or ``cancelled`` state."""
+
+
+class ServiceClient:
+    """JSON/HTTP client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        backpressure_wait: float = 30.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.backpressure_wait = backpressure_wait
+        self.poll_interval = poll_interval
+
+    # -- transport ---------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            f"{self.url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {}
+            return exc.code, payload
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.url}: {exc.reason}") from exc
+
+    # -- submission --------------------------------------------------------
+    def submit(self, spec: JobSpec | dict | None = None, **fields) -> dict:
+        """Submit a job; returns ``{"job_id", "state", "coalesced_into"}``.
+
+        Accepts a :class:`JobSpec`, a spec dict, or the spec's fields as
+        keyword arguments.  Retries on ``429`` until
+        ``backpressure_wait`` runs out.
+        """
+        if spec is None:
+            body = dict(fields)
+        elif isinstance(spec, JobSpec):
+            body = spec.to_dict()
+        else:
+            body = {**spec, **fields}
+        deadline = time.monotonic() + self.backpressure_wait
+        while True:
+            status, payload = self._request("POST", "/submit", body)
+            if status == 202:
+                return payload
+            if status == 429:
+                delay = float(payload.get("retry_after", 1.0))
+                if time.monotonic() + delay > deadline:
+                    raise BackpressureError(
+                        payload.get("error", "queue full"), status=status, body=payload
+                    )
+                time.sleep(delay)
+                continue
+            raise ServiceError(
+                payload.get("error", f"submit rejected with HTTP {status}"),
+                status=status, body=payload,
+            )
+
+    def submit_array(self, data: np.ndarray, **fields) -> dict:
+        """Submit with the array shipped inline (no shared filesystem)."""
+        fields["data_b64"] = JobSpec.encode_array(data)
+        return self.submit(**fields)
+
+    # -- status/result -----------------------------------------------------
+    def status(self, job_id: str) -> dict:
+        status, payload = self._request("GET", f"/status/{job_id}")
+        if status != 200:
+            raise ServiceError(payload.get("error", f"HTTP {status}"),
+                               status=status, body=payload)
+        return payload
+
+    def result(self, job_id: str, wait: bool = True, timeout: float = 120.0) -> dict:
+        """Fetch a job's result, polling until it finishes by default.
+
+        Returns the result payload (the shared schema of
+        :mod:`repro.serve.schema`).  Raises :class:`JobFailedError` if
+        the job failed or was cancelled, :class:`TimeoutError` if it is
+        still pending after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self._request("GET", f"/result/{job_id}")
+            if status == 200:
+                if payload.get("state") != "done":
+                    raise JobFailedError(
+                        payload.get("error") or f"job {job_id} {payload.get('state')}",
+                        status=status, body=payload,
+                    )
+                return payload["result"]
+            if status == 202 and wait:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"job {job_id} still pending after {timeout}s")
+                time.sleep(self.poll_interval)
+                continue
+            if status == 202:
+                return {"state": payload.get("state"), "pending": True}
+            raise ServiceError(payload.get("error", f"HTTP {status}"),
+                               status=status, body=payload)
+
+    # -- service introspection ---------------------------------------------
+    def stats(self) -> dict:
+        status, payload = self._request("GET", "/stats")
+        if status != 200:
+            raise ServiceError(f"/stats returned HTTP {status}", status=status)
+        return payload
+
+    def health(self) -> dict:
+        status, payload = self._request("GET", "/health")
+        if status != 200:
+            raise ServiceError(f"/health returned HTTP {status}", status=status)
+        return payload

@@ -1,0 +1,275 @@
+"""Typed job records for the compression service.
+
+A :class:`JobSpec` is the *request*: a frozen, JSON-serialisable
+description of one unit of work (tune a bound, or compress to a file).
+A :class:`Job` is the *lifecycle record* the scheduler tracks for it:
+state transitions, attempt counts against the retry budget, timestamps,
+and the eventual result or error.
+
+Requests are deduplicated by :meth:`JobSpec.coalesce_key` — the same
+``(data, compressor, bound-or-target)`` identity the
+:class:`~repro.cache.EvalCache` keys individual probes by, lifted to
+whole requests: two specs with equal keys describe byte-identical work,
+so the scheduler computes one and fans the result to both (see
+``repro/serve/scheduler.py``).
+
+Lifecycle::
+
+    queued ──> running ──> done
+      │           │  └───> failed      (after the retry budget is spent)
+      │           └──────> queued      (retry: attempt < max_retries + 1)
+      └──────────────────> cancelled   (only before running)
+
+A job submitted while an identical one is queued/running never enters
+the queue: it records ``coalesced_into`` and finishes when its primary
+does.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import hashlib
+import io
+import os
+import threading
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+__all__ = [
+    "JobState",
+    "JobSpec",
+    "Job",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+    "PRIORITY_NAMES",
+]
+
+#: Lower numbers run sooner.  Named levels accepted in JSON requests.
+PRIORITY_HIGH = -10
+PRIORITY_NORMAL = 0
+PRIORITY_LOW = 10
+
+#: Wire names for the levels — the one mapping the CLI and the JSON
+#: protocol both resolve through.
+PRIORITY_NAMES = {
+    "high": PRIORITY_HIGH,
+    "normal": PRIORITY_NORMAL,
+    "low": PRIORITY_LOW,
+}
+
+_KINDS = ("tune", "compress")
+
+
+class JobState(str, enum.Enum):
+    """Where a job is in its lifecycle (values are the wire strings)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in _FINISHED
+
+
+_FINISHED = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of service work, fully described and JSON-serialisable.
+
+    Exactly one of ``input`` (a ``.npy`` path visible to the server) and
+    ``data_b64`` (a base64-encoded ``.npy`` byte string shipped inline)
+    names the data.  ``kind="tune"`` requires ``target_ratio``;
+    ``kind="compress"`` requires ``output`` plus exactly one of
+    ``target_ratio``/``error_bound``.
+
+    ``priority`` orders the queue (lower runs sooner; see
+    :data:`PRIORITY_HIGH`/:data:`PRIORITY_NORMAL`/:data:`PRIORITY_LOW`).
+    ``max_retries`` is the number of *additional* attempts the scheduler
+    may make after a failure.  ``stream`` forces (``True``) or forbids
+    (``False``) routing through the out-of-core pipeline; ``None`` lets
+    the scheduler decide by input size.
+    """
+
+    kind: str
+    compressor: str = "sz"
+    target_ratio: float | None = None
+    error_bound: float | None = None
+    tolerance: float = 0.1
+    max_error_bound: float | None = None
+    input: str | None = None
+    data_b64: str | None = None
+    output: str | None = None
+    priority: int = PRIORITY_NORMAL
+    max_retries: int = 1
+    stream: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if (self.input is None) == (self.data_b64 is None):
+            raise ValueError("pass exactly one of input (a path) or data_b64 (inline)")
+        if self.kind == "tune":
+            if self.target_ratio is None:
+                raise ValueError("tune jobs require target_ratio")
+            if self.error_bound is not None:
+                raise ValueError("tune jobs take target_ratio, not error_bound")
+        else:  # compress
+            if (self.target_ratio is None) == (self.error_bound is None):
+                raise ValueError(
+                    "compress jobs require exactly one of target_ratio or error_bound"
+                )
+            if self.output is None:
+                raise ValueError("compress jobs require an output path")
+        if self.target_ratio is not None and self.target_ratio <= 0:
+            raise ValueError(f"target_ratio must be positive, got {self.target_ratio}")
+        if not 0 < self.tolerance < 1:
+            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+            raise ValueError(f"priority must be an int, got {self.priority!r}")
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(f"max_retries must be an int >= 0, got {self.max_retries!r}")
+        if self.stream and self.input is None:
+            raise ValueError("stream=True requires a file input, not inline data")
+
+    # -- data access ------------------------------------------------------
+    def load_array(self) -> np.ndarray:
+        """Materialise the job's data (inline bytes or ``.npy`` path)."""
+        if self.data_b64 is not None:
+            return np.load(io.BytesIO(base64.b64decode(self.data_b64)), allow_pickle=False)
+        return np.load(self.input, allow_pickle=False)
+
+    @staticmethod
+    def encode_array(data: np.ndarray) -> str:
+        """Base64-``.npy`` encoding for the ``data_b64`` field."""
+        buf = io.BytesIO()
+        np.save(buf, np.asarray(data), allow_pickle=False)
+        return base64.b64encode(buf.getvalue()).decode("ascii")
+
+    # -- identity ----------------------------------------------------------
+    def data_token(self) -> str:
+        """Cheap, stable identity of the job's data for coalescing.
+
+        Inline data hashes its exact bytes (the same digest family
+        :func:`repro.cache.keys.fingerprint_array` uses).  Path inputs use
+        ``(realpath, size, mtime_ns)`` so a rewritten file stops matching
+        without the server having to read it at submit time.
+        """
+        if self.data_b64 is not None:
+            return hashlib.blake2b(self.data_b64.encode("ascii"), digest_size=16).hexdigest()
+        path = os.path.realpath(self.input)
+        try:
+            st = os.stat(path)
+            return f"{path}:{st.st_size}:{st.st_mtime_ns}"
+        except OSError:
+            return path
+
+    def coalesce_key(self) -> str:
+        """Request-level dedup key: equal keys describe identical work.
+
+        Everything that changes the computed bytes participates — data
+        identity, compressor, targets, tolerances, the output path —
+        while scheduling hints (priority, retry budget) do not: a high-
+        and a low-priority request for the same work coalesce.
+        """
+        parts = (
+            self.kind,
+            self.compressor,
+            repr(self.target_ratio),
+            repr(self.error_bound),
+            repr(self.tolerance),
+            repr(self.max_error_bound),
+            repr(self.stream),
+            self.output or "",
+            self.data_token(),
+        )
+        return hashlib.blake2b("|".join(parts).encode(), digest_size=16).hexdigest()
+
+    # -- wire format -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict (defaults included, for transparency in logs)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        """Build a spec from a JSON request body, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"job spec must be a JSON object, got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown job spec fields: {sorted(unknown)}")
+        data = dict(payload)
+        prio = data.get("priority")
+        if isinstance(prio, str):
+            try:
+                data["priority"] = PRIORITY_NAMES[prio.lower()]
+            except KeyError:
+                raise ValueError(
+                    f"priority must be an int or one of {sorted(PRIORITY_NAMES)}, "
+                    f"got {prio!r}"
+                ) from None
+        if "kind" not in data:
+            raise ValueError("job spec requires a kind ('tune' or 'compress')")
+        return cls(**data)
+
+
+@dataclass
+class Job:
+    """Scheduler-side lifecycle record for one submitted spec."""
+
+    id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    result: dict | None = None
+    error: str | None = None
+    #: Set on followers: the id of the primary job this one coalesced onto.
+    coalesced_into: str | None = None
+    #: Set on primaries: followers to fan the result out to on completion.
+    followers: list["Job"] = field(default_factory=list, repr=False)
+    _finished_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state.finished
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._finished_event.wait(timeout)
+
+    def _finish(self, state: JobState, *, result: dict | None = None,
+                error: str | None = None) -> None:
+        """Terminal transition (scheduler-internal; fires the event)."""
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished_at = time.time()
+        self._finished_event.set()
+
+    def status_dict(self) -> dict:
+        """JSON-ready status record (``/status/<id>`` body)."""
+        return {
+            "job_id": self.id,
+            "kind": self.spec.kind,
+            "state": self.state.value,
+            "priority": self.spec.priority,
+            "attempts": self.attempts,
+            "max_retries": self.spec.max_retries,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "coalesced_into": self.coalesced_into,
+            "error": self.error,
+        }

@@ -1,0 +1,125 @@
+"""Bounded priority job queue with backpressure.
+
+The service's admission control lives here, not in the HTTP layer: a
+:class:`JobQueue` holds at most ``maxsize`` undispatched jobs, and
+:meth:`JobQueue.put` raises :class:`QueueFull` the moment a producer
+outruns the workers — the server maps that to ``429 Retry-After`` and the
+client backs off.  Bounding the *queue* (rather than, say, dropping jobs
+silently or buffering without limit) keeps memory flat under burst load
+and gives callers an honest signal they can retry on.
+
+Ordering is ``(priority, arrival)``: lower priority values run sooner,
+ties run first-in-first-out (the sequence number makes the heap stable,
+and keeps :class:`~repro.serve.jobs.Job` objects out of the comparison).
+Cancellation is lazy — cancelled jobs stay in the heap but are skipped
+at pop time, so cancel is O(1) and pop stays O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.serve.jobs import Job, JobState
+
+__all__ = ["JobQueue", "QueueFull", "QueueStats"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`JobQueue.put` when the queue is at capacity.
+
+    ``retry_after`` is the server's suggested client backoff in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass
+class QueueStats:
+    """Counters for one queue instance."""
+
+    enqueued: int = 0
+    rejected: int = 0
+    max_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "rejected": self.rejected,
+            "max_depth": self.max_depth,
+        }
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of :class:`Job` records."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if not isinstance(maxsize, int) or maxsize < 1:
+            raise ValueError(f"maxsize must be an int >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self.stats = QueueStats()
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+
+    # -- producers ---------------------------------------------------------
+    def put(self, job: Job, *, force: bool = False) -> None:
+        """Enqueue ``job``; raises :class:`QueueFull` at capacity.
+
+        ``force=True`` bypasses the bound — reserved for the scheduler's
+        internal re-enqueues (retries), which must never be rejected by
+        the same backpressure that protects against *new* work.
+        """
+        with self._cond:
+            depth = self._depth_locked()
+            if not force and depth >= self.maxsize:
+                self.stats.rejected += 1
+                raise QueueFull(
+                    f"job queue full ({depth}/{self.maxsize} pending)",
+                    retry_after=1.0,
+                )
+            heapq.heappush(self._heap, (job.spec.priority, next(self._seq), job))
+            self.stats.enqueued += 1
+            self.stats.max_depth = max(self.stats.max_depth, depth + 1)
+            self._cond.notify()
+
+    # -- consumers ---------------------------------------------------------
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Pop the highest-priority live job; ``None`` on timeout.
+
+        Jobs cancelled while queued are discarded here, never returned.
+        """
+        with self._cond:
+            while True:
+                job = self._pop_live_locked()
+                if job is not None:
+                    return job
+                if not self._cond.wait(timeout):
+                    return self._pop_live_locked()
+
+    def _pop_live_locked(self) -> Job | None:
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if job.state is not JobState.CANCELLED:
+                return job
+        return None
+
+    # -- introspection -----------------------------------------------------
+    def _depth_locked(self) -> int:
+        return sum(1 for _, _, job in self._heap if job.state is not JobState.CANCELLED)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._depth_locked()
+
+    def stats_dict(self) -> dict:
+        with self._cond:
+            return {
+                "depth": self._depth_locked(),
+                "capacity": self.maxsize,
+                **self.stats.as_dict(),
+            }

@@ -1,0 +1,486 @@
+"""Job scheduler: workers, request coalescing, shared cache, stream routing.
+
+The :class:`Scheduler` is the resident core of the compression service.
+It owns
+
+* a bounded priority :class:`~repro.serve.queue.JobQueue` (backpressure
+  propagates out of :meth:`submit` as
+  :class:`~repro.serve.queue.QueueFull`),
+* a pool of worker threads that pop jobs and run them through the
+  existing layers — :class:`~repro.core.fraz.FRaZ` for tunes and
+  in-memory compressions, :func:`repro.stream.pipeline.stream_compress`
+  for inputs too large to hold (routing is automatic past
+  ``stream_threshold`` bytes),
+* one :class:`~repro.cache.EvalCache` shared by *every* job, so probes
+  paid by one request answer later requests for free, and
+* a **coalescing registry**: a request whose
+  :meth:`~repro.serve.jobs.JobSpec.coalesce_key` matches a job that is
+  currently queued or running never enters the queue — it attaches to
+  that primary job and receives the same result when it completes.
+  Coalescing is the request-level analogue of the cache (which
+  deduplicates *sequential* identical work): it deduplicates
+  *concurrent* identical work before any of it runs, and coalesced
+  requests consume no queue capacity, so duplicate bursts cannot trip
+  backpressure.
+
+Intra-job parallelism (the region fan-out inside a search, the chunk
+batches of a streamed compression) goes through the existing
+:mod:`repro.parallel.executor` backends, configured once per scheduler.
+
+``pause()``/``resume()`` gate the workers without touching the queue —
+operators use it to drain, tests use it to make coalescing windows
+deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cache.evalcache import EvalCache
+from repro.core.fraz import FRaZ
+from repro.io.files import save_field
+from repro.parallel.executor import make_executor, resolve_workers
+from repro.pressio.registry import make_compressor
+from repro.serve import schema
+from repro.serve.jobs import Job, JobSpec, JobState
+from repro.serve.queue import JobQueue, QueueFull  # noqa: F401  (re-exported)
+from repro.stream.pipeline import stream_compress
+
+__all__ = ["Scheduler", "SchedulerStats", "DEFAULT_STREAM_THRESHOLD"]
+
+#: Inputs larger than this are routed through the out-of-core pipeline
+#: unless the spec says otherwise (32 MiB: comfortably in-memory below,
+#: worth chunked compression above).
+DEFAULT_STREAM_THRESHOLD = 32 * 2**20
+
+
+@dataclass
+class SchedulerStats:
+    """Service-level counters (jobs and search probes)."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    cancelled: int = 0
+    running: int = 0
+    streamed: int = 0
+    evaluations: int = 0
+    compressor_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def jobs_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "cancelled": self.cancelled,
+            "running": self.running,
+            "streamed": self.streamed,
+        }
+
+    def search_dict(self) -> dict:
+        return {
+            "evaluations": self.evaluations,
+            "compressor_calls": self.compressor_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class Scheduler:
+    """Resident job scheduler over the FRaZ/stream/cache layers.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent jobs; ``None``/``<= 0`` means one per core (see
+        :func:`repro.parallel.executor.resolve_workers`).
+    queue_size:
+        Bound on undispatched jobs; beyond it :meth:`submit` raises
+        :class:`~repro.serve.queue.QueueFull` (backpressure).
+    cache:
+        ``True`` (default) builds one shared :class:`EvalCache`;
+        ``False`` disables caching; an instance is used as-is.
+    cache_dir:
+        Persistent tier for the auto-built cache; written on
+        :meth:`close`.
+    intra_executor, intra_workers:
+        Backend for the fan-out *inside* one job (search regions, chunk
+        batches): ``"serial"`` (default — job-level concurrency already
+        comes from ``workers``), ``"thread"`` or ``"process"``.
+    stream_threshold:
+        File inputs larger than this many bytes are compressed out of
+        core via :func:`~repro.stream.pipeline.stream_compress`.
+    max_memory:
+        Optional per-job working-set cap forwarded to the stream
+        pipeline's chunk planner.
+    history:
+        Finished jobs kept addressable for ``/status``/``/result``;
+        older records are dropped to keep the registry bounded.
+    paused:
+        Start with workers gated; call :meth:`resume` to begin draining.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        queue_size: int = 64,
+        cache: EvalCache | bool = True,
+        cache_dir: str | None = None,
+        intra_executor: str = "serial",
+        intra_workers: int | None = 1,
+        stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+        max_memory: int | None = None,
+        seed: int = 0,
+        history: int = 1024,
+        paused: bool = False,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.seed = seed
+        self.stream_threshold = int(stream_threshold)
+        self.max_memory = max_memory
+        self.intra_workers = resolve_workers(intra_workers)
+        self._intra = make_executor(intra_executor, self.intra_workers)
+        if isinstance(cache, EvalCache):
+            self._cache: EvalCache | None = cache
+        elif cache:
+            self._cache = EvalCache(cache_dir=cache_dir)
+        else:
+            self._cache = None
+        self.stats = SchedulerStats()
+        self._queue = JobQueue(maxsize=queue_size)
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._history: deque[str] = deque()
+        self._history_limit = max(1, int(history))
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._gate = threading.Event()
+        if not paused:
+            self._gate.set()
+        self._threads: list[threading.Thread] = []
+        self._started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def cache(self) -> EvalCache | None:
+        """The shared evaluation cache (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def paused(self) -> bool:
+        return not self._gate.is_set()
+
+    def start(self) -> "Scheduler":
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        self._started_at = time.time()
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def pause(self) -> None:
+        """Gate the workers; queued jobs wait, running jobs finish."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the workers; jobs still queued stay queued (unfinished)."""
+        self._stop.set()
+        self._gate.set()
+        for t in self._threads:
+            t.join(timeout)
+        self._threads.clear()
+
+    def close(self) -> None:
+        """Stop and persist the cache's disk tier, if it has one."""
+        self.stop()
+        if self._cache is not None and self._cache.cache_dir is not None:
+            self._cache.save()
+
+    def __enter__(self) -> "Scheduler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------
+    def submit(self, spec: JobSpec | dict) -> Job:
+        """Admit one job: coalesce, or enqueue (raising on backpressure).
+
+        Returns the tracked :class:`Job`.  A coalesced job reports the
+        primary's id in ``coalesced_into`` and finishes when it does.
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        key = spec.coalesce_key()
+        with self._lock:
+            if self._stop.is_set() and not self._threads:
+                raise RuntimeError("scheduler is stopped")
+            job_id = f"j{next(self._ids):06d}"
+            primary = self._inflight.get(key)
+            if primary is not None and not primary.finished:
+                job = Job(id=job_id, spec=spec, coalesced_into=primary.id)
+                primary.followers.append(job)
+                self._jobs[job_id] = job
+                self.stats.submitted += 1
+                self.stats.coalesced += 1
+                return job
+            job = Job(id=job_id, spec=spec)
+            self._queue.put(job)  # raises QueueFull before any registration
+            self._inflight[key] = job
+            self._jobs[job_id] = job
+            self.stats.submitted += 1
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until ``job_id`` finishes; returns the job record."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
+        return job
+
+    def drain(self, timeout: float = 60.0, poll: float = 0.01) -> None:
+        """Block until the queue is empty and no job is running."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                idle = len(self._queue) == 0 and self.stats.running == 0
+            if idle:
+                return
+            time.sleep(poll)
+        raise TimeoutError(f"jobs still pending after {timeout}s")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; running jobs are not stopped.
+
+        Cancelling a primary also cancels its coalesced followers (they
+        were waiting on exactly the work being cancelled).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.finished or job.state is JobState.RUNNING:
+                return False
+            if job.coalesced_into is not None:
+                primary = self._jobs.get(job.coalesced_into)
+                if primary is not None and job in primary.followers:
+                    primary.followers.remove(job)
+                self._cancel_one(job)
+                return True
+            for follower in job.followers[:]:
+                self._cancel_one(follower)
+            job.followers.clear()
+            self._drop_inflight(job)
+            self._cancel_one(job)
+            return True
+
+    def _cancel_one(self, job: Job) -> None:
+        job._finish(JobState.CANCELLED)
+        self.stats.cancelled += 1
+        self._remember(job)
+
+    # -- worker side -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._gate.wait(timeout=0.05):
+                continue
+            job = self._queue.get(timeout=0.1)
+            if job is None:
+                continue
+            if self.paused and not self._stop.is_set():
+                # Raced a pause: put it back rather than running gated work.
+                self._queue.put(job, force=True)
+                time.sleep(0.01)
+                continue
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            if job.state is JobState.CANCELLED:
+                return
+            job.state = JobState.RUNNING
+            job.attempts += 1
+            if job.started_at is None:
+                job.started_at = time.time()
+            self.stats.running += 1
+        try:
+            result, evals, calls, streamed = self._execute(job)
+        except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+            with self._lock:
+                self.stats.running -= 1
+                if job.attempts <= job.spec.max_retries and not self._stop.is_set():
+                    self.stats.retried += 1
+                    job.state = JobState.QUEUED
+                    self._queue.put(job, force=True)
+                    return
+            self._finish(job, JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._lock:
+            self.stats.running -= 1
+            self.stats.evaluations += evals
+            self.stats.compressor_calls += calls
+            self.stats.cache_hits += evals - calls
+            self.stats.cache_misses += calls
+            if streamed:
+                self.stats.streamed += 1
+        self._finish(job, JobState.DONE, result=result)
+
+    def _finish(self, job: Job, state: JobState, *, result: dict | None = None,
+                error: str | None = None) -> None:
+        with self._lock:
+            self._drop_inflight(job)
+            followers = job.followers[:]
+            job.followers.clear()
+            job._finish(state, result=result, error=error)
+            self._remember(job)
+            done = state is JobState.DONE
+            self.stats.completed += 1 if done else 0
+            self.stats.failed += 0 if done else 1
+            for follower in followers:
+                follower.started_at = job.started_at
+                follower._finish(state, result=result, error=error)
+                self._remember(follower)
+                self.stats.completed += 1 if done else 0
+                self.stats.failed += 0 if done else 1
+
+    def _drop_inflight(self, job: Job) -> None:
+        key = job.spec.coalesce_key()
+        if self._inflight.get(key) is job:
+            del self._inflight[key]
+
+    def _remember(self, job: Job) -> None:
+        """Bound the finished-job registry to the history limit."""
+        self._history.append(job.id)
+        while len(self._history) > self._history_limit:
+            old = self._history.popleft()
+            stale = self._jobs.get(old)
+            if stale is not None and stale.finished:
+                del self._jobs[old]
+
+    # -- execution ---------------------------------------------------------
+    def _job_cache(self) -> EvalCache | bool:
+        return self._cache if self._cache is not None else False
+
+    def _make_fraz(self, spec: JobSpec) -> FRaZ:
+        return FRaZ(
+            compressor=spec.compressor,
+            target_ratio=spec.target_ratio if spec.target_ratio is not None else 10.0,
+            tolerance=spec.tolerance,
+            max_error_bound=spec.max_error_bound,
+            executor=self._intra,
+            seed=self.seed,
+            cache=self._job_cache(),
+        )
+
+    def _route_stream(self, spec: JobSpec) -> bool:
+        if spec.stream is not None:
+            return spec.stream
+        if spec.kind != "compress" or spec.input is None:
+            return False
+        try:
+            return os.path.getsize(spec.input) > self.stream_threshold
+        except OSError:
+            return False
+
+    def _execute(self, job: Job) -> tuple[dict, int, int, bool]:
+        """Run one job; returns ``(result, evaluations, compressor_calls,
+        streamed)``.  Exceptions propagate to the retry logic."""
+        spec = job.spec
+        if spec.kind == "compress" and self._route_stream(spec):
+            result = stream_compress(
+                spec.input,
+                spec.output,
+                compressor=spec.compressor,
+                target_ratio=spec.target_ratio,
+                error_bound=spec.error_bound,
+                tolerance=spec.tolerance,
+                max_error_bound=spec.max_error_bound,
+                max_memory=self.max_memory,
+                workers=self.intra_workers,
+                executor=self._intra,
+                seed=self.seed,
+                cache=self._job_cache(),
+            )
+            payload = schema.stream_payload(result, compressor=spec.compressor,
+                                            input=spec.input)
+            return payload, result.evaluations, result.cache_misses, True
+
+        data = spec.load_array()
+        if spec.kind == "tune":
+            result = self._make_fraz(spec).tune(data)
+            payload = schema.tune_payload(
+                result, compressor=spec.compressor, input=spec.input,
+                max_error_bound=spec.max_error_bound,
+            )
+            return payload, result.evaluations, result.compressor_calls, False
+
+        # compress, in memory
+        t0 = time.perf_counter()
+        if spec.error_bound is not None:
+            configured = make_compressor(spec.compressor, error_bound=spec.error_bound)
+            field = save_field(spec.output, data, configured)
+            payload = schema.compress_payload(
+                field, compressor=spec.compressor, error_bound=spec.error_bound,
+                output=spec.output, input=spec.input,
+                wall_seconds=time.perf_counter() - t0,
+            )
+            return payload, 0, 0, False
+        fraz = self._make_fraz(spec)
+        field, result = fraz.compress(data)
+        configured = make_compressor(spec.compressor, error_bound=result.error_bound)
+        save_field(spec.output, field, configured,
+                   metadata={"target_ratio": spec.target_ratio,
+                             "feasible": result.feasible})
+        payload = schema.compress_payload(
+            field, compressor=spec.compressor, error_bound=result.error_bound,
+            output=spec.output, input=spec.input,
+            tuning=schema.tune_payload(
+                result, compressor=spec.compressor, input=spec.input,
+                max_error_bound=spec.max_error_bound,
+            ),
+            wall_seconds=time.perf_counter() - t0,
+        )
+        return payload, result.evaluations, result.compressor_calls, False
+
+    # -- introspection -----------------------------------------------------
+    def stats_payload(self) -> dict:
+        """JSON-ready service statistics (the ``/stats`` body)."""
+        with self._lock:
+            payload = {
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "workers": self.workers,
+                "paused": self.paused,
+                "queue": self._queue.stats_dict(),
+                "jobs": self.stats.jobs_dict(),
+                "search": self.stats.search_dict(),
+                "cache": None,
+            }
+            if self._cache is not None:
+                payload["cache"] = {"entries": len(self._cache),
+                                    **self._cache.stats.as_dict()}
+            return payload

@@ -1,0 +1,206 @@
+"""Stdlib JSON/HTTP front-end for the scheduler.
+
+No web framework — a :class:`http.server.ThreadingHTTPServer` is enough
+for a JSON control plane, keeps the service dependency-free, and its
+thread-per-connection model composes cleanly with the scheduler's own
+worker pool (handlers only ever touch thread-safe scheduler methods).
+
+Endpoints
+---------
+``POST /submit``        body: a :class:`~repro.serve.jobs.JobSpec` dict →
+                        ``202 {"job_id", "state", "coalesced_into"}``;
+                        ``400`` on an invalid spec; ``429`` +
+                        ``Retry-After`` when the queue is full.
+``GET /status/<id>``    job lifecycle record; ``404`` for unknown ids.
+``GET /result/<id>``    ``200`` with the result/error once finished,
+                        ``202`` with the current state while pending.
+``GET /stats``          scheduler, queue, search and cache counters.
+``GET /health``         liveness probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.jobs import JobSpec
+from repro.serve.queue import QueueFull
+from repro.serve.scheduler import Scheduler
+
+__all__ = ["ServiceServer", "DEFAULT_PORT", "MAX_BODY_BYTES"]
+
+DEFAULT_PORT = 8077
+
+#: Largest accepted request body (inline arrays ride in submits).
+MAX_BODY_BYTES = 256 * 2**20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # Set by ServiceServer on the server class instance.
+    scheduler: Scheduler = None  # type: ignore[assignment]
+    verbose: bool = False
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if self.verbose:  # pragma: no cover - log formatting
+            super().log_message(fmt, *args)
+
+    def _send(self, code: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+
+    # -- routes ------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/submit":
+            # The request body was never read; a keep-alive peer would see
+            # its unread bytes parsed as the next request line.
+            self.close_connection = True
+            self._send(404, {"error": f"unknown endpoint {self.path!r}"})
+            return
+        try:
+            spec = JobSpec.from_dict(self._read_json())
+        except ValueError as exc:
+            # Oversized bodies are rejected unread — don't reuse the socket.
+            self.close_connection = True
+            self._send(400, {"error": str(exc)})
+            return
+        try:
+            job = self.scheduler.submit(spec)
+        except QueueFull as exc:
+            self._send(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+            return
+        self._send(202, {
+            "job_id": job.id,
+            "state": job.state.value,
+            "coalesced_into": job.coalesced_into,
+        })
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/stats":
+            self._send(200, self.scheduler.stats_payload())
+            return
+        if self.path == "/health":
+            self._send(200, {"status": "ok", "paused": self.scheduler.paused})
+            return
+        for prefix in ("/status/", "/result/"):
+            if self.path.startswith(prefix):
+                job = self.scheduler.get(self.path[len(prefix):])
+                if job is None:
+                    self._send(404, {"error": "unknown job id"})
+                    return
+                if prefix == "/status/":
+                    self._send(200, job.status_dict())
+                elif not job.finished:
+                    self._send(202, {"job_id": job.id, "state": job.state.value})
+                else:
+                    self._send(200, {
+                        "job_id": job.id,
+                        "state": job.state.value,
+                        "coalesced_into": job.coalesced_into,
+                        "result": job.result,
+                        "error": job.error,
+                    })
+                return
+        self._send(404, {"error": f"unknown endpoint {self.path!r}"})
+
+
+class ServiceServer:
+    """Owns one scheduler plus the HTTP listener bound to it.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`/:attr:`url`) — tests and the CI smoke job rely on that.
+
+    Usage::
+
+        with ServiceServer(port=0, workers=2) as server:
+            client = ServiceClient(server.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        verbose: bool = False,
+        **scheduler_kwargs,
+    ) -> None:
+        if scheduler is not None and scheduler_kwargs:
+            raise ValueError("pass scheduler kwargs or an instance, not both")
+        self.scheduler = scheduler or Scheduler(**scheduler_kwargs)
+        handler = type("_BoundHandler", (_Handler,),
+                       {"scheduler": self.scheduler, "verbose": verbose})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Start scheduler workers and the HTTP listener thread."""
+        self.scheduler.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI (Ctrl-C to stop)."""
+        self.scheduler.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the listener, the workers, and persist the cache tier."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.scheduler.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,208 @@
+"""EvalCache under concurrency: shared-instance hammering and disk races.
+
+The service (``repro.serve``) shares one cache across all worker threads
+and persists its disk tier from a long-lived process that may coexist
+with CLI runs pointing at the same ``--cache-dir`` — so the cache must
+tolerate threaded get/put/evaluate_many without losing entries, and
+concurrent ``save()`` writers must never corrupt the JSON tier.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheEntry, EvalCache
+from repro.parallel.executor import ThreadExecutor
+from repro.sz.compressor import SZCompressor
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(17)
+    return r.standard_normal((16, 16, 4)).astype(np.float32)
+
+
+class TestThreadedAccess:
+    N_THREADS = 8
+    N_OPS = 200
+
+    def test_hammered_get_put_loses_nothing(self):
+        cache = EvalCache(maxsize=None)
+        keys = [f"k{i}" for i in range(32)]
+        entries = {k: CacheEntry(ratio=float(i), nbytes=i, seconds=0.0)
+                   for i, k in enumerate(keys)}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(seed: int) -> None:
+            try:
+                rng = np.random.default_rng(seed)
+                barrier.wait(timeout=10)
+                for _ in range(self.N_OPS):
+                    k = keys[int(rng.integers(len(keys)))]
+                    if rng.random() < 0.5:
+                        cache.put(k, entries[k])
+                    else:
+                        got = cache.get(k)
+                        if got is not None:
+                            assert got.ratio == entries[k].ratio
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors, errors
+        # Every key that was ever put is present with the right payload.
+        for k in keys:
+            got = cache.peek(k)
+            if got is not None:
+                assert got.ratio == entries[k].ratio
+        stats = cache.stats
+        assert stats.hits + stats.misses + stats.stores == self.N_THREADS * self.N_OPS
+
+    def test_lru_bound_holds_under_threads(self):
+        cache = EvalCache(maxsize=16)
+        barrier = threading.Barrier(4)
+
+        def worker(base: int) -> None:
+            barrier.wait(timeout=10)
+            for i in range(100):
+                cache.put(f"k{base}-{i}", CacheEntry(1.0, 1, 0.0))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert len(cache) <= 16
+        assert cache.stats.evictions >= 4 * 100 - 16
+
+    def test_concurrent_evaluate_many_matches_serial(self, field):
+        sz = SZCompressor()
+        bounds = [10 ** (-3 + 0.2 * i) for i in range(8)]
+        serial = EvalCache()
+        expected = [e.ratio for e in serial.evaluate_many(sz, field, bounds)]
+
+        cache = EvalCache()
+        pool = ThreadExecutor(workers=4)
+        results: dict[int, list[float]] = {}
+        barrier = threading.Barrier(4)
+
+        def worker(tid: int) -> None:
+            barrier.wait(timeout=10)
+            entries = cache.evaluate_many(sz, field, bounds, executor=pool)
+            results[tid] = [e.ratio for e in entries]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert len(results) == 4
+        for ratios in results.values():
+            assert ratios == expected
+
+    def test_threaded_evaluate_counts_consistent(self, field):
+        """hits + misses == probes issued, regardless of interleaving."""
+        sz = SZCompressor()
+        cache = EvalCache()
+        bounds = [1e-3, 2e-3, 4e-3]
+        barrier = threading.Barrier(6)
+
+        def worker() -> None:
+            barrier.wait(timeout=10)
+            for e in bounds:
+                cache.evaluate(sz, field, e)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert cache.stats.hits + cache.stats.misses == 6 * len(bounds)
+        assert len(cache) == len(bounds)
+
+
+def _save_worker(cache_dir: str, tag: int, n_entries: int, n_saves: int) -> None:
+    """Child process: build a private cache and race save() on one dir."""
+    cache = EvalCache(maxsize=None, cache_dir=cache_dir)
+    for i in range(n_entries):
+        cache.put(f"proc{tag}:{i}", CacheEntry(ratio=float(tag), nbytes=i, seconds=0.0))
+    for _ in range(n_saves):
+        cache.save()
+
+
+class TestDiskTierRaces:
+    N_ENTRIES = 40
+    N_SAVES = 25
+
+    def test_two_process_save_race_never_corrupts(self, tmp_path):
+        cache_dir = str(tmp_path / "shared-cache")
+        procs = [
+            multiprocessing.Process(
+                target=_save_worker,
+                args=(cache_dir, tag, self.N_ENTRIES, self.N_SAVES),
+            )
+            for tag in (1, 2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+
+        # The tier must be complete, valid JSON — atomic tmp+rename means
+        # the winner's file survives whole, never an interleaving.
+        path = os.path.join(cache_dir, "evalcache.json")
+        with open(path, encoding="utf-8") as fh:
+            blob = json.load(fh)
+        keys = set(blob["entries"])
+        tags = {k.split(":")[0] for k in keys}
+        # Last writer wins with its *full* entry set (each writer loaded
+        # the other's entries only if they were on disk at construction,
+        # so the floor is one complete set; no partial/torn set allowed).
+        assert any(
+            {f"proc{tag}:{i}" for i in range(self.N_ENTRIES)} <= keys
+            for tag in (1, 2)
+        ), sorted(keys)[:5]
+        assert tags <= {"proc1", "proc2"}
+        # No stray tmp files left behind.
+        leftovers = [f for f in os.listdir(cache_dir) if ".tmp." in f]
+        assert not leftovers
+
+        # And the surviving tier round-trips through a fresh cache.
+        reloaded = EvalCache(cache_dir=cache_dir)
+        assert len(reloaded) == len(keys)
+        assert reloaded.stats.disk_loads == len(keys)
+
+    def test_threaded_put_during_save(self, tmp_path):
+        """save() must snapshot consistently while writers keep storing."""
+        cache = EvalCache(maxsize=None, cache_dir=str(tmp_path))
+        stop = threading.Event()
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set() and i < 5000:
+                cache.put(f"w:{i}", CacheEntry(1.0, i, 0.0))
+                i += 1
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(20):
+                cache.save()
+        finally:
+            stop.set()
+            t.join(10)
+        cache.save()
+        with open(cache.disk_path, encoding="utf-8") as fh:
+            blob = json.load(fh)
+        assert len(blob["entries"]) == len(cache)

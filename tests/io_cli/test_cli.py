@@ -82,3 +82,94 @@ class TestTuneInfoDatasets:
         main(["tune", str(src), "-r", "500", "-U", "1e-5"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["error_bound"] <= 1e-5
+
+
+class TestJsonSchemaOutput:
+    def test_tune_json_matches_service_schema(self, npy_field, capsys):
+        src, _ = npy_field
+        rc = main(["tune", str(src), "-r", "8", "-t", "0.15", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "tune"
+        assert payload["within_tolerance"] is (rc == 0)
+        for key in ("compressor_calls", "compress_seconds", "cache",
+                    "wall_seconds", "evaluations"):
+            assert key in payload
+        assert payload["cache"]["misses"] >= 1
+
+    def test_compress_json_fixed_bound(self, tmp_path, npy_field, capsys):
+        src, _ = npy_field
+        frz = tmp_path / "f.frz"
+        assert main(["compress", str(src), str(frz), "-e", "1e-2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "compress"
+        assert payload["streamed"] is False
+        assert payload["tuning"] is None
+        assert payload["output"] == str(frz)
+        assert payload["ratio"] > 1
+
+    def test_compress_json_tuned_nests_tuning(self, tmp_path, npy_field, capsys):
+        src, _ = npy_field
+        frz = tmp_path / "f.frz"
+        main(["compress", str(src), str(frz), "-r", "8", "-t", "0.15", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tuning"]["kind"] == "tune"
+        assert payload["error_bound"] == payload["tuning"]["error_bound"]
+
+
+class TestServeSubmitParsing:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "-j", "2", "--queue-size", "8",
+             "--stream-threshold", "1MiB"])
+        assert args.command == "serve"
+        assert args.workers == 2
+        assert args.stream_threshold == 2**20
+
+    def test_submit_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "tune", "f.npy", "-r", "10", "--priority", "high",
+             "--url", "http://127.0.0.1:1"])
+        assert args.command == "submit"
+        assert args.priority == -10
+
+    def test_submit_priority_rejects_garbage(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "tune", "f.npy", "-r", "10",
+                                       "--priority", "soon"])
+
+    def test_submit_tune_requires_ratio(self, npy_field, capsys):
+        src, _ = npy_field
+        assert main(["submit", "tune", str(src)]) == 2
+        assert "require" in capsys.readouterr().err
+
+    def test_submit_compress_requires_output(self, npy_field, capsys):
+        src, _ = npy_field
+        assert main(["submit", "compress", str(src), "-e", "1e-2"]) == 2
+        assert "output" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_is_clean_error(self, npy_field, capsys):
+        src, _ = npy_field
+        rc = main(["submit", "tune", str(src), "-r", "8",
+                   "--url", "http://127.0.0.1:9"])  # discard port, nothing listens
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot reach" in err
+
+    def test_submit_round_trip_against_live_server(self, tmp_path, npy_field, capsys):
+        from repro.serve import ServiceServer
+
+        src, _ = npy_field
+        with ServiceServer(port=0, workers=1) as server:
+            rc = main(["submit", "tune", str(src), "-r", "8", "-t", "0.15",
+                       "--url", server.url])
+            payload = json.loads(capsys.readouterr().out)
+        assert rc in (0, 2)
+        assert payload["kind"] == "tune"
+        assert payload["target_ratio"] == 8.0

@@ -9,6 +9,7 @@ from repro.parallel.executor import (
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    resolve_workers,
 )
 
 
@@ -103,3 +104,40 @@ class TestFactory:
     def test_unknown(self):
         with pytest.raises(ValueError):
             make_executor("gpu")
+
+
+class TestResolveWorkers:
+    def test_none_means_cpu_count(self):
+        import os
+
+        expected = os.cpu_count() or 1
+        assert resolve_workers(None) == expected
+        assert make_executor("thread", workers=None).workers == expected
+
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_non_positive_means_cpu_count(self, workers):
+        import os
+
+        assert resolve_workers(workers) == (os.cpu_count() or 1)
+
+    def test_positive_passes_through(self):
+        assert resolve_workers(3) == 3
+        assert make_executor("thread", workers=3).workers == 3
+
+    @pytest.mark.parametrize("bad", ["four", 2.5, True])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(TypeError, match="workers must be"):
+            resolve_workers(bad)
+        with pytest.raises(TypeError, match="workers must be"):
+            make_executor("thread", workers=bad)
+
+    def test_pool_accepts_none(self):
+        import os
+
+        assert ThreadExecutor(workers=None).workers == (os.cpu_count() or 1)
+
+    def test_pool_still_rejects_zero(self):
+        # Direct construction stays strict; only the factory treats <= 0
+        # as "auto".
+        with pytest.raises(ValueError):
+            ThreadExecutor(workers=0)

@@ -1,0 +1,116 @@
+"""JobQueue ordering, backpressure, and lazy cancellation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.jobs import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Job,
+    JobSpec,
+    JobState,
+)
+from repro.serve.queue import JobQueue, QueueFull
+
+_B64 = JobSpec.encode_array(np.zeros(4, dtype=np.float32))
+
+
+def make_job(jid: str, priority: int = PRIORITY_NORMAL) -> Job:
+    spec = JobSpec(kind="tune", target_ratio=8.0, data_b64=_B64, priority=priority)
+    return Job(id=jid, spec=spec)
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        q = JobQueue(maxsize=8)
+        for i in range(4):
+            q.put(make_job(f"j{i}"))
+        assert [q.get(0).id for _ in range(4)] == ["j0", "j1", "j2", "j3"]
+
+    def test_priority_order(self):
+        q = JobQueue(maxsize=8)
+        q.put(make_job("low", PRIORITY_LOW))
+        q.put(make_job("normal", PRIORITY_NORMAL))
+        q.put(make_job("high", PRIORITY_HIGH))
+        assert [q.get(0).id for _ in range(3)] == ["high", "normal", "low"]
+
+    def test_get_timeout_returns_none(self):
+        q = JobQueue(maxsize=2)
+        assert q.get(timeout=0.01) is None
+
+    def test_get_wakes_on_put(self):
+        q = JobQueue(maxsize=2)
+        got = []
+
+        def consumer():
+            got.append(q.get(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.put(make_job("j1"))
+        t.join(5.0)
+        assert got and got[0].id == "j1"
+
+
+class TestBackpressure:
+    def test_put_raises_at_capacity(self):
+        q = JobQueue(maxsize=2)
+        q.put(make_job("a"))
+        q.put(make_job("b"))
+        with pytest.raises(QueueFull) as exc:
+            q.put(make_job("c"))
+        assert exc.value.retry_after > 0
+        assert q.stats.rejected == 1
+
+    def test_force_put_bypasses_bound(self):
+        q = JobQueue(maxsize=1)
+        q.put(make_job("a"))
+        q.put(make_job("retry"), force=True)
+        assert len(q) == 2
+
+    def test_capacity_frees_on_get(self):
+        q = JobQueue(maxsize=1)
+        q.put(make_job("a"))
+        assert q.get(0).id == "a"
+        q.put(make_job("b"))  # must not raise
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            JobQueue(maxsize=0)
+
+
+class TestCancellation:
+    def test_cancelled_jobs_skipped(self):
+        q = JobQueue(maxsize=4)
+        a, b = make_job("a"), make_job("b")
+        q.put(a)
+        q.put(b)
+        a.state = JobState.CANCELLED
+        assert len(q) == 1
+        assert q.get(0).id == "b"
+        assert q.get(0.01) is None
+
+    def test_cancelled_frees_capacity(self):
+        q = JobQueue(maxsize=1)
+        a = make_job("a")
+        q.put(a)
+        a.state = JobState.CANCELLED
+        q.put(make_job("b"))  # must not raise
+
+
+class TestStats:
+    def test_counters(self):
+        q = JobQueue(maxsize=2)
+        q.put(make_job("a"))
+        q.put(make_job("b"))
+        with pytest.raises(QueueFull):
+            q.put(make_job("c"))
+        stats = q.stats_dict()
+        assert stats["enqueued"] == 2
+        assert stats["rejected"] == 1
+        assert stats["max_depth"] == 2
+        assert stats["depth"] == 2
+        assert stats["capacity"] == 2

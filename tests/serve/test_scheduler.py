@@ -1,0 +1,264 @@
+"""Scheduler behaviour: execution, coalescing, retries, routing, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.fraz import FRaZ
+from repro.io.files import load_field, read_info
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.queue import QueueFull
+from repro.serve.scheduler import Scheduler
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(11)
+    return r.standard_normal((24, 24)).cumsum(axis=0).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def field_b64(field):
+    return JobSpec.encode_array(field)
+
+
+def tune_dict(field_b64, **over):
+    base = dict(kind="tune", target_ratio=8.0, tolerance=0.15, data_b64=field_b64)
+    base.update(over)
+    return base
+
+
+@pytest.fixture()
+def sched():
+    s = Scheduler(workers=2, queue_size=16).start()
+    yield s
+    s.stop()
+
+
+class TestExecution:
+    def test_tune_matches_direct_fraz(self, sched, field, field_b64):
+        job = sched.submit(tune_dict(field_b64))
+        sched.wait(job.id, timeout=60)
+        assert job.state is JobState.DONE
+        direct = FRaZ(compressor="sz", target_ratio=8.0, tolerance=0.15).tune(field)
+        assert job.result["error_bound"] == direct.error_bound
+        assert job.result["ratio"] == direct.ratio
+        assert job.result["kind"] == "tune"
+
+    def test_compress_fixed_bound_writes_frz(self, sched, field, field_b64, tmp_path):
+        out = tmp_path / "fixed.frz"
+        job = sched.submit({"kind": "compress", "error_bound": 1e-2,
+                            "data_b64": field_b64, "output": str(out)})
+        sched.wait(job.id, timeout=60)
+        assert job.state is JobState.DONE
+        assert job.result["streamed"] is False
+        recon, meta = load_field(out)
+        assert meta["compressor"] == "sz"
+        assert np.abs(recon.astype(np.float64) - field.astype(np.float64)).max() <= 1e-2
+
+    def test_compress_tuned_records_target(self, sched, field_b64, tmp_path):
+        out = tmp_path / "tuned.frz"
+        job = sched.submit({"kind": "compress", "target_ratio": 8.0,
+                            "tolerance": 0.15, "data_b64": field_b64,
+                            "output": str(out)})
+        sched.wait(job.id, timeout=60)
+        assert job.state is JobState.DONE
+        assert job.result["tuning"]["kind"] == "tune"
+        meta = read_info(out)
+        assert meta["user"]["target_ratio"] == 8.0
+
+    def test_path_input(self, sched, field, tmp_path):
+        path = tmp_path / "f.npy"
+        np.save(path, field)
+        job = sched.submit({"kind": "tune", "target_ratio": 8.0,
+                            "tolerance": 0.15, "input": str(path)})
+        sched.wait(job.id, timeout=60)
+        assert job.state is JobState.DONE
+        assert job.result["input"] == str(path)
+
+    def test_sequential_duplicates_answered_by_cache(self, field_b64):
+        with Scheduler(workers=1) as s:
+            first = s.submit(tune_dict(field_b64))
+            s.wait(first.id, timeout=60)
+            second = s.submit(tune_dict(field_b64))
+            s.wait(second.id, timeout=60)
+            # Not concurrent, so no coalescing — but the shared EvalCache
+            # answers every probe of the rerun.
+            assert second.coalesced_into is None
+            assert second.result["compressor_calls"] == 0
+            assert s.stats.coalesced == 0
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_computed_once(self, field_b64):
+        with Scheduler(workers=2, paused=True) as s:
+            jobs = [s.submit(tune_dict(field_b64)) for _ in range(6)]
+            primary, followers = jobs[0], jobs[1:]
+            assert all(j.coalesced_into == primary.id for j in followers)
+            assert s.stats.coalesced == 5
+            assert len(s._queue) == 1  # followers consume no queue capacity
+            s.resume()
+            for j in jobs:
+                s.wait(j.id, timeout=60)
+            assert all(j.state is JobState.DONE for j in jobs)
+            bounds = {j.result["error_bound"] for j in jobs}
+            assert len(bounds) == 1
+            # One search paid for all six requests.
+            assert s.stats.evaluations == jobs[0].result["evaluations"]
+
+    def test_different_specs_do_not_coalesce(self, field_b64):
+        with Scheduler(workers=2, paused=True) as s:
+            a = s.submit(tune_dict(field_b64))
+            b = s.submit(tune_dict(field_b64, target_ratio=6.0))
+            assert b.coalesced_into is None
+            assert s.stats.coalesced == 0
+            s.resume()
+            s.wait(a.id, timeout=60)
+            s.wait(b.id, timeout=60)
+
+    def test_coalesced_burst_does_not_trip_backpressure(self, field_b64):
+        with Scheduler(workers=1, queue_size=2, paused=True) as s:
+            for _ in range(10):  # 1 queued + 9 coalesced, bound is 2
+                s.submit(tune_dict(field_b64))
+            assert s.stats.coalesced == 9
+            s.resume()
+            s.drain(timeout=60)
+
+
+class TestFailureAndRetry:
+    def test_retry_budget_exhausted(self, tmp_path):
+        with Scheduler(workers=1) as s:
+            job = s.submit({"kind": "tune", "target_ratio": 8.0,
+                            "input": str(tmp_path / "missing.npy"),
+                            "max_retries": 2})
+            s.wait(job.id, timeout=60)
+            assert job.state is JobState.FAILED
+            assert job.attempts == 3  # 1 initial + 2 retries
+            assert "FileNotFoundError" in job.error
+            assert s.stats.retried == 2
+            assert s.stats.failed == 1
+
+    def test_no_retries_when_budget_zero(self, tmp_path):
+        with Scheduler(workers=1) as s:
+            job = s.submit({"kind": "tune", "target_ratio": 8.0,
+                            "input": str(tmp_path / "missing.npy"),
+                            "max_retries": 0})
+            s.wait(job.id, timeout=60)
+            assert job.state is JobState.FAILED
+            assert job.attempts == 1
+
+    def test_failure_fans_to_coalesced_followers(self, tmp_path):
+        with Scheduler(workers=1, paused=True) as s:
+            bad = {"kind": "tune", "target_ratio": 8.0,
+                   "input": str(tmp_path / "missing.npy"), "max_retries": 0}
+            a = s.submit(bad)
+            b = s.submit(bad)
+            assert b.coalesced_into == a.id
+            s.resume()
+            s.wait(a.id, timeout=60)
+            s.wait(b.id, timeout=60)
+            assert a.state is JobState.FAILED and b.state is JobState.FAILED
+            assert a.error == b.error
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, field_b64):
+        with Scheduler(workers=1, paused=True) as s:
+            job = s.submit(tune_dict(field_b64))
+            assert s.cancel(job.id)
+            assert job.state is JobState.CANCELLED
+            assert not s.cancel(job.id)  # already finished
+            s.resume()
+            s.drain(timeout=10)
+            assert s.stats.cancelled == 1
+            assert s.stats.completed == 0
+
+    def test_cancel_primary_cancels_followers(self, field_b64):
+        with Scheduler(workers=1, paused=True) as s:
+            a = s.submit(tune_dict(field_b64))
+            b = s.submit(tune_dict(field_b64))
+            assert s.cancel(a.id)
+            assert b.state is JobState.CANCELLED
+            # A fresh identical submit is a new primary, not a follower of
+            # the cancelled job.
+            c = s.submit(tune_dict(field_b64))
+            assert c.coalesced_into is None
+
+    def test_cancel_unknown_id(self, sched):
+        assert not sched.cancel("j-nope")
+
+
+class TestStreamRouting:
+    def test_large_file_streams(self, tmp_path):
+        r = np.random.default_rng(5)
+        data = r.standard_normal((64, 64)).cumsum(axis=0).astype(np.float32)
+        src = tmp_path / "big.npy"
+        np.save(src, data)
+        out = tmp_path / "big.frzs"
+        with Scheduler(workers=1, stream_threshold=1024) as s:
+            job = s.submit({"kind": "compress", "error_bound": 1e-2,
+                            "input": str(src), "output": str(out)})
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.DONE
+            assert job.result["streamed"] is True
+            assert job.result["n_chunks"] >= 1
+            assert s.stats.streamed == 1
+        from repro.stream import stream_decompress
+
+        recon = stream_decompress(out)
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= 1e-2
+
+    def test_spec_can_forbid_streaming(self, tmp_path):
+        data = np.random.default_rng(6).standard_normal((32, 32)).astype(np.float32)
+        src = tmp_path / "f.npy"
+        np.save(src, data)
+        out = tmp_path / "f.frz"
+        with Scheduler(workers=1, stream_threshold=1) as s:
+            job = s.submit({"kind": "compress", "error_bound": 1e-2,
+                            "input": str(src), "output": str(out),
+                            "stream": False})
+            s.wait(job.id, timeout=60)
+            assert job.result["streamed"] is False
+
+
+class TestBackpressureAndStats:
+    def test_queue_full_propagates(self, field_b64):
+        with Scheduler(workers=1, queue_size=1, paused=True) as s:
+            s.submit(tune_dict(field_b64))
+            with pytest.raises(QueueFull):
+                s.submit(tune_dict(field_b64, target_ratio=5.0))
+
+    def test_priorities_order_execution(self, field_b64):
+        with Scheduler(workers=1, paused=True) as s:
+            low = s.submit(tune_dict(field_b64, target_ratio=5.0, priority=10))
+            high = s.submit(tune_dict(field_b64, target_ratio=6.0, priority=-10))
+            s.resume()
+            s.wait(low.id, timeout=60)
+            s.wait(high.id, timeout=60)
+            assert high.finished_at <= low.finished_at
+
+    def test_stats_payload_shape(self, sched, field_b64):
+        job = sched.submit(tune_dict(field_b64, target_ratio=7.0))
+        sched.wait(job.id, timeout=60)
+        payload = sched.stats_payload()
+        for section in ("queue", "jobs", "search", "cache"):
+            assert section in payload
+        assert payload["jobs"]["submitted"] >= 1
+        assert payload["search"]["evaluations"] >= 1
+        assert payload["cache"]["entries"] >= 1
+        import json
+
+        json.dumps(payload)
+
+    def test_history_bounded(self, field_b64):
+        with Scheduler(workers=1, history=4) as s:
+            first = s.submit(tune_dict(field_b64))
+            s.wait(first.id, timeout=60)
+            for ratio in (3.0, 4.0, 5.0, 6.0, 7.0):
+                j = s.submit(tune_dict(field_b64, target_ratio=ratio))
+                s.wait(j.id, timeout=60)
+            assert s.get(first.id) is None  # pruned
+            assert s.get(j.id) is not None
+
+    def test_wait_unknown_job(self, sched):
+        with pytest.raises(KeyError):
+            sched.wait("j-nope")

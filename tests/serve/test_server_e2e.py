@@ -1,0 +1,212 @@
+"""HTTP service end-to-end: protocol, errors, and the concurrency
+acceptance test (8 clients, overlapping tunes, coalescing, bit-match).
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.fraz import FRaZ
+from repro.serve import (
+    BackpressureError,
+    JobFailedError,
+    Scheduler,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.serve.jobs import JobSpec
+
+
+@pytest.fixture(scope="module")
+def fields():
+    """Two distinct fields shared by every client (overlapping workload)."""
+    out = []
+    for seed in (21, 22):
+        r = np.random.default_rng(seed)
+        out.append(r.standard_normal((24, 24)).cumsum(axis=0).astype(np.float32))
+    return out
+
+
+@pytest.fixture()
+def server():
+    with ServiceServer(port=0, workers=2, queue_size=32) as srv:
+        yield srv
+
+
+class TestProtocol:
+    def test_health_and_stats(self, server):
+        client = ServiceClient(server.url)
+        assert client.health()["status"] == "ok"
+        stats = client.stats()
+        assert stats["queue"]["capacity"] == 32
+        assert stats["workers"] == 2
+
+    def test_submit_status_result(self, server, fields):
+        client = ServiceClient(server.url)
+        ticket = client.submit_array(fields[0], kind="tune", target_ratio=8.0,
+                                     tolerance=0.15)
+        assert ticket["job_id"]
+        result = client.result(ticket["job_id"], timeout=60)
+        assert result["kind"] == "tune"
+        status = client.status(ticket["job_id"])
+        assert status["state"] == "done"
+        assert status["attempts"] == 1
+
+    def test_invalid_spec_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/submit",
+            data=json.dumps({"kind": "frobnicate"}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 400
+
+    def test_malformed_json_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/submit", data=b"{nope", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 400
+
+    def test_unknown_job_is_404(self, server):
+        client = ServiceClient(server.url)
+        from repro.serve import ServiceError
+
+        with pytest.raises(ServiceError) as exc:
+            client.status("j-nope")
+        assert exc.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/frobnicate", timeout=5)
+        assert exc.value.code == 404
+
+    def test_pending_result_is_202(self, fields):
+        with ServiceServer(port=0, workers=1, paused=True) as srv:
+            client = ServiceClient(srv.url)
+            ticket = client.submit_array(fields[0], kind="tune", target_ratio=8.0)
+            pending = client.result(ticket["job_id"], wait=False)
+            assert pending.get("pending") is True
+            srv.scheduler.resume()
+            result = client.result(ticket["job_id"], timeout=60)
+            assert result["kind"] == "tune"
+
+    def test_failed_job_raises(self, server, tmp_path):
+        client = ServiceClient(server.url)
+        ticket = client.submit(kind="tune", target_ratio=8.0,
+                               input=str(tmp_path / "missing.npy"),
+                               max_retries=0)
+        with pytest.raises(JobFailedError, match="FileNotFoundError"):
+            client.result(ticket["job_id"], timeout=60)
+
+    def test_backpressure_is_429_and_client_backs_off(self, fields):
+        sched = Scheduler(workers=1, queue_size=1, paused=True)
+        with ServiceServer(scheduler=sched, port=0) as srv:
+            client = ServiceClient(srv.url, backpressure_wait=0.0)
+            client.submit_array(fields[0], kind="tune", target_ratio=8.0)
+            with pytest.raises(BackpressureError):
+                client.submit_array(fields[1], kind="tune", target_ratio=8.0)
+            stats = client.stats()
+            assert stats["queue"]["rejected"] >= 1
+            sched.resume()
+
+    def test_compress_job_via_path(self, server, fields, tmp_path):
+        src = tmp_path / "f.npy"
+        out = tmp_path / "f.frz"
+        np.save(src, fields[0])
+        client = ServiceClient(server.url)
+        ticket = client.submit(kind="compress", error_bound=1e-2,
+                               input=str(src), output=str(out))
+        result = client.result(ticket["job_id"], timeout=60)
+        assert result["output"] == str(out)
+        assert out.exists()
+
+
+class TestConcurrentClientsAcceptance:
+    """ISSUE 3 acceptance: >= 8 concurrent clients, overlapping tune jobs,
+    bit-match with serial execution, coalesce counter > 0."""
+
+    N_CLIENTS = 8
+    TARGETS = (6.0, 9.0)
+
+    def _serial_reference(self, fields):
+        ref = {}
+        for fi, field in enumerate(fields):
+            for target in self.TARGETS:
+                res = FRaZ(compressor="sz", target_ratio=target,
+                           tolerance=0.15).tune(field)
+                ref[(fi, target)] = (res.error_bound, res.ratio)
+        return ref
+
+    def test_eight_clients_overlapping_tunes(self, fields):
+        # Paused while the clients race their submissions in, so every
+        # duplicate deterministically lands in the coalescing window; the
+        # workers then drain the (tiny) queue.
+        sched = Scheduler(workers=2, queue_size=32, paused=True)
+        n_specs = len(fields) * len(self.TARGETS)
+        n_jobs = self.N_CLIENTS * n_specs
+        results: dict[tuple[int, int, float], dict] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(self.N_CLIENTS)
+        submitted = threading.Barrier(self.N_CLIENTS)
+        encoded = [JobSpec.encode_array(f) for f in fields]
+
+        with ServiceServer(scheduler=sched, port=0) as srv:
+            url = srv.url
+
+            def client_run(cid: int) -> None:
+                try:
+                    client = ServiceClient(url)  # one client per thread
+                    barrier.wait(timeout=30)
+                    tickets = []
+                    for fi in range(len(fields)):
+                        for target in self.TARGETS:
+                            t = client.submit(kind="tune", target_ratio=target,
+                                              tolerance=0.15, data_b64=encoded[fi])
+                            tickets.append((fi, target, t["job_id"]))
+                    # Only once *every* client has submitted may the
+                    # scheduler start working (one thread flips the gate).
+                    if submitted.wait(timeout=30) == 0:
+                        sched.resume()
+                    for fi, target, job_id in tickets:
+                        results[(cid, fi, target)] = client.result(job_id, timeout=120)
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client_run, args=(i,))
+                       for i in range(self.N_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(180)
+            assert not errors, errors
+            stats = ServiceClient(url).stats()
+
+        # (a) every client's every result bit-matches serial execution
+        assert len(results) == n_jobs
+        reference = self._serial_reference(fields)
+        for (cid, fi, target), payload in results.items():
+            bound, ratio = reference[(fi, target)]
+            assert payload["error_bound"] == bound, (cid, fi, target)
+            assert payload["ratio"] == ratio, (cid, fi, target)
+
+        # (b) concurrent duplicates were coalesced, not recomputed
+        assert stats["jobs"]["coalesced"] > 0
+        assert stats["jobs"]["coalesced"] == n_jobs - n_specs
+        assert stats["jobs"]["submitted"] == n_jobs
+        assert stats["jobs"]["completed"] == n_jobs
+        assert stats["jobs"]["failed"] == 0
+
+        # The whole 32-job workload paid for at most one search per unique
+        # spec (shared cache may make even those overlap).
+        serial_calls = sum(
+            FRaZ(compressor="sz", target_ratio=t, tolerance=0.15).tune(fields[fi])
+            .evaluations
+            for fi in range(len(fields)) for t in self.TARGETS
+        ) * self.N_CLIENTS
+        assert stats["search"]["compressor_calls"] < serial_calls

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI smoke test for the compression service.
+
+Starts ``repro serve`` as a real subprocess on a random free port,
+drives it over HTTP with :class:`repro.serve.ServiceClient` — one
+compress job, one tune job, plus a burst of duplicate tunes to exercise
+coalescing — and asserts the results and the ``/stats`` counters. The
+whole script enforces a hard deadline (default 120 s) and always tears
+the server down.
+
+Run it locally with::
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+Exit status is non-zero on any failure; the CI ``service-smoke`` job
+runs exactly this under a matching external timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEADLINE_SECONDS = 120.0
+
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.serve import ServiceClient  # noqa: E402
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_health(client: ServiceClient, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except Exception:
+            time.sleep(0.1)
+    raise TimeoutError("service never became healthy")
+
+
+def main() -> int:
+    deadline = time.monotonic() + DEADLINE_SECONDS
+    # Belt and braces: SIGALRM kills the whole script if assertions hang.
+    if hasattr(signal, "SIGALRM"):
+        signal.alarm(int(DEADLINE_SECONDS) + 5)
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    rng = np.random.default_rng(42)
+    data = rng.standard_normal((32, 32)).cumsum(axis=0).astype(np.float32)
+    src = workdir / "field.npy"
+    out = workdir / "field.frz"
+    np.save(src, data)
+
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), "-j", "2"],
+        env=env, cwd=workdir,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
+    failures = 0
+    try:
+        wait_for_health(client, deadline)
+        print(f"service up on port {port}")
+
+        # 1. compress job via path
+        ticket = client.submit(kind="compress", error_bound=1e-2,
+                               input=str(src), output=str(out))
+        result = client.result(ticket["job_id"], timeout=60)
+        assert result["kind"] == "compress", result
+        assert Path(result["output"]).exists(), result
+        assert result["ratio"] > 1, result
+        print(f"compress ok: ratio {result['ratio']:.2f}:1 -> {result['output']}")
+
+        # 2. tune job with the array inline
+        ticket = client.submit_array(data, kind="tune", target_ratio=8.0,
+                                     tolerance=0.15)
+        tuned = client.result(ticket["job_id"], timeout=60)
+        assert tuned["kind"] == "tune", tuned
+        assert tuned["error_bound"] > 0, tuned
+        assert tuned["evaluations"] >= 1, tuned
+        print(f"tune ok: bound {tuned['error_bound']:.4e} "
+              f"ratio {tuned['ratio']:.2f}:1")
+
+        # 3. duplicate burst: submit the same tune 6x without waiting,
+        #    then collect — identical results, coalesce/cache visible.
+        tickets = [
+            client.submit_array(data, kind="tune", target_ratio=11.0)
+            for _ in range(6)
+        ]
+        results = [client.result(t["job_id"], timeout=60) for t in tickets]
+        bounds = {r["error_bound"] for r in results}
+        assert len(bounds) == 1, bounds
+        coalesced_ids = [t["coalesced_into"] for t in tickets if t["coalesced_into"]]
+        print(f"duplicate burst ok: {len(coalesced_ids)}/5 coalesced")
+
+        # 4. /stats counters add up
+        stats = client.stats()
+        jobs = stats["jobs"]
+        assert jobs["submitted"] == 8, jobs
+        assert jobs["completed"] == 8, jobs
+        assert jobs["failed"] == 0, jobs
+        assert jobs["coalesced"] == len(coalesced_ids), jobs
+        # Duplicates were either coalesced (no execution) or fully
+        # cache-answered (executed with zero compressor calls).
+        search = stats["search"]
+        assert search["evaluations"] >= search["compressor_calls"], search
+        assert stats["cache"]["entries"] > 0, stats["cache"]
+        assert stats["queue"]["rejected"] == 0, stats["queue"]
+        print(f"stats ok: {jobs}")
+        print(f"search: {search}")
+        print("SMOKE OK")
+    except Exception as exc:  # noqa: BLE001 - report and fail the job
+        failures = 1
+        print(f"SMOKE FAILED: {type(exc).__name__}: {exc}", file=sys.stderr)
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+        log = proc.stdout.read() if proc.stdout else ""
+        if log:
+            print("--- server log ---")
+            print(log)
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())
