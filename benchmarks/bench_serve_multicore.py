@@ -1,0 +1,120 @@
+"""Service scheduler: multi-core scaling of the process execution backend.
+
+ISSUE 4's motivation: thread workers serialise the CPU-bound parts of a
+tune job on the GIL, so ``repro serve -j 8`` barely beat ``-j 1`` for
+pure-compute workloads.  The process backend dispatches each job to a
+resident :class:`~repro.parallel.executor.ProcessJobPool`, so jobs/sec
+should track cores.
+
+Workload: a batch of *distinct* CPU-bound tune jobs (no coalescing, no
+cache — every job pays its full search) run under 1 and 4 process
+workers.
+
+Acceptance floor (enforced in CI): **>= 1.6x jobs/sec with 4 process
+workers vs 1** on hosts with >= 4 cores.  Like the other service bench,
+the floor degrades on smaller CI hosts where the hardware cannot deliver
+parallelism: >= 1.05x on 2-3 cores, and on a single core only "not
+pathological" (>= 0.45x — process dispatch pays pickling with no cores to
+win back).  The report always shows the measured scaling.
+
+A parity section asserts the process backend returns bit-identical
+results to thread execution, so the speed-up never costs determinism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import Scheduler
+
+CORES = os.cpu_count() or 1
+TOLERANCE = 0.15
+N_FIELDS = 4
+TARGETS_PER_FIELD = 3
+
+
+def _make_fields() -> list[np.ndarray]:
+    out = []
+    for seed in (41, 42, 43, 44)[:N_FIELDS]:
+        r = np.random.default_rng(seed)
+        out.append(r.standard_normal((20, 20, 8)).cumsum(axis=0).astype(np.float32))
+    return out
+
+
+def _distinct_specs(fields: list[np.ndarray]) -> list[dict]:
+    """CPU-bound workload: every job is unique, so nothing coalesces and
+    (with the cache off) every probe really compresses."""
+    return [
+        dict(kind="tune", target_ratio=t, tolerance=TOLERANCE,
+             data_b64=JobSpec.encode_array(f))
+        for i, f in enumerate(fields)
+        for t in (5.0 + i, 7.5 + i, 10.0 + i)[:TARGETS_PER_FIELD]
+    ]
+
+
+def _run(workers: int, specs: list[dict], executor: str = "process") -> tuple[float, list]:
+    """Jobs/sec at a given worker count; returns (rate, job results)."""
+    with Scheduler(workers=workers, queue_size=len(specs) + 1, cache=False,
+                   executor=executor, paused=True) as sched:
+        jobs = [sched.submit(dict(s)) for s in specs]
+        t0 = time.perf_counter()
+        sched.resume()
+        for job in jobs:
+            assert job.wait(timeout=600), job.id
+        elapsed = time.perf_counter() - t0
+    assert all(j.state.value == "done" for j in jobs), [
+        (j.id, j.state.value, j.error) for j in jobs if j.state.value != "done"
+    ]
+    return len(jobs) / elapsed, [j.result for j in jobs]
+
+
+def _floor() -> float:
+    if CORES >= 4:
+        return 1.6
+    if CORES >= 2:
+        return 1.05
+    return 0.45
+
+
+def test_process_backend_scales_jobs_per_second(report):
+    fields = _make_fields()
+    specs = _distinct_specs(fields)
+    _run(1, specs)  # warm numpy/compressor code paths and fork machinery
+    single, single_results = _run(1, specs)
+    quad, quad_results = _run(4, specs)
+    scaling = quad / single
+    floor = _floor()
+    report(
+        "",
+        f"== Process-backend jobs/sec: 4 workers vs 1 ({CORES} cores) ==",
+        f"workload     : {len(specs)} distinct CPU-bound tune jobs, cache off",
+        f"1 worker     : {single:6.2f} jobs/s",
+        f"4 workers    : {quad:6.2f} jobs/s",
+        f"scaling      : {scaling:.2f}x (floor on this host: {floor:.2f}x; "
+        "1.6x enforced at >= 4 cores)",
+    )
+    # Determinism across worker counts: same jobs, same bits.
+    for a, b in zip(single_results, quad_results):
+        assert a["error_bound"] == b["error_bound"]
+        assert a["ratio"] == b["ratio"]
+    assert scaling >= floor
+
+
+def test_process_backend_bit_matches_thread_backend(report):
+    fields = _make_fields()
+    specs = _distinct_specs(fields)[:3]
+    _, thread_results = _run(2, specs, executor="thread")
+    _, process_results = _run(2, specs, executor="process")
+    for t, p in zip(thread_results, process_results):
+        assert t["error_bound"] == p["error_bound"]
+        assert t["ratio"] == p["ratio"]
+        assert t["evaluations"] == p["evaluations"]
+    report(
+        "",
+        "== Backend parity ==",
+        f"{len(specs)} jobs bit-identical across thread and process execution",
+    )

@@ -302,6 +302,35 @@ class EvalCache:
         with self._lock:
             return dict(self._new)
 
+    def drain_new_entries(self) -> dict[str, CacheEntry]:
+        """Like :meth:`new_entries`, but resets the "new" set afterwards.
+
+        This is the delta-export primitive for *long-lived* pool workers:
+        a resident worker process serves many jobs from one cache, so
+        shipping ``new_entries()`` (everything since construction) would
+        resend the same entries with every job.  Draining after each job
+        keeps the per-job delta proportional to the probes that job
+        actually paid for.  The entries themselves stay in the cache —
+        only the bookkeeping of what is "new" is cleared.
+        """
+        with self._lock:
+            delta = dict(self._new)
+            self._new.clear()
+            return delta
+
+    def export_entries(self) -> dict[str, CacheEntry]:
+        """Snapshot of every memory-tier entry (no stats/recency effects).
+
+        This is what a scheduler ships *to* a resident pool worker so the
+        worker starts each job with the parent's accumulated knowledge;
+        the worker folds it in with :meth:`merge_entries` and returns only
+        its :meth:`drain_new_entries` delta.  Bounded by ``maxsize``, and
+        entries are tiny (three floats plus a digest key), so the snapshot
+        stays cheap to pickle even for a full cache.
+        """
+        with self._lock:
+            return dict(self._entries)
+
     def merge_entries(self, entries: dict[str, CacheEntry] | None) -> int:
         """Fold a worker's new entries in; returns how many were unseen.
 

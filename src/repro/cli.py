@@ -187,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port (default 8077; 0 picks a free port)")
     p.add_argument("--workers", "-j", type=int, default=None,
                    help="concurrent jobs (default: one per core)")
+    p.add_argument("--executor", choices=("auto", "thread", "process"),
+                   default="auto",
+                   help="job execution backend: process pools scale CPU-bound "
+                        "jobs across cores, threads avoid pickling overhead "
+                        "for tiny jobs (default auto: process on multi-core "
+                        "hosts)")
     p.add_argument("--queue-size", type=int, default=64,
                    help="pending-job bound before 429 backpressure (default 64)")
     p.add_argument("--intra-executor", choices=("serial", "thread", "process"),
@@ -198,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=32 * 2**20, metavar="SIZE",
                    help="file inputs above SIZE are compressed out of core "
                         "via the stream pipeline (default 32MiB)")
+    p.add_argument("--spill-threshold", type=parse_memory_size,
+                   default=8 * 2**20, metavar="SIZE",
+                   help="inline arrays above SIZE are spilled to a temp file "
+                        "before process-pool dispatch instead of being "
+                        "pickled (default 8MiB)")
     p.add_argument("--max-memory", type=parse_memory_size, default=None,
                    metavar="SIZE", help="per-job working-set cap for streamed jobs")
     p.add_argument("--verbose", action="store_true", help="log every HTTP request")
@@ -399,16 +410,19 @@ def _cmd_serve(args) -> int:
         port=args.port,
         verbose=args.verbose,
         workers=args.workers,
+        executor=args.executor,
         queue_size=args.queue_size,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
         intra_executor=args.intra_executor,
         intra_workers=args.intra_workers,
         stream_threshold=args.stream_threshold,
+        spill_threshold=args.spill_threshold,
         max_memory=args.max_memory,
     )
     print(f"repro serve listening on {server.url} "
-          f"({server.scheduler.workers} workers, queue {args.queue_size})",
+          f"({server.scheduler.workers} {server.scheduler.executor_mode} workers, "
+          f"queue {args.queue_size})",
           flush=True)
     try:
         server.serve_forever()

@@ -100,6 +100,10 @@ def train(
 
     # Fast path (Algorithm 1 lines 1-6 at the orchestration level): when a
     # prediction exists, one worker checks it before any region fan-out.
+    # A probe that does *not* short-circuit still did real work — it is
+    # folded into the fan-out totals below so evaluation/cache accounting
+    # stays honest.
+    probe = None
     if prediction is not None and prediction > 0:
         probe = worker_task(
             compressor,
@@ -140,6 +144,11 @@ def train(
         _run_worker, payloads, stop_when=lambda res: res[0].feasible
     )
     workers = tuple(res for _, (res, _entries) in completed)
+    if probe is not None:
+        # The failed probe joins the worker list first: its evaluations,
+        # compress seconds and cache traffic are part of this search's
+        # cost, and (rarely) its observation may even be the best one.
+        workers = (probe,) + workers
     if ship_delta:
         # run_cancellable returns results sorted by region index, so the
         # merge order — hence the final LRU state — is deterministic even

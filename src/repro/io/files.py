@@ -12,6 +12,8 @@ Layout reuses :class:`repro.codecs.container.Container`:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -23,6 +25,40 @@ from repro.pressio.registry import make_compressor
 __all__ = ["save_field", "load_field", "read_info", "Archive"]
 
 _FORMAT_VERSION = 1
+
+
+def _atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write via a same-directory temp file + ``os.replace``.
+
+    Readers (and racing writers — e.g. a cancelled service job whose
+    worker process finishes anyway while its resubmission recomputes the
+    same output) always observe either the old file or one complete new
+    file, never interleaved or truncated bytes.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=target.parent,
+                               prefix=f".{target.name}.", suffix=".tmp")
+    try:
+        # mkstemp creates 0600 and os.replace keeps the temp file's mode;
+        # match what a plain open() would have produced (or preserve the
+        # mode of the file being replaced) so saving never tightens
+        # permissions as a side effect.
+        try:
+            mode = os.stat(target).st_mode & 0o777
+        except OSError:
+            umask = os.umask(0)
+            os.umask(umask)
+            mode = 0o666 & ~umask
+        os.fchmod(fd, mode)
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _meta_dict(
@@ -57,7 +93,7 @@ def save_field(
     outer = Container()
     outer.add("meta", json.dumps(_meta_dict(compressor, payload, metadata)).encode())
     outer.add("payload", payload.payload)
-    Path(path).write_bytes(outer.tobytes())
+    _atomic_write_bytes(path, outer.tobytes())
     return payload
 
 
@@ -132,7 +168,7 @@ class Archive:
                                        "entries": index}).encode())
         for name, (_, blob) in self._entries.items():
             outer.add(f"entry:{name}", blob)
-        self._path.write_bytes(outer.tobytes())
+        _atomic_write_bytes(self._path, outer.tobytes())
 
     def __enter__(self) -> "Archive":
         return self

@@ -19,9 +19,18 @@ Backends:
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 from abc import ABC, abstractmethod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 __all__ = [
@@ -29,6 +38,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ProcessJobPool",
+    "WorkerCrashError",
     "make_executor",
     "resolve_workers",
 ]
@@ -153,6 +164,129 @@ class ProcessExecutor(_PoolExecutor):
 
     _pool_cls = ProcessPoolExecutor
     shares_memory = False
+
+
+class WorkerCrashError(RuntimeError):
+    """A process-pool worker died mid-job (killed, OOM, segfault).
+
+    Distinct from an exception *raised by* the job: the job never got to
+    finish, so the work is retryable and the pool that lost the process
+    must be rebuilt before it can accept work again.
+    """
+
+
+class ProcessJobPool:
+    """Persistent process pool with crash detection and rebuild.
+
+    ``concurrent.futures`` marks the whole :class:`ProcessPoolExecutor`
+    broken the moment any worker process dies; every in-flight future then
+    raises :class:`BrokenProcessPool` and no further submissions are
+    accepted.  Long-lived services need to survive that, so this wrapper
+    keeps a *generation* counter: callers submit, observe a crash, and
+    report it back with the generation they submitted under — the first
+    reporter rebuilds the pool exactly once, later reporters (whose jobs
+    died in the same crash) see the rebuild already happened.
+
+    Unlike :class:`ProcessExecutor` (which builds a fresh pool per batch
+    for the intra-search fan-out), this pool is resident: worker processes
+    persist across jobs, so per-job dispatch pays pickling but not process
+    start-up, and workers may keep process-local state via ``initializer``.
+
+    Workers are started via ``forkserver`` (falling back to ``spawn``
+    where unavailable) rather than the platform default: the pool's owner
+    is a heavily multi-threaded server, and the default ``fork`` on POSIX
+    spawns workers *lazily on first submit* — forking a process whose
+    other threads may hold locks, which can deadlock the child in its
+    bootstrap.  ``forkserver``/``spawn`` children start clean, so the
+    task function and ``initializer`` must be module-level (picklable by
+    name).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        preload: Sequence[str] = (),
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        methods = multiprocessing.get_all_start_methods()
+        self._mp_context = multiprocessing.get_context(
+            "forkserver" if "forkserver" in methods else "spawn"
+        )
+        if preload and hasattr(self._mp_context, "set_forkserver_preload"):
+            # The fork server imports these once; every worker (including
+            # post-crash respawns) then forks with them already loaded,
+            # instead of re-importing numpy and friends per process.
+            self._mp_context.set_forkserver_preload(list(preload))
+        self._lock = threading.Lock()
+        self._generation = 0
+        self.crashes = 0
+        self.rebuilds = 0
+        self._executor: ProcessPoolExecutor | None = self._make()
+
+    def _make(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_context,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> tuple[Future, int]:
+        """Submit one task; returns ``(future, generation)``.
+
+        Pass the generation back to :meth:`crashed` if the future raises
+        :class:`BrokenProcessPool`, so concurrent observers of one crash
+        trigger exactly one rebuild.
+        """
+        with self._lock:
+            if self._executor is None:
+                raise RuntimeError("pool is shut down")
+            try:
+                return self._executor.submit(fn, *args), self._generation
+            except BrokenProcessPool:
+                # The previous crash was never reported (e.g. its observer
+                # died); rebuild inline and submit to the fresh pool.
+                self._rebuild_locked()
+                return self._executor.submit(fn, *args), self._generation
+
+    def crashed(self, generation: int) -> bool:
+        """Record a crash observed under ``generation``; rebuild once.
+
+        Returns ``True`` when this call performed the rebuild, ``False``
+        when another observer of the same crash already did.
+        """
+        with self._lock:
+            self.crashes += 1
+            if self._executor is None or generation != self._generation:
+                return False
+            self._rebuild_locked()
+            return True
+
+    def _rebuild_locked(self) -> None:
+        old = self._executor
+        self._executor = self._make()
+        self._generation += 1
+        self.rebuilds += 1
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (spawned lazily on first use)."""
+        with self._lock:
+            if self._executor is None:
+                return []
+            procs = getattr(self._executor, "_processes", None) or {}
+            return [p.pid for p in procs.values() if p.pid is not None]
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait, cancel_futures=True)
+                self._executor = None
 
 
 def make_executor(kind: str = "serial", workers: int | None = 4) -> BaseExecutor:

@@ -31,7 +31,13 @@ from repro.serve.jobs import (
     JobState,
 )
 from repro.serve.queue import JobQueue, QueueFull
-from repro.serve.scheduler import DEFAULT_STREAM_THRESHOLD, Scheduler, SchedulerStats
+from repro.serve.scheduler import (
+    DEFAULT_SPILL_THRESHOLD,
+    DEFAULT_STREAM_THRESHOLD,
+    Scheduler,
+    SchedulerStats,
+    resolve_executor_mode,
+)
 from repro.serve.server import DEFAULT_PORT, ServiceServer
 
 __all__ = [
@@ -49,6 +55,8 @@ __all__ = [
     "JobFailedError",
     "DEFAULT_PORT",
     "DEFAULT_STREAM_THRESHOLD",
+    "DEFAULT_SPILL_THRESHOLD",
+    "resolve_executor_mode",
     "PRIORITY_HIGH",
     "PRIORITY_NORMAL",
     "PRIORITY_LOW",

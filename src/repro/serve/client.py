@@ -112,6 +112,18 @@ class ServiceClient:
         fields["data_b64"] = JobSpec.encode_array(data)
         return self.submit(**fields)
 
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job; returns ``{"job_id", "cancelled", "state"}``.
+
+        ``cancelled`` is ``False`` when the job already finished or is
+        running on a backend that cannot stop it (thread execution).
+        """
+        status, payload = self._request("POST", f"/cancel/{job_id}")
+        if status != 200:
+            raise ServiceError(payload.get("error", f"HTTP {status}"),
+                               status=status, body=payload)
+        return payload
+
     # -- status/result -----------------------------------------------------
     def status(self, job_id: str) -> dict:
         status, payload = self._request("GET", f"/status/{job_id}")

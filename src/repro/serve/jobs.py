@@ -233,6 +233,9 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     attempts: int = 0
+    #: Attempts lost to a dying worker *process* (vs. exceptions the job
+    #: itself raised); only the process execution backend increments this.
+    crashes: int = 0
     result: dict | None = None
     error: str | None = None
     #: Set on followers: the id of the primary job this one coalesced onto.
@@ -266,6 +269,7 @@ class Job:
             "state": self.state.value,
             "priority": self.spec.priority,
             "attempts": self.attempts,
+            "crashes": self.crashes,
             "max_retries": self.spec.max_retries,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,

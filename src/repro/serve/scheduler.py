@@ -6,26 +6,47 @@ It owns
 * a bounded priority :class:`~repro.serve.queue.JobQueue` (backpressure
   propagates out of :meth:`submit` as
   :class:`~repro.serve.queue.QueueFull`),
-* a pool of worker threads that pop jobs and run them through the
+* a pool of dispatcher threads that pop jobs and run them through the
   existing layers — :class:`~repro.core.fraz.FRaZ` for tunes and
   in-memory compressions, :func:`repro.stream.pipeline.stream_compress`
   for inputs too large to hold (routing is automatic past
   ``stream_threshold`` bytes),
+* an **execution backend**: ``executor="thread"`` runs jobs on the
+  dispatcher threads themselves (the pre-existing model — fine when jobs
+  are tiny or NumPy releases the GIL), while ``executor="process"``
+  ships each job's :class:`~repro.serve.jobs.JobSpec` to a resident
+  :class:`~repro.parallel.executor.ProcessJobPool` so CPU-bound tune
+  jobs scale across cores instead of serialising on the GIL.  The
+  default ``"auto"`` picks ``process`` on multi-core hosts,
 * one :class:`~repro.cache.EvalCache` shared by *every* job, so probes
-  paid by one request answer later requests for free, and
+  paid by one request answer later requests for free.  Process workers
+  receive the parent's entry snapshot with each job and return only the
+  delta they probed (:meth:`~repro.cache.EvalCache.drain_new_entries`),
+  which the parent folds back in — deterministic regardless of
+  completion order because entries are pure functions of their key, and
 * a **coalescing registry**: a request whose
   :meth:`~repro.serve.jobs.JobSpec.coalesce_key` matches a job that is
   currently queued or running never enters the queue — it attaches to
   that primary job and receives the same result when it completes.
-  Coalescing is the request-level analogue of the cache (which
-  deduplicates *sequential* identical work): it deduplicates
-  *concurrent* identical work before any of it runs, and coalesced
-  requests consume no queue capacity, so duplicate bursts cannot trip
-  backpressure.
 
-Intra-job parallelism (the region fan-out inside a search, the chunk
-batches of a streamed compression) goes through the existing
-:mod:`repro.parallel.executor` backends, configured once per scheduler.
+**Crash recovery** (process backend): a worker process dying mid-job
+surfaces as ``BrokenProcessPool`` on every in-flight future.  Each
+affected job spends one unit of its retry budget and re-enters the queue
+through the bound-exempt path (``force=True``); the pool is rebuilt once
+per crash; the failure is visible in ``/stats`` (``executor.worker_crashes``,
+``executor.pool_rebuilds``) and on the job record (``crashes``).
+
+**Cancellation**: queued jobs cancel in place (and the queue compacts —
+see :meth:`~repro.serve.queue.JobQueue.cancelled`).  Under the process
+backend a *running* job can be cancelled too: the pool future is
+cancelled if it has not started, otherwise the job is *tombstoned* — the
+worker process finishes its computation but the scheduler discards the
+result on return (``executor.discarded_results`` counts those).
+
+Oversized inline arrays (``data_b64`` beyond ``spill_threshold``) are
+not pickled through the pool pipe: the scheduler spills them to a
+temporary ``.npy`` and dispatches the job as a file-input spec, riding
+the existing file/stream path.
 
 ``pause()``/``resume()`` gate the workers without touching the queue —
 operators use it to drain, tests use it to make coalescing windows
@@ -36,27 +57,227 @@ from __future__ import annotations
 
 import itertools
 import os
+import tempfile
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from concurrent.futures import CancelledError, Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 
-from repro.cache.evalcache import EvalCache
+import numpy as np
+
+from repro.cache.evalcache import CacheEntry, EvalCache
 from repro.core.fraz import FRaZ
 from repro.io.files import save_field
-from repro.parallel.executor import make_executor, resolve_workers
+from repro.parallel.executor import (
+    BaseExecutor,
+    ProcessJobPool,
+    WorkerCrashError,
+    make_executor,
+    resolve_workers,
+)
 from repro.pressio.registry import make_compressor
 from repro.serve import schema
 from repro.serve.jobs import Job, JobSpec, JobState
 from repro.serve.queue import JobQueue, QueueFull  # noqa: F401  (re-exported)
 from repro.stream.pipeline import stream_compress
 
-__all__ = ["Scheduler", "SchedulerStats", "DEFAULT_STREAM_THRESHOLD"]
+__all__ = [
+    "Scheduler",
+    "SchedulerStats",
+    "DEFAULT_STREAM_THRESHOLD",
+    "DEFAULT_SPILL_THRESHOLD",
+    "resolve_executor_mode",
+]
 
 #: Inputs larger than this are routed through the out-of-core pipeline
 #: unless the spec says otherwise (32 MiB: comfortably in-memory below,
 #: worth chunked compression above).
 DEFAULT_STREAM_THRESHOLD = 32 * 2**20
+
+#: Inline (``data_b64``) arrays whose *decoded* size exceeds this many
+#: bytes are spilled to a temporary ``.npy`` before process-pool dispatch
+#: instead of being pickled through the pool pipe.
+DEFAULT_SPILL_THRESHOLD = 8 * 2**20
+
+_EXECUTOR_MODES = ("auto", "thread", "process")
+
+
+def resolve_executor_mode(executor: str | None) -> str:
+    """Normalise the job-execution backend request to thread/process.
+
+    ``"auto"`` (and ``None``) picks ``"process"`` whenever the host has
+    more than one core — that is where thread execution stops scaling,
+    because the GIL serialises the CPU-bound parts of the probe loop —
+    and ``"thread"`` on single-core hosts, where process dispatch would
+    pay pickling for no parallelism.
+    """
+    if executor is None:
+        executor = "auto"
+    if executor not in _EXECUTOR_MODES:
+        raise ValueError(
+            f"executor must be one of {_EXECUTOR_MODES}, got {executor!r}"
+        )
+    if executor == "auto":
+        return "process" if (os.cpu_count() or 1) > 1 else "thread"
+    return executor
+
+
+# ---------------------------------------------------------------------------
+# Job execution, shared by the thread backend (dispatcher threads call it
+# directly) and the process backend (pool workers call it through the
+# module-level trampoline below — module-level so it pickles by name).
+# ---------------------------------------------------------------------------
+
+def _route_stream(spec: JobSpec, stream_threshold: int) -> bool:
+    if spec.stream is not None:
+        return spec.stream
+    if spec.kind != "compress" or spec.input is None:
+        return False
+    try:
+        return os.path.getsize(spec.input) > stream_threshold
+    except OSError:
+        return False
+
+
+def _spec_fraz(spec: JobSpec, *, executor: BaseExecutor, seed: int,
+               cache: EvalCache | bool) -> FRaZ:
+    return FRaZ(
+        compressor=spec.compressor,
+        target_ratio=spec.target_ratio if spec.target_ratio is not None else 10.0,
+        tolerance=spec.tolerance,
+        max_error_bound=spec.max_error_bound,
+        executor=executor,
+        seed=seed,
+        cache=cache,
+    )
+
+
+def _execute_spec(
+    spec: JobSpec,
+    *,
+    cache: EvalCache | None,
+    executor: BaseExecutor,
+    intra_workers: int,
+    stream_threshold: int,
+    max_memory: int | None,
+    seed: int,
+) -> tuple[dict, int, int, bool]:
+    """Run one spec; returns ``(result, evaluations, compressor_calls,
+    streamed)``.  Exceptions propagate to the caller's retry logic."""
+    cache_arg: EvalCache | bool = cache if cache is not None else False
+    if spec.kind == "compress" and _route_stream(spec, stream_threshold):
+        result = stream_compress(
+            spec.input,
+            spec.output,
+            compressor=spec.compressor,
+            target_ratio=spec.target_ratio,
+            error_bound=spec.error_bound,
+            tolerance=spec.tolerance,
+            max_error_bound=spec.max_error_bound,
+            max_memory=max_memory,
+            workers=intra_workers,
+            executor=executor,
+            seed=seed,
+            cache=cache_arg,
+        )
+        payload = schema.stream_payload(result, compressor=spec.compressor,
+                                        input=spec.input)
+        return payload, result.evaluations, result.cache_misses, True
+
+    data = spec.load_array()
+    if spec.kind == "tune":
+        result = _spec_fraz(spec, executor=executor, seed=seed,
+                            cache=cache_arg).tune(data)
+        payload = schema.tune_payload(
+            result, compressor=spec.compressor, input=spec.input,
+            max_error_bound=spec.max_error_bound,
+        )
+        return payload, result.evaluations, result.compressor_calls, False
+
+    # compress, in memory
+    t0 = time.perf_counter()
+    if spec.error_bound is not None:
+        configured = make_compressor(spec.compressor, error_bound=spec.error_bound)
+        field = save_field(spec.output, data, configured)
+        payload = schema.compress_payload(
+            field, compressor=spec.compressor, error_bound=spec.error_bound,
+            output=spec.output, input=spec.input,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        return payload, 0, 0, False
+    fraz = _spec_fraz(spec, executor=executor, seed=seed, cache=cache_arg)
+    field, result = fraz.compress(data)
+    configured = make_compressor(spec.compressor, error_bound=result.error_bound)
+    save_field(spec.output, field, configured,
+               metadata={"target_ratio": spec.target_ratio,
+                         "feasible": result.feasible})
+    payload = schema.compress_payload(
+        field, compressor=spec.compressor, error_bound=result.error_bound,
+        output=spec.output, input=spec.input,
+        tuning=schema.tune_payload(
+            result, compressor=spec.compressor, input=spec.input,
+            max_error_bound=spec.max_error_bound,
+        ),
+        wall_seconds=time.perf_counter() - t0,
+    )
+    return payload, result.evaluations, result.compressor_calls, False
+
+
+#: Per-worker-process runtime (cache + intra executor), set up once by the
+#: pool initializer and reused across every job the process serves.
+_WORKER_RUNTIME: dict | None = None
+
+
+def _process_worker_init(
+    cache_enabled: bool,
+    cache_maxsize: int | None,
+    intra_kind: str,
+    intra_workers: int,
+    stream_threshold: int,
+    max_memory: int | None,
+    seed: int,
+) -> None:
+    global _WORKER_RUNTIME
+    _WORKER_RUNTIME = {
+        "cache": EvalCache(maxsize=cache_maxsize) if cache_enabled else None,
+        "executor": make_executor(intra_kind, intra_workers),
+        "intra_workers": intra_workers,
+        "stream_threshold": stream_threshold,
+        "max_memory": max_memory,
+        "seed": seed,
+    }
+
+
+def _process_execute(
+    spec: JobSpec, snapshot: dict[str, CacheEntry] | None
+) -> tuple[dict, int, int, bool, dict[str, CacheEntry] | None]:
+    """Pool trampoline: run one job inside a resident worker process.
+
+    ``snapshot`` is the parent cache's entry snapshot; it is merged into
+    the worker's long-lived cache so this job hits everything any earlier
+    job (in any process) already paid for.  Only the *delta* — entries
+    this job probed cold — rides back, keeping the return payload small.
+    """
+    runtime = _WORKER_RUNTIME
+    if runtime is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker process used before initialization")
+    cache: EvalCache | None = runtime["cache"]
+    if cache is not None:
+        cache.merge_entries(snapshot)
+        cache.drain_new_entries()  # the parent already owns the snapshot
+    payload, evals, calls, streamed = _execute_spec(
+        spec,
+        cache=cache,
+        executor=runtime["executor"],
+        intra_workers=runtime["intra_workers"],
+        stream_threshold=runtime["stream_threshold"],
+        max_memory=runtime["max_memory"],
+        seed=runtime["seed"],
+    )
+    delta = cache.drain_new_entries() if cache is not None else None
+    return payload, evals, calls, streamed, delta
 
 
 @dataclass
@@ -71,6 +292,8 @@ class SchedulerStats:
     cancelled: int = 0
     running: int = 0
     streamed: int = 0
+    crashes: int = 0
+    discarded: int = 0
     evaluations: int = 0
     compressor_calls: int = 0
     cache_hits: int = 0
@@ -108,6 +331,12 @@ class Scheduler:
     queue_size:
         Bound on undispatched jobs; beyond it :meth:`submit` raises
         :class:`~repro.serve.queue.QueueFull` (backpressure).
+    executor:
+        Job execution backend: ``"thread"`` runs jobs on the dispatcher
+        threads (shared memory, no pickling; GIL-bound), ``"process"``
+        runs them in a resident process pool (true multi-core; specs and
+        results cross a pickle boundary), ``"auto"`` (default) picks
+        ``process`` when the host has more than one core.
     cache:
         ``True`` (default) builds one shared :class:`EvalCache`;
         ``False`` disables caching; an instance is used as-is.
@@ -121,6 +350,10 @@ class Scheduler:
     stream_threshold:
         File inputs larger than this many bytes are compressed out of
         core via :func:`~repro.stream.pipeline.stream_compress`.
+    spill_threshold:
+        Inline (``data_b64``) arrays whose decoded size exceeds this many
+        bytes are written to a temporary ``.npy`` before process-pool
+        dispatch instead of being pickled through the pool pipe.
     max_memory:
         Optional per-job working-set cap forwarded to the stream
         pipeline's chunk planner.
@@ -135,20 +368,25 @@ class Scheduler:
         self,
         workers: int | None = None,
         queue_size: int = 64,
+        executor: str = "auto",
         cache: EvalCache | bool = True,
         cache_dir: str | None = None,
         intra_executor: str = "serial",
         intra_workers: int | None = 1,
         stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
         max_memory: int | None = None,
         seed: int = 0,
         history: int = 1024,
         paused: bool = False,
     ) -> None:
         self.workers = resolve_workers(workers)
+        self.executor_mode = resolve_executor_mode(executor)
         self.seed = seed
         self.stream_threshold = int(stream_threshold)
+        self.spill_threshold = int(spill_threshold)
         self.max_memory = max_memory
+        self.intra_kind = intra_executor
         self.intra_workers = resolve_workers(intra_workers)
         self._intra = make_executor(intra_executor, self.intra_workers)
         if isinstance(cache, EvalCache):
@@ -161,6 +399,7 @@ class Scheduler:
         self._queue = JobQueue(maxsize=queue_size)
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
+        self._futures: dict[str, Future] = {}
         self._history: deque[str] = deque()
         self._history_limit = max(1, int(history))
         self._ids = itertools.count(1)
@@ -170,6 +409,7 @@ class Scheduler:
         if not paused:
             self._gate.set()
         self._threads: list[threading.Thread] = []
+        self._pool: ProcessJobPool | None = None
         self._started_at = time.time()
 
     # -- lifecycle ---------------------------------------------------------
@@ -183,11 +423,26 @@ class Scheduler:
         return not self._gate.is_set()
 
     def start(self) -> "Scheduler":
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads and (process mode) the pool (idempotent)."""
         if self._threads:
             return self
         self._stop.clear()
         self._started_at = time.time()
+        if self.executor_mode == "process" and self._pool is None:
+            self._pool = ProcessJobPool(
+                self.workers,
+                initializer=_process_worker_init,
+                preload=(__name__,),  # fork workers with repro+numpy loaded
+                initargs=(
+                    self._cache is not None,
+                    self._cache.maxsize if self._cache is not None else None,
+                    self.intra_kind,
+                    self.intra_workers,
+                    self.stream_threshold,
+                    self.max_memory,
+                    self.seed,
+                ),
+            )
         for i in range(self.workers):
             t = threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
@@ -210,6 +465,9 @@ class Scheduler:
         for t in self._threads:
             t.join(timeout)
         self._threads.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
     def close(self) -> None:
         """Stop and persist the cache's disk tier, if it has one."""
@@ -277,14 +535,21 @@ class Scheduler:
         raise TimeoutError(f"jobs still pending after {timeout}s")
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a job that has not started; running jobs are not stopped.
+        """Cancel a queued job — or, on the process backend, a running one.
+
+        Queued jobs are cancelled in place (the queue entry is skipped and
+        eventually compacted).  A *running* job can only be cancelled when
+        it executes in a worker process: the pool future is cancelled if
+        it has not started yet, otherwise the job is tombstoned — the
+        worker finishes its computation but the result is discarded on
+        return.  Thread-backend running jobs cannot be stopped.
 
         Cancelling a primary also cancels its coalesced followers (they
         were waiting on exactly the work being cancelled).
         """
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None or job.finished or job.state is JobState.RUNNING:
+            if job is None or job.finished:
                 return False
             if job.coalesced_into is not None:
                 primary = self._jobs.get(job.coalesced_into)
@@ -292,11 +557,23 @@ class Scheduler:
                     primary.followers.remove(job)
                 self._cancel_one(job)
                 return True
+            if job.state is JobState.RUNNING:
+                if self._pool is None:
+                    return False  # thread backend: a running job must finish
+                future = self._futures.get(job_id)
+                if future is not None:
+                    future.cancel()  # no-op if a worker already picked it up
+                # No future yet means the dispatcher is between marking the
+                # job RUNNING and submitting to the pool; the tombstone set
+                # below makes _dispatch refuse the submission.
             for follower in job.followers[:]:
                 self._cancel_one(follower)
             job.followers.clear()
             self._drop_inflight(job)
+            was_queued = job.state is JobState.QUEUED
             self._cancel_one(job)
+            if was_queued:
+                self._queue.cancelled(job)
             return True
 
     def _cancel_one(self, job: Job) -> None:
@@ -329,10 +606,24 @@ class Scheduler:
                 job.started_at = time.time()
             self.stats.running += 1
         try:
-            result, evals, calls, streamed = self._execute(job)
-        except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+            result, evals, calls, streamed = self._dispatch(job)
+        except CancelledError:
+            # cancel() descheduled the pool future before it started; the
+            # job record was already finished as cancelled there.
             with self._lock:
                 self.stats.running -= 1
+            return
+        except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+            crashed = isinstance(exc, WorkerCrashError)
+            with self._lock:
+                self.stats.running -= 1
+                if crashed:
+                    self.stats.crashes += 1
+                    job.crashes += 1
+                if job.state is JobState.CANCELLED:
+                    # Tombstoned while running: stay cancelled, don't retry.
+                    self.stats.discarded += 1
+                    return
                 if job.attempts <= job.spec.max_retries and not self._stop.is_set():
                     self.stats.retried += 1
                     job.state = JobState.QUEUED
@@ -342,6 +633,12 @@ class Scheduler:
             return
         with self._lock:
             self.stats.running -= 1
+            if job.state is JobState.CANCELLED:
+                # Tombstoned mid-flight: the computation finished anyway;
+                # its result is discarded (the cache keeps what it probed —
+                # entries are pure, so keeping them is free reuse).
+                self.stats.discarded += 1
+                return
             self.stats.evaluations += evals
             self.stats.compressor_calls += calls
             self.stats.cache_hits += evals - calls
@@ -383,89 +680,76 @@ class Scheduler:
                 del self._jobs[old]
 
     # -- execution ---------------------------------------------------------
-    def _job_cache(self) -> EvalCache | bool:
-        return self._cache if self._cache is not None else False
-
-    def _make_fraz(self, spec: JobSpec) -> FRaZ:
-        return FRaZ(
-            compressor=spec.compressor,
-            target_ratio=spec.target_ratio if spec.target_ratio is not None else 10.0,
-            tolerance=spec.tolerance,
-            max_error_bound=spec.max_error_bound,
-            executor=self._intra,
-            seed=self.seed,
-            cache=self._job_cache(),
-        )
-
-    def _route_stream(self, spec: JobSpec) -> bool:
-        if spec.stream is not None:
-            return spec.stream
-        if spec.kind != "compress" or spec.input is None:
-            return False
+    def _dispatch(self, job: Job) -> tuple[dict, int, int, bool]:
+        """Run one job on the configured backend."""
+        if self._pool is None:
+            return self._execute(job)
+        spec, spill = self._spill_inline(job.spec)
+        snapshot = self._cache.export_entries() if self._cache is not None else None
+        generation = None
         try:
-            return os.path.getsize(spec.input) > self.stream_threshold
-        except OSError:
-            return False
+            with self._lock:
+                if job.state is JobState.CANCELLED:
+                    # Tombstoned between the RUNNING transition and this
+                    # point: never reaches the pool.
+                    raise CancelledError()
+                future, generation = self._pool.submit(
+                    _process_execute, spec, snapshot)
+                self._futures[job.id] = future
+            result, evals, calls, streamed, delta = future.result()
+        except BrokenProcessPool as exc:
+            self._pool.crashed(generation)
+            raise WorkerCrashError(f"worker process died mid-job: {exc}") from exc
+        finally:
+            with self._lock:
+                self._futures.pop(job.id, None)
+            if spill is not None:
+                try:
+                    os.unlink(spill)
+                except OSError:
+                    pass
+        if self._cache is not None:
+            self._cache.merge_entries(delta)
+        if spill is not None:
+            # The spill path is scheduler-internal — never leak it to the
+            # client (it is already unlinked).  Compress payloads nest the
+            # tuning record, which repeats the input field.
+            for section in (result, result.get("tuning")):
+                if isinstance(section, dict) and section.get("input") == spill:
+                    section["input"] = None
+        return result, evals, calls, streamed
+
+    def _spill_inline(self, spec: JobSpec) -> tuple[JobSpec, str | None]:
+        """Swap an oversized inline array for a temp-file input.
+
+        Returns ``(dispatchable spec, spill path or None)``; the caller
+        unlinks the spill once the job leaves the pool.  Keeping big
+        arrays out of the job pickle bounds the pool pipe traffic, and a
+        file input also becomes eligible for the out-of-core stream route.
+        """
+        if spec.data_b64 is None:
+            return spec, None
+        # The threshold is documented in decoded (array) bytes; base64 is
+        # 4/3 the size of what it encodes.
+        if len(spec.data_b64) * 3 // 4 <= self.spill_threshold:
+            return spec, None
+        data = spec.load_array()
+        fd, path = tempfile.mkstemp(prefix="repro-serve-spill-", suffix=".npy")
+        with os.fdopen(fd, "wb") as fh:
+            np.save(fh, data, allow_pickle=False)
+        return replace(spec, data_b64=None, input=path), path
 
     def _execute(self, job: Job) -> tuple[dict, int, int, bool]:
-        """Run one job; returns ``(result, evaluations, compressor_calls,
-        streamed)``.  Exceptions propagate to the retry logic."""
-        spec = job.spec
-        if spec.kind == "compress" and self._route_stream(spec):
-            result = stream_compress(
-                spec.input,
-                spec.output,
-                compressor=spec.compressor,
-                target_ratio=spec.target_ratio,
-                error_bound=spec.error_bound,
-                tolerance=spec.tolerance,
-                max_error_bound=spec.max_error_bound,
-                max_memory=self.max_memory,
-                workers=self.intra_workers,
-                executor=self._intra,
-                seed=self.seed,
-                cache=self._job_cache(),
-            )
-            payload = schema.stream_payload(result, compressor=spec.compressor,
-                                            input=spec.input)
-            return payload, result.evaluations, result.cache_misses, True
-
-        data = spec.load_array()
-        if spec.kind == "tune":
-            result = self._make_fraz(spec).tune(data)
-            payload = schema.tune_payload(
-                result, compressor=spec.compressor, input=spec.input,
-                max_error_bound=spec.max_error_bound,
-            )
-            return payload, result.evaluations, result.compressor_calls, False
-
-        # compress, in memory
-        t0 = time.perf_counter()
-        if spec.error_bound is not None:
-            configured = make_compressor(spec.compressor, error_bound=spec.error_bound)
-            field = save_field(spec.output, data, configured)
-            payload = schema.compress_payload(
-                field, compressor=spec.compressor, error_bound=spec.error_bound,
-                output=spec.output, input=spec.input,
-                wall_seconds=time.perf_counter() - t0,
-            )
-            return payload, 0, 0, False
-        fraz = self._make_fraz(spec)
-        field, result = fraz.compress(data)
-        configured = make_compressor(spec.compressor, error_bound=result.error_bound)
-        save_field(spec.output, field, configured,
-                   metadata={"target_ratio": spec.target_ratio,
-                             "feasible": result.feasible})
-        payload = schema.compress_payload(
-            field, compressor=spec.compressor, error_bound=result.error_bound,
-            output=spec.output, input=spec.input,
-            tuning=schema.tune_payload(
-                result, compressor=spec.compressor, input=spec.input,
-                max_error_bound=spec.max_error_bound,
-            ),
-            wall_seconds=time.perf_counter() - t0,
+        """Thread backend: run the job on this dispatcher thread."""
+        return _execute_spec(
+            job.spec,
+            cache=self._cache,
+            executor=self._intra,
+            intra_workers=self.intra_workers,
+            stream_threshold=self.stream_threshold,
+            max_memory=self.max_memory,
+            seed=self.seed,
         )
-        return payload, result.evaluations, result.compressor_calls, False
 
     # -- introspection -----------------------------------------------------
     def stats_payload(self) -> dict:
@@ -475,6 +759,13 @@ class Scheduler:
                 "uptime_seconds": round(time.time() - self._started_at, 3),
                 "workers": self.workers,
                 "paused": self.paused,
+                "executor": schema.executor_payload(
+                    mode=self.executor_mode,
+                    intra=self.intra_kind,
+                    crashes=self.stats.crashes,
+                    rebuilds=self._pool.rebuilds if self._pool is not None else 0,
+                    discarded=self.stats.discarded,
+                ),
                 "queue": self._queue.stats_dict(),
                 "jobs": self.stats.jobs_dict(),
                 "search": self.stats.search_dict(),

@@ -24,13 +24,39 @@ if TYPE_CHECKING:
     from repro.pressio.compressor import CompressedField
     from repro.stream.pipeline import StreamResult
 
-__all__ = ["tune_payload", "compress_payload", "stream_payload"]
+__all__ = ["tune_payload", "compress_payload", "stream_payload", "executor_payload"]
 
 
 def _cache_section(cache: "EvalCache | None") -> dict | None:
     if cache is None:
         return None
     return {"entries": len(cache), **cache.stats.as_dict()}
+
+
+def executor_payload(
+    *,
+    mode: str,
+    intra: str,
+    crashes: int = 0,
+    rebuilds: int = 0,
+    discarded: int = 0,
+) -> dict:
+    """The ``/stats`` ``"executor"`` section: backend and crash counters.
+
+    ``mode`` is the job-level backend (``"thread"``/``"process"``),
+    ``intra`` the fan-out backend inside one job.  ``crashes`` counts
+    attempts lost to a dying worker process, ``rebuilds`` the pool
+    reconstructions those crashes forced, and ``discarded`` results that
+    completed after their job was cancelled (tombstoned) and were thrown
+    away.
+    """
+    return {
+        "mode": mode,
+        "intra": intra,
+        "worker_crashes": crashes,
+        "pool_rebuilds": rebuilds,
+        "discarded_results": discarded,
+    }
 
 
 def tune_payload(

@@ -11,6 +11,10 @@ Endpoints
                         ``202 {"job_id", "state", "coalesced_into"}``;
                         ``400`` on an invalid spec; ``429`` +
                         ``Retry-After`` when the queue is full.
+``POST /cancel/<id>``   cancel a queued job (process backend: also a
+                        running one — see the scheduler's tombstone
+                        semantics); ``200 {"job_id", "cancelled",
+                        "state"}``; ``404`` for unknown ids.
 ``GET /status/<id>``    job lifecycle record; ``404`` for unknown ids.
 ``GET /result/<id>``    ``200`` with the result/error once finished,
                         ``202`` with the current state while pending.
@@ -73,6 +77,27 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.startswith("/cancel/"):
+            # Cancel takes no body, but a keep-alive client may send one
+            # anyway (e.g. curl -d '{}'); drain it so the unread bytes are
+            # not parsed as the next request line.
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if 0 < length <= 65536:
+                self.rfile.read(length)
+            elif length > 65536:
+                self.close_connection = True
+            job_id = self.path[len("/cancel/"):]
+            job = self.scheduler.get(job_id)
+            if job is None:
+                self._send(404, {"error": "unknown job id"})
+                return
+            cancelled = self.scheduler.cancel(job_id)
+            self._send(200, {
+                "job_id": job_id,
+                "cancelled": cancelled,
+                "state": job.state.value,
+            })
+            return
         if self.path != "/submit":
             # The request body was never read; a keep-alive peer would see
             # its unread bytes parsed as the next request line.

@@ -45,7 +45,9 @@ def quantize(
         Absolute bound ``eb > 0``.
     radius:
         Codes are kept in ``(-radius, radius)`` exclusive; outliers are
-        marked unpredictable.
+        marked unpredictable.  Clamped outlier codes never reach
+        ``±radius`` either, so no entry of ``codes`` can collide with an
+        encoder's literal sentinel (``radius``).
     dtype:
         Storage dtype; the bound is verified *after* casting so float32
         round-off cannot break the guarantee.
@@ -56,8 +58,13 @@ def quantize(
         in_range = np.abs(q) < radius
         # NaN/Inf inputs produce non-finite codes and huge residuals overflow
         # the int64 cast; clamp both — the ``ok`` mask already excludes them.
+        # The clamp stays strictly inside (-radius, radius): encoders use
+        # ``radius`` itself as the literal sentinel, so a clipped outlier
+        # that kept the value ``radius`` could masquerade as that sentinel
+        # (and an in-range code on decode) if a caller ever consumed
+        # ``codes`` without applying ``ok`` first.
         q = np.where(np.isfinite(q), q, 0.0)
-        q = np.clip(q, -float(radius), float(radius))
+        q = np.clip(q, -float(radius - 1), float(radius - 1))
         recon = (pred + two_eb * q).astype(dtype)
         within = np.abs(recon.astype(np.float64) - values) <= error_bound
     ok = in_range & within

@@ -100,6 +100,36 @@ class TestTraining:
         assert res.used_prediction
         assert res.evaluations == 1
 
+    def test_failed_probe_is_accounted(self, sz, field):
+        # A prediction probe that does NOT short-circuit must still show
+        # up in the totals: its evaluations, compress seconds and cache
+        # traffic were paid, and it joins the workers tuple.
+        lo, hi = sz.default_bound_range(field)
+        res = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0,
+                    prediction=hi)  # hi is a terrible prediction
+        assert not res.used_prediction
+        probe = res.workers[0]
+        assert probe.region == (lo, hi)  # the probe owns the full range
+        assert probe.evaluations >= 1
+        assert res.evaluations == sum(w.evaluations for w in res.workers)
+        assert res.compress_seconds == pytest.approx(
+            sum(w.compress_seconds for w in res.workers))
+
+    def test_failed_probe_cache_traffic_counted(self, sz, field):
+        from repro.cache.evalcache import EvalCache
+
+        cache = EvalCache()
+        train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0, cache=cache)
+        _, hi = sz.default_bound_range(field)
+        res = train(sz, field, 10.0, tolerance=0.1, regions=4, seed=0,
+                    cache=cache, prediction=hi)
+        # The probe's hit/miss totals are inside the result's, so
+        # compressor_calls == evaluations - cache_hits stays honest.
+        assert res.cache_hits == sum(w.cache_hits for w in res.workers)
+        assert res.cache_misses == sum(w.cache_misses for w in res.workers)
+        assert res.workers[0].evaluations >= 1
+        assert res.compressor_calls == res.evaluations - res.cache_hits
+
     def test_respects_upper_bound_cap(self, sz, field):
         # A tiny U makes high ratios unreachable.
         res = train(sz, field, 50.0, tolerance=0.1, upper=1e-6,

@@ -1,0 +1,270 @@
+"""Process execution backend: dispatch, crash recovery, tombstones, spill.
+
+These tests force ``executor="process"`` regardless of core count so the
+pool path is exercised on single-core CI hosts too (``"auto"`` would pick
+threads there).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.fraz import FRaZ
+from repro.serve import ServiceClient, ServiceServer
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.scheduler import Scheduler, resolve_executor_mode
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(11)
+    return r.standard_normal((24, 24)).cumsum(axis=0).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def field_b64(field):
+    return JobSpec.encode_array(field)
+
+
+@pytest.fixture(scope="module")
+def heavy_field():
+    """Big enough that one tune runs for seconds — killable mid-flight."""
+    r = np.random.default_rng(3)
+    return r.standard_normal((48, 48, 24)).cumsum(axis=0).astype(np.float32)
+
+
+def tune_dict(b64, **over):
+    base = dict(kind="tune", target_ratio=8.0, tolerance=0.15, data_b64=b64)
+    base.update(over)
+    return base
+
+
+def wait_running(job, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while job.state is not JobState.RUNNING and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert job.state is JobState.RUNNING, job.state
+
+
+class TestModeResolution:
+    def test_explicit_modes(self):
+        assert resolve_executor_mode("thread") == "thread"
+        assert resolve_executor_mode("process") == "process"
+
+    def test_auto_tracks_core_count(self):
+        assert resolve_executor_mode("auto") == (
+            "process" if (os.cpu_count() or 1) > 1 else "thread"
+        )
+        assert resolve_executor_mode(None) == resolve_executor_mode("auto")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(executor="frobnicate")
+
+
+class TestProcessDispatch:
+    def test_tune_bit_matches_serial(self, field, field_b64):
+        with Scheduler(workers=2, executor="process") as s:
+            job = s.submit(tune_dict(field_b64))
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.DONE
+        direct = FRaZ(compressor="sz", target_ratio=8.0, tolerance=0.15).tune(field)
+        assert job.result["error_bound"] == direct.error_bound
+        assert job.result["ratio"] == direct.ratio
+
+    def test_cache_delta_merges_back_to_parent(self, field_b64):
+        with Scheduler(workers=1, executor="process") as s:
+            first = s.submit(tune_dict(field_b64))
+            s.wait(first.id, timeout=120)
+            assert len(s.cache) > 0  # the worker's delta landed here
+            # A rerun ships the snapshot out: every probe hits in the worker.
+            second = s.submit(tune_dict(field_b64))
+            s.wait(second.id, timeout=120)
+            assert second.result["compressor_calls"] == 0
+
+    def test_compress_writes_output(self, field_b64, tmp_path):
+        out = tmp_path / "p.frz"
+        with Scheduler(workers=1, executor="process") as s:
+            job = s.submit({"kind": "compress", "error_bound": 1e-2,
+                            "data_b64": field_b64, "output": str(out)})
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.DONE
+        assert out.exists()
+
+    def test_failure_retries_then_fails(self, tmp_path):
+        with Scheduler(workers=1, executor="process") as s:
+            job = s.submit({"kind": "tune", "target_ratio": 8.0,
+                            "input": str(tmp_path / "missing.npy"),
+                            "max_retries": 1})
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.FAILED
+            assert job.attempts == 2
+            assert "FileNotFoundError" in job.error
+            assert job.crashes == 0  # an exception is not a crash
+
+    def test_stats_expose_executor_section(self, field_b64):
+        with Scheduler(workers=1, executor="process") as s:
+            job = s.submit(tune_dict(field_b64))
+            s.wait(job.id, timeout=120)
+            payload = s.stats_payload()
+        assert payload["executor"]["mode"] == "process"
+        assert payload["executor"]["worker_crashes"] == 0
+        assert payload["executor"]["pool_rebuilds"] == 0
+        import json
+
+        json.dumps(payload)
+
+    def test_oversized_inline_array_is_spilled(self, field, field_b64):
+        # A spill threshold below the payload size forces the temp-file
+        # path; the result must be identical and must not leak the
+        # scheduler-internal spill path (nor the spill file itself).
+        import tempfile
+
+        def spills():
+            return {p for p in os.listdir(tempfile.gettempdir())
+                    if p.startswith("repro-serve-spill-")}
+
+        before = spills()
+        with Scheduler(workers=1, executor="process", spill_threshold=64) as s:
+            job = s.submit(tune_dict(field_b64))
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.DONE
+            assert job.result["input"] is None
+        direct = FRaZ(compressor="sz", target_ratio=8.0, tolerance=0.15).tune(field)
+        assert job.result["error_bound"] == direct.error_bound
+        assert spills() - before == set()
+
+
+class TestCrashRecovery:
+    """ISSUE 4 acceptance: SIGKILL a pool process mid-job; the job retries
+    on a rebuilt pool and the result bit-matches a serial run."""
+
+    def test_killed_worker_retries_and_matches_serial(self, heavy_field):
+        b64 = JobSpec.encode_array(heavy_field)
+        with Scheduler(workers=1, executor="process", cache=False) as s:
+            # Warm the pool so worker processes exist before the kill.
+            warm = s.submit(tune_dict(
+                JobSpec.encode_array(heavy_field[:6, :6, :4]), target_ratio=4.0,
+                tolerance=0.3))
+            s.wait(warm.id, timeout=120)
+
+            job = s.submit(tune_dict(b64))
+            wait_running(job)
+            time.sleep(0.2)  # let the worker get properly into the search
+            pids = s._pool.worker_pids()
+            assert pids, "pool has no live workers to kill"
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+
+            s.wait(job.id, timeout=300)
+            assert job.state is JobState.DONE
+            assert job.attempts == 2  # one attempt lost to the crash
+            assert job.crashes == 1
+            assert s.stats.crashes >= 1
+            assert s.stats.retried >= 1
+            assert s._pool.rebuilds >= 1
+            payload = s.stats_payload()
+            assert payload["executor"]["worker_crashes"] >= 1
+            assert payload["executor"]["pool_rebuilds"] >= 1
+
+        direct = FRaZ(compressor="sz", target_ratio=8.0, tolerance=0.15,
+                      cache=False).tune(heavy_field)
+        assert job.result["error_bound"] == direct.error_bound
+        assert job.result["ratio"] == direct.ratio
+
+    def test_crash_with_spent_budget_fails_job(self, heavy_field):
+        b64 = JobSpec.encode_array(heavy_field)
+        with Scheduler(workers=1, executor="process", cache=False) as s:
+            job = s.submit(tune_dict(b64, max_retries=0))
+            wait_running(job)
+            time.sleep(0.2)
+            for pid in s._pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.FAILED
+            assert "WorkerCrashError" in job.error
+            assert job.crashes == 1
+
+
+class TestRunningCancellation:
+    def test_tombstoned_running_job_discards_result(self, heavy_field):
+        b64 = JobSpec.encode_array(heavy_field)
+        with Scheduler(workers=1, executor="process", cache=False) as s:
+            job = s.submit(tune_dict(b64))
+            wait_running(job)
+            time.sleep(0.3)  # let the pool worker actually begin the search
+            assert s.cancel(job.id)
+            # Cancellation is immediate from the caller's point of view...
+            assert job.state is JobState.CANCELLED
+            assert s.stats.cancelled == 1
+            # ...and the worker's eventual result is thrown away.
+            deadline = time.monotonic() + 300
+            while s.stats.discarded == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert s.stats.discarded == 1
+            assert s.stats.completed == 0
+            assert job.result is None
+            payload = s.stats_payload()
+            assert payload["executor"]["discarded_results"] == 1
+
+    def test_thread_backend_cannot_cancel_running(self, field_b64):
+        with Scheduler(workers=1, executor="thread") as s:
+            job = s.submit(tune_dict(field_b64))
+            wait_running(job)
+            assert not s.cancel(job.id)
+            s.wait(job.id, timeout=120)
+            assert job.state is JobState.DONE
+
+
+class TestCancelEndpoint:
+    def test_cancel_queued_job_over_http(self, field_b64):
+        sched = Scheduler(workers=1, executor="thread", paused=True)
+        with ServiceServer(scheduler=sched, port=0) as srv:
+            client = ServiceClient(srv.url)
+            ticket = client.submit(tune_dict(field_b64))
+            reply = client.cancel(ticket["job_id"])
+            assert reply["cancelled"] is True
+            assert reply["state"] == "cancelled"
+            # Idempotent-ish: a second cancel reports the terminal state.
+            again = client.cancel(ticket["job_id"])
+            assert again["cancelled"] is False
+            assert again["state"] == "cancelled"
+            sched.resume()
+
+    def test_cancel_with_body_keeps_connection_in_sync(self, field_b64):
+        # /cancel takes no body, but a keep-alive client may send one —
+        # the handler must drain it, or the bytes get parsed as the next
+        # request line.
+        import http.client
+
+        sched = Scheduler(workers=1, executor="thread", paused=True)
+        with ServiceServer(scheduler=sched, port=0) as srv:
+            client = ServiceClient(srv.url)
+            ticket = client.submit(tune_dict(field_b64))
+            conn = http.client.HTTPConnection(srv.host, srv.port, timeout=10)
+            try:
+                conn.request("POST", f"/cancel/{ticket['job_id']}", body=b'{"x": 1}',
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+                # The same (kept-alive) connection must still speak HTTP.
+                conn.request("GET", "/health")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+            finally:
+                conn.close()
+            sched.resume()
+
+    def test_cancel_unknown_job_is_404(self, field_b64):
+        with ServiceServer(port=0, workers=1, executor="thread") as srv:
+            client = ServiceClient(srv.url)
+            from repro.serve import ServiceError
+
+            with pytest.raises(ServiceError) as exc:
+                client.cancel("j-nope")
+            assert exc.value.status == 404

@@ -82,13 +82,19 @@ class TestBackpressure:
             JobQueue(maxsize=0)
 
 
+def cancel(q: JobQueue, job: Job) -> bool:
+    """Cancel as the scheduler does: flip state, then notify the queue."""
+    job.state = JobState.CANCELLED
+    return q.cancelled(job)
+
+
 class TestCancellation:
     def test_cancelled_jobs_skipped(self):
         q = JobQueue(maxsize=4)
         a, b = make_job("a"), make_job("b")
         q.put(a)
         q.put(b)
-        a.state = JobState.CANCELLED
+        assert cancel(q, a)
         assert len(q) == 1
         assert q.get(0).id == "b"
         assert q.get(0.01) is None
@@ -97,8 +103,82 @@ class TestCancellation:
         q = JobQueue(maxsize=1)
         a = make_job("a")
         q.put(a)
-        a.state = JobState.CANCELLED
+        assert cancel(q, a)
         q.put(make_job("b"))  # must not raise
+
+    def test_unnotified_cancel_still_skipped_at_pop(self):
+        # Belt and braces: a job whose state flipped without the scheduler
+        # notifying the queue is never *returned*, even though the depth
+        # counter only learns about it at pop time.
+        q = JobQueue(maxsize=4)
+        a, b = make_job("a"), make_job("b")
+        q.put(a)
+        q.put(b)
+        a.state = JobState.CANCELLED
+        assert q.get(0).id == "b"
+        assert q.get(0.01) is None
+
+    def test_cancel_of_popped_job_is_noop(self):
+        q = JobQueue(maxsize=4)
+        a = make_job("a")
+        q.put(a)
+        assert q.get(0) is a
+        a.state = JobState.CANCELLED
+        assert not q.cancelled(a)  # already popped: counters untouched
+        assert len(q) == 0
+
+    def test_cancel_storm_compacts_heap(self):
+        """10x maxsize enqueued by force, 90% cancelled: the heap must
+        compact instead of retaining every dead entry, and the reported
+        depth must stay exact."""
+        q = JobQueue(maxsize=8)
+        jobs = [make_job(f"j{i:03d}") for i in range(80)]
+        for j in jobs:
+            q.put(j, force=True)
+        assert q.heap_size() == 80
+        victims, survivors = jobs[:72], jobs[72:]
+        for j in victims:
+            assert cancel(q, j)
+        assert len(q) == len(survivors) == 8
+        # Compaction bound: never more than live + the not-yet-compacted
+        # tail (at most half the heap, and at most maxsize over the live).
+        assert q.heap_size() <= 2 * (len(q) + q.maxsize)
+        assert q.stats.compactions >= 1
+        assert q.stats.cancelled == 72
+        # Survivors drain in FIFO order, none of the victims leak out.
+        drained = [q.get(0).id for _ in range(len(survivors))]
+        assert drained == [j.id for j in survivors]
+        assert q.get(0.01) is None
+        assert q.heap_size() == 0
+
+    def test_cancel_heavy_producer_has_bounded_heap(self):
+        """Sustained churn: repeated enqueue-then-cancel rounds must not
+        grow the heap without bound behind a small reported depth."""
+        q = JobQueue(maxsize=4)
+        peak = 0
+        for rnd in range(50):
+            batch = [make_job(f"r{rnd}-{i}") for i in range(8)]
+            for j in batch:
+                q.put(j, force=True)
+            for j in batch:
+                assert cancel(q, j)
+            peak = max(peak, q.heap_size())
+        assert len(q) == 0
+        assert peak <= 8 + q.maxsize  # one batch plus the compaction lag
+        assert q.heap_size() <= q.maxsize
+        assert q.stats.compactions >= 50
+
+    def test_depth_is_counter_not_scan(self):
+        # put() must stay O(1): the depth used for admission is a live
+        # counter, never a heap scan.
+        q = JobQueue(maxsize=4)
+        jobs = [make_job(f"j{i}") for i in range(4)]
+        for j in jobs:
+            q.put(j)
+        with pytest.raises(QueueFull):
+            q.put(make_job("over"))
+        assert cancel(q, jobs[0])
+        q.put(make_job("fits"))  # freed capacity visible immediately
 
 
 class TestStats:

@@ -129,7 +129,9 @@ class TestProtocol:
 
 class TestConcurrentClientsAcceptance:
     """ISSUE 3 acceptance: >= 8 concurrent clients, overlapping tune jobs,
-    bit-match with serial execution, coalesce counter > 0."""
+    bit-match with serial execution, coalesce counter > 0.  ISSUE 4 extends
+    it across execution backends: the process pool must produce the same
+    bits and the same coalescing behaviour as thread execution."""
 
     N_CLIENTS = 8
     TARGETS = (6.0, 9.0)
@@ -143,11 +145,13 @@ class TestConcurrentClientsAcceptance:
                 ref[(fi, target)] = (res.error_bound, res.ratio)
         return ref
 
-    def test_eight_clients_overlapping_tunes(self, fields):
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_eight_clients_overlapping_tunes(self, fields, executor):
         # Paused while the clients race their submissions in, so every
         # duplicate deterministically lands in the coalescing window; the
         # workers then drain the (tiny) queue.
-        sched = Scheduler(workers=2, queue_size=32, paused=True)
+        sched = Scheduler(workers=2, queue_size=32, paused=True,
+                          executor=executor)
         n_specs = len(fields) * len(self.TARGETS)
         n_jobs = self.N_CLIENTS * n_specs
         results: dict[tuple[int, int, float], dict] = {}

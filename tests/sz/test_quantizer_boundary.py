@@ -1,0 +1,99 @@
+"""Boundary-value regression for the quantizer's code radius.
+
+The encoder marks codes with ``|q| >= radius`` unpredictable and uses
+``radius`` itself as the literal sentinel symbol.  The clamp applied to
+out-of-range codes therefore must never leave a value at ``±radius`` in
+the ``codes`` array: a code equal to exactly ``radius`` would alias the
+sentinel (mis-decoded as a literal slot), and one at ``-radius`` would
+dequantize as a valid code on any path that forgot the ``ok`` mask.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sz.compressor import SZCompressor
+from repro.sz.interpolation import SZInterpolationCompressor
+from repro.sz.quantizer import dequantize, quantize
+
+EB = 0.5
+RADIUS = 4
+TWO_EB = 2.0 * EB
+
+
+def _quantize(values):
+    values = np.asarray(values, dtype=np.float64)
+    pred = np.zeros_like(values)
+    return quantize(values, pred, EB, RADIUS, np.dtype(np.float64))
+
+
+class TestCodeBoundary:
+    def test_code_exactly_radius_is_unpredictable(self):
+        # residual / (2*eb) == radius exactly: outside the exclusive range.
+        res = _quantize([TWO_EB * RADIUS])
+        assert not res.ok[0]
+
+    def test_code_radius_minus_one_is_ok(self):
+        res = _quantize([TWO_EB * (RADIUS - 1)])
+        assert res.ok[0]
+        assert res.codes[0] == RADIUS - 1
+        assert abs(res.recon[0] - TWO_EB * (RADIUS - 1)) <= EB
+
+    def test_clipped_codes_never_alias_the_sentinel(self):
+        # Outliers of every size — including the exact boundary — must be
+        # clamped strictly inside (-radius, radius), never *onto* it.
+        values = [
+            TWO_EB * RADIUS,          # exactly +radius
+            -TWO_EB * RADIUS,         # exactly -radius
+            TWO_EB * (RADIUS + 10),   # beyond
+            -1e300,                   # astronomically beyond
+            np.nan,
+            np.inf,
+        ]
+        res = _quantize(values)
+        assert not res.ok.any()
+        assert np.abs(res.codes).max() <= RADIUS - 1
+
+    def test_boundary_negative_code_round_trips_via_literal(self):
+        # -radius is just as unpredictable as +radius even though only
+        # +radius doubles as the sentinel.
+        res = _quantize([-TWO_EB * RADIUS])
+        assert not res.ok[0]
+
+    def test_dequantize_inverts_ok_codes(self):
+        values = TWO_EB * np.arange(-(RADIUS - 1), RADIUS, dtype=np.float64)
+        res = _quantize(values)
+        assert res.ok.all()
+        recon = dequantize(res.codes, np.zeros_like(values), EB, np.dtype(np.float64))
+        np.testing.assert_allclose(recon, values, atol=EB)
+
+
+@pytest.mark.parametrize("cls", [SZCompressor, SZInterpolationCompressor])
+class TestTinyRadiusRoundTrip:
+    """End-to-end with a tiny radius: boundary codes occur en masse and
+    every one must come back as an exact literal, bound intact."""
+
+    def _field(self):
+        r = np.random.default_rng(7)
+        smooth = np.linspace(0, 1, 24 * 24).reshape(24, 24)
+        spikes = np.zeros_like(smooth)
+        # Residuals at exactly ±(2*eb*radius) and far beyond — the alias
+        # hazard is the exact-boundary case.
+        spikes.ravel()[::7] = 2.0 * 1e-3 * 4
+        spikes.ravel()[3::11] = -2.0 * 1e-3 * 4
+        spikes.ravel()[5::13] = 50.0
+        return (smooth + spikes + 1e-4 * r.standard_normal(smooth.shape)).astype(
+            np.float64
+        )
+
+    def test_bound_holds_with_boundary_outliers(self, cls):
+        data = self._field()
+        comp = cls(error_bound=1e-3, radius=4)
+        recon = comp.decompress(comp.compress(data))
+        assert np.abs(recon - data).max() <= 1e-3
+
+    def test_round_trip_deterministic(self, cls):
+        data = self._field()
+        comp = cls(error_bound=1e-3, radius=4)
+        a = comp.compress(data).payload
+        b = comp.compress(data).payload
+        assert a == b

@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """CI smoke test for the compression service.
 
-Starts ``repro serve`` as a real subprocess on a random free port,
-drives it over HTTP with :class:`repro.serve.ServiceClient` — one
-compress job, one tune job, plus a burst of duplicate tunes to exercise
-coalescing — and asserts the results and the ``/stats`` counters. The
-whole script enforces a hard deadline (default 120 s) and always tears
-the server down.
+Starts ``repro serve`` as a real subprocess on a random free port — once
+per execution backend (``thread``, then ``process``) — drives it over
+HTTP with :class:`repro.serve.ServiceClient` — one compress job, one tune
+job, plus a burst of duplicate tunes to exercise coalescing — and asserts
+the results and the ``/stats`` counters.  The whole script enforces a
+hard deadline (default 120 s for both backends together) and always
+tears the server down.
 
 Run it locally with::
 
@@ -29,6 +30,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 DEADLINE_SECONDS = 120.0
+BACKENDS = ("thread", "process")
 
 sys.path.insert(0, str(ROOT / "src"))
 
@@ -53,13 +55,10 @@ def wait_for_health(client: ServiceClient, deadline: float) -> None:
     raise TimeoutError("service never became healthy")
 
 
-def main() -> int:
-    deadline = time.monotonic() + DEADLINE_SECONDS
-    # Belt and braces: SIGALRM kills the whole script if assertions hang.
-    if hasattr(signal, "SIGALRM"):
-        signal.alarm(int(DEADLINE_SECONDS) + 5)
-
-    workdir = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+def run_backend(executor: str, deadline: float) -> int:
+    """One full smoke pass against a server using ``--executor <mode>``."""
+    print(f"=== backend: {executor} ===")
+    workdir = Path(tempfile.mkdtemp(prefix=f"repro-smoke-{executor}-"))
     rng = np.random.default_rng(42)
     data = rng.standard_normal((32, 32)).cumsum(axis=0).astype(np.float32)
     src = workdir / "field.npy"
@@ -70,7 +69,8 @@ def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", str(port), "-j", "2"],
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), "-j", "2",
+         "--executor", executor],
         env=env, cwd=workdir,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
@@ -124,12 +124,17 @@ def main() -> int:
         assert search["evaluations"] >= search["compressor_calls"], search
         assert stats["cache"]["entries"] > 0, stats["cache"]
         assert stats["queue"]["rejected"] == 0, stats["queue"]
+        # The executor section reports the backend actually running.
+        assert stats["executor"]["mode"] == executor, stats["executor"]
+        assert stats["executor"]["worker_crashes"] == 0, stats["executor"]
         print(f"stats ok: {jobs}")
         print(f"search: {search}")
-        print("SMOKE OK")
+        print(f"executor: {stats['executor']}")
+        print(f"SMOKE OK ({executor})")
     except Exception as exc:  # noqa: BLE001 - report and fail the job
         failures = 1
-        print(f"SMOKE FAILED: {type(exc).__name__}: {exc}", file=sys.stderr)
+        print(f"SMOKE FAILED ({executor}): {type(exc).__name__}: {exc}",
+              file=sys.stderr)
     finally:
         proc.terminate()
         try:
@@ -138,9 +143,21 @@ def main() -> int:
             proc.kill()
         log = proc.stdout.read() if proc.stdout else ""
         if log:
-            print("--- server log ---")
+            print(f"--- server log ({executor}) ---")
             print(log)
     return failures
+
+
+def main() -> int:
+    deadline = time.monotonic() + DEADLINE_SECONDS
+    # Belt and braces: SIGALRM kills the whole script if assertions hang.
+    if hasattr(signal, "SIGALRM"):
+        signal.alarm(int(DEADLINE_SECONDS) + 5)
+
+    failures = 0
+    for executor in BACKENDS:
+        failures += run_backend(executor, deadline)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
