@@ -27,7 +27,7 @@ from repro.core.results import FieldResult, TimeSeriesResult, TrainingResult
 from repro.pressio.evaluation import evaluate
 from repro.pressio.registry import available_compressors, make_compressor
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "EvalCache",

@@ -1,0 +1,63 @@
+"""Unified request/plan/execute API: one typed spec behind every entry point.
+
+Every front door of the reproduction — the :class:`~repro.core.fraz.FRaZ`
+facade, the ``repro`` CLI, the HTTP service, and the out-of-core stream
+pipeline — speaks the same three types::
+
+    from repro.api import CompressionRequest, plan, execute
+
+    request = CompressionRequest(
+        kind="compress", compressor="sz", target_ratio=10.0,
+        input="field.npy", output="field.frz",
+    )
+    report = execute(plan(request))      # -> CompressReport
+    print(report.ratio, report.error_bound)
+
+* :class:`CompressionRequest` — frozen, JSON-serialisable, validated at
+  construction (exactly one objective, exactly one data source, known
+  compressor options via libpressio-style introspection).
+* :func:`plan` — routes a request in-memory / out-of-core / to a
+  service, subsuming the scheduler's old size heuristic.
+* :func:`execute` — runs a plan and returns a typed :class:`Report`
+  whose :meth:`~Report.to_dict` is byte-compatible with the service's
+  ``/result`` payloads, so one client parses every entry point.
+
+This package is a stable public surface: its ``__all__`` is
+snapshot-tested (``tests/api/test_surface.py``) and checked in CI.
+"""
+
+from repro.api.execute import execute, run
+from repro.api.plan import DEFAULT_STREAM_THRESHOLD, ROUTES, Plan, plan
+from repro.api.report import (
+    CompressReport,
+    DecompressReport,
+    Report,
+    StreamReport,
+    TuneReport,
+    report_from_dict,
+)
+from repro.api.request import (
+    REQUEST_KINDS,
+    CompressionRequest,
+    Resources,
+    encode_array,
+)
+
+__all__ = [
+    "CompressionRequest",
+    "Resources",
+    "REQUEST_KINDS",
+    "Plan",
+    "plan",
+    "ROUTES",
+    "DEFAULT_STREAM_THRESHOLD",
+    "execute",
+    "run",
+    "Report",
+    "TuneReport",
+    "CompressReport",
+    "StreamReport",
+    "DecompressReport",
+    "report_from_dict",
+    "encode_array",
+]

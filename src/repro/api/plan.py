@@ -1,0 +1,100 @@
+"""Request routing: one place that decides *where* work runs.
+
+:func:`plan` inspects a validated :class:`~repro.api.request.CompressionRequest`
+and produces a :class:`Plan` naming the route:
+
+* ``"memory"`` — load the array and run through
+  :class:`~repro.core.fraz.FRaZ` (or the ``.frz`` reader);
+* ``"stream"`` — route through the out-of-core
+  :func:`~repro.stream.pipeline.stream_compress` pipeline (file inputs
+  past :data:`DEFAULT_STREAM_THRESHOLD` bytes, explicit ``kind="stream"``
+  requests, the ``stream=True`` hint, and ``.frzs`` decompressions);
+* ``"service"`` — dispatch to a resident ``repro serve`` endpoint
+  (only when the caller names one).
+
+This subsumes the service scheduler's old private ``>32MiB`` heuristic:
+the scheduler now calls :func:`plan` with its configured threshold, so
+the CLI, the facade and the service route identically.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.api.request import CompressionRequest
+
+__all__ = ["Plan", "plan", "ROUTES", "DEFAULT_STREAM_THRESHOLD"]
+
+#: File inputs larger than this are compressed out of core unless the
+#: request says otherwise (32 MiB: comfortably in-memory below, worth
+#: chunked compression above).
+DEFAULT_STREAM_THRESHOLD = 32 * 2**20
+
+ROUTES = ("memory", "stream", "service")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A routed request: where it will run, and why."""
+
+    request: CompressionRequest
+    route: str
+    reason: str
+    endpoint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.route not in ROUTES:
+            raise ValueError(f"route must be one of {ROUTES}, got {self.route!r}")
+        if (self.route == "service") != (self.endpoint is not None):
+            raise ValueError("service plans (and only they) carry an endpoint")
+
+    def to_dict(self) -> dict:
+        return {
+            "route": self.route,
+            "reason": self.reason,
+            "endpoint": self.endpoint,
+            "request": self.request.to_dict(),
+        }
+
+
+def _input_size(path: str) -> int | None:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return None
+
+
+def plan(
+    request: CompressionRequest,
+    *,
+    stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+    service_url: str | None = None,
+) -> Plan:
+    """Route one request (see module docs for the decision table)."""
+    if service_url is not None:
+        return Plan(request, "service",
+                    "caller named a service endpoint", service_url)
+    if request.kind == "tune":
+        return Plan(request, "memory", "tuning searches run in memory")
+    if request.kind == "decompress":
+        from repro.stream import is_streamed_file  # lazy: avoids import cycles
+
+        if is_streamed_file(request.input):
+            return Plan(request, "stream", "input is a .frzs streamed container")
+        return Plan(request, "memory", "input is an in-memory .frz payload")
+    if request.kind == "stream":
+        return Plan(request, "stream", "request demands the out-of-core pipeline")
+    # kind == "compress": honour the hint, else size-route file inputs.
+    if request.stream is True:
+        return Plan(request, "stream", "request forces stream routing (stream=True)")
+    if request.stream is False:
+        return Plan(request, "memory", "request forbids stream routing (stream=False)")
+    if request.input is not None:
+        size = _input_size(request.input)
+        if size is not None and size > stream_threshold:
+            return Plan(
+                request, "stream",
+                f"input is {size} bytes (> {stream_threshold} threshold)",
+            )
+    return Plan(request, "memory", "input fits in memory")

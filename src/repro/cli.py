@@ -1,5 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command that does compression work is a thin shell over the
+unified request API (:mod:`repro.api`): flags become a
+:class:`~repro.api.request.CompressionRequest`, :func:`repro.api.plan`
+routes it, :func:`repro.api.execute` runs it, and ``--json`` prints the
+typed report's wire dict — the same schema the HTTP service returns.
+
 Commands
 --------
 ``compress``    fixed-ratio (FRaZ-tuned) or fixed-bound compression of a
@@ -8,6 +14,8 @@ Commands
                 ``.npy``/raw-binary file into a ``.frzs`` container
 ``decompress``  reconstruct a ``.frz``/``.frzs`` file back to ``.npy``
 ``tune``        run the FRaZ search and report the recommended bound
+``run``         execute a ``CompressionRequest`` JSON spec (locally, or
+                against a service with ``--url``)
 ``serve``       run the resident compression service (HTTP JSON API)
 ``submit``      send one job to a running ``serve`` instance
 ``info``        show a ``.frz``/``.frzs`` file's metadata
@@ -23,10 +31,13 @@ import sys
 
 import numpy as np
 
-from repro.core.fraz import FRaZ
+from repro import __version__
+from repro.api.execute import execute as api_execute
+from repro.api.plan import plan as api_plan
+from repro.api.request import CompressionRequest, Resources
 from repro.datasets import dataset_summaries
-from repro.io.files import load_field, read_info, save_field
-from repro.pressio.registry import available_compressors, make_compressor
+from repro.io.files import read_info
+from repro.pressio.registry import available_compressors
 
 __all__ = ["main", "build_parser", "parse_memory_size", "parse_chunk_shape"]
 
@@ -83,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FRaZ fixed-ratio error-bounded lossy compression",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -157,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="array shape for raw (non-.npy) binary input")
     p.add_argument("--dtype", default=None,
                    help="array dtype for raw binary input, e.g. float32")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable result schema instead of "
+                        "the human summary (same schema the service returns)")
     add_cache_args(p)
 
     p = sub.add_parser("decompress", help="decompress a .frz/.frzs file to .npy")
@@ -173,6 +190,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the full machine-readable result schema "
                         "(shared with the service) instead of the compact report")
     add_cache_args(p)
+
+    p = sub.add_parser(
+        "run",
+        help="execute a CompressionRequest JSON spec",
+        description="Read a repro.api CompressionRequest from a JSON file "
+                    "(or stdin with '-'), plan it, and execute it — locally "
+                    "by default, or submitted to a running service with "
+                    "--url.  Prints the typed report as JSON either way, so "
+                    "one request file produces the same result through every "
+                    "entry point.  See docs/API.md.",
+    )
+    p.add_argument("request", help="path to a request JSON file, or '-' for stdin")
+    p.add_argument("--url", default=None,
+                   help="submit to a running `repro serve` endpoint instead "
+                        "of executing locally")
+    p.add_argument("--priority", type=parse_priority, default=0,
+                   help="service priority (with --url): high, normal, low, "
+                        "or an integer")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="service retry budget (with --url; default 1)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for a service result (default 300)")
 
     p = sub.add_parser(
         "serve",
@@ -220,7 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Send a tune or compress job to a `repro serve` instance "
                     "and (by default) wait for and print its result.",
     )
-    p.add_argument("kind", choices=("tune", "compress"), help="job type")
+    p.add_argument("kind", choices=("tune", "compress", "decompress", "stream"),
+                   help="job type")
     p.add_argument("input", help="input .npy file")
     p.add_argument("output", nargs="?", default=None,
                    help="output path (required for compress jobs)")
@@ -253,153 +293,166 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_fraz(args) -> FRaZ:
-    """Build a tuner from CLI arguments, honouring the cache flags."""
-    return FRaZ(compressor=args.compressor, target_ratio=args.ratio,
-                tolerance=args.tolerance, max_error_bound=args.max_error_bound,
-                cache=not args.no_cache, cache_dir=args.cache_dir)
-
-
-def _persist_cache(cache) -> None:
-    """Persist an :class:`~repro.cache.EvalCache` if it has a disk tier."""
-    if cache is not None and cache.cache_dir is not None:
-        try:
-            cache.save()
-        except OSError as exc:
-            # An unwritable cache dir must not eat the tuning result.
-            print(f"warning: could not persist evaluation cache: {exc}", file=sys.stderr)
+def _cache_resources(args, **extra) -> Resources:
+    """The resource block shared by every cache-aware subcommand."""
+    return Resources(cache=not args.no_cache, cache_dir=args.cache_dir, **extra)
 
 
 def _cmd_compress(args) -> int:
-    import time
-
-    from repro.serve import schema
-
-    data = np.load(args.input)
-    t0 = time.perf_counter()
-    if args.error_bound is not None:
-        compressor = make_compressor(args.compressor, error_bound=args.error_bound)
-        payload = save_field(args.output, data, compressor)
-        if args.json:
-            print(json.dumps(schema.compress_payload(
-                payload, compressor=args.compressor, error_bound=args.error_bound,
-                output=args.output, input=args.input,
-                wall_seconds=time.perf_counter() - t0,
-            ), indent=2))
-        else:
-            print(f"compressed at fixed bound {args.error_bound:.4e}: "
-                  f"ratio {payload.ratio:.2f}:1 -> {args.output}")
-        return 0
-    fraz = _make_fraz(args)
-    payload, result = fraz.compress(data)
-    _persist_cache(fraz.evaluation_cache)
-    compressor = make_compressor(args.compressor, error_bound=result.error_bound)
-    save_field(args.output, payload, compressor,
-               metadata={"target_ratio": args.ratio, "feasible": result.feasible})
-    if args.json:
-        print(json.dumps(schema.compress_payload(
-            payload, compressor=args.compressor, error_bound=result.error_bound,
-            output=args.output, input=args.input,
-            tuning=schema.tune_payload(
-                result, compressor=args.compressor, input=args.input,
-                max_error_bound=args.max_error_bound,
-            ),
-            wall_seconds=time.perf_counter() - t0,
-            cache=fraz.evaluation_cache,
-        ), indent=2))
-    else:
-        status = "in band" if result.within_tolerance else "closest achievable"
-        print(f"tuned bound {result.error_bound:.4e} ({result.evaluations} probes): "
-              f"ratio {payload.ratio:.2f}:1 ({status}) -> {args.output}")
-    return 0 if result.feasible else 2
-
-
-def _cmd_stream(args) -> int:
-    from repro.cache import EvalCache
-    from repro.stream import stream_compress
-
-    cache: EvalCache | bool
-    if args.no_cache:
-        cache = False
-    else:
-        cache = EvalCache(cache_dir=args.cache_dir)
-    result = stream_compress(
-        args.input,
-        args.output,
+    request = CompressionRequest(
+        kind="compress",
         compressor=args.compressor,
         target_ratio=args.ratio,
         error_bound=args.error_bound,
         tolerance=args.tolerance,
         max_error_bound=args.max_error_bound,
-        chunk_shape=args.chunk_shape,
-        max_memory=args.max_memory,
-        workers=args.workers,
-        executor=args.executor,
-        train_chunks=args.train_chunks,
-        drift_margin=args.drift_margin,
-        shape=args.shape,
-        dtype=args.dtype,
-        cache=cache,
+        input=args.input,
+        output=args.output,
+        stream=False,  # `repro compress` is the in-memory command; see `repro stream`
+        resources=_cache_resources(args),
     )
-    if isinstance(cache, EvalCache):
-        _persist_cache(cache)
-    chunk_desc = "x".join(str(c) for c in result.chunk_shape)
-    print(f"streamed {result.n_chunks} chunks of {chunk_desc} "
-          f"({result.original_nbytes / 1e6:.1f} MB) at bound "
-          f"{result.error_bound:.4e}: ratio {result.ratio:.2f}:1, "
-          f"{result.mb_per_second:.2f} MB/s, {result.retrains} retrains "
-          f"-> {result.path}")
-    if args.ratio is not None and result.in_band_chunks < result.n_chunks:
-        print(f"note: {result.n_chunks - result.in_band_chunks}/{result.n_chunks} "
+    report = api_execute(api_plan(request))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    elif report.tuning is None:
+        print(f"compressed at fixed bound {report.error_bound:.4e}: "
+              f"ratio {report.ratio:.2f}:1 -> {args.output}")
+    else:
+        status = "in band" if report.tuning.within_tolerance else "closest achievable"
+        print(f"tuned bound {report.error_bound:.4e} "
+              f"({report.tuning.evaluations} probes): "
+              f"ratio {report.ratio:.2f}:1 ({status}) -> {args.output}")
+    return 0 if report.feasible else 2
+
+
+def _cmd_stream(args) -> int:
+    stream_options: dict = {
+        "train_chunks": args.train_chunks,
+        "drift_margin": args.drift_margin,
+    }
+    if args.chunk_shape is not None:
+        stream_options["chunk_shape"] = args.chunk_shape
+    if args.shape is not None:
+        stream_options["shape"] = args.shape
+    if args.dtype is not None:
+        stream_options["dtype"] = args.dtype
+    request = CompressionRequest(
+        kind="stream",
+        compressor=args.compressor,
+        target_ratio=args.ratio,
+        error_bound=args.error_bound,
+        tolerance=args.tolerance,
+        max_error_bound=args.max_error_bound,
+        input=args.input,
+        output=args.output,
+        stream_options=stream_options,
+        resources=_cache_resources(
+            args,
+            workers=args.workers,
+            executor=args.executor,
+            max_memory=args.max_memory,
+        ),
+    )
+    report = api_execute(api_plan(request))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    chunk_desc = "x".join(str(c) for c in report.chunk_shape)
+    print(f"streamed {report.n_chunks} chunks of {chunk_desc} "
+          f"({report.original_nbytes / 1e6:.1f} MB) at bound "
+          f"{report.error_bound:.4e}: ratio {report.ratio:.2f}:1, "
+          f"{report.mb_per_second:.2f} MB/s, {report.retrains} retrains "
+          f"-> {report.output}")
+    if args.ratio is not None and report.in_band_chunks < report.n_chunks:
+        print(f"note: {report.n_chunks - report.in_band_chunks}/{report.n_chunks} "
               f"chunks landed outside the ratio band", file=sys.stderr)
     return 0
 
 
 def _cmd_decompress(args) -> int:
-    from repro.stream import is_streamed_file
-
-    if is_streamed_file(args.input):
-        from repro.stream import StreamedField
-
-        out = args.output if args.output.endswith(".npy") else args.output + ".npy"
-        with StreamedField(args.input) as field:
-            field.decompress(out)
-            print(f"decompressed {field.meta['compressor']} streamed container "
-                  f"({field.n_chunks} chunks, ratio {field.ratio:.2f}:1) -> {out}")
-        return 0
-    data, meta = load_field(args.input)
-    np.save(args.output, data)
-    print(f"decompressed {meta['compressor']} payload "
-          f"(ratio {meta['ratio']:.2f}:1) -> {args.output}")
+    request = CompressionRequest(kind="decompress", input=args.input,
+                                 output=args.output)
+    report = api_execute(api_plan(request))
+    if report.from_stream:
+        print(f"decompressed {report.compressor} streamed container "
+              f"({report.n_chunks} chunks, ratio {report.ratio:.2f}:1) "
+              f"-> {report.output}")
+    else:
+        print(f"decompressed {report.compressor} payload "
+              f"(ratio {report.ratio:.2f}:1) -> {args.output}")
     return 0
 
 
 def _cmd_tune(args) -> int:
-    data = np.load(args.input)
-    fraz = _make_fraz(args)
-    result = fraz.tune(data)
-    _persist_cache(fraz.evaluation_cache)
+    request = CompressionRequest(
+        kind="tune",
+        compressor=args.compressor,
+        target_ratio=args.ratio,
+        tolerance=args.tolerance,
+        max_error_bound=args.max_error_bound,
+        input=args.input,
+        resources=_cache_resources(args),
+    )
+    report = api_execute(api_plan(request))
     if args.json:
-        from repro.serve import schema
-
-        payload = schema.tune_payload(
-            result, compressor=args.compressor, input=args.input,
-            max_error_bound=args.max_error_bound, cache=fraz.evaluation_cache,
-        )
+        payload = report.to_dict()
     else:
         payload = {
             "compressor": args.compressor,
             "target_ratio": args.ratio,
-            "error_bound": result.error_bound,
-            "ratio": result.ratio,
-            "feasible": result.feasible,
-            "evaluations": result.evaluations,
-            "cache_hits": result.cache_hits,
-            "cache_misses": result.cache_misses,
-            "wall_seconds": round(result.wall_seconds, 4),
+            "error_bound": report.error_bound,
+            "ratio": report.ratio,
+            "feasible": report.feasible,
+            "evaluations": report.evaluations,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "wall_seconds": round(report.wall_seconds, 4),
         }
     print(json.dumps(payload, indent=2))
-    return 0 if result.feasible else 2
+    return 0 if report.feasible else 2
+
+
+def _report_exit_code(result: dict) -> int:
+    """0 unless the (possibly nested) tuning verdict says infeasible."""
+    feasible = result.get("feasible")
+    if feasible is None and isinstance(result.get("tuning"), dict):
+        feasible = result["tuning"].get("feasible")
+    return 0 if feasible in (None, True) else 2
+
+
+def _cmd_run(args) -> int:
+    from pathlib import Path
+
+    try:
+        text = sys.stdin.read() if args.request == "-" else Path(args.request).read_text()
+    except OSError as exc:
+        print(f"error: cannot read request file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        request = CompressionRequest.from_json(text)
+    except (ValueError, TypeError) as exc:
+        print(f"error: invalid request: {exc}", file=sys.stderr)
+        return 2
+    if args.url is None:
+        report = api_execute(api_plan(request))
+        print(json.dumps(report.to_dict(), indent=2))
+        return _report_exit_code(report.to_dict())
+
+    from repro.serve import JobFailedError, ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        ticket = client.submit(request, priority=args.priority,
+                               max_retries=args.max_retries)
+        result = client.result(ticket["job_id"], timeout=args.timeout)
+    except JobFailedError as exc:
+        print(f"error: job failed: {exc}", file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2))
+    return _report_exit_code(result)
 
 
 def _cmd_serve(args) -> int:
@@ -434,39 +487,39 @@ def _cmd_serve(args) -> int:
 def _cmd_submit(args) -> int:
     import os
 
-    from repro.serve import JobFailedError, ServiceClient
+    from repro.api.request import encode_array
+    from repro.serve import JobFailedError, ServiceClient, ServiceError
 
-    if args.kind == "tune":
-        if args.ratio is None:
-            print("error: tune jobs require --ratio", file=sys.stderr)
-            return 2
-    elif args.output is None:
-        print("error: compress jobs require an output path", file=sys.stderr)
+    if args.kind == "tune" and args.ratio is None:
+        print("error: tune jobs require --ratio", file=sys.stderr)
         return 2
-    spec: dict = {
+    if args.kind != "tune" and args.output is None:
+        print(f"error: {args.kind} jobs require an output path", file=sys.stderr)
+        return 2
+    fields: dict = {
         "kind": args.kind,
         "compressor": args.compressor,
         "target_ratio": args.ratio,
         "error_bound": args.error_bound,
         "tolerance": args.tolerance,
         "max_error_bound": args.max_error_bound,
-        "priority": args.priority,
-        "max_retries": args.max_retries,
     }
-    if args.inline:
-        from repro.serve import JobSpec
-
-        spec["data_b64"] = JobSpec.encode_array(np.load(args.input))
+    if args.inline and args.kind != "decompress":
+        fields["data_b64"] = encode_array(np.load(args.input))
     else:
-        spec["input"] = os.path.abspath(args.input)
+        fields["input"] = os.path.abspath(args.input)
     if args.output is not None:
-        spec["output"] = os.path.abspath(args.output)
-
-    from repro.serve import ServiceError
+        fields["output"] = os.path.abspath(args.output)
+    try:
+        request = CompressionRequest(**fields)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     client = ServiceClient(args.url)
     try:
-        ticket = client.submit(spec)
+        ticket = client.submit(request, priority=args.priority,
+                               max_retries=args.max_retries)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -482,10 +535,7 @@ def _cmd_submit(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(result, indent=2))
-    feasible = result.get("feasible")
-    if feasible is None and isinstance(result.get("tuning"), dict):
-        feasible = result["tuning"].get("feasible")
-    return 0 if feasible in (None, True) else 2
+    return _report_exit_code(result)
 
 
 def _cmd_info(args) -> int:
@@ -501,9 +551,10 @@ def _cmd_info(args) -> int:
             meta["ratio"] = round(field.ratio, 4)
             meta["compressed_nbytes"] = field.compressed_nbytes
             meta["retrained_chunks"] = sum(1 for c in chunks if c.get("retrained"))
-            print(json.dumps(meta, indent=2))
+            # sort_keys: scripts diff/parse this output, keep it stable.
+            print(json.dumps(meta, indent=2, sort_keys=True))
         return 0
-    print(json.dumps(read_info(args.input), indent=2))
+    print(json.dumps(read_info(args.input), indent=2, sort_keys=True))
     return 0
 
 
@@ -517,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_decompress(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":

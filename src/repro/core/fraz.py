@@ -115,6 +115,52 @@ class FRaZ:
         return self._cache
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_request(
+        cls,
+        request,
+        *,
+        executor: BaseExecutor | str | None = None,
+        workers: int | None = None,
+        seed: int | None = None,
+        cache: EvalCache | bool | None = None,
+    ) -> "FRaZ":
+        """Build a tuner from a :class:`~repro.api.request.CompressionRequest`.
+
+        The request's compressor name + ``options`` become a configured
+        :class:`~repro.pressio.compressor.Compressor`; its ``resources``
+        block takes precedence over the ``executor``/``workers`` keyword
+        fallbacks.  ``cache=None`` derives the cache policy from
+        ``resources.cache``/``cache_dir``; an explicit value overrides it
+        (the unified :func:`repro.api.execute` path passes the cache it
+        already resolved).
+        """
+        if request.target_ratio is None:
+            raise ValueError("FRaZ.from_request needs a request with a target_ratio")
+        res = request.resources
+        kwargs: dict = {}
+        eff_executor = res.executor if res.executor is not None else executor
+        if eff_executor is not None:
+            kwargs["executor"] = eff_executor
+        eff_workers = res.workers if res.workers is not None else workers
+        if eff_workers is not None:
+            kwargs["workers"] = eff_workers
+        if seed is not None:
+            kwargs["seed"] = seed
+        if cache is None:
+            kwargs["cache"] = res.cache
+            kwargs["cache_dir"] = res.cache_dir
+        else:
+            kwargs["cache"] = cache
+        return cls(
+            compressor=make_compressor(request.compressor, **request.options),
+            target_ratio=request.target_ratio,
+            tolerance=request.tolerance,
+            max_error_bound=request.max_error_bound,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
     def tune(self, data: np.ndarray, prediction: float | None = None) -> TrainingResult:
         """Search the error bound for a single field/time-step."""
         return train(

@@ -84,6 +84,8 @@ def dataset_summaries(size: str = "small") -> str:
         f"{'Total size':>12}"
     )
     rows = [header, "-" * len(header)]
-    for name in DATASET_NAMES:
+    # Alphabetical, case-insensitive: `repro datasets` output is stable
+    # for scripts regardless of registration order.
+    for name in sorted(DATASET_NAMES, key=str.lower):
         rows.append(load_dataset(name, size).summary_row())
     return "\n".join(rows)

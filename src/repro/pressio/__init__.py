@@ -17,10 +17,16 @@ their differences so that we could write one implementation of the framework"
 
 from repro.pressio.arrayio import decode_array_header, encode_array_header
 from repro.pressio.closures import RatioFunction
-from repro.pressio.compressor import CompressedField, Compressor
+from repro.pressio.compressor import (
+    CompressedField,
+    Compressor,
+    CompressorOptionError,
+)
 from repro.pressio.evaluation import CompressionRecord, evaluate
 from repro.pressio.registry import (
     available_compressors,
+    compressor_option_names,
+    describe_compressor,
     make_compressor,
     register_compressor,
 )
@@ -29,9 +35,12 @@ __all__ = [
     "CompressedField",
     "CompressionRecord",
     "Compressor",
+    "CompressorOptionError",
     "RatioFunction",
     "available_compressors",
+    "compressor_option_names",
     "decode_array_header",
+    "describe_compressor",
     "encode_array_header",
     "evaluate",
     "make_compressor",

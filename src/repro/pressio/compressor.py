@@ -11,12 +11,30 @@ because of global state; value-semantics configurations avoid that entirely.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Compressor", "CompressedField"]
+__all__ = ["Compressor", "CompressedField", "CompressorOptionError"]
+
+
+class CompressorOptionError(TypeError):
+    """A compressor was configured with options it does not understand.
+
+    Raised instead of the factory's raw ``TypeError`` so the message
+    names the compressor and lists the options it *does* accept (the
+    libpressio-style introspection surface of :meth:`Compressor.get_options`).
+    """
+
+    def __init__(self, compressor: str, message: str, valid_options=()):
+        detail = f"compressor {compressor!r}: {message}"
+        if valid_options:
+            detail += f" (valid options: {sorted(valid_options)})"
+        super().__init__(detail)
+        self.compressor = compressor
+        self.valid_options = tuple(sorted(valid_options))
 
 
 @dataclass(frozen=True)
@@ -77,6 +95,58 @@ class Compressor(ABC):
     @abstractmethod
     def with_error_bound(self, error_bound: float) -> "Compressor":
         """A copy of this compressor with a different error-control value."""
+
+    # -- option introspection (libpressio-style) -------------------------
+    def get_options(self) -> dict:
+        """Current configuration as a plain ``{name: value}`` dict.
+
+        Mirrors libpressio's ``get_options``: every constructor knob of a
+        (frozen-dataclass) compressor is reported, so callers can discover
+        what :meth:`set_options` accepts without reading the source.
+        """
+        if dataclasses.is_dataclass(self):
+            return {
+                f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+                if f.init
+            }
+        return {"error_bound": self.error_bound}
+
+    def set_options(self, **options) -> "Compressor":
+        """A reconfigured copy of this compressor (value semantics).
+
+        Unknown option names raise :class:`CompressorOptionError` listing
+        the valid ones — configurations stay immutable, so this returns a
+        *new* instance rather than mutating ``self``.
+        """
+        if not options:
+            return self
+        valid = self.get_options()
+        unknown = sorted(set(options) - set(valid))
+        if unknown:
+            raise CompressorOptionError(
+                self.name, f"unknown option(s) {unknown}", valid
+            )
+        if dataclasses.is_dataclass(self):
+            return dataclasses.replace(self, **options)
+        if set(options) == {"error_bound"}:
+            return self.with_error_bound(options["error_bound"])
+        raise CompressorOptionError(  # pragma: no cover - all built-ins are dataclasses
+            self.name, "non-dataclass compressor only supports error_bound", valid
+        )
+
+    def capabilities(self) -> dict:
+        """JSON-ready description of what this compressor supports.
+
+        Covers the registry name, the error-control mode, the accepted
+        dimensionalities, and the full option dict with current values.
+        """
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "supported_ndims": list(self.supported_ndims),
+            "options": self.get_options(),
+        }
 
     # -- search-range defaults -------------------------------------------
     def default_bound_range(self, data: np.ndarray) -> tuple[float, float]:

@@ -1,19 +1,37 @@
-"""Name-based compressor construction.
+"""Name-based compressor construction and option introspection.
 
 Mirrors libpressio's plugin registry: benchmarks and user code say
 ``make_compressor("sz", error_bound=1e-3)`` and never import compressor
 internals.  Compressor subpackages self-register on import.
+
+The registry is also the introspection point for the unified request API
+(:mod:`repro.api`): :func:`compressor_option_names` reports what keyword
+options a compressor accepts (from its factory signature), and
+:func:`describe_compressor` returns the full libpressio-style
+capabilities dict of a default-configured instance.  A misspelled option
+never surfaces as a raw ``TypeError`` from deep inside the factory —
+:func:`make_compressor` raises :class:`CompressorOptionError` naming the
+compressor and its valid options instead.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
-from repro.pressio.compressor import Compressor
+from repro.pressio.compressor import Compressor, CompressorOptionError
 
-__all__ = ["register_compressor", "make_compressor", "available_compressors"]
+__all__ = [
+    "register_compressor",
+    "make_compressor",
+    "available_compressors",
+    "compressor_option_names",
+    "describe_compressor",
+    "CompressorOptionError",
+]
 
 _FACTORIES: dict[str, Callable[..., Compressor]] = {}
+_OPTION_NAMES: dict[str, tuple[str, ...] | None] = {}
 
 
 def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
@@ -21,18 +39,70 @@ def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
     if name in _FACTORIES:
         raise ValueError(f"compressor {name!r} already registered")
     _FACTORIES[name] = factory
+    _OPTION_NAMES.pop(name, None)
 
 
-def make_compressor(name: str, **options) -> Compressor:
-    """Instantiate a registered compressor with keyword options."""
+def _factory(name: str) -> Callable[..., Compressor]:
     _ensure_builtin_imports()
     try:
-        factory = _FACTORIES[name]
+        return _FACTORIES[name]
     except KeyError:
         raise KeyError(
             f"unknown compressor {name!r}; available: {available_compressors()}"
         ) from None
-    return factory(**options)
+
+
+def compressor_option_names(name: str) -> tuple[str, ...] | None:
+    """Keyword options ``make_compressor(name, ...)`` accepts.
+
+    Read from the factory signature (for the built-in frozen-dataclass
+    compressors that is exactly the constructor field list).  Returns
+    ``None`` when the factory takes ``**kwargs`` and the names cannot be
+    known statically.  Raises :class:`KeyError` for unknown compressors.
+    """
+    factory = _factory(name)
+    if name not in _OPTION_NAMES:
+        try:
+            params = inspect.signature(factory).parameters.values()
+        except (TypeError, ValueError):  # pragma: no cover - C callables only
+            _OPTION_NAMES[name] = None
+        else:
+            if any(p.kind is p.VAR_KEYWORD for p in params):
+                _OPTION_NAMES[name] = None
+            else:
+                _OPTION_NAMES[name] = tuple(
+                    p.name
+                    for p in params
+                    if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+                )
+    return _OPTION_NAMES[name]
+
+
+def make_compressor(name: str, **options) -> Compressor:
+    """Instantiate a registered compressor with keyword options.
+
+    Unknown option names raise :class:`CompressorOptionError` carrying
+    the compressor name and its valid options, so a typo like
+    ``make_compressor("sz", typo_option=1)`` is diagnosable without
+    reading the factory source.
+    """
+    factory = _factory(name)
+    valid = compressor_option_names(name)
+    if valid is not None:
+        unknown = sorted(set(options) - set(valid))
+        if unknown:
+            raise CompressorOptionError(name, f"unknown option(s) {unknown}", valid)
+    try:
+        return factory(**options)
+    except TypeError as exc:
+        # Signature-compatible call that the factory still rejected
+        # (e.g. a positional-only quirk): keep the diagnosis attached.
+        raise CompressorOptionError(name, str(exc), valid or ()) from exc
+
+
+def describe_compressor(name: str) -> dict:
+    """Capabilities dict of a default-configured instance (JSON-ready)."""
+    return make_compressor(name).capabilities()
 
 
 def available_compressors() -> list[str]:

@@ -13,7 +13,10 @@ Submitted jobs flow through a bounded priority queue (backpressure),
 identical concurrent requests are coalesced onto one computation, all
 jobs share one :class:`~repro.cache.EvalCache`, and oversized file
 inputs are routed through the out-of-core ``repro.stream`` pipeline.
-See ``docs/SERVICE.md`` for the full protocol.
+A :class:`JobSpec` is the unified
+:class:`~repro.api.request.CompressionRequest` plus scheduling fields,
+so the same request object also drives :func:`repro.api.execute` and the
+CLI.  See ``docs/SERVICE.md`` for the full protocol.
 """
 
 from repro.serve.client import (

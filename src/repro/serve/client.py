@@ -19,6 +19,7 @@ import urllib.request
 
 import numpy as np
 
+from repro.api.request import CompressionRequest
 from repro.serve.jobs import JobSpec
 
 __all__ = ["ServiceClient", "ServiceError", "BackpressureError", "JobFailedError"]
@@ -76,17 +77,21 @@ class ServiceClient:
             raise ServiceError(f"cannot reach {self.url}: {exc.reason}") from exc
 
     # -- submission --------------------------------------------------------
-    def submit(self, spec: JobSpec | dict | None = None, **fields) -> dict:
+    def submit(
+        self, spec: JobSpec | CompressionRequest | dict | None = None, **fields
+    ) -> dict:
         """Submit a job; returns ``{"job_id", "state", "coalesced_into"}``.
 
-        Accepts a :class:`JobSpec`, a spec dict, or the spec's fields as
-        keyword arguments.  Retries on ``429`` until
+        Accepts a :class:`~repro.api.request.CompressionRequest` (the
+        unified request type — add ``priority``/``max_retries`` as
+        keyword arguments), a :class:`JobSpec`, a spec dict, or the
+        spec's fields as keyword arguments.  Retries on ``429`` until
         ``backpressure_wait`` runs out.
         """
         if spec is None:
             body = dict(fields)
-        elif isinstance(spec, JobSpec):
-            body = spec.to_dict()
+        elif isinstance(spec, (JobSpec, CompressionRequest)):
+            body = {**spec.to_dict(), **fields}
         else:
             body = {**spec, **fields}
         deadline = time.monotonic() + self.backpressure_wait

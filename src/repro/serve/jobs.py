@@ -1,7 +1,14 @@
 """Typed job records for the compression service.
 
-A :class:`JobSpec` is the *request*: a frozen, JSON-serialisable
-description of one unit of work (tune a bound, or compress to a file).
+A :class:`JobSpec` is the *request*: a thin, frozen serialization of the
+shared :class:`~repro.api.request.CompressionRequest` type plus the two
+scheduling fields only the service cares about (``priority`` and
+``max_retries``).  All semantic validation lives in the request type —
+``JobSpec`` merely flattens it onto the wire, so a request submitted via
+the Python facade, the CLI, or HTTP JSON is the *same object* by the
+time the scheduler sees it.  Legacy flat JSON (pre-``options``/
+``resources``) is still accepted: the new fields simply default.
+
 A :class:`Job` is the *lifecycle record* the scheduler tracks for it:
 state transitions, attempt counts against the retry budget, timestamps,
 and the eventual result or error.
@@ -27,16 +34,16 @@ does.
 
 from __future__ import annotations
 
-import base64
 import enum
 import hashlib
-import io
 import os
 import threading
 import time
 from dataclasses import dataclass, field, fields
 
 import numpy as np
+
+from repro.api.request import CompressionRequest, Resources, encode_array
 
 __all__ = [
     "JobState",
@@ -61,7 +68,8 @@ PRIORITY_NAMES = {
     "low": PRIORITY_LOW,
 }
 
-_KINDS = ("tune", "compress")
+#: Wire keys that belong to the scheduler, not to the request.
+_SCHEDULING_FIELDS = ("priority", "max_retries")
 
 
 class JobState(str, enum.Enum):
@@ -83,20 +91,17 @@ _FINISHED = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One unit of service work, fully described and JSON-serialisable.
+    """One unit of service work: a flattened request plus scheduling.
 
-    Exactly one of ``input`` (a ``.npy`` path visible to the server) and
-    ``data_b64`` (a base64-encoded ``.npy`` byte string shipped inline)
-    names the data.  ``kind="tune"`` requires ``target_ratio``;
-    ``kind="compress"`` requires ``output`` plus exactly one of
-    ``target_ratio``/``error_bound``.
+    Every field except ``priority`` and ``max_retries`` mirrors the
+    :class:`~repro.api.request.CompressionRequest` field of the same
+    name, and validation is delegated to it — constructing a ``JobSpec``
+    *is* constructing the request (exposed via :attr:`request`).
 
     ``priority`` orders the queue (lower runs sooner; see
     :data:`PRIORITY_HIGH`/:data:`PRIORITY_NORMAL`/:data:`PRIORITY_LOW`).
     ``max_retries`` is the number of *additional* attempts the scheduler
-    may make after a failure.  ``stream`` forces (``True``) or forbids
-    (``False``) routing through the out-of-core pipeline; ``None`` lets
-    the scheduler decide by input size.
+    may make after a failure.
     """
 
     kind: str
@@ -111,48 +116,79 @@ class JobSpec:
     priority: int = PRIORITY_NORMAL
     max_retries: int = 1
     stream: bool | None = None
+    options: dict = field(default_factory=dict)
+    stream_options: dict = field(default_factory=dict)
+    resources: Resources = field(default_factory=Resources)
 
     def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
-            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
-        if (self.input is None) == (self.data_b64 is None):
-            raise ValueError("pass exactly one of input (a path) or data_b64 (inline)")
-        if self.kind == "tune":
-            if self.target_ratio is None:
-                raise ValueError("tune jobs require target_ratio")
-            if self.error_bound is not None:
-                raise ValueError("tune jobs take target_ratio, not error_bound")
-        else:  # compress
-            if (self.target_ratio is None) == (self.error_bound is None):
-                raise ValueError(
-                    "compress jobs require exactly one of target_ratio or error_bound"
-                )
-            if self.output is None:
-                raise ValueError("compress jobs require an output path")
-        if self.target_ratio is not None and self.target_ratio <= 0:
-            raise ValueError(f"target_ratio must be positive, got {self.target_ratio}")
-        if not 0 < self.tolerance < 1:
-            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        request = CompressionRequest(
+            kind=self.kind,
+            compressor=self.compressor,
+            options=self.options,
+            target_ratio=self.target_ratio,
+            error_bound=self.error_bound,
+            tolerance=self.tolerance,
+            max_error_bound=self.max_error_bound,
+            input=self.input,
+            data_b64=self.data_b64,
+            output=self.output,
+            stream=self.stream,
+            stream_options=self.stream_options,
+            resources=self.resources,
+        )
+        # Store the canonical (normalised) copies so equality and the
+        # wire format are independent of how the caller spelled them.
+        object.__setattr__(self, "options", request.options)
+        object.__setattr__(self, "stream_options", request.stream_options)
+        object.__setattr__(self, "resources", request.resources)
+        object.__setattr__(self, "_request", request)
         if isinstance(self.priority, bool) or not isinstance(self.priority, int):
             raise ValueError(f"priority must be an int, got {self.priority!r}")
         if not isinstance(self.max_retries, int) or self.max_retries < 0:
             raise ValueError(f"max_retries must be an int >= 0, got {self.max_retries!r}")
-        if self.stream and self.input is None:
-            raise ValueError("stream=True requires a file input, not inline data")
+
+    # -- the shared request ------------------------------------------------
+    @property
+    def request(self) -> CompressionRequest:
+        """The validated :class:`CompressionRequest` this spec serialises."""
+        return self._request  # type: ignore[attr-defined]
+
+    @classmethod
+    def from_request(
+        cls,
+        request: CompressionRequest,
+        *,
+        priority: int = PRIORITY_NORMAL,
+        max_retries: int = 1,
+    ) -> "JobSpec":
+        """Wrap a shared request with the service's scheduling fields."""
+        return cls(
+            kind=request.kind,
+            compressor=request.compressor,
+            target_ratio=request.target_ratio,
+            error_bound=request.error_bound,
+            tolerance=request.tolerance,
+            max_error_bound=request.max_error_bound,
+            input=request.input,
+            data_b64=request.data_b64,
+            output=request.output,
+            priority=priority,
+            max_retries=max_retries,
+            stream=request.stream,
+            options=request.options,
+            stream_options=request.stream_options,
+            resources=request.resources,
+        )
 
     # -- data access ------------------------------------------------------
     def load_array(self) -> np.ndarray:
         """Materialise the job's data (inline bytes or ``.npy`` path)."""
-        if self.data_b64 is not None:
-            return np.load(io.BytesIO(base64.b64decode(self.data_b64)), allow_pickle=False)
-        return np.load(self.input, allow_pickle=False)
+        return self.request.load_array()
 
     @staticmethod
     def encode_array(data: np.ndarray) -> str:
         """Base64-``.npy`` encoding for the ``data_b64`` field."""
-        buf = io.BytesIO()
-        np.save(buf, np.asarray(data), allow_pickle=False)
-        return base64.b64encode(buf.getvalue()).decode("ascii")
+        return encode_array(data)
 
     # -- identity ----------------------------------------------------------
     def data_token(self) -> str:
@@ -176,18 +212,23 @@ class JobSpec:
         """Request-level dedup key: equal keys describe identical work.
 
         Everything that changes the computed bytes participates — data
-        identity, compressor, targets, tolerances, the output path —
-        while scheduling hints (priority, retry budget) do not: a high-
-        and a low-priority request for the same work coalesce.
+        identity, compressor and its options, targets, tolerances, the
+        output path, stream routing and chunking, the memory cap that
+        sizes chunks — while scheduling hints (priority, retry budget,
+        worker counts) do not: a high- and a low-priority request for
+        the same work coalesce.
         """
         parts = (
             self.kind,
             self.compressor,
+            repr(sorted(self.options.items())),
             repr(self.target_ratio),
             repr(self.error_bound),
             repr(self.tolerance),
             repr(self.max_error_bound),
             repr(self.stream),
+            repr(sorted(self.stream_options.items())),
+            repr(self.resources.max_memory),
             self.output or "",
             self.data_token(),
         )
@@ -195,15 +236,25 @@ class JobSpec:
 
     # -- wire format -------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-ready dict (defaults included, for transparency in logs)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """JSON-ready dict: the request serialization + scheduling fields."""
+        payload = self.request.to_dict()
+        payload["priority"] = self.priority
+        payload["max_retries"] = self.max_retries
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
-        """Build a spec from a JSON request body, rejecting unknown keys."""
+        """Build a spec from a JSON request body, rejecting unknown keys.
+
+        Accepts both the legacy flat format (no ``options``/
+        ``stream_options``/``resources`` keys — they default) and a full
+        :meth:`CompressionRequest.to_dict` body with optional scheduling
+        fields on top.
+        """
         if not isinstance(payload, dict):
             raise ValueError(f"job spec must be a JSON object, got {type(payload).__name__}")
-        known = {f.name for f in fields(cls)}
+        request_fields = {f.name for f in fields(CompressionRequest)}
+        known = request_fields | set(_SCHEDULING_FIELDS)
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown job spec fields: {sorted(unknown)}")
@@ -218,8 +269,11 @@ class JobSpec:
                     f"got {prio!r}"
                 ) from None
         if "kind" not in data:
-            raise ValueError("job spec requires a kind ('tune' or 'compress')")
-        return cls(**data)
+            raise ValueError(
+                "job spec requires a kind ('tune', 'compress', 'decompress' or 'stream')"
+            )
+        scheduling = {k: data.pop(k) for k in _SCHEDULING_FIELDS if k in data}
+        return cls.from_request(CompressionRequest.from_dict(data), **scheduling)
 
 
 @dataclass

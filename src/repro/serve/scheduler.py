@@ -7,10 +7,13 @@ It owns
   propagates out of :meth:`submit` as
   :class:`~repro.serve.queue.QueueFull`),
 * a pool of dispatcher threads that pop jobs and run them through the
-  existing layers — :class:`~repro.core.fraz.FRaZ` for tunes and
-  in-memory compressions, :func:`repro.stream.pipeline.stream_compress`
-  for inputs too large to hold (routing is automatic past
-  ``stream_threshold`` bytes),
+  unified request API — each spec's
+  :class:`~repro.api.request.CompressionRequest` goes through
+  :func:`repro.api.plan` (which applies the scheduler's configured
+  ``stream_threshold`` to route in-memory vs. out-of-core) and
+  :func:`repro.api.execute` (FRaZ for tunes and in-memory compressions,
+  :func:`repro.stream.pipeline.stream_compress` for inputs too large to
+  hold, the ``.frz``/``.frzs`` readers for decompressions),
 * an **execution backend**: ``executor="thread"`` runs jobs on the
   dispatcher threads themselves (the pre-existing model — fine when jobs
   are tiny or NumPy releases the GIL), while ``executor="process"``
@@ -67,9 +70,9 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.api.execute import execute as execute_request
+from repro.api.plan import DEFAULT_STREAM_THRESHOLD, plan as plan_request
 from repro.cache.evalcache import CacheEntry, EvalCache
-from repro.core.fraz import FRaZ
-from repro.io.files import save_field
 from repro.parallel.executor import (
     BaseExecutor,
     ProcessJobPool,
@@ -77,11 +80,9 @@ from repro.parallel.executor import (
     make_executor,
     resolve_workers,
 )
-from repro.pressio.registry import make_compressor
 from repro.serve import schema
 from repro.serve.jobs import Job, JobSpec, JobState
 from repro.serve.queue import JobQueue, QueueFull  # noqa: F401  (re-exported)
-from repro.stream.pipeline import stream_compress
 
 __all__ = [
     "Scheduler",
@@ -90,11 +91,6 @@ __all__ = [
     "DEFAULT_SPILL_THRESHOLD",
     "resolve_executor_mode",
 ]
-
-#: Inputs larger than this are routed through the out-of-core pipeline
-#: unless the spec says otherwise (32 MiB: comfortably in-memory below,
-#: worth chunked compression above).
-DEFAULT_STREAM_THRESHOLD = 32 * 2**20
 
 #: Inline (``data_b64``) arrays whose *decoded* size exceeds this many
 #: bytes are spilled to a temporary ``.npy`` before process-pool dispatch
@@ -130,30 +126,6 @@ def resolve_executor_mode(executor: str | None) -> str:
 # module-level trampoline below — module-level so it pickles by name).
 # ---------------------------------------------------------------------------
 
-def _route_stream(spec: JobSpec, stream_threshold: int) -> bool:
-    if spec.stream is not None:
-        return spec.stream
-    if spec.kind != "compress" or spec.input is None:
-        return False
-    try:
-        return os.path.getsize(spec.input) > stream_threshold
-    except OSError:
-        return False
-
-
-def _spec_fraz(spec: JobSpec, *, executor: BaseExecutor, seed: int,
-               cache: EvalCache | bool) -> FRaZ:
-    return FRaZ(
-        compressor=spec.compressor,
-        target_ratio=spec.target_ratio if spec.target_ratio is not None else 10.0,
-        tolerance=spec.tolerance,
-        max_error_bound=spec.max_error_bound,
-        executor=executor,
-        seed=seed,
-        cache=cache,
-    )
-
-
 def _execute_spec(
     spec: JobSpec,
     *,
@@ -165,64 +137,26 @@ def _execute_spec(
     seed: int,
 ) -> tuple[dict, int, int, bool]:
     """Run one spec; returns ``(result, evaluations, compressor_calls,
-    streamed)``.  Exceptions propagate to the caller's retry logic."""
-    cache_arg: EvalCache | bool = cache if cache is not None else False
-    if spec.kind == "compress" and _route_stream(spec, stream_threshold):
-        result = stream_compress(
-            spec.input,
-            spec.output,
-            compressor=spec.compressor,
-            target_ratio=spec.target_ratio,
-            error_bound=spec.error_bound,
-            tolerance=spec.tolerance,
-            max_error_bound=spec.max_error_bound,
-            max_memory=max_memory,
-            workers=intra_workers,
-            executor=executor,
-            seed=seed,
-            cache=cache_arg,
-        )
-        payload = schema.stream_payload(result, compressor=spec.compressor,
-                                        input=spec.input)
-        return payload, result.evaluations, result.cache_misses, True
+    streamed)``.  Exceptions propagate to the caller's retry logic.
 
-    data = spec.load_array()
-    if spec.kind == "tune":
-        result = _spec_fraz(spec, executor=executor, seed=seed,
-                            cache=cache_arg).tune(data)
-        payload = schema.tune_payload(
-            result, compressor=spec.compressor, input=spec.input,
-            max_error_bound=spec.max_error_bound,
-        )
-        return payload, result.evaluations, result.compressor_calls, False
-
-    # compress, in memory
-    t0 = time.perf_counter()
-    if spec.error_bound is not None:
-        configured = make_compressor(spec.compressor, error_bound=spec.error_bound)
-        field = save_field(spec.output, data, configured)
-        payload = schema.compress_payload(
-            field, compressor=spec.compressor, error_bound=spec.error_bound,
-            output=spec.output, input=spec.input,
-            wall_seconds=time.perf_counter() - t0,
-        )
-        return payload, 0, 0, False
-    fraz = _spec_fraz(spec, executor=executor, seed=seed, cache=cache_arg)
-    field, result = fraz.compress(data)
-    configured = make_compressor(spec.compressor, error_bound=result.error_bound)
-    save_field(spec.output, field, configured,
-               metadata={"target_ratio": spec.target_ratio,
-                         "feasible": result.feasible})
-    payload = schema.compress_payload(
-        field, compressor=spec.compressor, error_bound=result.error_bound,
-        output=spec.output, input=spec.input,
-        tuning=schema.tune_payload(
-            result, compressor=spec.compressor, input=spec.input,
-            max_error_bound=spec.max_error_bound,
-        ),
-        wall_seconds=time.perf_counter() - t0,
+    The whole body is a call into the unified request API: the spec *is*
+    a :class:`~repro.api.request.CompressionRequest` plus scheduling
+    fields, :func:`repro.api.plan` applies the scheduler's configured
+    stream threshold, and :func:`repro.api.execute` runs the plan with
+    the scheduler's shared cache and intra-job executor as fallbacks for
+    whatever the request's own resource block leaves unset.
+    """
+    pl = plan_request(spec.request, stream_threshold=stream_threshold)
+    report = execute_request(
+        pl,
+        cache=cache if cache is not None else False,
+        executor=executor,
+        workers=intra_workers,
+        max_memory=max_memory,
+        seed=seed,
     )
-    return payload, result.evaluations, result.compressor_calls, False
+    evaluations, compressor_calls = report.counters
+    return report.to_dict(), evaluations, compressor_calls, pl.route == "stream"
 
 
 #: Per-worker-process runtime (cache + intra executor), set up once by the

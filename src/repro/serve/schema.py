@@ -5,18 +5,24 @@ bodies, and :class:`~repro.serve.client.ServiceClient` all emit/consume
 the dictionaries built here, so a client written against the CLI parses
 service results unchanged (and vice versa).
 
-Three shapes, all JSON-ready:
-
-* :func:`tune_payload` — one FRaZ search (``kind: "tune"``);
-* :func:`compress_payload` — an in-memory compression, optionally with
-  the tuning that chose its bound nested under ``"tuning"``;
-* :func:`stream_payload` — an out-of-core compression routed through
-  ``repro.stream`` (``"streamed": true``).
+The shapes themselves now live in :mod:`repro.api.report` as typed
+classes (:class:`~repro.api.report.TuneReport` and friends) — these
+helpers are thin builders kept for callers that want a wire dict in one
+call, plus :func:`executor_payload` (the service-only ``/stats``
+section).  Parse a payload back into its typed form with
+:func:`repro.api.report.report_from_dict`.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
+
+from repro.api.report import (
+    CompressReport,
+    StreamReport,
+    TuneReport,
+    cache_section as _cache_section,  # noqa: F401  (re-exported for callers)
+)
 
 if TYPE_CHECKING:
     from repro.cache.evalcache import EvalCache
@@ -25,12 +31,6 @@ if TYPE_CHECKING:
     from repro.stream.pipeline import StreamResult
 
 __all__ = ["tune_payload", "compress_payload", "stream_payload", "executor_payload"]
-
-
-def _cache_section(cache: "EvalCache | None") -> dict | None:
-    if cache is None:
-        return None
-    return {"entries": len(cache), **cache.stats.as_dict()}
 
 
 def executor_payload(
@@ -67,26 +67,14 @@ def tune_payload(
     max_error_bound: float | None = None,
     cache: "EvalCache | None" = None,
 ) -> dict:
-    """Structured record of one FRaZ search."""
-    return {
-        "kind": "tune",
-        "compressor": compressor,
-        "input": input,
-        "target_ratio": result.target_ratio,
-        "tolerance": result.tolerance,
-        "max_error_bound": max_error_bound,
-        "error_bound": result.error_bound,
-        "ratio": result.ratio,
-        "feasible": result.feasible,
-        "within_tolerance": result.within_tolerance,
-        "evaluations": result.evaluations,
-        "cache_hits": result.cache_hits,
-        "cache_misses": result.cache_misses,
-        "compressor_calls": result.compressor_calls,
-        "wall_seconds": round(result.wall_seconds, 6),
-        "compress_seconds": round(result.compress_seconds, 6),
-        "cache": _cache_section(cache),
-    }
+    """Structured record of one FRaZ search (wire form of :class:`TuneReport`)."""
+    return TuneReport.from_training(
+        result,
+        compressor=compressor,
+        input=input,
+        max_error_bound=max_error_bound,
+        cache=cache,
+    ).to_dict()
 
 
 def compress_payload(
@@ -105,20 +93,16 @@ def compress_payload(
     ``tuning`` is the :func:`tune_payload` of the search that picked
     ``error_bound``, or ``None`` for a fixed-bound run.
     """
-    return {
-        "kind": "compress",
-        "streamed": False,
-        "compressor": compressor,
-        "input": input,
-        "output": output,
-        "error_bound": error_bound,
-        "ratio": payload.ratio,
-        "original_nbytes": payload.original_nbytes,
-        "compressed_nbytes": payload.nbytes,
-        "wall_seconds": round(wall_seconds, 6) if wall_seconds is not None else None,
-        "tuning": tuning,
-        "cache": _cache_section(cache),
-    }
+    return CompressReport.from_field(
+        payload,
+        compressor=compressor,
+        error_bound=error_bound,
+        output=output,
+        input=input,
+        tuning=TuneReport.from_dict(tuning) if tuning is not None else None,
+        wall_seconds=wall_seconds,
+        cache=cache,
+    ).to_dict()
 
 
 def stream_payload(
@@ -129,24 +113,6 @@ def stream_payload(
     cache: "EvalCache | None" = None,
 ) -> dict:
     """Structured record of one out-of-core (``.frzs``) compression."""
-    return {
-        "kind": "compress",
-        "streamed": True,
-        "compressor": compressor,
-        "input": input,
-        "output": result.path,
-        "error_bound": result.error_bound,
-        "ratio": result.ratio,
-        "original_nbytes": result.original_nbytes,
-        "compressed_nbytes": result.compressed_nbytes,
-        "n_chunks": result.n_chunks,
-        "chunk_shape": list(result.chunk_shape),
-        "retrains": result.retrains,
-        "in_band_chunks": result.in_band_chunks,
-        "evaluations": result.evaluations,
-        "cache_hits": result.cache_hits,
-        "cache_misses": result.cache_misses,
-        "mb_per_second": round(result.mb_per_second, 3),
-        "wall_seconds": round(result.wall_seconds, 6),
-        "cache": _cache_section(cache),
-    }
+    return StreamReport.from_result(
+        result, compressor=compressor, input=input, cache=cache
+    ).to_dict()

@@ -7,7 +7,12 @@ worker pool (handlers only ever touch thread-safe scheduler methods).
 
 Endpoints
 ---------
-``POST /submit``        body: a :class:`~repro.serve.jobs.JobSpec` dict →
+``POST /submit``        body: a :class:`~repro.serve.jobs.JobSpec` dict —
+                        i.e. a serialized
+                        :class:`~repro.api.request.CompressionRequest`
+                        (any kind: tune/compress/decompress/stream) plus
+                        optional ``priority``/``max_retries``; legacy
+                        flat bodies still parse →
                         ``202 {"job_id", "state", "coalesced_into"}``;
                         ``400`` on an invalid spec; ``429`` +
                         ``Retry-After`` when the queue is full.

@@ -76,6 +76,19 @@ class StreamResult:
             return float("inf")
         return self.original_nbytes / 1e6 / self.wall_seconds
 
+    def to_report(self, *, compressor: str, input: str | None = None,
+                  cache: EvalCache | None = None):
+        """This result as the unified :class:`~repro.api.report.StreamReport`.
+
+        The typed report's ``to_dict()`` is the wire schema every entry
+        point emits (``repro stream --json``, the service's ``/result``);
+        :func:`repro.api.execute` builds its stream reports through here.
+        """
+        from repro.api.report import StreamReport  # lazy: stream is api-free
+
+        return StreamReport.from_result(self, compressor=compressor,
+                                        input=input, cache=cache)
+
 
 def _compress_chunk(payload: tuple) -> tuple[bytes, int, float, float]:
     """Module-level trampoline (picklable for process pools): one chunk."""

@@ -1,0 +1,169 @@
+"""Acceptance: one request, every entry point, bit-identical output.
+
+The ISSUE's core criterion — a single :class:`CompressionRequest`
+submitted via the Python facade (``api.execute``), the CLI
+(``repro run`` / ``repro compress --json``), and the HTTP service
+produces bit-identical compressed files and structurally identical
+report JSON.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import CompressionRequest, Resources, execute, plan
+from repro.cli import main
+from repro.serve import ServiceClient, ServiceServer
+
+
+@pytest.fixture(scope="module")
+def field_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "field.npy"
+    r = np.random.default_rng(81)
+    np.save(path, r.standard_normal((32, 32)).cumsum(axis=0).astype(np.float32))
+    return str(path)
+
+
+def compress_request(field_file, output, **over):
+    base = dict(kind="compress", compressor="sz", target_ratio=8.0,
+                tolerance=0.2, input=field_file, output=output)
+    base.update(over)
+    return CompressionRequest(**base)
+
+
+def structural_keys(payload: dict) -> dict:
+    """Key sets, recursively — 'structurally identical' report JSON.
+
+    The ``cache`` block is a nullable diagnostics section by contract
+    (``None`` for fixed-bound runs and for service jobs, whose shared
+    cache is reported in ``/stats``), so it is treated as a leaf.
+    """
+    return {
+        k: structural_keys(v) if isinstance(v, dict) and k != "cache" else None
+        for k, v in payload.items()
+    }
+
+
+class TestThreeWayEquivalence:
+    def test_facade_cli_service_bit_identical(self, tmp_path, field_file, capsys):
+        out = {name: str(tmp_path / f"{name}.frz")
+               for name in ("facade", "cli", "service")}
+
+        # 1. Python facade
+        facade_report = execute(plan(compress_request(field_file, out["facade"])))
+
+        # 2. CLI: the same request via a JSON spec file
+        spec_path = tmp_path / "request.json"
+        spec_path.write_text(
+            compress_request(field_file, out["cli"]).to_json())
+        assert main(["run", str(spec_path)]) == 0
+        cli_report = json.loads(capsys.readouterr().out)
+
+        # 3. HTTP service
+        with ServiceServer(port=0, workers=1, executor="thread") as server:
+            client = ServiceClient(server.url)
+            ticket = client.submit(compress_request(field_file, out["service"]))
+            service_report = client.result(ticket["job_id"], timeout=120.0)
+
+        blobs = {name: open(path, "rb").read() for name, path in out.items()}
+        assert blobs["facade"] == blobs["cli"] == blobs["service"]
+
+        reports = {"facade": facade_report.to_dict(), "cli": cli_report,
+                   "service": service_report}
+        shapes = {name: structural_keys(r) for name, r in reports.items()}
+        assert shapes["facade"] == shapes["cli"] == shapes["service"]
+        for name, report in reports.items():
+            assert report["error_bound"] == reports["facade"]["error_bound"], name
+            assert report["ratio"] == reports["facade"]["ratio"], name
+            assert report["compressed_nbytes"] == reports["facade"]["compressed_nbytes"], name
+            assert report["tuning"]["evaluations"] == reports["facade"]["tuning"]["evaluations"], name
+
+    def test_tune_equivalent_through_cli_json(self, tmp_path, field_file, capsys):
+        req = CompressionRequest(kind="tune", compressor="sz", target_ratio=8.0,
+                                 tolerance=0.2, input=field_file)
+        facade = execute(plan(req)).to_dict()
+
+        rc = main(["tune", field_file, "-r", "8", "-t", "0.2", "--json"])
+        cli = json.loads(capsys.readouterr().out)
+        assert rc in (0, 2)
+        assert structural_keys(facade) == structural_keys(cli)
+        assert facade["error_bound"] == cli["error_bound"]
+        assert facade["evaluations"] == cli["evaluations"]
+
+    def test_fixed_bound_cli_flags_match_request_file(self, tmp_path, field_file,
+                                                      capsys):
+        a, b = str(tmp_path / "a.frz"), str(tmp_path / "b.frz")
+        assert main(["compress", field_file, a, "-e", "1e-2", "--json"]) == 0
+        flag_report = json.loads(capsys.readouterr().out)
+
+        spec = tmp_path / "fixed.json"
+        spec.write_text(compress_request(
+            field_file, b, target_ratio=None, error_bound=1e-2,
+            tolerance=0.1, stream=False).to_json())
+        assert main(["run", str(spec)]) == 0
+        file_report = json.loads(capsys.readouterr().out)
+
+        assert open(a, "rb").read() == open(b, "rb").read()
+        assert structural_keys(flag_report) == structural_keys(file_report)
+
+
+class TestExecuteDetails:
+    def test_execute_accepts_bare_request(self, tmp_path, field_file):
+        report = execute(compress_request(field_file, str(tmp_path / "x.frz")))
+        assert report.to_dict()["kind"] == "compress"
+
+    def test_request_resources_win_over_fallbacks(self, tmp_path, field_file):
+        req = compress_request(
+            field_file, str(tmp_path / "r.frzs"), kind="stream", stream=None,
+            stream_options={"chunk_shape": (8, 32)},
+            resources=Resources(workers=2, executor="thread"),
+        )
+        report = execute(plan(req), workers=1, executor="serial")
+        assert report.n_chunks == 4
+
+    def test_cache_dir_persisted(self, tmp_path, field_file):
+        cache_dir = tmp_path / "cache"
+        req = CompressionRequest(
+            kind="tune", target_ratio=8.0, tolerance=0.2, input=field_file,
+            resources=Resources(cache_dir=str(cache_dir)),
+        )
+        first = execute(plan(req))
+        assert cache_dir.exists()
+        second = execute(plan(req))
+        assert second.error_bound == first.error_bound
+        assert second.cache["hits"] > 0
+
+    def test_decompress_round_trip(self, tmp_path, field_file):
+        frz = str(tmp_path / "x.frz")
+        compressed = execute(compress_request(field_file, frz, target_ratio=None,
+                                              error_bound=1e-2))
+        recon_path = tmp_path / "recon.npy"
+        report = execute(CompressionRequest(kind="decompress", input=frz,
+                                            output=str(recon_path)))
+        assert report.output == str(recon_path)
+        recon = np.load(recon_path)
+        original = np.load(field_file)
+        assert recon.shape == tuple(report.shape) == original.shape
+        assert np.abs(recon.astype(np.float64)
+                      - original.astype(np.float64)).max() <= 1e-2
+        assert compressed.ratio == pytest.approx(report.ratio)
+
+    def test_service_kind_stream_and_decompress(self, tmp_path, field_file):
+        """The service accepts every request kind, not just tune/compress."""
+        frzs = str(tmp_path / "s.frzs")
+        with ServiceServer(port=0, workers=1, executor="thread") as server:
+            client = ServiceClient(server.url)
+            ticket = client.submit(CompressionRequest(
+                kind="stream", error_bound=1e-2, input=field_file, output=frzs,
+                stream_options={"chunk_shape": (16, 32)}))
+            stream_result = client.result(ticket["job_id"], timeout=120.0)
+            assert stream_result["streamed"] is True
+            recon = str(tmp_path / "s-recon.npy")
+            ticket = client.submit(CompressionRequest(
+                kind="decompress", input=frzs, output=recon))
+            result = client.result(ticket["job_id"], timeout=120.0)
+        assert result["kind"] == "decompress"
+        np.testing.assert_allclose(
+            np.load(recon).astype(np.float64),
+            np.load(field_file).astype(np.float64), atol=1e-2)

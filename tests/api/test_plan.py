@@ -1,0 +1,88 @@
+"""plan(): the one routing decision shared by CLI, facade, and service."""
+
+import numpy as np
+import pytest
+
+from repro.api import CompressionRequest, Plan, plan
+from repro.api.request import encode_array
+
+
+@pytest.fixture()
+def npy_file(tmp_path):
+    path = tmp_path / "f.npy"
+    np.save(path, np.zeros((64, 64), dtype=np.float32))
+    return str(path)
+
+
+def compress_request(npy_file, **over):
+    base = dict(kind="compress", target_ratio=8.0, input=npy_file,
+                output=npy_file + ".frz")
+    base.update(over)
+    return CompressionRequest(**base)
+
+
+class TestRouting:
+    def test_small_file_routes_memory(self, npy_file):
+        p = plan(compress_request(npy_file))
+        assert p.route == "memory"
+
+    def test_large_file_routes_stream(self, npy_file):
+        p = plan(compress_request(npy_file), stream_threshold=1024)
+        assert p.route == "stream"
+        assert "1024" in p.reason
+
+    def test_hint_forces_and_forbids(self, npy_file):
+        assert plan(compress_request(npy_file, stream=True)).route == "stream"
+        forbid = compress_request(npy_file, stream=False)
+        assert plan(forbid, stream_threshold=1024).route == "memory"
+
+    def test_stream_kind_always_streams(self, npy_file):
+        req = CompressionRequest(kind="stream", target_ratio=8.0,
+                                 input=npy_file, output=npy_file + ".frzs")
+        assert plan(req).route == "stream"
+
+    def test_tune_always_memory(self, npy_file):
+        req = CompressionRequest(kind="tune", target_ratio=8.0, input=npy_file)
+        assert plan(req, stream_threshold=1).route == "memory"
+
+    def test_inline_data_routes_memory(self):
+        req = CompressionRequest(kind="compress", error_bound=1e-3,
+                                 data_b64=encode_array(np.zeros(4, np.float32)),
+                                 output="o.frz")
+        assert plan(req, stream_threshold=1).route == "memory"
+
+    def test_service_url_routes_service(self, npy_file):
+        p = plan(compress_request(npy_file), service_url="http://127.0.0.1:1")
+        assert p.route == "service"
+        assert p.endpoint == "http://127.0.0.1:1"
+
+    def test_decompress_routes_by_container(self, tmp_path, npy_file):
+        from repro.api import execute
+
+        frz = str(tmp_path / "x.frz")
+        execute(plan(compress_request(npy_file, error_bound=1e-3,
+                                      target_ratio=None, output=frz)))
+        req = CompressionRequest(kind="decompress", input=frz,
+                                 output=str(tmp_path / "r.npy"))
+        assert plan(req).route == "memory"
+
+        frzs = str(tmp_path / "x.frzs")
+        execute(plan(CompressionRequest(
+            kind="stream", error_bound=1e-3, input=npy_file, output=frzs,
+            stream_options={"chunk_shape": (32, 64)})))
+        req = CompressionRequest(kind="decompress", input=frzs,
+                                 output=str(tmp_path / "r2.npy"))
+        assert plan(req).route == "stream"
+
+
+class TestPlanRecord:
+    def test_plan_is_json_ready(self, npy_file):
+        import json
+
+        json.dumps(plan(compress_request(npy_file)).to_dict())
+
+    def test_invalid_route_rejected(self, npy_file):
+        with pytest.raises(ValueError, match="route"):
+            Plan(compress_request(npy_file), "teleport", "nope")
+        with pytest.raises(ValueError, match="endpoint"):
+            Plan(compress_request(npy_file), "service", "no endpoint given")

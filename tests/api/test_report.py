@@ -1,0 +1,118 @@
+"""Typed reports: wire-dict compatibility with serve.schema, and parsing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CompressReport,
+    CompressionRequest,
+    DecompressReport,
+    StreamReport,
+    TuneReport,
+    execute,
+    plan,
+    report_from_dict,
+)
+from repro.core.fraz import FRaZ
+from repro.serve import schema
+
+
+@pytest.fixture(scope="module")
+def tuned(smooth2d):
+    fraz = FRaZ(compressor="sz", target_ratio=8.0, tolerance=0.2)
+    payload, result = fraz.compress(smooth2d)
+    return fraz, payload, result
+
+
+class TestSchemaCompatibility:
+    """serve.schema payloads are exactly the report classes' wire dicts."""
+
+    def test_tune_payload_matches_report(self, tuned):
+        fraz, _, result = tuned
+        via_schema = schema.tune_payload(
+            result, compressor="sz", input="f.npy", max_error_bound=None,
+            cache=fraz.evaluation_cache,
+        )
+        via_report = TuneReport.from_training(
+            result, compressor="sz", input="f.npy",
+            cache=fraz.evaluation_cache,
+        ).to_dict()
+        assert via_schema == via_report
+        assert list(via_schema) == list(via_report)  # key order too
+
+    def test_compress_payload_matches_report(self, tuned):
+        _, payload, result = tuned
+        tuning = schema.tune_payload(result, compressor="sz")
+        via_schema = schema.compress_payload(
+            payload, compressor="sz", error_bound=result.error_bound,
+            output="o.frz", tuning=tuning, wall_seconds=0.125,
+        )
+        via_report = CompressReport.from_field(
+            payload, compressor="sz", error_bound=result.error_bound,
+            output="o.frz", tuning=TuneReport.from_dict(tuning),
+            wall_seconds=0.125,
+        ).to_dict()
+        assert via_schema == via_report
+
+    def test_stream_payload_matches_report(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        req = CompressionRequest(
+            kind="stream", error_bound=1e-2, input=str(src),
+            output=str(tmp_path / "f.frzs"),
+            stream_options={"chunk_shape": (16, 40)},
+        )
+        report = execute(plan(req))
+        assert isinstance(report, StreamReport)
+        assert report.to_dict()["streamed"] is True
+        assert report.to_dict()["n_chunks"] == report.n_chunks
+
+
+class TestRoundTrip:
+    def test_every_kind_parses_back(self, tuned, tmp_path, smooth2d):
+        fraz, payload, result = tuned
+        reports = [
+            TuneReport.from_training(result, compressor="sz"),
+            CompressReport.from_field(
+                payload, compressor="sz", error_bound=result.error_bound,
+                tuning=TuneReport.from_training(result, compressor="sz"),
+            ),
+        ]
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        reports.append(execute(plan(CompressionRequest(
+            kind="stream", error_bound=1e-2, input=str(src),
+            output=str(tmp_path / "f.frzs")))))
+        reports.append(execute(plan(CompressionRequest(
+            kind="decompress", input=str(tmp_path / "f.frzs"),
+            output=str(tmp_path / "r.npy")))))
+        for report in reports:
+            wire = json.loads(json.dumps(report.to_dict()))
+            again = report_from_dict(wire)
+            assert type(again) is type(report)
+            assert again.to_dict() == report.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            report_from_dict({"kind": "frobnicate"})
+
+    def test_counters_feed_service_accounting(self, tuned):
+        _, payload, result = tuned
+        tune = TuneReport.from_training(result, compressor="sz")
+        assert tune.counters == (result.evaluations, result.compressor_calls)
+        fixed = CompressReport.from_field(payload, compressor="sz", error_bound=1e-3)
+        assert fixed.counters == (0, 0) and fixed.feasible
+        tuned_report = CompressReport.from_field(
+            payload, compressor="sz", error_bound=1e-3, tuning=tune)
+        assert tuned_report.counters == tune.counters
+
+    def test_decompress_report_shape(self):
+        report = DecompressReport(
+            compressor="sz", input="x.frz", output="x.npy", ratio=8.0,
+            shape=(4, 4), dtype="<f4",
+        )
+        wire = report.to_dict()
+        assert wire["kind"] == "decompress" and wire["streamed"] is False
+        assert report_from_dict(wire) == report

@@ -1,0 +1,67 @@
+"""Public-API surface snapshot: accidental breaks fail the build.
+
+CI's ``api-surface`` job runs exactly this module.  If you changed
+``repro.api`` on purpose, update :data:`EXPECTED_API_EXPORTS` here and
+document the change in ``docs/API.md``.
+"""
+
+import repro
+import repro.api as api
+
+#: The frozen export list of ``repro.api`` (sorted).  This is a public
+#: contract — additions are fine (append here), removals/renames are
+#: breaking changes.
+EXPECTED_API_EXPORTS = [
+    "CompressReport",
+    "CompressionRequest",
+    "DecompressReport",
+    "DEFAULT_STREAM_THRESHOLD",
+    "Plan",
+    "REQUEST_KINDS",
+    "ROUTES",
+    "Report",
+    "Resources",
+    "StreamReport",
+    "TuneReport",
+    "encode_array",
+    "execute",
+    "plan",
+    "report_from_dict",
+    "run",
+]
+
+#: The top-level package surface, snapshotted for the same reason.
+EXPECTED_TOP_LEVEL_EXPORTS = [
+    "EvalCache",
+    "FRaZ",
+    "FieldResult",
+    "TimeSeriesResult",
+    "TrainingResult",
+    "__version__",
+    "available_compressors",
+    "evaluate",
+    "make_compressor",
+]
+
+
+def test_api_all_matches_snapshot():
+    assert sorted(api.__all__, key=str.lower) == sorted(
+        EXPECTED_API_EXPORTS, key=str.lower
+    )
+
+
+def test_every_api_export_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_top_level_all_matches_snapshot():
+    assert sorted(repro.__all__) == sorted(EXPECTED_TOP_LEVEL_EXPORTS)
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_request_kinds_and_routes_are_stable():
+    assert api.REQUEST_KINDS == ("tune", "compress", "decompress", "stream")
+    assert api.ROUTES == ("memory", "stream", "service")
+    assert api.DEFAULT_STREAM_THRESHOLD == 32 * 2**20

@@ -116,6 +116,54 @@ class TestJsonSchemaOutput:
         assert payload["error_bound"] == payload["tuning"]["error_bound"]
 
 
+class TestVersionAndRun:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_run_executes_request_file(self, tmp_path, npy_field, capsys):
+        from repro.api import CompressionRequest
+
+        src, _ = npy_field
+        frz = tmp_path / "r.frz"
+        spec = tmp_path / "req.json"
+        spec.write_text(CompressionRequest(
+            kind="compress", error_bound=1e-2, input=str(src),
+            output=str(frz)).to_json())
+        assert main(["run", str(spec)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "compress" and frz.exists()
+
+    def test_run_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err.startswith("error: cannot read")
+
+    def test_run_invalid_spec_is_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text('{"kind": "frobnicate"}')
+        assert main(["run", str(spec)]) == 2
+        assert "error: invalid request" in capsys.readouterr().err
+
+    def test_datasets_listing_is_sorted(self, capsys):
+        assert main(["datasets"]) == 0
+        rows = capsys.readouterr().out.strip().splitlines()[2:]
+        names = [row.split()[0] for row in rows]
+        assert names == sorted(names, key=str.lower)
+
+    def test_info_output_keys_sorted(self, tmp_path, npy_field, capsys):
+        src, _ = npy_field
+        frz = tmp_path / "f.frz"
+        main(["compress", str(src), str(frz), "-e", "1e-2"])
+        capsys.readouterr()
+        assert main(["info", str(frz)]) == 0
+        meta = json.loads(capsys.readouterr().out)
+        assert list(meta) == sorted(meta)
+
+
 class TestServeSubmitParsing:
     def test_serve_flags_parse(self):
         from repro.cli import build_parser

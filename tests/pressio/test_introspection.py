@@ -1,0 +1,73 @@
+"""libpressio-style option introspection on the Compressor protocol."""
+
+import pytest
+
+from repro.pressio import (
+    CompressorOptionError,
+    available_compressors,
+    compressor_option_names,
+    describe_compressor,
+    make_compressor,
+)
+
+
+class TestGetSetOptions:
+    def test_get_options_lists_constructor_knobs(self):
+        opts = make_compressor("sz").get_options()
+        assert {"error_bound", "block_size", "radius", "dict_codec"} <= set(opts)
+        assert opts["block_size"] == 6
+
+    def test_set_options_returns_reconfigured_copy(self):
+        sz = make_compressor("sz")
+        sz4 = sz.set_options(block_size=4, error_bound=1e-4)
+        assert sz4.block_size == 4 and sz4.error_bound == 1e-4
+        assert sz.block_size == 6  # value semantics: original untouched
+        assert sz.set_options() is sz
+
+    def test_set_options_rejects_unknown_names(self):
+        with pytest.raises(CompressorOptionError, match="block_size"):
+            make_compressor("sz").set_options(typo_option=1)
+
+    @pytest.mark.parametrize("name", ["sz", "zfp", "zfp-rate", "mgard"])
+    def test_capabilities_are_json_ready(self, name):
+        import json
+
+        caps = make_compressor(name).capabilities()
+        json.dumps(caps)
+        assert caps["name"]
+        assert caps["mode"] in ("abs", "rel", "rate", "prec", "mse")
+        assert set(caps["options"]) == set(compressor_option_names(name))
+
+
+class TestRegistryIntrospection:
+    def test_option_names_for_every_registered_compressor(self):
+        for name in available_compressors():
+            names = compressor_option_names(name)
+            assert names is not None and "error_bound" in names
+
+    def test_unknown_compressor_raises_key_error(self):
+        with pytest.raises(KeyError, match="available"):
+            compressor_option_names("gzip9000")
+
+    def test_describe_compressor(self):
+        assert describe_compressor("zfp")["name"] == "zfp"
+
+
+class TestFriendlyFactoryErrors:
+    def test_typo_option_names_compressor_and_valid_options(self):
+        with pytest.raises(CompressorOptionError) as excinfo:
+            make_compressor("sz", typo_option=1)
+        message = str(excinfo.value)
+        assert "'sz'" in message
+        assert "typo_option" in message
+        assert "block_size" in message  # the valid options are listed
+        assert excinfo.value.compressor == "sz"
+        assert "error_bound" in excinfo.value.valid_options
+
+    def test_error_is_still_a_type_error(self):
+        # Callers catching the old raw TypeError keep working.
+        with pytest.raises(TypeError):
+            make_compressor("zfp", frobnicate=True)
+
+    def test_valid_options_still_construct(self):
+        assert make_compressor("sz", block_size=4).block_size == 4
