@@ -37,6 +37,7 @@ __all__ = [
     "DecompressReport",
     "report_from_dict",
     "cache_section",
+    "stage_timings",
 ]
 
 
@@ -261,6 +262,9 @@ class StreamReport(Report):
     input: str | None = None
     output: str | None = None
     cache: dict | None = None
+    #: Seconds fitting the bound on the training prefix (the "train"
+    #: stage); 0 for fixed-bound runs.
+    train_seconds: float = 0.0
 
     kind: ClassVar[str] = "compress"
     streamed: ClassVar[bool] = True
@@ -301,6 +305,7 @@ class StreamReport(Report):
             mb_per_second=round(result.mb_per_second, 3),
             wall_seconds=round(result.wall_seconds, 6),
             cache=cache_section(cache),
+            train_seconds=round(result.train_seconds, 6),
         )
 
     def to_dict(self) -> dict:
@@ -323,6 +328,7 @@ class StreamReport(Report):
             "cache_misses": self.cache_misses,
             "mb_per_second": self.mb_per_second,
             "wall_seconds": self.wall_seconds,
+            "train_seconds": self.train_seconds,
             "cache": self.cache,
         }
 
@@ -378,6 +384,57 @@ class DecompressReport(Report):
             raise ValueError("not a decompress report")
         data["from_stream"] = data.pop("streamed", False)
         return cls(**data)
+
+
+def stage_timings(payload: dict | Report) -> dict[str, float]:
+    """Break a report into per-stage latencies (seconds) for observability.
+
+    The stages are the service's latency vocabulary — the ``stage`` label
+    of the ``repro_stage_seconds`` histogram family (see
+    ``docs/OBSERVABILITY.md``):
+
+    * ``"search"`` — the FRaZ error-bound search (a tune report's wall
+      time, or the ``tuning`` nested in a compress report);
+    * ``"encode"`` — compression proper: a compress report's wall time
+      minus its nested search, or a stream report's wall time minus its
+      training prefix;
+    * ``"train"`` — a stream report's prefix fit;
+    * ``"decode"`` — a decompress report's wall time.
+
+    Works on a typed report or its wire dict (what crosses the process
+    boundary from pool workers), which is why the scheduler can record
+    per-stage timings without the stages themselves ever touching a
+    metrics object — reports already carry the numbers.  Missing or
+    ``None`` wall times contribute nothing; values are clamped at 0.
+    """
+    if isinstance(payload, Report):
+        payload = payload.to_dict()
+    out: dict[str, float] = {}
+
+    def _put(stage: str, seconds) -> None:
+        if isinstance(seconds, (int, float)) and seconds >= 0:
+            out[stage] = float(seconds)
+
+    kind = payload.get("kind")
+    wall = payload.get("wall_seconds")
+    if kind == "tune":
+        _put("search", wall)
+    elif kind == "decompress":
+        _put("decode", wall)
+    elif kind == "compress" and payload.get("streamed"):
+        train = payload.get("train_seconds") or 0.0
+        if train > 0:  # fixed-bound streams never train; keep the histogram honest
+            _put("train", train)
+        if isinstance(wall, (int, float)):
+            _put("encode", max(0.0, wall - train))
+    elif kind == "compress":
+        tuning = payload.get("tuning")
+        search = tuning.get("wall_seconds") if isinstance(tuning, dict) else None
+        if isinstance(search, (int, float)):
+            _put("search", search)
+        if isinstance(wall, (int, float)):
+            _put("encode", max(0.0, wall - (search or 0.0)))
+    return out
 
 
 def report_from_dict(payload: dict) -> Report:

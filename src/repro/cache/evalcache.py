@@ -98,6 +98,7 @@ class CacheStats:
             "seconds_saved": round(self.seconds_saved, 6),
             "bytes_saved": self.bytes_saved,
             "disk_loads": self.disk_loads,
+            "hit_rate": round(self.hit_rate, 6),
         }
 
     @property

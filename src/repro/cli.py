@@ -18,6 +18,7 @@ Commands
                 against a service with ``--url``)
 ``serve``       run the resident compression service (HTTP JSON API)
 ``submit``      send one job to a running ``serve`` instance
+``load``        open-loop load harness with SLO gating (``BENCH_*`` snapshots)
 ``info``        show a ``.frz``/``.frzs`` file's metadata
 ``datasets``    print the Table III analog of the bundled synthetic datasets
 """
@@ -251,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-memory", type=parse_memory_size, default=None,
                    metavar="SIZE", help="per-job working-set cap for streamed jobs")
     p.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    p.add_argument("--metrics", action=argparse.BooleanOptionalAction, default=True,
+                   help="expose GET /metrics (Prometheus text) and the "
+                        "/stats metrics section (default on; --no-metrics "
+                        "disables the observability layer)")
     add_cache_args(p)
 
     p = sub.add_parser(
@@ -285,6 +290,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the job ticket and exit without waiting")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="seconds to wait for the result (default 300)")
+
+    p = sub.add_parser(
+        "load",
+        help="open-loop load harness with SLO gating",
+        description="Replay a recorded request mix against a service (or an "
+                    "embedded one) at a target RPS, report latency quantiles "
+                    "and jobs/sec, check them against benchmarks/slo.json, "
+                    "and write a diffable BENCH_<profile>.json snapshot.  "
+                    "Exits non-zero on any SLO violation.  See "
+                    "docs/OBSERVABILITY.md.",
+    )
+    from repro.obs.load import add_arguments as add_load_arguments
+
+    add_load_arguments(p)
 
     p = sub.add_parser("info", help="show .frz metadata")
     p.add_argument("input", help="input .frz file")
@@ -472,6 +491,7 @@ def _cmd_serve(args) -> int:
         stream_threshold=args.stream_threshold,
         spill_threshold=args.spill_threshold,
         max_memory=args.max_memory,
+        metrics=args.metrics,
     )
     print(f"repro serve listening on {server.url} "
           f"({server.scheduler.workers} {server.scheduler.executor_mode} workers, "
@@ -574,6 +594,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "load":
+        from repro.obs.load import run_from_args
+
+        return run_from_args(args)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "datasets":

@@ -1,0 +1,38 @@
+"""Observability layer: metrics registry, exposition, load harness.
+
+Dependency-free instrumentation for the resident service — counters,
+gauges and mergeable fixed-bucket latency histograms
+(:mod:`repro.obs.metrics`), the Prometheus text exposition and its
+parser (:mod:`repro.obs.exposition`), and an open-loop load harness
+with SLO gating (:mod:`repro.obs.load`).
+"""
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    MetricSample,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "render_prometheus",
+]

@@ -1,0 +1,141 @@
+"""Prometheus text exposition: render a registry, parse it back.
+
+:func:`render_prometheus` produces the version-0.0.4 text format — the
+one every Prometheus-compatible scraper (Prometheus itself, VictoriaMetrics,
+Grafana Agent, ``promtool``) understands:
+
+* ``# HELP``/``# TYPE`` header per family;
+* one ``name{labels} value`` sample line per child;
+* histograms expand to cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count``, with the mandatory ``le="+Inf"`` bucket.
+
+:func:`parse_prometheus` is the inverse for the subset this package
+emits.  It exists so the test suite can assert the endpoint's output is
+well-formed *by parsing it*, and so the load harness can scrape a live
+service without pulling in a client library.  It is not a general
+Prometheus parser (no escaped label values with embedded quotes, no
+exemplars) — it parses exactly what :func:`render_prometheus` writes and
+rejects lines that don't scan.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "parse_prometheus", "MetricSample"]
+
+#: The Content-Type a scraper expects from a ``/metrics`` endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting: integers bare, floats repr-stable."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(float(value))
+
+
+def _labels(pairs: list[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Render every family in ``registry`` to exposition text."""
+    from repro.obs.metrics import Histogram  # local: avoid import cycle
+
+    lines: list[str] = []
+    for family in registry.families():
+        help_text = family.help.replace("\\", r"\\").replace("\n", r"\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.children():
+            base = list(zip(family.labelnames, labelvalues))
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                for bound, acc in zip(child.bounds, cumulative):
+                    sample_labels = _labels(base + [("le", _fmt(bound))])
+                    lines.append(f"{family.name}_bucket{sample_labels} {acc}")
+                inf_labels = _labels(base + [("le", "+Inf")])
+                lines.append(f"{family.name}_bucket{inf_labels} {cumulative[-1]}")
+                lines.append(f"{family.name}_sum{_labels(base)} {_fmt(child.sum)}")
+                lines.append(f"{family.name}_count{_labels(base)} {child.count}")
+            else:
+                lines.append(f"{family.name}{_labels(base)} {_fmt(child.value())}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class MetricSample:
+    """One parsed sample line: name, labels, value."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<name>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def parse_prometheus(text: str) -> dict[str, list[MetricSample]]:
+    """Parse exposition text into ``{family/sample name: [samples]}``.
+
+    Also returns the declared types under the reserved key ``"__types__"``
+    as a single pseudo-sample list (``labels={"type": ...}`` per family),
+    so callers can assert a name was declared a counter/gauge/histogram.
+    Raises :class:`ValueError` on any line that does not scan — the test
+    suite uses that to prove the endpoint emits only well-formed text.
+    """
+    samples: dict[str, list[MetricSample]] = {}
+    types: list[MetricSample] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                    raise ValueError(f"line {lineno}: malformed TYPE {raw!r}")
+                types.append(MetricSample(parts[2], {"type": parts[3]}))
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        labels: dict[str, str] = {}
+        body = m.group("labels")
+        if body:
+            for pair in body.split(","):
+                lm = _LABEL_RE.match(pair.strip())
+                if lm is None:
+                    raise ValueError(f"line {lineno}: malformed label {pair!r}")
+                labels[lm.group("name")] = lm.group("value")
+        value_text = m.group("value")
+        try:
+            value = float("inf") if value_text == "+Inf" else float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value {value_text!r}"
+            ) from None
+        samples.setdefault(m.group("name"), []).append(
+            MetricSample(m.group("name"), labels, value)
+        )
+    samples["__types__"] = types
+    return samples

@@ -1,0 +1,462 @@
+"""Open-loop load harness with SLO gating for the compression service.
+
+The harness replays a recorded :class:`~repro.api.request.CompressionRequest`
+mix against a live service at a target request rate and reports what a
+client population would have felt: submit-to-result latency quantiles,
+sustained jobs/second, error and rejection counts, plus the service's own
+view (coalesce rate, queue high-water mark, per-stage latencies) scraped
+from ``/stats`` and ``/metrics`` after the run.
+
+**Open loop** means submissions happen *on schedule* — request ``i``
+leaves at ``t0 + i/rps`` whether or not earlier requests have completed.
+A closed loop (submit, wait, submit) measures the service at whatever
+rate the service itself sets, which hides overload entirely; the open
+loop is what reveals queue growth, backpressure and latency collapse at
+the offered rate (the coordinated-omission argument).
+
+Results are written as **diffable snapshots** (``BENCH_serve.json``,
+``BENCH_throughput.json``): stable key order, no timestamps, no absolute
+paths — so committing them records the performance trajectory of the
+repo and a regression shows up as a reviewable diff.
+
+SLO thresholds live in ``benchmarks/slo.json``; :func:`check_slo` turns
+a run summary plus thresholds into a list of violations, and the CLI
+exits non-zero on any — that is the CI gate.
+
+The request mix (``benchmarks/load_mix.json``) describes synthetic
+payloads rather than shipping arrays: each entry is a job-spec template
+plus a ``data`` block (shape, seed, generator, variants) the harness
+materialises deterministically before the run starts, so the mix file
+stays a few hundred bytes and the generated traffic is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "load_mix",
+    "materialize_mix",
+    "run_load",
+    "check_slo",
+    "write_bench",
+    "main",
+]
+
+#: In-flight ceiling: beyond it, scheduled submissions are recorded as
+#: ``dropped`` instead of spawning unbounded threads.  Hitting it means
+#: the service is in latency collapse at the offered rate — exactly the
+#: overload signal the open loop exists to surface.
+MAX_INFLIGHT = 512
+
+
+# ---------------------------------------------------------------------------
+# Mix: load, validate, materialise
+# ---------------------------------------------------------------------------
+
+def load_mix(path: str | Path) -> dict:
+    """Read and validate a mix file; returns the parsed dict."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
+        raise ValueError(f"mix file {path} must be an object with a 'requests' list")
+    if not payload["requests"]:
+        raise ValueError(f"mix file {path} has no requests")
+    for i, entry in enumerate(payload["requests"]):
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise ValueError(f"mix entry {i} must be an object with a 'kind'")
+        if not isinstance(entry.get("data"), dict) or "shape" not in entry["data"]:
+            raise ValueError(f"mix entry {i} needs a data block with a shape")
+        if entry.get("weight", 1) <= 0:
+            raise ValueError(f"mix entry {i} has non-positive weight")
+    return payload
+
+
+def _make_array(shape: tuple[int, ...], seed: int, generator: str):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    if generator == "noise":
+        return rng.normal(size=shape).astype(np.float32)
+    if generator == "smooth":
+        from repro.datasets.base import fourier_field
+
+        return fourier_field(tuple(shape), 1, rng)[0]
+    raise ValueError(f"unknown data generator {generator!r} (try smooth, noise)")
+
+
+def materialize_mix(mix: dict, out_dir: str | Path) -> tuple[list[dict], list[int]]:
+    """Turn mix entries into submittable job-spec bodies.
+
+    Each entry expands into ``data.variants`` bodies (default 1), one per
+    distinct synthetic array — variants with the same template but
+    different seeds stop the whole run from coalescing into one job.
+    Entries with ``"output": true`` get a per-variant path under
+    ``out_dir``.  Returns ``(bodies, weights)`` aligned by index, ready
+    for weighted sampling.
+    """
+    from repro.serve.jobs import JobSpec
+
+    out_dir = Path(out_dir)
+    bodies: list[dict] = []
+    weights: list[int] = []
+    for i, entry in enumerate(mix["requests"]):
+        entry = dict(entry)
+        data = dict(entry.pop("data"))
+        weight = int(entry.pop("weight", 1))
+        wants_output = bool(entry.pop("output", False))
+        shape = tuple(int(s) for s in data.get("shape"))
+        base_seed = int(data.get("seed", i))
+        generator = data.get("generator", "smooth")
+        for variant in range(int(data.get("variants", 1))):
+            array = _make_array(shape, base_seed + variant, generator)
+            body = dict(entry)
+            body["data_b64"] = JobSpec.encode_array(array)
+            if wants_output:
+                body["output"] = str(out_dir / f"mix{i:02d}_v{variant}.frz")
+            bodies.append(body)
+            weights.append(weight)
+    return bodies, weights
+
+
+# ---------------------------------------------------------------------------
+# The open loop
+# ---------------------------------------------------------------------------
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile of pre-sorted samples."""
+    if not ordered:
+        raise ValueError("no samples")
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+def run_load(
+    url: str,
+    bodies: list[dict],
+    weights: list[int] | None = None,
+    *,
+    rps: float,
+    duration: float,
+    timeout: float = 120.0,
+    seed: int = 0,
+    max_inflight: int = MAX_INFLIGHT,
+) -> dict:
+    """Replay ``bodies`` open-loop at ``rps`` for ``duration`` seconds.
+
+    Returns the JSON-ready run summary (latency quantiles over the
+    submit-to-result round trip, throughput, outcome counts, and the
+    service's post-run ``/stats``/``/metrics`` view).
+    """
+    from repro.serve.client import BackpressureError, ServiceClient, ServiceError
+
+    if rps <= 0 or duration <= 0:
+        raise ValueError("rps and duration must be positive")
+    n_requests = max(1, round(rps * duration))
+    rng = random.Random(seed)
+    plan = rng.choices(range(len(bodies)), weights=weights, k=n_requests)
+
+    client = ServiceClient(url, timeout=min(30.0, timeout),
+                           backpressure_wait=0.0, poll_interval=0.01)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    outcomes = {"submitted": 0, "completed": 0, "coalesced": 0,
+                "failed": 0, "rejected": 0, "dropped": 0, "errors": 0}
+    inflight = threading.Semaphore(max_inflight)
+
+    def one(body: dict) -> None:
+        try:
+            t_send = time.monotonic()
+            try:
+                ticket = client.submit(body)
+            except BackpressureError:
+                with lock:
+                    outcomes["rejected"] += 1
+                return
+            with lock:
+                outcomes["submitted"] += 1
+                if ticket.get("coalesced_into"):
+                    outcomes["coalesced"] += 1
+            try:
+                client.result(ticket["job_id"], timeout=timeout)
+            except (ServiceError, TimeoutError):
+                with lock:
+                    outcomes["failed"] += 1
+                return
+            latency = time.monotonic() - t_send
+            with lock:
+                outcomes["completed"] += 1
+                latencies.append(latency)
+        except Exception:  # noqa: BLE001 - a worker must never kill the loop
+            with lock:
+                outcomes["errors"] += 1
+        finally:
+            inflight.release()
+
+    threads: list[threading.Thread] = []
+    t0 = time.monotonic()
+    for i, choice in enumerate(plan):
+        delay = t0 + i / rps - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        if not inflight.acquire(blocking=False):
+            with lock:
+                outcomes["dropped"] += 1
+            continue
+        t = threading.Thread(target=one, args=(bodies[choice],), daemon=True)
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(timeout + duration)
+    wall = time.monotonic() - t0
+
+    ordered = sorted(latencies)
+    latency: dict = {"count": len(ordered)}
+    if ordered:
+        latency.update(
+            min=round(ordered[0], 6),
+            max=round(ordered[-1], 6),
+            mean=round(sum(ordered) / len(ordered), 6),
+            p50=round(_percentile(ordered, 0.50), 6),
+            p90=round(_percentile(ordered, 0.90), 6),
+            p99=round(_percentile(ordered, 0.99), 6),
+        )
+    summary = {
+        "schema": 1,
+        "config": {
+            "rps": rps,
+            "duration_seconds": duration,
+            "requests": n_requests,
+            "distinct_bodies": len(bodies),
+            "seed": seed,
+        },
+        "latency_seconds": latency,
+        "throughput": {
+            "wall_seconds": round(wall, 3),
+            "jobs_per_second": round(outcomes["completed"] / wall, 3) if wall else 0.0,
+            "offered_rps": rps,
+        },
+        "outcomes": outcomes,
+        "service": _scrape_service(client),
+    }
+    return summary
+
+
+def _scrape_service(client) -> dict:
+    """The service's own post-run numbers (best effort — never raises)."""
+    try:
+        stats = client.stats()
+    except Exception:  # noqa: BLE001 - the summary survives a dead service
+        return {}
+    jobs = stats.get("jobs", {})
+    queue = stats.get("queue", {})
+    submitted = jobs.get("submitted", 0)
+    view = {
+        "jobs": jobs,
+        "queue_max_depth": queue.get("max_depth"),
+        "queue_rejected": queue.get("rejected"),
+        "coalesce_rate": round(jobs.get("coalesced", 0) / submitted, 4)
+        if submitted else 0.0,
+    }
+    metrics = stats.get("metrics") or {}
+    stages = {}
+    for key, snap in metrics.items():
+        if key.startswith("repro_stage_seconds{") and isinstance(snap, dict):
+            stage = key.split('stage="')[1].rstrip('"}')
+            stages[stage] = {k: snap[k] for k in ("count", "p50", "p99")
+                             if k in snap}
+    if stages:
+        view["stages"] = stages
+    return view
+
+
+# ---------------------------------------------------------------------------
+# SLO gating and snapshot persistence
+# ---------------------------------------------------------------------------
+
+def check_slo(summary: dict, thresholds: dict, relax: float = 1.0) -> list[str]:
+    """Compare a run summary against SLO thresholds; returns violations.
+
+    ``relax > 1`` loosens every threshold by that factor (latency bounds
+    multiply, throughput floors divide) — CI machines are slower and
+    noisier than the numbers a developer records locally.
+    """
+    if relax <= 0:
+        raise ValueError("relax must be positive")
+    violations: list[str] = []
+    latency = summary.get("latency_seconds", {})
+    for key in ("p50_seconds", "p90_seconds", "p99_seconds", "max_seconds"):
+        if key not in thresholds:
+            continue
+        stat = "max" if key == "max_seconds" else key.split("_")[0]
+        observed = latency.get(stat)
+        bound = thresholds[key] * relax
+        if observed is None:
+            violations.append(f"{key}: no completed requests to measure")
+        elif observed > bound:
+            violations.append(f"{key}: {observed:.4f}s exceeds {bound:.4f}s")
+    if "min_jobs_per_second" in thresholds:
+        floor = thresholds["min_jobs_per_second"] / relax
+        observed = summary["throughput"]["jobs_per_second"]
+        if observed < floor:
+            violations.append(
+                f"min_jobs_per_second: {observed:.3f} below {floor:.3f}")
+    if "max_error_rate" in thresholds:
+        out = summary["outcomes"]
+        attempts = out["submitted"] + out["rejected"] + out["dropped"]
+        bad = out["failed"] + out["errors"] + out["dropped"]
+        rate = bad / attempts if attempts else 0.0
+        if rate > thresholds["max_error_rate"]:
+            violations.append(
+                f"max_error_rate: {rate:.4f} exceeds "
+                f"{thresholds['max_error_rate']:.4f}")
+    return violations
+
+
+def write_bench(path: str | Path, summary: dict) -> None:
+    """Persist a diffable snapshot (sorted keys, trailing newline)."""
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# CLI (shared by `repro load` and tools/load_harness.py)
+# ---------------------------------------------------------------------------
+
+def _default_file(name: str) -> str:
+    """Default mix/SLO path: ``benchmarks/<name>`` under the CWD when it
+    exists there (a checkout being worked in), else under the repo this
+    module was loaded from — so ``tools/load_harness.py`` works from any
+    directory."""
+    local = Path("benchmarks") / name
+    if local.exists():
+        return str(local)
+    return str(Path(__file__).resolve().parents[3] / "benchmarks" / name)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default=None,
+                        help="a running service endpoint; omitted, the harness "
+                             "starts an embedded server for the run")
+    parser.add_argument("--mix", default=_default_file("load_mix.json"),
+                        help="request-mix file (default benchmarks/load_mix.json)")
+    parser.add_argument("--slo", default=_default_file("slo.json"),
+                        help="SLO threshold file (default benchmarks/slo.json)")
+    parser.add_argument("--profile", default="serve",
+                        help="named profile in the SLO file (default serve); "
+                             "'all' runs every profile")
+    parser.add_argument("--rps", type=float, default=None,
+                        help="override the profile's request rate")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the profile's duration in seconds")
+    parser.add_argument("--relax", type=float, default=1.0,
+                        help="loosen SLO thresholds by this factor (CI uses >1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="request-schedule seed (default 0)")
+    parser.add_argument("--executor", choices=("auto", "thread", "process"),
+                        default="thread",
+                        help="embedded server backend (default thread)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="embedded server workers (default 2)")
+    parser.add_argument("--out-dir", default=".",
+                        help="where BENCH_<profile>.json snapshots land "
+                             "(default: current directory)")
+    parser.add_argument("--no-bench", action="store_true",
+                        help="skip writing BENCH snapshots (check SLOs only)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full run summary as JSON")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    try:
+        mix = load_mix(args.mix)
+        slo = json.loads(Path(args.slo).read_text())
+    except FileNotFoundError as exc:
+        print(f"error: {exc.filename}: no such file (see --mix/--slo)",
+              file=sys.stderr)
+        return 2
+    if args.rps is not None and args.rps <= 0:
+        print("error: --rps must be positive", file=sys.stderr)
+        return 2
+    if args.duration is not None and args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    if args.relax <= 0:
+        print("error: --relax must be positive", file=sys.stderr)
+        return 2
+    if args.profile == "all":
+        profiles = list(slo)
+    elif args.profile in slo:
+        profiles = [args.profile]
+    else:
+        print(f"error: profile {args.profile!r} not in {args.slo} "
+              f"(have: {', '.join(sorted(slo))})", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in profiles:
+        profile = slo[name]
+        rps = args.rps if args.rps is not None else profile["rps"]
+        duration = (args.duration if args.duration is not None
+                    else profile["duration_seconds"])
+        with tempfile.TemporaryDirectory(prefix="repro-load-") as tmp:
+            bodies, weights = materialize_mix(mix, tmp)
+            if args.url is None:
+                from repro.serve.server import ServiceServer
+
+                with ServiceServer(port=0, workers=args.workers,
+                                   executor=args.executor) as server:
+                    summary = run_load(server.url, bodies, weights, rps=rps,
+                                       duration=duration, seed=args.seed)
+            else:
+                summary = run_load(args.url, bodies, weights, rps=rps,
+                                   duration=duration, seed=args.seed)
+        thresholds = profile.get("thresholds", {})
+        violations = check_slo(summary, thresholds, relax=args.relax)
+        summary["slo"] = {
+            "profile": name,
+            "thresholds": thresholds,
+            "relax": args.relax,
+            "violations": violations,
+            "pass": not violations,
+        }
+        # With --json, stdout carries only the JSON (pipeable to jq);
+        # the human progress lines move to stderr.
+        human = sys.stderr if args.json else sys.stdout
+        if not args.no_bench:
+            out = Path(args.out_dir) / f"BENCH_{name}.json"
+            write_bench(out, summary)
+            print(f"wrote {out}", file=human)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        lat = summary["latency_seconds"]
+        thr = summary["throughput"]
+        print(f"{name}: {lat.get('count', 0)} completed at "
+              f"{thr['jobs_per_second']:.2f} jobs/s "
+              f"(p50 {lat.get('p50', float('nan')):.4f}s, "
+              f"p99 {lat.get('p99', float('nan')):.4f}s)", file=human)
+        for violation in violations:
+            print(f"SLO VIOLATION [{name}]: {violation}", file=sys.stderr)
+        failed = failed or bool(violations)
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="load_harness",
+        description="Open-loop load harness for the repro compression "
+                    "service, with SLO gating (see docs/OBSERVABILITY.md).",
+    )
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,436 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The service's value proposition is quantitative — convergence
+iterations, compressor calls, jobs per second — so the runtime needs an
+instrument panel that costs nothing to keep on.  This module is that
+panel's core: three metric kinds plus a :class:`MetricsRegistry` that
+owns them, all stdlib, all thread-safe, all cheap enough to leave
+enabled in production (an :meth:`Histogram.observe` is a bisect plus
+three float updates under a lock).
+
+Design points, in the idiom of the Prometheus client libraries but
+without the dependency:
+
+* **Families and labels** — ``registry.counter("jobs_total",
+  labels=("state",))`` returns a family; ``family.labels(state="done")``
+  returns (creating on first use) the child counter for that label set.
+  A family declared with no label names *is* its only child: ``inc``/
+  ``set``/``observe`` act on it directly.
+* **Callback metrics** — a counter or gauge may be declared with a
+  ``callback`` reading an existing number (a scheduler stat, a queue
+  depth) at render time instead of double-booking every increment.
+  Mirroring the single source of truth this way means ``/metrics`` and
+  ``/stats`` can never drift apart.
+* **Fixed-bucket histograms** — latency distributions use a fixed,
+  shared bucket ladder (:data:`DEFAULT_LATENCY_BUCKETS`), so histograms
+  from different workers, shards or runs :meth:`~Histogram.merge` by
+  adding bucket counts.  Quantiles (p50/p90/p99) are estimated by linear
+  interpolation inside the owning bucket and clamped to the observed
+  ``[min, max]`` — the estimate error is bounded by the bucket width,
+  which is the standard trade for mergeable histograms.
+
+Rendering to the Prometheus text exposition format lives in
+:mod:`repro.obs.exposition`; this module is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUANTILES",
+]
+
+#: Latency bucket upper bounds in seconds: a ~2.5x geometric ladder from
+#: 1 ms to 60 s.  Sub-millisecond work all lands in the first bucket
+#: (its quantiles clamp to the observed min/max, so tiny jobs still
+#: report honest numbers), and anything over a minute is effectively an
+#: outage, not a latency.  The ``+Inf`` bucket is implicit.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: The quantiles summarised into ``/stats`` and ``BENCH_*`` snapshots.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """Monotonically increasing count.
+
+    With ``callback`` the counter is read-only: :meth:`value` returns
+    whatever the callback reports (the callback owner must only ever
+    increase it), and :meth:`inc` is a programming error.
+    """
+
+    def __init__(self, callback: Callable[[], float] | None = None) -> None:
+        self._callback = callback
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise RuntimeError("callback counters are read-only")
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        if self._callback is not None:
+            value = self._callback()
+            # Preserve int-ness: JSON snapshots of integer stats should
+            # not grow a spurious ".0".
+            return value if isinstance(value, (int, float)) else float(value)
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (or is sampled via ``callback``)."""
+
+    def __init__(self, callback: Callable[[], float] | None = None) -> None:
+        self._callback = callback
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if self._callback is not None:
+            raise RuntimeError("callback gauges are read-only")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise RuntimeError("callback gauges are read-only")
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        if self._callback is not None:
+            value = self._callback()
+            return value if isinstance(value, (int, float)) else float(value)
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with mergeable counts and quantile estimates.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the overflow.  An observation lands
+    in the first bucket whose bound is ``>= value`` (Prometheus ``le``
+    semantics).
+    """
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be strictly increasing, got {bounds!r}")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError("buckets must be finite (+Inf is implicit)")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations in (bucket ladders must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds!r} vs {other.bounds!r}"
+            )
+        counts, total, subtotal, lo, hi = other._snapshot_locked()
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._sum += subtotal
+            self._count += total
+            self._min = min(self._min, lo)
+            self._max = max(self._max, hi)
+
+    def _snapshot_locked(self) -> tuple[list[int], int, float, float, float]:
+        with self._lock:
+            return list(self._counts), self._count, self._sum, self._min, self._max
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def min(self) -> float | None:
+        with self._lock:
+            return None if self._count == 0 else self._min
+
+    @property
+    def max(self) -> float | None:
+        with self._lock:
+            return None if self._count == 0 else self._max
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts, aligned with ``bounds`` plus a final +Inf slot."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative ``le`` counts (last equals ``count``)."""
+        out, acc = [], 0
+        for c in self.bucket_counts():
+            acc += c
+            out.append(acc)
+        return out
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q`` quantile (``0 <= q <= 1``); ``None`` when empty.
+
+        Linear interpolation inside the owning bucket, clamped to the
+        observed ``[min, max]`` so estimates never leave the data's
+        range — the error is bounded by the bucket width.  Monotone in
+        ``q`` by construction (cumulative counts are non-decreasing and
+        clamping preserves order).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        counts, total, _, lo, hi = self._snapshot_locked()
+        if total == 0:
+            return None
+        rank = q * total
+        acc = 0
+        for idx, c in enumerate(counts):
+            acc += c
+            if acc >= rank and c > 0:
+                lower = self.bounds[idx - 1] if idx > 0 else lo
+                upper = self.bounds[idx] if idx < len(self.bounds) else hi
+                # Position of the rank inside this bucket's run of samples.
+                frac = (rank - (acc - c)) / c
+                est = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                return min(max(est, lo), hi)
+        return hi  # pragma: no cover - rank <= total always lands above
+
+    def snapshot(self, quantiles: Iterable[float] = DEFAULT_QUANTILES) -> dict:
+        """JSON-ready summary (the ``/stats`` shape for one histogram)."""
+        counts, total, subtotal, lo, hi = self._snapshot_locked()
+        out = {
+            "count": total,
+            "sum": round(subtotal, 6),
+            "min": round(lo, 6) if total else None,
+            "max": round(hi, 6) if total else None,
+        }
+        for q in quantiles:
+            est = self.quantile(q)
+            out[f"p{round(q * 100):d}"] = round(est, 6) if est is not None else None
+        return out
+
+
+class MetricFamily:
+    """One named metric plus its labelled children.
+
+    ``labels(**kv)`` resolves (creating on first use) the child for a
+    label set; a family with no declared label names is its own single
+    child, so callers use the family object directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - prometheus vocabulary
+        kind: str,
+        labelnames: tuple[str, ...] = (),
+        factory: Callable[[], Counter | Gauge | Histogram] | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._factory = factory
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+        if not self.labelnames:
+            self._children[()] = factory()
+
+    def labels(self, **kv: str) -> Counter | Gauge | Histogram:
+        if sorted(kv) != sorted(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, got {sorted(kv)}"
+            )
+        key = tuple(str(kv[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._factory()
+            return child
+
+    def children(self) -> list[tuple[tuple[str, ...], Counter | Gauge | Histogram]]:
+        """(label values, child) pairs in insertion order."""
+        with self._lock:
+            return list(self._children.items())
+
+    # -- unlabelled convenience (the family IS the child) ------------------
+    def _solo(self) -> Counter | Gauge | Histogram:
+        if self.labelnames:
+            raise ValueError(f"metric {self.name} requires labels {self.labelnames}")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def value(self) -> float:
+        return self._solo().value()
+
+    def quantile(self, q: float) -> float | None:
+        return self._solo().quantile(q)
+
+
+_NAME_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name.lower()) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+class MetricsRegistry:
+    """Owns a set of metric families; the unit ``/metrics`` renders.
+
+    ``namespace`` prefixes every metric name (``repro_`` by default), so
+    the exposition never collides with other exporters on the host.
+    Registration is idempotent by name *and* signature: asking for an
+    existing name with the same kind returns the existing family, with a
+    different kind raises.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = _check_name(namespace) if namespace else ""
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _full_name(self, name: str) -> str:
+        _check_name(name)
+        return f"{self.namespace}_{name}" if self.namespace else name
+
+    def _register(self, name: str, help: str, kind: str,  # noqa: A002
+                  labelnames: tuple[str, ...], factory) -> MetricFamily:
+        full = self._full_name(name)
+        with self._lock:
+            family = self._families.get(full)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {full} already registered as {family.kind}"
+                        f"{family.labelnames}"
+                    )
+                return family
+            family = MetricFamily(full, help, kind, tuple(labelnames), factory)
+            self._families[full] = family
+            return family
+
+    def counter(self, name: str, help: str = "",  # noqa: A002
+                labels: tuple[str, ...] = (),
+                callback: Callable[[], float] | None = None) -> MetricFamily:
+        if callback is not None and labels:
+            raise ValueError("callback metrics cannot be labelled")
+        return self._register(name, help, "counter", labels,
+                              lambda: Counter(callback))
+
+    def gauge(self, name: str, help: str = "",  # noqa: A002
+              labels: tuple[str, ...] = (),
+              callback: Callable[[], float] | None = None) -> MetricFamily:
+        if callback is not None and labels:
+            raise ValueError("callback metrics cannot be labelled")
+        return self._register(name, help, "gauge", labels,
+                              lambda: Gauge(callback))
+
+    def histogram(self, name: str, help: str = "",  # noqa: A002
+                  labels: tuple[str, ...] = (),
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> MetricFamily:
+        bounds = tuple(buckets)
+        return self._register(name, help, "histogram", labels,
+                              lambda: Histogram(bounds))
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def get(self, name: str) -> MetricFamily | None:
+        """Look a family up by its full (namespaced) or short name."""
+        with self._lock:
+            return self._families.get(name) or self._families.get(self._full_name(name))
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every family."""
+        from repro.obs.exposition import render_prometheus  # local: no cycle at import
+
+        return render_prometheus(self)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every metric (the ``/stats`` ``metrics`` block).
+
+        Counters and gauges report their value; histograms report count,
+        sum, min/max and the :data:`DEFAULT_QUANTILES`.  Labelled
+        children nest under a ``"name{label=value}"``-style key built
+        from the label values, matching the exposition's identity.
+        """
+        out: dict = {}
+        for family in self.families():
+            for labelvalues, child in family.children():
+                if labelvalues:
+                    pairs = ",".join(
+                        f'{n}="{v}"' for n, v in zip(family.labelnames, labelvalues)
+                    )
+                    key = f"{family.name}{{{pairs}}}"
+                else:
+                    key = family.name
+                if isinstance(child, Histogram):
+                    out[key] = child.snapshot()
+                else:
+                    value = child.value()
+                    out[key] = round(value, 6) if isinstance(value, float) else value
+        return out

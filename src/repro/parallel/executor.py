@@ -225,6 +225,13 @@ class ProcessJobPool:
         self._generation = 0
         self.crashes = 0
         self.rebuilds = 0
+        # Task-flow counters for the observability layer.  A dedicated
+        # lock, because done-callbacks may fire synchronously inside
+        # submit() (future already finished) while self._lock is held.
+        self._count_lock = threading.Lock()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_cancelled = 0
         self._executor: ProcessPoolExecutor | None = self._make()
 
     def _make(self) -> ProcessPoolExecutor:
@@ -246,12 +253,33 @@ class ProcessJobPool:
             if self._executor is None:
                 raise RuntimeError("pool is shut down")
             try:
-                return self._executor.submit(fn, *args), self._generation
+                future = self._executor.submit(fn, *args)
             except BrokenProcessPool:
                 # The previous crash was never reported (e.g. its observer
                 # died); rebuild inline and submit to the fresh pool.
                 self._rebuild_locked()
-                return self._executor.submit(fn, *args), self._generation
+                future = self._executor.submit(fn, *args)
+            generation = self._generation
+        with self._count_lock:
+            self.tasks_submitted += 1
+        future.add_done_callback(self._task_done)
+        return future, generation
+
+    def _task_done(self, future: Future) -> None:
+        with self._count_lock:
+            if future.cancelled():
+                self.tasks_cancelled += 1
+            else:
+                self.tasks_completed += 1
+
+    def task_counts(self) -> dict:
+        """Lifetime task-flow counters (the ``/stats`` executor block)."""
+        with self._count_lock:
+            return {
+                "tasks_submitted": self.tasks_submitted,
+                "tasks_completed": self.tasks_completed,
+                "tasks_cancelled": self.tasks_cancelled,
+            }
 
     def crashed(self, generation: int) -> bool:
         """Record a crash observed under ``generation``; rebuild once.

@@ -177,3 +177,21 @@ class ServiceClient:
         if status != 200:
             raise ServiceError(f"/health returned HTTP {status}", status=status)
         return payload
+
+    def metrics_text(self) -> str:
+        """The raw ``GET /metrics`` body (Prometheus text exposition)."""
+        req = urllib.request.Request(f"{self.url}/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(f"/metrics returned HTTP {exc.code}",
+                               status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.url}: {exc.reason}") from exc
+
+    def metrics(self) -> dict:
+        """``/metrics`` parsed into ``{name: [MetricSample, ...]}``."""
+        from repro.obs.exposition import parse_prometheus
+
+        return parse_prometheus(self.metrics_text())

@@ -278,7 +278,17 @@ class JobSpec:
 
 @dataclass
 class Job:
-    """Scheduler-side lifecycle record for one submitted spec."""
+    """Scheduler-side lifecycle record for one submitted spec.
+
+    Timestamps come in two families.  The ``*_at`` fields are wall-clock
+    (``time.time()``) and exist for *display* — operators correlating a
+    job with logs need civil time.  The ``*_mono`` fields are their
+    ``time.monotonic()`` twins and are the only inputs to *duration*
+    arithmetic (queue wait, run time, the latency histograms): wall
+    clocks step under NTP corrections and DST, and a duration computed
+    across a step is garbage — negative, or hours long for a job that
+    ran in milliseconds.
+    """
 
     id: str
     spec: JobSpec
@@ -286,6 +296,9 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    submitted_mono: float = field(default_factory=time.monotonic, repr=False)
+    started_mono: float | None = field(default=None, repr=False)
+    finished_mono: float | None = field(default=None, repr=False)
     attempts: int = 0
     #: Attempts lost to a dying worker *process* (vs. exceptions the job
     #: itself raised); only the process execution backend increments this.
@@ -302,6 +315,27 @@ class Job:
     def finished(self) -> bool:
         return self.state.finished
 
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        """Monotonic submit→start wait (``None`` until dispatched)."""
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.submitted_mono)
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Monotonic start→finish duration (``None`` until finished)."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.started_mono)
+
+    @property
+    def total_seconds(self) -> float | None:
+        """Monotonic submit→finish latency — what a waiting client felt."""
+        if self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.submitted_mono)
+
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job reaches a terminal state."""
         return self._finished_event.wait(timeout)
@@ -313,6 +347,7 @@ class Job:
         self.result = result
         self.error = error
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
         self._finished_event.set()
 
     def status_dict(self) -> dict:
@@ -328,6 +363,13 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_wait_seconds": _round6(self.queue_wait_seconds),
+            "run_seconds": _round6(self.run_seconds),
+            "total_seconds": _round6(self.total_seconds),
             "coalesced_into": self.coalesced_into,
             "error": self.error,
         }
+
+
+def _round6(value: float | None) -> float | None:
+    return round(value, 6) if value is not None else None

@@ -72,7 +72,9 @@ import numpy as np
 
 from repro.api.execute import execute as execute_request
 from repro.api.plan import DEFAULT_STREAM_THRESHOLD, plan as plan_request
+from repro.api.report import stage_timings
 from repro.cache.evalcache import CacheEntry, EvalCache
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.executor import (
     BaseExecutor,
     ProcessJobPool,
@@ -296,6 +298,13 @@ class Scheduler:
         older records are dropped to keep the registry bounded.
     paused:
         Start with workers gated; call :meth:`resume` to begin draining.
+    metrics:
+        ``True`` (default) builds a private
+        :class:`~repro.obs.metrics.MetricsRegistry` and instruments the
+        scheduler on it; an instance is used as-is (for embedding into a
+        larger registry); ``False`` disables the observability layer —
+        :meth:`metrics_text` then raises and ``/stats`` omits the
+        ``metrics`` section.
     """
 
     def __init__(
@@ -313,6 +322,7 @@ class Scheduler:
         seed: int = 0,
         history: int = 1024,
         paused: bool = False,
+        metrics: MetricsRegistry | bool = True,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.executor_mode = resolve_executor_mode(executor)
@@ -345,6 +355,122 @@ class Scheduler:
         self._threads: list[threading.Thread] = []
         self._pool: ProcessJobPool | None = None
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
+        if isinstance(metrics, MetricsRegistry):
+            self.metrics: MetricsRegistry | None = metrics
+        else:
+            self.metrics = MetricsRegistry() if metrics else None
+        self._stage_seconds = None
+        self._job_seconds = None
+        if self.metrics is not None:
+            self._build_metrics(self.metrics)
+
+    # -- observability -----------------------------------------------------
+    def _build_metrics(self, reg: MetricsRegistry) -> None:
+        """Register the service's instrument panel on ``reg``.
+
+        Counters and gauges are *callback-backed*: they read the same
+        :class:`SchedulerStats`/queue/cache/pool numbers ``/stats``
+        reports, so the two surfaces cannot drift apart and nothing is
+        double-booked on the hot path.  Only the latency histograms are
+        event-driven (an observation is information a counter cannot
+        reconstruct), fed exclusively from monotonic-clock durations.
+        """
+        stats, queue = self.stats, self._queue
+        reg.gauge("queue_depth", "Live (undispatched, uncancelled) queued jobs",
+                  callback=lambda: len(queue))
+        reg.gauge("queue_capacity", "Queue bound before 429 backpressure",
+                  callback=lambda: queue.maxsize)
+        reg.gauge("jobs_running", "Jobs currently executing",
+                  callback=lambda: stats.running)
+        reg.gauge("paused", "1 while the worker gate is closed",
+                  callback=lambda: int(self.paused))
+        reg.gauge("uptime_seconds", "Monotonic seconds since scheduler start",
+                  callback=lambda: time.monotonic() - self._started_mono)
+        for attr, help_text in (
+            ("submitted", "Jobs admitted (including coalesced followers)"),
+            ("coalesced", "Jobs attached to an identical in-flight computation"),
+            ("completed", "Jobs finished successfully"),
+            ("failed", "Jobs that exhausted their retry budget"),
+            ("retried", "Re-enqueues after a failed attempt"),
+            ("cancelled", "Jobs cancelled before completing"),
+            ("streamed", "Jobs routed through the out-of-core pipeline"),
+        ):
+            reg.counter(f"jobs_{attr}_total", help_text,
+                        callback=lambda a=attr: getattr(stats, a))
+        reg.counter("queue_enqueued_total", "Jobs that entered the queue",
+                    callback=lambda: queue.stats.enqueued)
+        reg.counter("queue_rejected_total", "Submissions refused with backpressure",
+                    callback=lambda: queue.stats.rejected)
+        reg.counter("worker_crashes_total", "Attempts lost to a dying worker process",
+                    callback=lambda: stats.crashes)
+        reg.counter("discarded_results_total",
+                    "Results thrown away because their job was tombstoned",
+                    callback=lambda: stats.discarded)
+        reg.counter("pool_rebuilds_total", "Process-pool reconstructions after crashes",
+                    callback=lambda: self._pool.rebuilds if self._pool else 0)
+        for attr, name, help_text in (
+            ("tasks_submitted", "pool_tasks_submitted_total",
+             "Tasks shipped to the process pool"),
+            ("tasks_completed", "pool_tasks_completed_total",
+             "Pool tasks that ran to completion (or raised)"),
+            ("tasks_cancelled", "pool_tasks_cancelled_total",
+             "Pool tasks descheduled before starting"),
+        ):
+            reg.counter(name, help_text,
+                        callback=lambda a=attr: getattr(self._pool, a) if self._pool else 0)
+        reg.counter("search_evaluations_total",
+                    "Compressor evaluations requested by searches",
+                    callback=lambda: stats.evaluations)
+        reg.counter("compressor_calls_total",
+                    "Compressor evaluations actually paid (cache misses)",
+                    callback=lambda: stats.compressor_calls)
+        reg.counter("cache_hits_total", "Search probes answered from the shared cache",
+                    callback=lambda: stats.cache_hits)
+        reg.counter("cache_misses_total", "Search probes that had to compress",
+                    callback=lambda: stats.cache_misses)
+        reg.gauge("coalesce_ratio", "Fraction of submitted jobs coalesced away",
+                  callback=lambda: stats.coalesced / stats.submitted
+                  if stats.submitted else 0.0)
+        reg.gauge("cache_hit_ratio", "Fraction of search probes answered for free",
+                  callback=lambda: stats.cache_hits / (stats.cache_hits + stats.cache_misses)
+                  if (stats.cache_hits + stats.cache_misses) else 0.0)
+        if self._cache is not None:
+            cache = self._cache
+            reg.gauge("evalcache_entries", "Entries resident in the shared cache",
+                      callback=lambda: len(cache))
+            for attr, kind in (("hits", "counter"), ("misses", "counter"),
+                               ("stores", "counter"), ("evictions", "counter"),
+                               ("seconds_saved", "counter")):
+                register = reg.counter if kind == "counter" else reg.gauge
+                register(f"evalcache_{attr}_total",
+                         f"Shared-cache {attr.replace('_', ' ')} (parent-process view)",
+                         callback=lambda a=attr: getattr(cache.stats, a))
+        self._stage_seconds = reg.histogram(
+            "stage_seconds",
+            "Per-stage latency: queue_wait/run from the scheduler's monotonic "
+            "clock, train/search/encode/decode from report wall times",
+            labels=("stage",),
+        )
+        self._job_seconds = reg.histogram(
+            "job_seconds",
+            "Client-visible submit-to-finish latency per request kind",
+            labels=("kind",),
+        )
+
+    def _observe_stage(self, stage: str, seconds: float | None) -> None:
+        if self._stage_seconds is not None and seconds is not None:
+            self._stage_seconds.labels(stage=stage).observe(seconds)
+
+    def _observe_job(self, job: Job) -> None:
+        if self._job_seconds is not None and job.total_seconds is not None:
+            self._job_seconds.labels(kind=job.spec.kind).observe(job.total_seconds)
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (the ``GET /metrics`` body)."""
+        if self.metrics is None:
+            raise RuntimeError("scheduler was built with metrics disabled")
+        return self.metrics.render()
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -538,6 +664,9 @@ class Scheduler:
             job.attempts += 1
             if job.started_at is None:
                 job.started_at = time.time()
+            if job.started_mono is None:
+                job.started_mono = time.monotonic()
+                self._observe_stage("queue_wait", job.queue_wait_seconds)
             self.stats.running += 1
         try:
             result, evals, calls, streamed = self._dispatch(job)
@@ -592,10 +721,21 @@ class Scheduler:
             done = state is JobState.DONE
             self.stats.completed += 1 if done else 0
             self.stats.failed += 0 if done else 1
+            self._observe_stage("run", job.run_seconds)
+            self._observe_job(job)
+            if done and result is not None:
+                # Stage breakdown rides in the typed report's wire dict, so
+                # it survives the process-pool pickle boundary for free.
+                for stage, seconds in stage_timings(result).items():
+                    self._observe_stage(stage, seconds)
             for follower in followers:
                 follower.started_at = job.started_at
+                follower.started_mono = job.started_mono
                 follower._finish(state, result=result, error=error)
                 self._remember(follower)
+                # Followers share the primary's computation (stage timings
+                # counted once, above) but each felt its own latency.
+                self._observe_job(follower)
                 self.stats.completed += 1 if done else 0
                 self.stats.failed += 0 if done else 1
 
@@ -699,13 +839,19 @@ class Scheduler:
                     crashes=self.stats.crashes,
                     rebuilds=self._pool.rebuilds if self._pool is not None else 0,
                     discarded=self.stats.discarded,
+                    tasks=self._pool.task_counts() if self._pool is not None else None,
                 ),
                 "queue": self._queue.stats_dict(),
                 "jobs": self.stats.jobs_dict(),
                 "search": self.stats.search_dict(),
                 "cache": None,
+                "metrics": None,
             }
             if self._cache is not None:
                 payload["cache"] = {"entries": len(self._cache),
                                     **self._cache.stats.as_dict()}
-            return payload
+        # Snapshot outside the scheduler lock: the registry has its own
+        # lock, and callback gauges re-enter queue/pool locks.
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.snapshot()
+        return payload

@@ -40,6 +40,7 @@ def executor_payload(
     crashes: int = 0,
     rebuilds: int = 0,
     discarded: int = 0,
+    tasks: dict | None = None,
 ) -> dict:
     """The ``/stats`` ``"executor"`` section: backend and crash counters.
 
@@ -48,15 +49,20 @@ def executor_payload(
     attempts lost to a dying worker process, ``rebuilds`` the pool
     reconstructions those crashes forced, and ``discarded`` results that
     completed after their job was cancelled (tombstoned) and were thrown
-    away.
+    away.  ``tasks`` is the process pool's lifetime task-flow block
+    (:meth:`~repro.parallel.executor.ProcessJobPool.task_counts`); it is
+    merged in when given, absent for the thread backend.
     """
-    return {
+    payload = {
         "mode": mode,
         "intra": intra,
         "worker_crashes": crashes,
         "pool_rebuilds": rebuilds,
         "discarded_results": discarded,
     }
+    if tasks is not None:
+        payload.update(tasks)
+    return payload
 
 
 def tune_payload(

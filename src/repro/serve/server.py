@@ -23,7 +23,11 @@ Endpoints
 ``GET /status/<id>``    job lifecycle record; ``404`` for unknown ids.
 ``GET /result/<id>``    ``200`` with the result/error once finished,
                         ``202`` with the current state while pending.
-``GET /stats``          scheduler, queue, search and cache counters.
+``GET /stats``          scheduler, queue, search and cache counters,
+                        plus a ``metrics`` snapshot of the registry.
+``GET /metrics``        Prometheus text exposition (version 0.0.4) of
+                        the scheduler's metrics registry; ``404`` when
+                        the scheduler was built with ``metrics=False``.
 ``GET /health``         liveness probe.
 """
 
@@ -69,6 +73,16 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -134,6 +148,14 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/stats":
             self._send(200, self.scheduler.stats_payload())
+            return
+        if self.path == "/metrics":
+            if self.scheduler.metrics is None:
+                self._send(404, {"error": "metrics are disabled on this service"})
+                return
+            from repro.obs.exposition import CONTENT_TYPE
+
+            self._send_text(200, self.scheduler.metrics_text(), CONTENT_TYPE)
             return
         if self.path == "/health":
             self._send(200, {"status": "ok", "paused": self.scheduler.paused})

@@ -63,6 +63,9 @@ class StreamResult:
     cache_misses: int
     in_band_chunks: int
     wall_seconds: float
+    #: Seconds spent fitting the bound on the training prefix (0 for
+    #: fixed-bound runs) — the "train" stage of the latency breakdown.
+    train_seconds: float = 0.0
 
     @property
     def ratio(self) -> float:
@@ -170,6 +173,7 @@ def stream_compress(
     pool = _resolve_executor(executor, workers)
 
     t0 = time.perf_counter()
+    train_seconds = 0.0
     tuner: ChunkTuner | None = None
     if target_ratio is not None:
         tuner = ChunkTuner(
@@ -189,6 +193,7 @@ def stream_compress(
         n_train = max(1, min(train_chunks, reader.n_chunks))
         # Sampled prefix: blocks are read (and released) one at a time.
         tuner.fit(reader.read(spec) for spec in reader.specs[:n_train])
+        train_seconds = time.perf_counter() - t0
         bound = tuner.current_bound
     else:
         bound = float(error_bound)
@@ -270,6 +275,7 @@ def stream_compress(
         cache_misses=tuner.cache_misses if tuner is not None else 0,
         in_band_chunks=in_band if tuner is not None else reader.n_chunks,
         wall_seconds=time.perf_counter() - t0,
+        train_seconds=train_seconds,
     )
 
 

@@ -1,0 +1,97 @@
+"""Render/parse tests for the Prometheus text exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import CONTENT_TYPE, parse_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", "Total jobs").inc(3)
+    reg.gauge("queue_depth", "Depth").set(2)
+    fam = reg.histogram("latency_seconds", "Latency", labels=("stage",),
+                        buckets=(0.1, 1.0))
+    fam.labels(stage="run").observe(0.05)
+    fam.labels(stage="run").observe(0.5)
+    fam.labels(stage="run").observe(5.0)
+    return reg
+
+
+class TestRender:
+    def test_help_and_type_lines(self):
+        text = render_prometheus(_registry())
+        assert "# HELP repro_jobs_total Total jobs" in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+
+    def test_counter_and_gauge_samples(self):
+        text = render_prometheus(_registry())
+        assert "repro_jobs_total 3" in text
+        assert "repro_queue_depth 2" in text
+
+    def test_histogram_expansion(self):
+        text = render_prometheus(_registry())
+        assert 'repro_latency_seconds_bucket{stage="run",le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{stage="run",le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{stage="run",le="+Inf"} 3' in text
+        assert 'repro_latency_seconds_count{stage="run"} 3' in text
+        assert 'repro_latency_seconds_sum{stage="run"} 5.55' in text
+
+    def test_ends_with_newline(self):
+        assert render_prometheus(_registry()).endswith("\n")
+
+    def test_content_type_declares_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRoundTrip:
+    def test_parse_recovers_samples(self):
+        samples = parse_prometheus(render_prometheus(_registry()))
+        assert samples["repro_jobs_total"][0].value == 3
+        assert samples["repro_queue_depth"][0].value == 2
+        buckets = samples["repro_latency_seconds_bucket"]
+        by_le = {s.labels["le"]: s.value for s in buckets}
+        assert by_le["0.1"] == 1
+        assert by_le["1"] == 2
+        assert by_le["+Inf"] == 3
+        assert math.isinf(float("inf"))
+
+    def test_types_pseudo_key(self):
+        samples = parse_prometheus(render_prometheus(_registry()))
+        declared = {s.name: s.labels["type"] for s in samples["__types__"]}
+        assert declared["repro_jobs_total"] == "counter"
+        assert declared["repro_queue_depth"] == "gauge"
+        assert declared["repro_latency_seconds"] == "histogram"
+
+    def test_cumulative_buckets_are_monotone(self):
+        samples = parse_prometheus(render_prometheus(_registry()))
+        values = [s.value for s in samples["repro_latency_seconds_bucket"]]
+        assert values == sorted(values)
+
+    def test_inf_bucket_equals_count(self):
+        samples = parse_prometheus(render_prometheus(_registry()))
+        inf = [s for s in samples["repro_latency_seconds_bucket"]
+               if s.labels["le"] == "+Inf"][0]
+        count = samples["repro_latency_seconds_count"][0]
+        assert inf.value == count.value
+
+
+class TestParserRejectsMalformed:
+    @pytest.mark.parametrize("line", [
+        "no_value_here",
+        "name{unterminated 1",
+        'name{bad-label="x"} 1',
+        "name not_a_number",
+        "# BOGUS comment line",
+        "# TYPE name untyped_kind",
+    ])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ValueError):
+            parse_prometheus(line + "\n")
+
+    def test_blank_lines_ignored(self):
+        samples = parse_prometheus("\n\nfoo 1\n\n")
+        assert samples["foo"][0].value == 1

@@ -1,0 +1,145 @@
+"""Load harness tests: mix handling, the open loop, SLO gating, snapshots."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.load import (
+    check_slo,
+    load_mix,
+    materialize_mix,
+    run_load,
+    write_bench,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+_TINY_MIX = {
+    "name": "test-mix",
+    "requests": [
+        {"weight": 2, "kind": "tune", "compressor": "sz", "target_ratio": 6.0,
+         "tolerance": 0.25,
+         "data": {"shape": [16, 16], "seed": 3, "generator": "smooth",
+                  "variants": 2}},
+        {"weight": 1, "kind": "compress", "compressor": "sz",
+         "error_bound": 0.001, "output": True,
+         "data": {"shape": [16, 16], "seed": 9, "generator": "noise"}},
+    ],
+}
+
+
+class TestMix:
+    def test_repo_mix_file_is_valid(self):
+        mix = load_mix(REPO / "benchmarks" / "load_mix.json")
+        assert mix["requests"]
+
+    def test_rejects_missing_requests(self, tmp_path):
+        bad = tmp_path / "mix.json"
+        bad.write_text(json.dumps({"requests": []}))
+        with pytest.raises(ValueError):
+            load_mix(bad)
+        bad.write_text(json.dumps({"requests": [{"kind": "tune"}]}))
+        with pytest.raises(ValueError):
+            load_mix(bad)
+
+    def test_materialize_expands_variants(self, tmp_path):
+        bodies, weights = materialize_mix(_TINY_MIX, tmp_path)
+        assert len(bodies) == 3  # 2 variants + 1
+        assert weights == [2, 2, 1]
+        assert all("data_b64" in b and "data" not in b for b in bodies)
+        # Variants must be distinct arrays, or everything coalesces.
+        assert bodies[0]["data_b64"] != bodies[1]["data_b64"]
+        assert bodies[2]["output"].endswith(".frz")
+
+    def test_materialize_is_deterministic(self, tmp_path):
+        a, _ = materialize_mix(_TINY_MIX, tmp_path)
+        b, _ = materialize_mix(_TINY_MIX, tmp_path)
+        assert [x["data_b64"] for x in a] == [y["data_b64"] for y in b]
+
+
+class TestOpenLoop:
+    def test_run_against_embedded_server(self, tmp_path):
+        from repro.serve import ServiceServer
+
+        bodies, weights = materialize_mix(_TINY_MIX, tmp_path)
+        with ServiceServer(port=0, workers=2, executor="thread") as server:
+            summary = run_load(server.url, bodies, weights,
+                               rps=8, duration=1.0, timeout=60, seed=1)
+        out = summary["outcomes"]
+        assert out["submitted"] == 8
+        assert out["completed"] == 8
+        assert out["failed"] == out["errors"] == out["dropped"] == 0
+        lat = summary["latency_seconds"]
+        assert lat["count"] == 8
+        assert 0 < lat["p50"] <= lat["p99"] <= lat["max"]
+        assert summary["throughput"]["jobs_per_second"] > 0
+        # The post-run service view rode along.
+        assert summary["service"]["jobs"]["completed"] == 8
+        assert "queue_wait" in summary["service"]["stages"]
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            run_load("http://127.0.0.1:1", [{}], rps=0, duration=1)
+        with pytest.raises(ValueError):
+            run_load("http://127.0.0.1:1", [{}], rps=1, duration=0)
+
+
+def _summary(p50=0.1, p99=0.5, jps=10.0, failed=0, submitted=10):
+    return {
+        "latency_seconds": {"count": submitted, "p50": p50, "p90": p99,
+                            "p99": p99, "max": p99, "min": p50, "mean": p50},
+        "throughput": {"jobs_per_second": jps, "wall_seconds": 1.0},
+        "outcomes": {"submitted": submitted, "completed": submitted - failed,
+                     "failed": failed, "rejected": 0, "dropped": 0,
+                     "errors": 0, "coalesced": 0},
+    }
+
+
+class TestSLO:
+    def test_passing_run_has_no_violations(self):
+        thresholds = {"p50_seconds": 1.0, "p99_seconds": 2.0,
+                      "min_jobs_per_second": 5.0, "max_error_rate": 0.0}
+        assert check_slo(_summary(), thresholds) == []
+
+    def test_each_threshold_can_fire(self):
+        assert check_slo(_summary(p50=2.0), {"p50_seconds": 1.0})
+        assert check_slo(_summary(p99=9.0), {"p99_seconds": 2.0})
+        assert check_slo(_summary(jps=1.0), {"min_jobs_per_second": 5.0})
+        assert check_slo(_summary(failed=5), {"max_error_rate": 0.1})
+
+    def test_relax_loosens_both_directions(self):
+        assert check_slo(_summary(p50=1.5), {"p50_seconds": 1.0}, relax=2.0) == []
+        assert check_slo(_summary(jps=3.0),
+                         {"min_jobs_per_second": 5.0}, relax=2.0) == []
+        with pytest.raises(ValueError):
+            check_slo(_summary(), {}, relax=0)
+
+    def test_no_samples_is_a_violation(self):
+        empty = _summary()
+        empty["latency_seconds"] = {"count": 0}
+        violations = check_slo(empty, {"p99_seconds": 1.0})
+        assert violations and "no completed" in violations[0]
+
+    def test_repo_slo_file_shape(self):
+        slo = json.loads((REPO / "benchmarks" / "slo.json").read_text())
+        for name, profile in slo.items():
+            assert profile["rps"] > 0, name
+            assert profile["duration_seconds"] > 0, name
+            assert isinstance(profile["thresholds"], dict), name
+
+
+class TestBenchSnapshot:
+    def test_written_snapshot_is_stable_and_diffable(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench(path, _summary())
+        text = path.read_text()
+        assert text.endswith("\n")
+        # Re-serialising parses back to the same object and the same text
+        # (sorted keys): byte-stable given equal numbers.
+        assert json.loads(text) == _summary()
+        write_bench(path, json.loads(text))
+        assert path.read_text() == text
+        # No wall-clock timestamps in the snapshot.
+        assert "time.time" not in text
+        assert not any(k.endswith("_at") for k in json.loads(text))

@@ -1,0 +1,216 @@
+"""Unit tests for the metrics primitives (counters, gauges, histograms)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_callback_counter_is_read_only(self):
+        c = Counter(callback=lambda: 42)
+        assert c.value() == 42
+        with pytest.raises(RuntimeError):
+            c.inc()
+
+    def test_callback_preserves_int(self):
+        assert isinstance(Counter(callback=lambda: 7).value(), int)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12.0
+
+    def test_callback_gauge_is_read_only(self):
+        g = Gauge(callback=lambda: 1.5)
+        assert g.value() == 1.5
+        with pytest.raises(RuntimeError):
+            g.set(0)
+        with pytest.raises(RuntimeError):
+            g.inc()
+
+
+class TestHistogram:
+    def test_bucket_assignment_le_semantics(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(v)
+        # le semantics: 1.0 lands in the first bucket, 2.0 in the second.
+        assert h.bucket_counts() == [2, 2, 1]
+        assert h.cumulative_counts() == [2, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(104.0)
+        assert h.min == 0.5
+        assert h.max == 99.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.min is None and h.max is None
+        assert h.quantile(0.5) is None
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, float("inf")))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(float("nan"))
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram(buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            est = h.quantile(q)
+            assert 2.0 <= est <= 3.0
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_single_observation_quantiles_exact(self):
+        h = Histogram()
+        h.observe(0.042)
+        assert h.quantile(0.5) == pytest.approx(0.042)
+        assert h.quantile(0.99) == pytest.approx(0.042)
+
+    def test_merge_requires_matching_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0,)).merge(Histogram(buckets=(2.0,)))
+
+    def test_merge_accumulates(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.01)
+        b.observe(1.5)
+        b.observe(0.0001)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 0.0001
+        assert a.max == 1.5
+        assert a.sum == pytest.approx(1.5101)
+
+    def test_snapshot_shape(self):
+        h = Histogram()
+        h.observe(0.02)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "min", "max", "p50", "p90", "p99"}
+
+    def test_concurrent_observes(self):
+        h = Histogram()
+        n, threads = 200, []
+
+        def worker():
+            for _ in range(n):
+                h.observe(0.01)
+
+        for _ in range(8):
+            t = threading.Thread(target=worker)
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join()
+        assert h.count == 8 * n
+        assert sum(h.bucket_counts()) == 8 * n
+
+
+class TestRegistry:
+    def test_namespace_prefixes_names(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("jobs_total")
+        assert fam.name == "repro_jobs_total"
+        assert reg.get("jobs_total") is fam
+        assert reg.get("repro_jobs_total") is fam
+
+    def test_registration_idempotent_same_kind(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_label_signature_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", labels=("stage",))
+        with pytest.raises(ValueError):
+            reg.histogram("h", labels=("kind",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "1abc", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_labelled_family_children(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("stage_seconds", labels=("stage",))
+        fam.labels(stage="train").observe(0.5)
+        fam.labels(stage="train").observe(0.7)
+        fam.labels(stage="encode").observe(0.1)
+        assert fam.labels(stage="train").count == 2
+        with pytest.raises(ValueError):
+            fam.labels(wrong="x")
+        with pytest.raises(ValueError):
+            fam.observe(1.0)  # labelled family has no solo child
+
+    def test_unlabelled_family_is_its_child(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.2)
+        assert reg.get("c").value() == 3
+        assert reg.get("g").value() == 2
+        assert reg.get("h").quantile(0.5) == pytest.approx(0.2)
+
+    def test_callback_metrics_cannot_be_labelled(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c", labels=("a",), callback=lambda: 1)
+
+    def test_snapshot_keys_and_values(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", callback=lambda: 5)
+        fam = reg.histogram("stage_seconds", labels=("stage",))
+        fam.labels(stage="train").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["repro_jobs_total"] == 5
+        key = 'repro_stage_seconds{stage="train"}'
+        assert snap[key]["count"] == 1
+        assert snap[key]["p50"] == pytest.approx(0.5)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))

@@ -1,0 +1,121 @@
+"""Property-based tests for the mergeable fixed-bucket histogram.
+
+The histogram backs every latency figure the service reports (``/metrics``,
+``/stats``, BENCH snapshots), so its invariants are load-bearing:
+
+* bucket counts always sum to the observation count;
+* quantile estimates are monotone in ``q`` and never leave ``[min, max]``;
+* merging histograms is exactly observation-concatenation (counts and
+  extrema identical; sums equal up to float re-association).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+_SETTINGS = dict(max_examples=80, deadline=None)
+
+#: Latency-like values spanning below, inside and above the bucket ladder.
+_values = st.floats(min_value=0.0, max_value=120.0,
+                    allow_nan=False, allow_infinity=False)
+_samples = st.lists(_values, min_size=0, max_size=60)
+
+
+def _filled(values) -> Histogram:
+    h = Histogram(DEFAULT_LATENCY_BUCKETS)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+class TestCountInvariants:
+    @given(_samples)
+    @settings(**_SETTINGS)
+    def test_bucket_counts_sum_to_observations(self, values):
+        h = _filled(values)
+        assert sum(h.bucket_counts()) == len(values)
+        assert h.count == len(values)
+
+    @given(_samples)
+    @settings(**_SETTINGS)
+    def test_cumulative_counts_monotone_and_complete(self, values):
+        h = _filled(values)
+        cumulative = h.cumulative_counts()
+        assert cumulative == sorted(cumulative)
+        assert (cumulative[-1] if cumulative else 0) == len(values)
+
+    @given(st.lists(_values, min_size=1, max_size=60))
+    @settings(**_SETTINGS)
+    def test_every_observation_lands_in_exactly_one_bucket(self, values):
+        h = _filled(values)
+        below = [sum(1 for v in values if v <= b) for b in h.bounds]
+        assert h.cumulative_counts()[:-1] == below
+
+
+class TestQuantileInvariants:
+    @given(st.lists(_values, min_size=1, max_size=60))
+    @settings(**_SETTINGS)
+    def test_quantiles_bounded_by_min_and_max(self, values):
+        h = _filled(values)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            est = h.quantile(q)
+            assert min(values) <= est <= max(values)
+
+    @given(st.lists(_values, min_size=1, max_size=60))
+    @settings(**_SETTINGS)
+    def test_quantiles_monotone_in_q(self, values):
+        h = _filled(values)
+        qs = [0.0, 0.1, 0.5, 0.75, 0.9, 0.99, 1.0]
+        estimates = [h.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    @given(st.lists(_values, min_size=1, max_size=60))
+    @settings(**_SETTINGS)
+    def test_quantile_error_bounded_by_owning_bucket(self, values):
+        """The estimate sits in (or at the edge of) the true value's bucket."""
+        h = _filled(values)
+        true_median = sorted(values)[(len(values) - 1) // 2]
+        est = h.quantile(0.5)
+        # Both land within one bucket of each other on the shared ladder.
+        import bisect
+
+        true_idx = bisect.bisect_left(h.bounds, true_median)
+        est_idx = bisect.bisect_left(h.bounds, est)
+        assert abs(true_idx - est_idx) <= 1
+
+
+class TestMergeInvariants:
+    @given(_samples, _samples)
+    @settings(**_SETTINGS)
+    def test_merge_equals_concatenation(self, left, right):
+        merged = _filled(left)
+        merged.merge(_filled(right))
+        combined = _filled(left + right)
+        assert merged.bucket_counts() == combined.bucket_counts()
+        assert merged.count == combined.count
+        assert merged.min == combined.min
+        assert merged.max == combined.max
+        # Sums associate differently; equality only up to float error.
+        assert merged.sum == pytest.approx(combined.sum, rel=1e-9, abs=1e-12)
+
+    @given(_samples, _samples)
+    @settings(**_SETTINGS)
+    def test_merge_quantiles_match_concatenation(self, left, right):
+        merged = _filled(left)
+        merged.merge(_filled(right))
+        combined = _filled(left + right)
+        for q in (0.5, 0.9, 0.99):
+            a, b = merged.quantile(q), combined.quantile(q)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+    @given(_samples)
+    @settings(**_SETTINGS)
+    def test_merge_empty_is_identity(self, values):
+        h = _filled(values)
+        before = (h.bucket_counts(), h.count, h.sum, h.min, h.max)
+        h.merge(Histogram(DEFAULT_LATENCY_BUCKETS))
+        assert (h.bucket_counts(), h.count, h.sum, h.min, h.max) == before

@@ -1,0 +1,136 @@
+"""Deterministic 429/Retry-After behaviour of :class:`ServiceClient`.
+
+A scripted stdlib HTTP server returns a pre-programmed response sequence,
+so the tests pin down exactly what the client does under backpressure
+without any real scheduler (or timing luck) involved: suggested delays
+are honoured, the ``backpressure_wait`` deadline expires promptly instead
+of hanging, and a terminal error after retries surfaces as the right
+exception type.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve import BackpressureError, ServiceClient, ServiceError
+
+
+class _ScriptedServer:
+    """HTTP server answering POST /submit from a fixed response script."""
+
+    def __init__(self, script: list[tuple[int, dict]]) -> None:
+        self.script = list(script)
+        self.requests: list[float] = []  # monotonic arrival times
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):  # noqa: A003
+                pass
+
+            def do_POST(self):  # noqa: N802 - http.server API
+                length = int(self.headers.get("Content-Length", 0))
+                self.rfile.read(length)
+                outer.requests.append(time.monotonic())
+                status, payload = (outer.script.pop(0) if outer.script
+                                   else (500, {"error": "script exhausted"}))
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                if status == 429 and "retry_after" in payload:
+                    self.send_header("Retry-After", str(payload["retry_after"]))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True)
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "_ScriptedServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+
+_BODY = {"kind": "tune", "input": "/tmp/x.npy", "target_ratio": 8.0}
+
+
+class TestBackoff:
+    def test_retry_after_delays_are_honoured(self):
+        script = [
+            (429, {"error": "queue full", "retry_after": 0.05}),
+            (429, {"error": "queue full", "retry_after": 0.05}),
+            (202, {"job_id": "j000001", "state": "queued",
+                   "coalesced_into": None}),
+        ]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=5.0)
+            t0 = time.monotonic()
+            ticket = client.submit(_BODY)
+            elapsed = time.monotonic() - t0
+            assert ticket["job_id"] == "j000001"
+            assert len(server.requests) == 3
+            # Two suggested 50 ms delays must both have been slept.
+            assert elapsed >= 0.1
+            gaps = [b - a for a, b in zip(server.requests, server.requests[1:])]
+            assert all(gap >= 0.045 for gap in gaps)
+
+    def test_deadline_expires_instead_of_hanging(self):
+        # The server suggests a delay far beyond the client's budget: the
+        # client must fail fast (before the suggested delay), not sleep it.
+        script = [(429, {"error": "queue full", "retry_after": 30.0})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=0.2)
+            t0 = time.monotonic()
+            with pytest.raises(BackpressureError) as exc:
+                client.submit(_BODY)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 2.0
+            assert exc.value.status == 429
+            assert len(server.requests) == 1
+
+    def test_zero_budget_rejects_on_first_429(self):
+        script = [(429, {"error": "queue full", "retry_after": 0.01})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=0.0)
+            with pytest.raises(BackpressureError):
+                client.submit(_BODY)
+            assert len(server.requests) == 1
+
+    def test_terminal_error_after_retries_surfaces(self):
+        # Backpressure first, then a hard 400: the client must raise the
+        # protocol error (with its status), not keep retrying or hang.
+        script = [
+            (429, {"error": "queue full", "retry_after": 0.01}),
+            (400, {"error": "unknown job spec fields: ['bogus']"}),
+        ]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=5.0)
+            with pytest.raises(ServiceError) as exc:
+                client.submit(_BODY)
+            assert not isinstance(exc.value, BackpressureError)
+            assert exc.value.status == 400
+            assert "bogus" in str(exc.value)
+            assert len(server.requests) == 2
+
+    def test_success_needs_no_retries(self):
+        script = [(202, {"job_id": "j000009", "state": "queued",
+                         "coalesced_into": None})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url)
+            assert client.submit(_BODY)["job_id"] == "j000009"
+            assert len(server.requests) == 1

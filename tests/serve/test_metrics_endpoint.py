@@ -1,0 +1,120 @@
+"""``GET /metrics`` end-to-end: well-formed exposition, consistent with
+``/stats``, stage histograms populated, and clean disablement."""
+
+import numpy as np
+import pytest
+
+from repro.obs.exposition import parse_prometheus
+from repro.serve import Scheduler, ServiceClient, ServiceServer
+
+
+@pytest.fixture(scope="module")
+def field():
+    r = np.random.default_rng(31)
+    return r.standard_normal((24, 24)).cumsum(axis=0).astype(np.float32)
+
+
+@pytest.fixture()
+def server():
+    with ServiceServer(port=0, workers=2, executor="thread") as srv:
+        yield srv
+
+
+def _run_some_jobs(server, field, n=3):
+    client = ServiceClient(server.url)
+    for i in range(n):
+        ticket = client.submit_array(field + np.float32(i), kind="tune",
+                                     target_ratio=8.0, tolerance=0.2)
+        client.result(ticket["job_id"], timeout=120)
+    return client
+
+
+class TestMetricsEndpoint:
+    def test_exposition_parses_and_is_typed(self, server, field):
+        client = _run_some_jobs(server, field, n=1)
+        samples = client.metrics()  # parse_prometheus raises on malformed text
+        declared = {s.name: s.labels["type"] for s in samples["__types__"]}
+        assert declared["repro_jobs_completed_total"] == "counter"
+        assert declared["repro_queue_depth"] == "gauge"
+        assert declared["repro_stage_seconds"] == "histogram"
+        assert declared["repro_job_seconds"] == "histogram"
+
+    def test_counters_match_stats(self, server, field):
+        client = _run_some_jobs(server, field, n=3)
+        samples = client.metrics()
+        stats = client.stats()
+        assert samples["repro_jobs_submitted_total"][0].value == \
+            stats["jobs"]["submitted"]
+        assert samples["repro_jobs_completed_total"][0].value == \
+            stats["jobs"]["completed"]
+        assert samples["repro_search_evaluations_total"][0].value == \
+            stats["search"]["evaluations"]
+
+    def test_stage_histograms_populated(self, server, field):
+        client = _run_some_jobs(server, field, n=2)
+        samples = client.metrics()
+        counts = {s.labels["stage"]: s.value
+                  for s in samples["repro_stage_seconds_count"]}
+        assert counts["queue_wait"] == 2
+        assert counts["run"] == 2
+        assert counts["search"] == 2  # tunes time the FRaZ search
+        kinds = {s.labels["kind"]: s.value
+                 for s in samples["repro_job_seconds_count"]}
+        assert kinds["tune"] == 2
+
+    def test_bucket_series_cumulative_with_inf(self, server, field):
+        client = _run_some_jobs(server, field, n=1)
+        samples = client.metrics()
+        runs = [s for s in samples["repro_stage_seconds_bucket"]
+                if s.labels["stage"] == "run"]
+        values = [s.value for s in runs]
+        assert values == sorted(values)
+        assert runs[-1].labels["le"] == "+Inf"
+        count = [s for s in samples["repro_stage_seconds_count"]
+                 if s.labels["stage"] == "run"][0]
+        assert runs[-1].value == count.value
+
+    def test_stats_metrics_section_matches_endpoint(self, server, field):
+        client = _run_some_jobs(server, field, n=1)
+        section = client.stats()["metrics"]
+        samples = client.metrics()
+        assert section["repro_jobs_completed_total"] == \
+            samples["repro_jobs_completed_total"][0].value
+        run = section['repro_stage_seconds{stage="run"}']
+        assert run["count"] >= 1
+        assert run["p50"] is not None
+        assert run["p50"] <= run["p99"]
+
+    def test_content_type(self, server):
+        import urllib.request
+
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in resp.headers["Content-Type"]
+
+
+class TestMetricsDisabled:
+    def test_endpoint_404s_and_stats_omits_section(self):
+        with ServiceServer(port=0, workers=1, executor="thread",
+                           metrics=False) as srv:
+            client = ServiceClient(srv.url)
+            from repro.serve import ServiceError
+
+            with pytest.raises(ServiceError) as exc:
+                client.metrics_text()
+            assert exc.value.status == 404
+            assert client.stats()["metrics"] is None
+
+    def test_scheduler_metrics_text_raises(self):
+        sched = Scheduler(workers=1, executor="thread", metrics=False)
+        with pytest.raises(RuntimeError):
+            sched.metrics_text()
+
+    def test_shared_registry_instance(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        sched = Scheduler(workers=1, executor="thread", metrics=reg)
+        assert sched.metrics is reg
+        assert reg.get("queue_depth") is not None

@@ -1,0 +1,113 @@
+"""Counter integrity under concurrent load, on both execution backends.
+
+An 8-client overlapping burst (two fields x two targets, so most
+submissions coalesce) is driven to completion, then every ledger the
+service keeps is cross-checked: queue depth back to zero, every
+submission accounted for exactly once, queue admissions equal to
+submissions minus coalesced followers, and the search/cache counters
+internally consistent.  The same invariants are asserted against the
+``/stats`` ``metrics`` section, which must agree with the raw counters
+by construction (callback metrics read the same numbers).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ServiceClient, ServiceServer
+
+N_CLIENTS = 8
+SUBMITS_PER_CLIENT = 4
+
+
+@pytest.fixture(scope="module")
+def fields():
+    out = []
+    for seed in (51, 52):
+        r = np.random.default_rng(seed)
+        out.append(r.standard_normal((16, 16)).cumsum(axis=0).astype(np.float32))
+    return out
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_stats_integrity_under_burst(fields, executor):
+    with ServiceServer(port=0, workers=2, queue_size=64,
+                       executor=executor, paused=True) as server:
+        client = ServiceClient(server.url)
+        tickets: list[dict] = []
+        lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def one_client(idx: int) -> None:
+            try:
+                mine = []
+                for i in range(SUBMITS_PER_CLIENT):
+                    # Two fields x two targets: four distinct jobs, every
+                    # other submission a coalesce candidate.
+                    field = fields[(idx + i) % 2]
+                    target = 6.0 if (idx + i) % 4 < 2 else 8.0
+                    mine.append(client.submit_array(
+                        field, kind="tune", target_ratio=target, tolerance=0.25))
+                with lock:
+                    tickets.extend(mine)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=one_client, args=(i,))
+                   for i in range(N_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors, errors
+        assert len(tickets) == N_CLIENTS * SUBMITS_PER_CLIENT
+
+        # Everything submitted while paused: the coalescing window was
+        # wide open and nothing has run yet.
+        server.scheduler.resume()
+        for ticket in tickets:
+            client.result(ticket["job_id"], timeout=120)
+
+        stats = client.stats()
+        jobs, queue, search = stats["jobs"], stats["queue"], stats["search"]
+        submitted = N_CLIENTS * SUBMITS_PER_CLIENT
+
+        # -- job ledger: every submission accounted for exactly once ------
+        assert jobs["submitted"] == submitted
+        assert jobs["completed"] == submitted
+        assert jobs["failed"] == 0
+        assert jobs["cancelled"] == 0
+        assert jobs["running"] == 0
+
+        # -- queue ledger: admissions = submissions - coalesced -----------
+        assert queue["depth"] == 0
+        assert queue["enqueued"] == submitted - jobs["coalesced"]
+        assert queue["rejected"] == 0
+        # Four distinct (field, target) combinations existed, so at most
+        # four primaries ever entered the queue per coalescing window.
+        assert jobs["coalesced"] >= submitted - 4
+
+        # -- search ledger: hits and misses partition the evaluations -----
+        assert search["cache_hits"] + search["cache_misses"] == search["evaluations"]
+        assert search["evaluations"] > 0
+
+        # -- metrics section agrees with the raw counters ------------------
+        metrics = stats["metrics"]
+        assert metrics["repro_queue_depth"] == 0
+        assert metrics["repro_jobs_running"] == 0
+        assert metrics["repro_jobs_submitted_total"] == submitted
+        assert metrics["repro_jobs_completed_total"] == submitted
+        assert metrics["repro_jobs_coalesced_total"] == jobs["coalesced"]
+        assert metrics["repro_queue_enqueued_total"] == queue["enqueued"]
+
+        # Every completed job observed exactly one latency sample.
+        job_counts = sum(v["count"] for k, v in metrics.items()
+                         if k.startswith("repro_job_seconds{"))
+        assert job_counts == submitted
+        # Only primaries ran: one queue_wait and one run observation each.
+        run = metrics['repro_stage_seconds{stage="run"}']
+        wait = metrics['repro_stage_seconds{stage="queue_wait"}']
+        assert run["count"] == submitted - jobs["coalesced"]
+        assert wait["count"] == submitted - jobs["coalesced"]

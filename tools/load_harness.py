@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Open-loop load harness for the compression service (CI entry point).
+
+Thin shim over :mod:`repro.obs.load` so CI and operators can run it as a
+script without installing the package::
+
+    PYTHONPATH=src python tools/load_harness.py --profile serve --relax 4
+
+Replays the request mix in ``benchmarks/load_mix.json`` at the profile's
+target RPS (profiles and thresholds live in ``benchmarks/slo.json``),
+writes a diffable ``BENCH_<profile>.json`` snapshot, and exits non-zero
+on any SLO violation.  `repro load` is the same harness as a subcommand.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.load import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
