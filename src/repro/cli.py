@@ -16,7 +16,10 @@ Commands
 ``tune``        run the FRaZ search and report the recommended bound
 ``run``         execute a ``CompressionRequest`` JSON spec (locally, or
                 against a service with ``--url``)
-``serve``       run the resident compression service (HTTP JSON API)
+``serve``       run the resident compression service (HTTP JSON API);
+                ``--register`` joins a gateway fleet as one shard
+``gateway``     front N ``serve`` nodes with one endpoint: consistent-hash
+                routing, heartbeats, draining, failover
 ``submit``      send one job to a running ``serve`` instance
 ``load``        open-loop load harness with SLO gating (``BENCH_*`` snapshots)
 ``info``        show a ``.frz``/``.frzs`` file's metadata
@@ -256,7 +259,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="expose GET /metrics (Prometheus text) and the "
                         "/stats metrics section (default on; --no-metrics "
                         "disables the observability layer)")
+    p.add_argument("--register", default=None, metavar="GATEWAY_URL",
+                   help="join a `repro gateway` fleet: register this node at "
+                        "GATEWAY_URL and heartbeat for liveness "
+                        "(see docs/GATEWAY.md)")
+    p.add_argument("--node-id", default=None,
+                   help="stable fleet identity (with --register; default "
+                        "node-<host>-<port>)")
+    p.add_argument("--advertise-url", default=None,
+                   help="URL the gateway should reach this node at (with "
+                        "--register; default the bound host:port)")
+    p.add_argument("--heartbeat-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="heartbeat cadence override (with --register; default: "
+                        "whatever the gateway's registration response says)")
     add_cache_args(p)
+
+    p = sub.add_parser(
+        "gateway",
+        help="run the sharded-fleet gateway",
+        description="Front N `repro serve` nodes with one endpoint: jobs "
+                    "route to shards by consistent-hashing the coalesce key, "
+                    "nodes heartbeat for liveness, operators drain nodes for "
+                    "maintenance (POST /admin/drain/<node>), and jobs owed by "
+                    "a dead node fail over to surviving shards.  Start nodes "
+                    "with `repro serve --register <gateway-url>`.  See "
+                    "docs/GATEWAY.md.",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8076,
+                   help="TCP port (default 8076; 0 picks a free port)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="cadence nodes are told to heartbeat at (default 1.0)")
+    p.add_argument("--dead-after", type=float, default=3.0, metavar="SECONDS",
+                   help="heartbeat silence before a node is declared dead and "
+                        "its un-acked jobs fail over (default 3.0)")
+    p.add_argument("--check-interval", type=float, default=0.25, metavar="SECONDS",
+                   help="death-detection poll period (default 0.25)")
+    p.add_argument("--replicas", type=int, default=64,
+                   help="virtual points per node on the hash ring (default 64)")
+    p.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    p.add_argument("--metrics", action=argparse.BooleanOptionalAction, default=True,
+                   help="expose GET /metrics (repro_gateway_* series; "
+                        "default on)")
 
     p = sub.add_parser(
         "submit",
@@ -492,10 +538,41 @@ def _cmd_serve(args) -> int:
         spill_threshold=args.spill_threshold,
         max_memory=args.max_memory,
         metrics=args.metrics,
+        register=args.register,
+        node_id=args.node_id,
+        advertise_url=args.advertise_url,
+        heartbeat_interval=args.heartbeat_interval,
     )
+    shard = (f", registering with {args.register} as {server.agent.node_id}"
+             if server.agent is not None else "")
     print(f"repro serve listening on {server.url} "
           f"({server.scheduler.workers} {server.scheduler.executor_mode} workers, "
-          f"queue {args.queue_size})",
+          f"queue {args.queue_size}{shard})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    from repro.gateway import GatewayServer
+
+    server = GatewayServer(
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        heartbeat_interval=args.heartbeat_interval,
+        dead_after=args.dead_after,
+        check_interval=args.check_interval,
+        replicas=args.replicas,
+        metrics=args.metrics,
+    )
+    print(f"repro gateway listening on {server.url} "
+          f"(heartbeat {args.heartbeat_interval:g}s, dead after "
+          f"{args.dead_after:g}s); register nodes with "
+          f"`repro serve --register {server.url}`",
           flush=True)
     try:
         server.serve_forever()
@@ -592,6 +669,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "load":

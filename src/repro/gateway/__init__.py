@@ -1,0 +1,39 @@
+"""Sharded multi-node service: a coalescing gateway over N worker nodes.
+
+The gateway tier turns a fleet of independent ``repro serve`` nodes into
+one service endpoint::
+
+    repro gateway --port 8076 &
+    repro serve --port 9001 --register http://127.0.0.1:8076 &
+    repro serve --port 9002 --register http://127.0.0.1:8076 &
+    repro submit tune data.npy --ratio 8 --url http://127.0.0.1:8076
+
+Requests route to shards by consistent-hashing the same coalesce key the
+node-side scheduler deduplicates on, so identical requests land on the
+same shard (coalescing and the per-shard :class:`~repro.cache.EvalCache`
+stay hot).  Nodes register and heartbeat; operators drain nodes
+(``POST /admin/drain/<node>``) for zero-loss maintenance; nodes whose
+heartbeats lapse are declared dead and their un-acked jobs are requeued
+onto surviving shards through the specs' retry budgets — a killed
+worker *host* now loses zero jobs, extending the process-backend crash
+recovery one level up.  See ``docs/GATEWAY.md``.
+"""
+
+from repro.gateway.registry import NodeRecord, NodeRegistry, NodeState
+from repro.gateway.ring import DEFAULT_REPLICAS, HashRing
+from repro.gateway.router import NoCapacityError, RoutedJob, Router, RouterStats
+from repro.gateway.server import DEFAULT_GATEWAY_PORT, GatewayServer
+
+__all__ = [
+    "HashRing",
+    "DEFAULT_REPLICAS",
+    "NodeState",
+    "NodeRecord",
+    "NodeRegistry",
+    "Router",
+    "RouterStats",
+    "RoutedJob",
+    "NoCapacityError",
+    "GatewayServer",
+    "DEFAULT_GATEWAY_PORT",
+]

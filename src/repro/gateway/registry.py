@@ -1,0 +1,234 @@
+"""Gateway-side node registry: membership, heartbeats, drain, death.
+
+One :class:`NodeRegistry` is the gateway's single source of truth about
+the worker fleet.  Each node is a :class:`NodeRecord` moving through
+
+::
+
+    active ──> draining ──> left        (operator drain, then unregister)
+      │  │         │
+      │  └─────────┴──────> dead        (heartbeats stop for dead_after)
+      └───────────────────> left        (clean unregister)
+
+``active`` nodes are routable; ``draining`` nodes stay in the fleet and
+keep heartbeating (their in-flight jobs finish normally) but receive no
+new work; ``dead`` and ``left`` nodes are out of the ring entirely.  A
+dead node that starts heartbeating again (a partition healed, a SIGSTOP
+was continued) is *resurrected* to active — its requeued jobs are not
+clawed back; at worst the work is recomputed, and results are pure
+functions of the spec, so duplicates are identical.
+
+Death detection is pull-based and cheap: :meth:`NodeRegistry.reap`
+compares each node's last-heartbeat monotonic stamp against
+``dead_after`` and returns the newly-dead records; the gateway's
+monitor thread calls it on a short period and requeues whatever those
+nodes still owed (see :mod:`repro.gateway.router`).  Monotonic time
+only — a stepped wall clock must not mass-kill the fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.gateway.ring import DEFAULT_REPLICAS, HashRing
+
+__all__ = ["NodeState", "NodeRecord", "NodeRegistry"]
+
+
+class NodeState:
+    """Wire strings for a node's lifecycle state."""
+
+    ACTIVE = "active"
+    DRAINING = "draining"
+    DEAD = "dead"
+    LEFT = "left"
+
+    #: States that keep a node in the hash ring.
+    ROUTABLE = frozenset({ACTIVE})
+    #: States a heartbeat is still expected from.
+    ALIVE = frozenset({ACTIVE, DRAINING})
+
+
+@dataclass
+class NodeRecord:
+    """One worker node as the gateway sees it."""
+
+    node_id: str
+    url: str
+    state: str = NodeState.ACTIVE
+    registered_at: float = field(default_factory=time.time)
+    #: Monotonic stamp of the last heartbeat (or registration).
+    last_heartbeat_mono: float = field(default_factory=time.monotonic)
+    heartbeats: int = 0
+    #: Times this node was declared dead (resurrections reset state only).
+    deaths: int = 0
+    #: The node's last self-reported stats block (jobs/queue summary).
+    reported: dict = field(default_factory=dict)
+
+    def heartbeat_age(self) -> float:
+        return max(0.0, time.monotonic() - self.last_heartbeat_mono)
+
+    def status_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "url": self.url,
+            "state": self.state,
+            "registered_at": self.registered_at,
+            "heartbeats": self.heartbeats,
+            "heartbeat_age_seconds": round(self.heartbeat_age(), 3),
+            "deaths": self.deaths,
+            "reported": self.reported,
+        }
+
+
+class NodeRegistry:
+    """Thread-safe fleet membership + the ring that routes over it."""
+
+    def __init__(
+        self,
+        dead_after: float = 3.0,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if dead_after <= 0:
+            raise ValueError(f"dead_after must be positive, got {dead_after!r}")
+        self.dead_after = float(dead_after)
+        self._ring = HashRing(replicas)
+        self._nodes: dict[str, NodeRecord] = {}
+        self._lock = threading.RLock()
+
+    # -- membership --------------------------------------------------------
+    def register(self, node_id: str, url: str) -> NodeRecord:
+        """Add (or re-add) a node; re-registration resurrects and re-homes.
+
+        A node that restarts re-registers under the same id with a
+        possibly different URL; it comes back ``active`` with a fresh
+        heartbeat stamp.
+        """
+        if not node_id or "/" in node_id:
+            raise ValueError(f"invalid node id {node_id!r}")
+        url = url.rstrip("/")
+        if not url.startswith(("http://", "https://")):
+            raise ValueError(f"invalid node url {url!r}")
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                record = self._nodes[node_id] = NodeRecord(node_id=node_id, url=url)
+            else:
+                record.url = url
+                record.state = NodeState.ACTIVE
+                record.last_heartbeat_mono = time.monotonic()
+            self._ring.add(node_id)
+            return record
+
+    def unregister(self, node_id: str) -> NodeRecord | None:
+        """Clean departure: out of the ring, state ``left``."""
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                return None
+            record.state = NodeState.LEFT
+            self._ring.remove(node_id)
+            return record
+
+    def get(self, node_id: str) -> NodeRecord | None:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    # -- heartbeat / liveness ----------------------------------------------
+    def heartbeat(self, node_id: str, reported: dict | None = None) -> NodeRecord | None:
+        """Record a heartbeat; resurrects a ``dead`` node to ``active``.
+
+        Returns the record, or ``None`` for an unknown node (the caller
+        answers "re-register please").
+        """
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None or record.state == NodeState.LEFT:
+                return None
+            record.last_heartbeat_mono = time.monotonic()
+            record.heartbeats += 1
+            if reported is not None:
+                record.reported = reported
+            if record.state == NodeState.DEAD:
+                record.state = NodeState.ACTIVE
+                self._ring.add(node_id)
+            return record
+
+    def reap(self) -> list[NodeRecord]:
+        """Declare dead every alive node whose heartbeat lapsed; return them."""
+        newly_dead: list[NodeRecord] = []
+        with self._lock:
+            for record in self._nodes.values():
+                if record.state in NodeState.ALIVE and record.heartbeat_age() > self.dead_after:
+                    record.state = NodeState.DEAD
+                    record.deaths += 1
+                    self._ring.remove(record.node_id)
+                    newly_dead.append(record)
+        return newly_dead
+
+    # -- drain -------------------------------------------------------------
+    def drain(self, node_id: str) -> NodeRecord | None:
+        """Stop routing new work to a node; in-flight jobs finish."""
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                return None
+            if record.state == NodeState.ACTIVE:
+                record.state = NodeState.DRAINING
+                self._ring.remove(node_id)
+            return record
+
+    def undrain(self, node_id: str) -> NodeRecord | None:
+        """Return a draining node to active routing."""
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                return None
+            if record.state == NodeState.DRAINING:
+                record.state = NodeState.ACTIVE
+                self._ring.add(node_id)
+            return record
+
+    # -- routing -----------------------------------------------------------
+    def route(self, key: str) -> NodeRecord | None:
+        """The routable node owning ``key`` (``None``: no capacity at all)."""
+        with self._lock:
+            node_id = self._ring.lookup(key)
+            if node_id is None:
+                return None
+            return self._nodes[node_id]
+
+    def route_avoiding(self, key: str, avoid: set[str]) -> NodeRecord | None:
+        """Like :meth:`route` but skipping ``avoid`` (failover re-homing)."""
+        with self._lock:
+            node_id = self._ring.lookup(key, exclude=avoid)
+            if node_id is None:
+                return None
+            return self._nodes[node_id]
+
+    # -- introspection -----------------------------------------------------
+    def nodes(self, states: frozenset[str] | None = None) -> list[NodeRecord]:
+        with self._lock:
+            records = list(self._nodes.values())
+        if states is not None:
+            records = [r for r in records if r.state in states]
+        return records
+
+    def counts(self) -> dict[str, int]:
+        """``{state: node count}`` over every known node."""
+        out = {NodeState.ACTIVE: 0, NodeState.DRAINING: 0,
+               NodeState.DEAD: 0, NodeState.LEFT: 0}
+        with self._lock:
+            for record in self._nodes.values():
+                out[record.state] = out.get(record.state, 0) + 1
+        return out
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            return {
+                "dead_after_seconds": self.dead_after,
+                "counts": self.counts(),
+                "nodes": [r.status_dict() for r in self._nodes.values()],
+            }

@@ -1,0 +1,105 @@
+"""Consistent-hash ring: route coalesce keys to worker nodes.
+
+Routing identical requests to the same shard is what keeps the service's
+two big cost-savers effective once there is more than one node: the
+per-shard coalescing registry only deduplicates requests it actually
+sees, and the per-shard :class:`~repro.cache.EvalCache` only answers
+probes it has already paid for.  A consistent-hash ring gives that
+stickiness *and* bounds the damage of membership churn: when a node
+joins or leaves, only the keys in the arc it owns move (expected
+``1/N`` of the keyspace), instead of the near-total reshuffle a
+``hash(key) % N`` table suffers.
+
+Implementation is the classic virtual-node ring: each node is hashed
+onto the ring at ``replicas`` points (``blake2b(node_id + "#" + i)``),
+and a key routes to the first ring point clockwise from
+``blake2b(key)``.  More replicas flatten the per-node share variance
+(``tests/gateway/test_ring.py`` holds 64 replicas to a ±60% band around
+fair share); the ring is a sorted list + ``bisect``, so a lookup is
+O(log(N·replicas)).
+
+Nodes can be *present but unroutable* (draining or dead): lookups take
+an ``exclude`` set and keep walking clockwise past excluded owners, so
+membership changes of state don't move keys between the remaining
+routable nodes any more than a removal would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections.abc import Iterable
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS", "hash_key"]
+
+#: Virtual points per node; enough to hold per-node share within
+#: tolerance (see tests/gateway/test_ring.py) while keeping the ring
+#: small.
+DEFAULT_REPLICAS = 64
+
+
+def hash_key(key: str) -> int:
+    """Position of ``key`` on the ring (stable across processes/runs)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over string node ids.
+
+    Not thread-safe by itself — the owning
+    :class:`~repro.gateway.registry.NodeRegistry` serialises mutation
+    and lookup under its own lock.
+    """
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS) -> None:
+        if not isinstance(replicas, int) or replicas < 1:
+            raise ValueError(f"replicas must be an int >= 1, got {replicas!r}")
+        self.replicas = replicas
+        self._points: list[tuple[int, str]] = []  # sorted (position, node_id)
+        self._nodes: set[str] = set()
+
+    # -- membership --------------------------------------------------------
+    def add(self, node_id: str) -> None:
+        """Add a node's virtual points (idempotent)."""
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for i in range(self.replicas):
+            self._points.append((hash_key(f"{node_id}#{i}"), node_id))
+        self._points.sort()
+
+    def remove(self, node_id: str) -> None:
+        """Remove a node's virtual points (idempotent)."""
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        self._points = [p for p in self._points if p[1] != node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, key: str, exclude: Iterable[str] = ()) -> str | None:
+        """The node owning ``key``, skipping ``exclude``; ``None`` if none.
+
+        Walks clockwise from the key's position past points owned by
+        excluded nodes, wrapping around the ring once.  With no routable
+        node at all, returns ``None`` (the gateway maps that to a 503).
+        """
+        if not self._points:
+            return None
+        excluded = set(exclude)
+        start = bisect_right(self._points, (hash_key(key), "￿"))
+        n = len(self._points)
+        for step in range(n):
+            _, node_id = self._points[(start + step) % n]
+            if node_id not in excluded:
+                return node_id
+        return None

@@ -28,11 +28,20 @@ payloads rather than shipping arrays: each entry is a job-spec template
 plus a ``data`` block (shape, seed, generator, variants) the harness
 materialises deterministically before the run starts, so the mix file
 stays a few hundred bytes and the generated traffic is reproducible.
+
+A profile may set ``"topology": "gateway"`` (plus ``"nodes": N``): the
+embedded endpoint is then a :class:`~repro.gateway.GatewayServer`
+fronting N agent-registered worker nodes instead of a single
+:class:`~repro.serve.server.ServiceServer`, so the SLO gate also covers
+the routed path — the extra hop, consistent-hash stickiness and the
+heartbeat/ack result plumbing — and a latency regression in the gateway
+shows up next to the direct-serve numbers it is compared against.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import random
 import sys
@@ -47,6 +56,7 @@ __all__ = [
     "run_load",
     "check_slo",
     "write_bench",
+    "embedded_endpoint",
     "main",
 ]
 
@@ -275,6 +285,15 @@ def _scrape_service(client) -> dict:
                              if k in snap}
     if stages:
         view["stages"] = stages
+    fleet = stats.get("fleet")
+    if isinstance(fleet, dict):  # the endpoint was a gateway, not a node
+        view["gateway"] = {
+            "node_counts": fleet.get("counts"),
+            "reroutes": jobs.get("reroutes"),
+            "requeued": jobs.get("requeued"),
+            "node_failures": jobs.get("node_failures"),
+            "no_capacity": jobs.get("no_capacity"),
+        }
     return view
 
 
@@ -327,6 +346,53 @@ def write_bench(path: str | Path, summary: dict) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Embedded endpoints
+# ---------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def embedded_endpoint(topology: str, *, workers: int, executor: str,
+                      nodes: int = 2):
+    """Start an in-process service endpoint for a load run; yields its URL.
+
+    ``topology="serve"`` is a single :class:`ServiceServer`;
+    ``topology="gateway"`` is a :class:`GatewayServer` fronting ``nodes``
+    agent-registered workers (each with ``workers`` threads/processes),
+    torn down nodes-first so agents unregister cleanly.
+    """
+    from repro.serve.server import ServiceServer
+
+    if topology == "serve":
+        with ServiceServer(port=0, workers=workers, executor=executor) as server:
+            yield server.url
+        return
+    if topology != "gateway":
+        raise ValueError(f"unknown topology {topology!r} (try serve, gateway)")
+    if nodes < 1:
+        raise ValueError("gateway topology needs at least one node")
+
+    from repro.gateway import GatewayServer
+
+    gateway = GatewayServer(port=0, heartbeat_interval=0.25,
+                            dead_after=5.0, check_interval=0.1).start()
+    fleet: list[ServiceServer] = []
+    try:
+        for i in range(nodes):
+            fleet.append(ServiceServer(
+                port=0, workers=workers, executor=executor,
+                register=gateway.url, node_id=f"load-n{i}").start())
+        deadline = time.monotonic() + 30.0
+        while gateway.router.registry.counts()["active"] < nodes:
+            if time.monotonic() > deadline:
+                raise TimeoutError("load fleet never finished registering")
+            time.sleep(0.02)
+        yield gateway.url
+    finally:
+        for node in fleet:
+            node.shutdown()
+        gateway.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # CLI (shared by `repro load` and tools/load_harness.py)
 # ---------------------------------------------------------------------------
 
@@ -365,6 +431,14 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="embedded server backend (default thread)")
     parser.add_argument("--workers", type=int, default=2,
                         help="embedded server workers (default 2)")
+    parser.add_argument("--topology", choices=("serve", "gateway"),
+                        default=None,
+                        help="embedded endpoint shape: a single server or a "
+                             "gateway fronting registered nodes (default: "
+                             "whatever the profile says, else serve)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="worker nodes behind an embedded gateway "
+                             "(default: the profile's 'nodes', else 2)")
     parser.add_argument("--out-dir", default=".",
                         help="where BENCH_<profile>.json snapshots land "
                              "(default: current directory)")
@@ -406,15 +480,19 @@ def run_from_args(args: argparse.Namespace) -> int:
         rps = args.rps if args.rps is not None else profile["rps"]
         duration = (args.duration if args.duration is not None
                     else profile["duration_seconds"])
+        topology = args.topology or profile.get("topology", "serve")
+        nodes = args.nodes if args.nodes is not None else profile.get("nodes", 2)
         with tempfile.TemporaryDirectory(prefix="repro-load-") as tmp:
             bodies, weights = materialize_mix(mix, tmp)
             if args.url is None:
-                from repro.serve.server import ServiceServer
-
-                with ServiceServer(port=0, workers=args.workers,
-                                   executor=args.executor) as server:
-                    summary = run_load(server.url, bodies, weights, rps=rps,
+                with embedded_endpoint(topology, workers=args.workers,
+                                       executor=args.executor,
+                                       nodes=nodes) as url:
+                    summary = run_load(url, bodies, weights, rps=rps,
                                        duration=duration, seed=args.seed)
+                summary["config"]["topology"] = topology
+                if topology == "gateway":
+                    summary["config"]["nodes"] = nodes
             else:
                 summary = run_load(args.url, bodies, weights, rps=rps,
                                    duration=duration, seed=args.seed)
@@ -431,7 +509,9 @@ def run_from_args(args: argparse.Namespace) -> int:
         # the human progress lines move to stderr.
         human = sys.stderr if args.json else sys.stdout
         if not args.no_bench:
-            out = Path(args.out_dir) / f"BENCH_{name}.json"
+            out_dir = Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out = out_dir / f"BENCH_{name}.json"
             write_bench(out, summary)
             print(f"wrote {out}", file=human)
         if args.json:

@@ -19,11 +19,13 @@ so the same request object also drives :func:`repro.api.execute` and the
 CLI.  See ``docs/SERVICE.md`` for the full protocol.
 """
 
+from repro.serve.agent import NodeAgent
 from repro.serve.client import (
     BackpressureError,
     JobFailedError,
     ServiceClient,
     ServiceError,
+    ServiceUnavailableError,
 )
 from repro.serve.jobs import (
     PRIORITY_HIGH,
@@ -54,7 +56,9 @@ __all__ = [
     "ServiceServer",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailableError",
     "BackpressureError",
+    "NodeAgent",
     "JobFailedError",
     "DEFAULT_PORT",
     "DEFAULT_STREAM_THRESHOLD",

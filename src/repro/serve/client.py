@@ -22,7 +22,13 @@ import numpy as np
 from repro.api.request import CompressionRequest
 from repro.serve.jobs import JobSpec
 
-__all__ = ["ServiceClient", "ServiceError", "BackpressureError", "JobFailedError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "BackpressureError",
+    "JobFailedError",
+]
 
 
 class ServiceError(RuntimeError):
@@ -32,6 +38,19 @@ class ServiceError(RuntimeError):
         super().__init__(message)
         self.status = status
         self.body = body or {}
+
+
+class ServiceUnavailableError(ServiceError):
+    """The endpoint cannot be reached at the transport level.
+
+    Connection refused, reset, DNS failure, timeout — the *host* is the
+    problem, not the queue.  Deliberately distinct from
+    :class:`BackpressureError`: a 429 means "the service is up, slow
+    down" and is worth sleeping the suggested ``Retry-After``; a refused
+    connection means "this node is down" and sleeping on it only delays
+    the real remedy (the gateway routing the job to a different shard —
+    see ``repro/gateway/router.py``).
+    """
 
 
 class BackpressureError(ServiceError):
@@ -74,7 +93,13 @@ class ServiceClient:
                 payload = {}
             return exc.code, payload
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {self.url}: {exc.reason}") from exc
+            raise ServiceUnavailableError(
+                f"cannot reach {self.url}: {exc.reason}") from exc
+        except (ConnectionError, TimeoutError) as exc:
+            # A reused keep-alive socket can fail with a raw OS error
+            # before urllib wraps it (e.g. reset by a dying server).
+            raise ServiceUnavailableError(
+                f"cannot reach {self.url}: {exc}") from exc
 
     # -- submission --------------------------------------------------------
     def submit(
@@ -87,6 +112,12 @@ class ServiceClient:
         keyword arguments), a :class:`JobSpec`, a spec dict, or the
         spec's fields as keyword arguments.  Retries on ``429`` until
         ``backpressure_wait`` runs out.
+
+        Only genuine backpressure sleeps: a connection-level failure
+        raises :class:`ServiceUnavailableError` immediately — the node
+        is down, and the right reaction (a gateway re-routing to another
+        shard, an operator restarting the node) is never "wait politely
+        and retry the dead socket".
         """
         if spec is None:
             body = dict(fields)
@@ -130,6 +161,24 @@ class ServiceClient:
         return payload
 
     # -- status/result -----------------------------------------------------
+    def poll_status(self, job_id: str) -> tuple[int, dict]:
+        """One ``GET /status/<id>`` round trip: ``(http status, body)``.
+
+        No interpretation, no polling — the gateway proxies with this.
+        """
+        return self._request("GET", f"/status/{job_id}")
+
+    def poll_result(self, job_id: str) -> tuple[int, dict]:
+        """One ``GET /result/<id>`` round trip: ``(http status, body)``.
+
+        ``202`` means still pending; ``200`` carries the terminal record
+        (``state``/``result``/``error``) whatever the outcome.  Unlike
+        :meth:`result` this never sleeps and never raises on a failed
+        job — callers that need the raw protocol (the gateway's
+        result-ack fetch) decide for themselves.
+        """
+        return self._request("GET", f"/result/{job_id}")
+
     def status(self, job_id: str) -> dict:
         status, payload = self._request("GET", f"/status/{job_id}")
         if status != 200:
@@ -188,7 +237,8 @@ class ServiceClient:
             raise ServiceError(f"/metrics returned HTTP {exc.code}",
                                status=exc.code) from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {self.url}: {exc.reason}") from exc
+            raise ServiceUnavailableError(
+                f"cannot reach {self.url}: {exc.reason}") from exc
 
     def metrics(self) -> dict:
         """``/metrics`` parsed into ``{name: [MetricSample, ...]}``."""

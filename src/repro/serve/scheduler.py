@@ -354,6 +354,7 @@ class Scheduler:
             self._gate.set()
         self._threads: list[threading.Thread] = []
         self._pool: ProcessJobPool | None = None
+        self._finish_listeners: list = []
         self._started_at = time.time()
         self._started_mono = time.monotonic()
         if isinstance(metrics, MetricsRegistry):
@@ -574,6 +575,11 @@ class Scheduler:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def jobs(self) -> list[Job]:
+        """Snapshot of every job record the scheduler still remembers."""
+        with self._lock:
+            return list(self._jobs.values())
+
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until ``job_id`` finishes; returns the job record."""
         job = self.get(job_id)
@@ -640,6 +646,7 @@ class Scheduler:
         job._finish(JobState.CANCELLED)
         self.stats.cancelled += 1
         self._remember(job)
+        self._notify_finished([job])
 
     # -- worker side -------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -710,6 +717,26 @@ class Scheduler:
                 self.stats.streamed += 1
         self._finish(job, JobState.DONE, result=result)
 
+    def add_finish_listener(self, listener) -> None:
+        """Call ``listener(job)`` after every terminal transition.
+
+        The hook fires for primaries *and* their coalesced followers
+        (each follower is a tracked job with its own id).  The node
+        agent uses it to report finished jobs to a gateway (see
+        ``repro/serve/agent.py``); listeners must not raise and must not
+        block — they run on the worker thread that finished the job,
+        sometimes under the scheduler lock (cancellations).
+        """
+        self._finish_listeners.append(listener)
+
+    def _notify_finished(self, jobs: list[Job]) -> None:
+        for listener in self._finish_listeners:
+            for job in jobs:
+                try:
+                    listener(job)
+                except Exception:  # noqa: BLE001 - listeners never kill workers
+                    pass
+
     def _finish(self, job: Job, state: JobState, *, result: dict | None = None,
                 error: str | None = None) -> None:
         with self._lock:
@@ -738,6 +765,7 @@ class Scheduler:
                 self._observe_job(follower)
                 self.stats.completed += 1 if done else 0
                 self.stats.failed += 0 if done else 1
+        self._notify_finished([job, *followers])
 
     def _drop_inflight(self, job: Job) -> None:
         key = job.spec.coalesce_key()

@@ -55,6 +55,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # Set by ServiceServer on the server class instance.
     scheduler: Scheduler = None  # type: ignore[assignment]
+    agent = None  # NodeAgent when this node registered with a gateway
     verbose: bool = False
 
     # -- plumbing ----------------------------------------------------------
@@ -147,7 +148,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/stats":
-            self._send(200, self.scheduler.stats_payload())
+            payload = self.scheduler.stats_payload()
+            if self.agent is not None:
+                payload["shard"] = self.agent.status_dict()
+            self._send(200, payload)
             return
         if self.path == "/metrics":
             if self.scheduler.metrics is None:
@@ -201,6 +205,10 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         verbose: bool = False,
+        register: str | None = None,
+        node_id: str | None = None,
+        advertise_url: str | None = None,
+        heartbeat_interval: float | None = None,
         **scheduler_kwargs,
     ) -> None:
         if scheduler is not None and scheduler_kwargs:
@@ -211,6 +219,19 @@ class ServiceServer:
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
+        self.agent = None
+        if register is not None:
+            # The listener is already bound, so the real port is known
+            # even when the caller asked for an ephemeral one.
+            from repro.serve.agent import NodeAgent
+
+            self.agent = NodeAgent(
+                self.scheduler, register,
+                node_id=node_id or f"node-{self.host}-{self.port}",
+                advertise_url=advertise_url or self.url,
+                heartbeat_interval=heartbeat_interval,
+            )
+            handler.agent = self.agent
 
     @property
     def host(self) -> str:
@@ -227,6 +248,8 @@ class ServiceServer:
     def start(self) -> "ServiceServer":
         """Start scheduler workers and the HTTP listener thread."""
         self.scheduler.start()
+        if self.agent is not None:
+            self.agent.start()
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
@@ -237,6 +260,8 @@ class ServiceServer:
     def serve_forever(self) -> None:
         """Blocking variant for the CLI (Ctrl-C to stop)."""
         self.scheduler.start()
+        if self.agent is not None:
+            self.agent.start()
         try:
             self._httpd.serve_forever()
         finally:
@@ -244,6 +269,8 @@ class ServiceServer:
 
     def shutdown(self) -> None:
         """Stop the listener, the workers, and persist the cache tier."""
+        if self.agent is not None:
+            self.agent.stop()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

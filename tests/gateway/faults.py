@@ -1,0 +1,188 @@
+"""Deterministic fault injection for gateway failover tests.
+
+A :class:`FaultyCluster` is an in-process :class:`GatewayServer` (so
+tests can read the router's state directly instead of sleeping and
+guessing) fronting N **real OS-process** worker nodes started exactly as
+an operator would start them (``python -m repro serve --register ...``).
+Real processes are the point: faults are POSIX signals, which produce
+precisely the failure modes the gateway must survive —
+
+``kill``    ``SIGKILL`` — the node vanishes; its sockets die; the next
+            connection attempt is refused.  Crash-equivalent.
+``hang``    ``SIGSTOP`` — the process freezes but its listen socket
+            stays *open* (the kernel keeps accepting); heartbeats stop.
+            This is the insidious case: TCP reachability alone would
+            call the node healthy, only heartbeat silence reveals it.
+``unhang``  ``SIGCONT`` — the frozen node resumes, heartbeats again,
+            and should be resurrected, not shunned.
+
+A hang shorter than ``dead_after`` models a *slow* node (GC pause, CPU
+steal) that must NOT trigger failover.
+
+The harness never sleeps for "long enough": tests synchronise on
+observable state — the node's ``/stats`` ``running`` count to catch a
+job genuinely mid-execution, the router's owed set for un-acked jobs,
+the registry's counts for death/resurrection.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.gateway import GatewayServer
+from repro.serve import ServiceClient, ServiceError, ServiceUnavailableError
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_until(predicate, timeout: float = 30.0, interval: float = 0.02,
+               message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"timed out waiting for {message}")
+        time.sleep(interval)
+
+
+class FaultyCluster:
+    """One gateway + N subprocess nodes, with signals as the fault model."""
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        heartbeat_interval: float = 0.2,
+        dead_after: float = 1.0,
+        check_interval: float = 0.05,
+        executor: str = "thread",
+        workers: int = 1,
+    ) -> None:
+        self.executor = executor
+        self.workers = workers
+        # client_timeout bounds how long a gateway->node HTTP call can
+        # stall on a *hung* (SIGSTOPped) node: the kernel accepts the
+        # connection but nothing ever answers.
+        self.gateway = GatewayServer(
+            port=0, heartbeat_interval=heartbeat_interval,
+            dead_after=dead_after, check_interval=check_interval,
+            client_timeout=5.0,
+        ).start()
+        self.procs: dict[str, subprocess.Popen] = {}
+        self.urls: dict[str, str] = {}
+        for i in range(n_nodes):
+            self.spawn(f"n{i}")
+
+    # -- fleet management --------------------------------------------------
+    def spawn(self, node_id: str) -> None:
+        port = free_port()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        self.procs[node_id] = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--workers", str(self.workers), "--executor", self.executor,
+             "--no-cache", "--register", self.gateway.url,
+             "--node-id", node_id],
+            env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        self.urls[node_id] = f"http://127.0.0.1:{port}"
+
+    def wait_fleet(self, active: int, timeout: float = 60.0) -> None:
+        wait_until(
+            lambda: self.gateway.router.registry.counts()["active"] >= active,
+            timeout=timeout, message=f"{active} active nodes")
+
+    # -- clients -----------------------------------------------------------
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient(self.gateway.url, **kwargs)
+
+    def node_client(self, node_id: str) -> ServiceClient:
+        return ServiceClient(self.urls[node_id], timeout=5.0)
+
+    # -- observations ------------------------------------------------------
+    def running_on(self, node_id: str) -> int:
+        """Jobs currently *executing* on a node (0 if unreachable)."""
+        try:
+            return int(self.node_client(node_id).stats()["jobs"]["running"])
+        except (ServiceError, ServiceUnavailableError, OSError):
+            return 0
+
+    def owed_by(self, node_id: str) -> set:
+        """Gateway jobs the node has not had acked (the failover set)."""
+        with self.gateway.router._lock:
+            return set(self.gateway.router._owed.get(node_id, ()))
+
+    def counts(self) -> dict:
+        return self.gateway.router.registry.counts()
+
+    def gateway_stat(self, name: str) -> int:
+        return getattr(self.gateway.router.stats, name)
+
+    def metric_value(self, line_prefix: str) -> float:
+        """Value of the first ``/metrics`` sample starting with a prefix."""
+        for line in self.client().metrics_text().splitlines():
+            if line.startswith(line_prefix):
+                return float(line.rsplit(" ", 1)[1])
+        raise KeyError(f"no metric sample starts with {line_prefix!r}")
+
+    def socket_accepts(self, node_id: str) -> bool:
+        """True if the node's port still accepts TCP (even while hung)."""
+        host, port = self.urls[node_id].removeprefix("http://").split(":")
+        try:
+            with socket.create_connection((host, int(port)), timeout=1.0):
+                return True
+        except OSError:
+            return False
+
+    # -- faults ------------------------------------------------------------
+    def kill(self, node_id: str) -> None:
+        """SIGKILL: the node vanishes without any goodbye."""
+        self.procs[node_id].send_signal(signal.SIGKILL)
+        self.procs[node_id].wait(10)
+
+    def hang(self, node_id: str) -> None:
+        """SIGSTOP: frozen mid-everything, listen socket still open."""
+        self.procs[node_id].send_signal(signal.SIGSTOP)
+
+    def unhang(self, node_id: str) -> None:
+        """SIGCONT: the hung node resumes where it stopped."""
+        self.procs[node_id].send_signal(signal.SIGCONT)
+
+    # -- teardown ----------------------------------------------------------
+    def node_log(self, node_id: str) -> str:
+        proc = self.procs[node_id]
+        if proc.poll() is None or proc.stdout is None:
+            return ""
+        return proc.stdout.read() or ""
+
+    def close(self) -> None:
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGCONT)  # can't kill a stopped pid group cleanly
+                proc.terminate()
+        for proc in self.procs.values():
+            try:
+                proc.wait(10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(10)
+            if proc.stdout is not None:
+                proc.stdout.close()
+        self.gateway.shutdown()
+
+    def __enter__(self) -> "FaultyCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,174 @@
+"""Fault-injection e2e: kill, hang, and slow a worker node mid-job.
+
+The ISSUE's headline contract, verified end to end with real OS
+processes: a 3-node fleet loses one node **while it is executing a
+job**, and
+
+* zero jobs are lost — every submitted job completes,
+* the recomputed results are **bit-identical** to a serial run in this
+  test process (results are pure functions of the spec),
+* the failover is visible in the gateway's ``/metrics``
+  (``repro_gateway_requeued_total``, ``repro_gateway_node_failures_total``).
+
+Plus the two liveness edge cases: a *hung* node (SIGSTOP — socket open,
+heartbeats silent) must fail over even though TCP still connects, and a
+merely *slow* node (a hang shorter than ``dead_after``) must NOT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.execute import execute
+from repro.api.plan import plan
+from repro.api.request import CompressionRequest
+
+from faults import FaultyCluster, wait_until
+
+
+def make_inputs(tmp_path, sizes):
+    """Input arrays on disk + their serial-run reference .frz bytes."""
+    specs = []
+    for i, size in enumerate(sizes):
+        rng = np.random.default_rng(100 + i)
+        data = rng.normal(size=size).astype(np.float32).cumsum()
+        src = tmp_path / f"in{i}.npy"
+        np.save(src, data)
+        ref = tmp_path / f"ref{i}.frz"
+        execute(plan(CompressionRequest(
+            kind="compress", input=str(src), output=str(ref),
+            error_bound=1e-3)))
+        specs.append((src, ref.read_bytes()))
+    return specs
+
+
+def submit_compress(client, src, out):
+    return client.submit(kind="compress", input=str(src), output=str(out),
+                         error_bound=1e-3)
+
+
+class TestKillMidJob:
+    def test_sigkill_loses_zero_jobs_and_results_bit_match(self, tmp_path):
+        # Job 0 is big (seconds of work) so the kill provably lands
+        # mid-execution; the rest pad the fleet so survivors have load.
+        specs = make_inputs(tmp_path, [2**18, 2**16, 2**16, 2**16])
+        with FaultyCluster(n_nodes=3, dead_after=1.0) as cluster:
+            cluster.wait_fleet(3)
+            client = cluster.client(timeout=15.0)
+            tickets = [
+                submit_compress(client, src, tmp_path / f"out{i}.frz")
+                for i, (src, _) in enumerate(specs)
+            ]
+            victim = tickets[0]["node"]
+
+            # Only kill once the victim is demonstrably executing.
+            wait_until(lambda: cluster.running_on(victim) >= 1,
+                       message="victim mid-job")
+            assert cluster.owed_by(victim), "victim owes un-acked work"
+            cluster.kill(victim)
+
+            # Zero jobs lost: every job completes despite the crash.
+            for i, ticket in enumerate(tickets):
+                result = client.result(ticket["job_id"], timeout=120.0)
+                assert result["kind"] == "compress"
+                produced = (tmp_path / f"out{i}.frz").read_bytes()
+                assert produced == specs[i][1], (
+                    f"job {i} result differs from serial run")
+
+            # The killed node's job finished somewhere else.
+            final = client.status(tickets[0]["job_id"])
+            assert final["state"] == "done"
+            assert final["node"] != victim
+            assert final["failovers"] >= 1
+
+            # The failover showed up in the control plane.
+            assert cluster.counts()["dead"] == 1
+            assert cluster.metric_value("repro_gateway_node_failures_total") >= 1
+            assert cluster.metric_value("repro_gateway_requeued_total") >= 1
+            assert cluster.metric_value("repro_gateway_completed_total") == len(specs)
+
+    def test_post_kill_submits_route_around_the_corpse(self, tmp_path):
+        specs = make_inputs(tmp_path, [2**14])
+        with FaultyCluster(n_nodes=2, dead_after=1.0) as cluster:
+            cluster.wait_fleet(2)
+            client = cluster.client(timeout=15.0)
+            cluster.kill("n0")
+            wait_until(lambda: cluster.counts()["dead"] == 1,
+                       message="reaper notices the kill")
+            ticket = submit_compress(client, specs[0][0], tmp_path / "out.frz")
+            assert ticket["node"] == "n1"
+            result = client.result(ticket["job_id"], timeout=60.0)
+            assert (tmp_path / "out.frz").read_bytes() == specs[0][1]
+            assert result["kind"] == "compress"
+
+
+class TestHangMidJob:
+    def test_hung_node_fails_over_despite_open_socket(self, tmp_path):
+        specs = make_inputs(tmp_path, [2**17])
+        with FaultyCluster(n_nodes=3, dead_after=1.0) as cluster:
+            cluster.wait_fleet(3)
+            client = cluster.client(timeout=15.0)
+            ticket = submit_compress(client, specs[0][0], tmp_path / "out.frz")
+            victim = ticket["node"]
+
+            cluster.hang(victim)
+            # The trap this harness exists for: the socket still accepts,
+            # so TCP reachability would declare the node healthy.
+            assert cluster.socket_accepts(victim)
+
+            result = client.result(ticket["job_id"], timeout=120.0)
+            assert result["kind"] == "compress"
+            assert (tmp_path / "out.frz").read_bytes() == specs[0][1]
+            final = client.status(ticket["job_id"])
+            assert final["node"] != victim
+            assert cluster.counts()["dead"] == 1
+            assert cluster.metric_value("repro_gateway_requeued_total") >= 1
+
+            # SIGCONT: heartbeats resume, the node is resurrected, and
+            # it takes new work again.
+            cluster.unhang(victim)
+            wait_until(lambda: cluster.counts()["active"] == 3,
+                       message="hung node resurrects")
+
+    def test_resurrected_node_serves_again(self, tmp_path):
+        specs = make_inputs(tmp_path, [2**14])
+        with FaultyCluster(n_nodes=1, dead_after=1.0) as cluster:
+            cluster.wait_fleet(1)
+            client = cluster.client(timeout=15.0)
+            cluster.hang("n0")
+            wait_until(lambda: cluster.counts()["dead"] == 1,
+                       message="hang detected")
+            cluster.unhang("n0")
+            wait_until(lambda: cluster.counts()["active"] == 1,
+                       message="resurrection")
+            ticket = submit_compress(client, specs[0][0], tmp_path / "out.frz")
+            client.result(ticket["job_id"], timeout=60.0)
+            assert (tmp_path / "out.frz").read_bytes() == specs[0][1]
+
+
+class TestSlowNode:
+    def test_brief_stall_does_not_trigger_failover(self, tmp_path):
+        specs = make_inputs(tmp_path, [2**16])
+        # dead_after is generous here: the stall must stay a *slow node*.
+        with FaultyCluster(n_nodes=3, heartbeat_interval=0.2,
+                           dead_after=5.0) as cluster:
+            cluster.wait_fleet(3)
+            client = cluster.client(timeout=15.0)
+            ticket = submit_compress(client, specs[0][0], tmp_path / "out.frz")
+            victim = ticket["node"]
+
+            import time
+            cluster.hang(victim)
+            time.sleep(1.0)  # well under dead_after: a GC-pause analogue
+            cluster.unhang(victim)
+
+            result = client.result(ticket["job_id"], timeout=120.0)
+            assert result["kind"] == "compress"
+            assert (tmp_path / "out.frz").read_bytes() == specs[0][1]
+            final = client.status(ticket["job_id"])
+            # No failover: the job finished where it was routed.
+            assert final["node"] == victim
+            assert final["failovers"] == 0
+            assert cluster.gateway_stat("node_failures") == 0
+            assert cluster.gateway_stat("requeued") == 0
+            assert cluster.counts()["active"] == 3

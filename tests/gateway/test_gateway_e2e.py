@@ -1,0 +1,264 @@
+"""End-to-end gateway tests over real HTTP with real node agents.
+
+Everything here exercises the full wire path: ``ServiceClient`` →
+gateway HTTP server → router → node HTTP server → scheduler, with the
+node-side :class:`~repro.serve.agent.NodeAgent` doing registration,
+heartbeats and result acks exactly as ``repro serve --register`` would.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gateway import GatewayServer
+from repro.serve import JobSpec, ServiceClient
+from repro.serve.server import ServiceServer
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.02,
+               message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {message}"
+        time.sleep(interval)
+
+
+def make_field(seed: int = 0, size: int = 512) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=size).astype(np.float32).cumsum()
+
+
+@pytest.fixture
+def cluster():
+    """A gateway fronting two agent-registered thread-backend nodes."""
+    with GatewayServer(port=0, heartbeat_interval=0.1, dead_after=1.0,
+                       check_interval=0.05) as gw:
+        nodes = [
+            ServiceServer(port=0, workers=2, executor="thread", cache=False,
+                          register=gw.url, node_id=f"n{i}").start()
+            for i in range(2)
+        ]
+        try:
+            wait_until(lambda: gw.router.registry.counts()["active"] == 2,
+                       message="both nodes registered")
+            yield gw, nodes
+        finally:
+            for n in nodes:
+                n.shutdown()
+
+
+class TestHappyPath:
+    def test_submit_and_result_through_the_gateway(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(0), kind="tune", target_ratio=4.0)
+        assert ticket["job_id"].startswith("g")
+        assert ticket["node"] in ("n0", "n1")
+        result = client.result(ticket["job_id"], timeout=60.0)
+        assert result["kind"] == "tune"
+        assert result["ratio"] > 1.0
+
+    def test_gateway_speaks_the_service_client_protocol(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["nodes_active"] == 2
+        stats = client.stats()
+        assert {"jobs", "fleet", "inflight"} <= set(stats)
+        assert "repro_gateway_nodes_active 2" in client.metrics_text()
+
+    def test_status_and_result_lifecycle(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(1), kind="tune", target_ratio=4.0)
+        gid = ticket["job_id"]
+        status = client.status(gid)
+        assert status["job_id"] == gid
+        assert status["state"] in ("routed", "pending", "done")
+        client.result(gid, timeout=60.0)
+        assert client.status(gid)["state"] == "done"
+
+    def test_identical_requests_route_to_one_node_and_hit_cache(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        t1 = client.submit_array(make_field(2), kind="tune", target_ratio=4.0)
+        r1 = client.result(t1["job_id"], timeout=60.0)
+        t2 = client.submit_array(make_field(2), kind="tune", target_ratio=4.0)
+        r2 = client.result(t2["job_id"], timeout=60.0)
+        assert t1["node"] == t2["node"]
+        assert r1["error_bound"] == r2["error_bound"]
+
+    def test_node_stats_grow_a_shard_section(self, cluster):
+        gw, nodes = cluster
+        wait_until(lambda: ServiceClient(nodes[0].url).stats().get("shard", {})
+                   .get("registered"), message="agent registered")
+        shard = ServiceClient(nodes[0].url).stats()["shard"]
+        assert shard["node_id"] == "n0"
+        assert shard["gateway"] == gw.url
+        assert shard["state"] == "active"
+
+    def test_node_metrics_export_fleet_gauges(self, cluster):
+        gw, nodes = cluster
+        wait_until(lambda: "repro_node_registered 1"
+                   in ServiceClient(nodes[0].url).metrics_text(),
+                   message="node_registered gauge")
+        text = ServiceClient(nodes[0].url).metrics_text()
+        assert "repro_node_draining 0" in text
+        assert "repro_node_heartbeats_total" in text
+
+
+class TestProtocolEdges:
+    def test_unknown_endpoints_404(self, cluster):
+        gw, _ = cluster
+        client = ServiceClient(gw.url)
+        assert client._request("GET", "/nope")[0] == 404
+        assert client._request("POST", "/nope", {})[0] == 404
+
+    def test_invalid_submit_400(self, cluster):
+        gw, _ = cluster
+        client = ServiceClient(gw.url)
+        status, body = client._request("POST", "/submit", {"kind": "bogus"})
+        assert status == 400 and "error" in body
+
+    def test_unknown_job_404(self, cluster):
+        gw, _ = cluster
+        client = ServiceClient(gw.url)
+        assert client._request("GET", "/status/g999999")[0] == 404
+        assert client._request("GET", "/result/g999999")[0] == 404
+
+    def test_no_capacity_is_503_with_retry_after(self):
+        with GatewayServer(port=0) as gw:
+            client = ServiceClient(gw.url)
+            status, body = client._request(
+                "POST", "/submit",
+                {"kind": "tune", "target_ratio": 4.0,
+                 "data_b64": JobSpec.encode_array(make_field(3))})
+            assert status == 503
+            assert body["retry_after"] == 1.0
+
+    def test_heartbeat_unknown_node_404(self, cluster):
+        gw, _ = cluster
+        client = ServiceClient(gw.url)
+        status, body = client._request("POST", "/heartbeat/stranger",
+                                       {"finished": []})
+        assert status == 404
+        assert "re-register" in body["error"]
+
+    def test_drain_unknown_node_404(self, cluster):
+        gw, _ = cluster
+        client = ServiceClient(gw.url)
+        assert client._request("POST", "/admin/drain/ghost", {})[0] == 404
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+class TestDrainSemantics:
+    """The satellite contract: drain finishes in-flight work, routes no
+    new work to the node, and both sides report the transition — on both
+    execution backends."""
+
+    def test_drain_lifecycle(self, executor):
+        with GatewayServer(port=0, heartbeat_interval=0.1, dead_after=2.0,
+                           check_interval=0.05) as gw:
+            nodes = [
+                ServiceServer(port=0, workers=1, executor=executor, cache=False,
+                              register=gw.url, node_id=f"n{i}").start()
+                for i in range(2)
+            ]
+            try:
+                wait_until(lambda: gw.router.registry.counts()["active"] == 2,
+                           message="registration")
+                client = ServiceClient(gw.url)
+
+                # Park a job on whichever node owns this key.
+                for n in nodes:
+                    n.scheduler.pause()
+                ticket = client.submit_array(make_field(10), kind="tune",
+                                             target_ratio=4.0)
+                victim = ticket["node"]
+                survivor = "n1" if victim == "n0" else "n0"
+
+                # Drain the owner over the admin API.
+                status, body = client._request(
+                    "POST", f"/admin/drain/{victim}", {})
+                assert status == 200 and body["state"] == "draining"
+
+                # Both sides observe the transition.
+                wait_until(lambda: ServiceClient(
+                    next(n for n in nodes
+                         if n.agent.node_id == victim).url).stats()
+                    ["shard"]["state"] == "draining",
+                    message="node sees draining via heartbeat")
+                assert "repro_node_draining 1" in ServiceClient(
+                    next(n for n in nodes
+                         if n.agent.node_id == victim).url).metrics_text()
+                assert "repro_gateway_nodes_draining 1" in client.metrics_text()
+                assert client.stats()["fleet"]["counts"]["draining"] == 1
+
+                # New identical work routes elsewhere now.
+                t2 = client.submit_array(make_field(10), kind="tune",
+                                         target_ratio=4.0)
+                assert t2["node"] == survivor
+
+                # The in-flight job still finishes on the draining node.
+                for n in nodes:
+                    n.scheduler.resume()
+                result = client.result(ticket["job_id"], timeout=120.0)
+                assert result["kind"] == "tune"
+                assert client.status(ticket["job_id"])["node"] == victim
+
+                # Undrain restores routing.
+                status, body = client._request(
+                    "POST", f"/admin/undrain/{victim}", {})
+                assert status == 200 and body["state"] == "active"
+                wait_until(lambda: ServiceClient(
+                    next(n for n in nodes
+                         if n.agent.node_id == victim).url).stats()
+                    ["shard"]["state"] == "active",
+                    message="node sees undrain")
+                t3 = client.submit_array(make_field(10), kind="tune",
+                                         target_ratio=4.0)
+                assert t3["node"] == victim  # sticky key returns home
+            finally:
+                for n in nodes:
+                    n.shutdown()
+
+
+class TestAgentResilience:
+    def test_agent_survives_gateway_restart(self):
+        """A gateway that loses its registry answers 404; agents re-register."""
+        gw = GatewayServer(port=0, heartbeat_interval=0.1).start()
+        port = gw.port
+        node = ServiceServer(port=0, workers=1, executor="thread", cache=False,
+                             register=gw.url, node_id="n0").start()
+        try:
+            wait_until(lambda: gw.router.registry.counts()["active"] == 1,
+                       message="initial registration")
+            gw.shutdown()
+            # Same port, fresh registry — the old gateway's state is gone.
+            gw = GatewayServer(port=port, heartbeat_interval=0.1).start()
+            wait_until(lambda: gw.router.registry.counts()["active"] == 1,
+                       timeout=15.0, message="re-registration after restart")
+            client = ServiceClient(gw.url)
+            ticket = client.submit_array(make_field(20), kind="tune",
+                                         target_ratio=4.0)
+            assert client.result(ticket["job_id"], timeout=60.0)["kind"] == "tune"
+        finally:
+            node.shutdown()
+            try:
+                gw.shutdown()
+            except Exception:
+                pass
+
+    def test_clean_node_shutdown_unregisters(self):
+        with GatewayServer(port=0, heartbeat_interval=0.1) as gw:
+            node = ServiceServer(port=0, workers=1, executor="thread",
+                                 cache=False, register=gw.url,
+                                 node_id="n0").start()
+            wait_until(lambda: gw.router.registry.counts()["active"] == 1,
+                       message="registration")
+            node.shutdown()
+            assert gw.router.registry.counts()["left"] == 1

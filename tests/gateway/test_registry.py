@@ -1,0 +1,165 @@
+"""Unit tests for fleet membership: heartbeats, drain, death, resurrection."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.gateway import NodeRegistry, NodeState
+
+
+def make_registry(dead_after: float = 0.2) -> NodeRegistry:
+    return NodeRegistry(dead_after=dead_after, replicas=16)
+
+
+class TestMembership:
+    def test_register_makes_node_routable(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        record = reg.route("some-key")
+        assert record is not None and record.node_id == "a"
+
+    def test_register_rejects_bad_ids_and_urls(self):
+        reg = make_registry()
+        with pytest.raises(ValueError):
+            reg.register("", "http://x")
+        with pytest.raises(ValueError):
+            reg.register("has/slash", "http://x")
+        with pytest.raises(ValueError):
+            reg.register("ok", "ftp://nope")
+
+    def test_reregister_updates_url_and_resurrects(self):
+        reg = make_registry(dead_after=0.01)
+        reg.register("a", "http://127.0.0.1:9001")
+        time.sleep(0.05)
+        assert [r.node_id for r in reg.reap()] == ["a"]
+        assert reg.get("a").state == NodeState.DEAD
+        record = reg.register("a", "http://127.0.0.1:9999")
+        assert record.state == NodeState.ACTIVE
+        assert record.url == "http://127.0.0.1:9999"
+        assert reg.route("key").node_id == "a"
+
+    def test_unregister_removes_from_routing(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        record = reg.unregister("a")
+        assert record.state == NodeState.LEFT
+        assert reg.route("key") is None
+        assert reg.unregister("ghost") is None
+
+    def test_left_node_heartbeat_is_rejected(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.unregister("a")
+        assert reg.heartbeat("a") is None  # must re-register
+
+
+class TestLiveness:
+    def test_heartbeat_keeps_node_alive(self):
+        reg = make_registry(dead_after=0.15)
+        reg.register("a", "http://127.0.0.1:9001")
+        for _ in range(3):
+            time.sleep(0.05)
+            assert reg.heartbeat("a") is not None
+            assert reg.reap() == []
+        assert reg.get("a").heartbeats == 3
+
+    def test_silent_node_is_reaped_once(self):
+        reg = make_registry(dead_after=0.05)
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.register("b", "http://127.0.0.1:9002")
+        reg.heartbeat("b")
+        time.sleep(0.1)
+        dead = reg.reap()
+        assert {r.node_id for r in dead} == {"a", "b"}
+        assert reg.reap() == []  # already dead: not "newly dead" again
+        assert reg.route("key") is None
+
+    def test_heartbeat_resurrects_dead_node(self):
+        reg = make_registry(dead_after=0.05)
+        reg.register("a", "http://127.0.0.1:9001")
+        time.sleep(0.1)
+        reg.reap()
+        assert reg.get("a").deaths == 1
+        record = reg.heartbeat("a", reported={"running": 0})
+        assert record.state == NodeState.ACTIVE
+        assert reg.route("key").node_id == "a"
+        assert record.reported == {"running": 0}
+
+    def test_unknown_node_heartbeat_asks_for_reregistration(self):
+        reg = make_registry()
+        assert reg.heartbeat("stranger") is None
+
+
+class TestDrain:
+    def test_drain_removes_from_ring_but_stays_alive(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.register("b", "http://127.0.0.1:9002")
+        record = reg.drain("a")
+        assert record.state == NodeState.DRAINING
+        for key in (f"k{i}" for i in range(50)):
+            assert reg.route(key).node_id == "b"
+        # Still expected to heartbeat — and counted as alive.
+        assert reg.heartbeat("a") is not None
+        assert reg.counts()[NodeState.DRAINING] == 1
+
+    def test_draining_node_is_still_reaped_on_silence(self):
+        reg = make_registry(dead_after=0.05)
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.drain("a")
+        time.sleep(0.1)
+        assert [r.node_id for r in reg.reap()] == ["a"]
+
+    def test_undrain_restores_routing(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.drain("a")
+        assert reg.route("key") is None
+        record = reg.undrain("a")
+        assert record.state == NodeState.ACTIVE
+        assert reg.route("key").node_id == "a"
+
+    def test_drain_is_idempotent_and_safe_on_unknown(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        assert reg.drain("a").state == NodeState.DRAINING
+        assert reg.drain("a").state == NodeState.DRAINING
+        assert reg.drain("ghost") is None
+        assert reg.undrain("ghost") is None
+
+    def test_undrain_does_not_resurrect_the_dead(self):
+        reg = make_registry(dead_after=0.05)
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.drain("a")
+        time.sleep(0.1)
+        reg.reap()
+        assert reg.undrain("a").state == NodeState.DEAD
+        assert reg.route("key") is None
+
+
+class TestIntrospection:
+    def test_counts_and_stats_shape(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.register("b", "http://127.0.0.1:9002")
+        reg.drain("b")
+        counts = reg.counts()
+        assert counts[NodeState.ACTIVE] == 1
+        assert counts[NodeState.DRAINING] == 1
+        stats = reg.stats_dict()
+        assert stats["dead_after_seconds"] == reg.dead_after
+        assert {n["node_id"] for n in stats["nodes"]} == {"a", "b"}
+        one = stats["nodes"][0]
+        assert {"node_id", "url", "state", "heartbeats",
+                "heartbeat_age_seconds", "deaths"} <= set(one)
+
+    def test_route_avoiding_skips_owner(self):
+        reg = make_registry()
+        reg.register("a", "http://127.0.0.1:9001")
+        reg.register("b", "http://127.0.0.1:9002")
+        owner = reg.route("key").node_id
+        other = reg.route_avoiding("key", {owner}).node_id
+        assert other != owner
+        assert reg.route_avoiding("key", {"a", "b"}) is None

@@ -1,0 +1,170 @@
+"""Property-based tests for the consistent-hash ring.
+
+The two guarantees the gateway leans on:
+
+* **balance** — with virtual nodes, each node's share of a large key
+  population stays within a tolerance band of the fair share, so no
+  shard becomes a hotspot just from hashing;
+* **stability** — adding or removing one node moves only the keys that
+  *must* move (the slice the node owns), far below a full reshuffle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway import HashRing
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+node_names = st.lists(
+    st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+    min_size=2, max_size=8, unique=True,
+)
+
+
+def _keys(n: int) -> list[str]:
+    # Deterministic key population shaped like real coalesce keys.
+    return [f"tune|sz|ratio={i % 97}|shape=({i},)|digest{i:05d}" for i in range(n)]
+
+
+class TestLookupBasics:
+    def test_empty_ring_routes_nothing(self):
+        ring = HashRing()
+        assert ring.lookup("anything") is None
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing()
+        ring.add("only")
+        assert all(ring.lookup(k) == "only" for k in _keys(100))
+
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_lookup_is_deterministic(self, nodes):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        for key in _keys(50):
+            assert ring.lookup(key) == ring.lookup(key)
+
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_lookup_lands_on_a_member(self, nodes):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        for key in _keys(50):
+            assert ring.lookup(key) in nodes
+
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_exclude_all_routes_nothing(self, nodes):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        assert ring.lookup("key", exclude=set(nodes)) is None
+
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_exclude_one_falls_through_to_another(self, nodes):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        for key in _keys(25):
+            owner = ring.lookup(key)
+            fallback = ring.lookup(key, exclude={owner})
+            assert fallback != owner
+            assert fallback in nodes
+
+    def test_add_is_idempotent(self):
+        ring = HashRing()
+        ring.add("a")
+        points = len(ring._points)
+        ring.add("a")
+        assert len(ring._points) == points
+
+    def test_remove_unknown_is_noop(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.remove("ghost")
+        assert "a" in ring
+
+
+class TestDistribution:
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_shares_within_tolerance_of_fair(self, nodes):
+        """No node's share strays past fair ± 60% with 64 virtual points.
+
+        64 replicas is a balance/insert-cost compromise: shares land
+        well inside this band in practice; the band is wide enough that
+        the property is a law, not a flaky statistical test.
+        """
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        keys = _keys(3000)
+        counts = Counter(ring.lookup(k) for k in keys)
+        fair = len(keys) / len(nodes)
+        for node in nodes:
+            assert counts[node] < fair * 1.6 + 1, (node, counts)
+            # Every node must own *some* keys — a starved shard means
+            # its virtual points collapsed onto a neighbour's arcs.
+            assert counts[node] > fair * 0.4 - 1, (node, counts)
+
+
+class TestStability:
+    @given(nodes=node_names, joiner=st.text("xyz", min_size=1, max_size=8))
+    @settings(**_SETTINGS)
+    def test_join_moves_less_than_two_over_n(self, nodes, joiner):
+        """A node joining an N-fleet re-homes < 2/N of all keys."""
+        if joiner in nodes:
+            joiner = joiner + "-new"
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        keys = _keys(2000)
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add(joiner)
+        after = {k: ring.lookup(k) for k in keys}
+        moved = sum(1 for k in keys if before[k] != after[k])
+        n_after = len(nodes) + 1
+        assert moved < len(keys) * 2 / n_after, (moved, n_after)
+        # Every moved key moved *to the joiner* — consistent hashing's
+        # defining property: nobody else's keys get shuffled around.
+        for k in keys:
+            if before[k] != after[k]:
+                assert after[k] == joiner
+
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_leave_moves_only_the_leavers_keys(self, nodes):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        keys = _keys(2000)
+        before = {k: ring.lookup(k) for k in keys}
+        leaver = nodes[0]
+        ring.remove(leaver)
+        after = {k: ring.lookup(k) for k in keys}
+        for k in keys:
+            if before[k] == leaver:
+                assert after[k] != leaver
+            else:
+                assert after[k] == before[k], "an unaffected key moved"
+
+    @given(nodes=node_names)
+    @settings(**_SETTINGS)
+    def test_leave_then_rejoin_restores_routing(self, nodes):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        keys = _keys(500)
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(nodes[0])
+        ring.add(nodes[0])
+        assert {k: ring.lookup(k) for k in keys} == before

@@ -1,0 +1,310 @@
+"""Router tests against real in-process worker nodes.
+
+Heartbeats are driven *manually* (``router.node_heartbeat``) and the
+monitor tick is called directly (``router.check_nodes``), so every
+liveness/failover scenario runs deterministically — no background agent,
+no wall-clock margins beyond tiny ``dead_after`` windows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gateway import NoCapacityError, NodeState, Router
+from repro.serve import BackpressureError, JobSpec, ServiceClient
+from repro.serve.server import ServiceServer
+
+
+@pytest.fixture
+def nodes():
+    """Two thread-backend nodes, no agents — the tests speak for them."""
+    servers = [
+        ServiceServer(port=0, workers=2, executor="thread", cache=False).start()
+        for _ in range(2)
+    ]
+    yield servers
+    for s in servers:
+        s.shutdown()
+
+
+@pytest.fixture
+def router(nodes):
+    r = Router(heartbeat_interval=0.1, dead_after=0.4, metrics=True)
+    for i, server in enumerate(nodes):
+        r.register_node(f"n{i}", server.url)
+    yield r
+    r.stop()
+
+
+def tune_body(seed: int = 0, ratio: float = 4.0) -> dict:
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=256).astype(np.float32).cumsum()
+    return {"kind": "tune", "target_ratio": ratio,
+            "data_b64": JobSpec.encode_array(data)}
+
+
+def heartbeat_all(router: Router, nodes, finished=()):
+    for i in range(len(nodes)):
+        router.node_heartbeat(f"n{i}", finished=list(finished))
+
+
+def pump_until_done(router: Router, nodes, job, timeout: float = 30.0,
+                    only: set | None = None):
+    """Heartbeat-with-acks until the gateway has the job finished.
+
+    ``only`` restricts which nodes check in — a heartbeat from a reaped
+    node would resurrect it, which failover tests must not do by accident.
+    """
+    deadline = time.monotonic() + timeout
+    while not job.finished:
+        assert time.monotonic() < deadline, f"job stuck in {job.state}"
+        for i, server in enumerate(nodes):
+            if only is not None and f"n{i}" not in only:
+                continue
+            done = [j.id for j in server.scheduler.jobs() if j.finished]
+            router.node_heartbeat(f"n{i}", finished=done)
+        time.sleep(0.02)
+
+
+class TestRouting:
+    def test_submit_routes_and_completes(self, router, nodes):
+        job, ticket = router.submit(tune_body())
+        assert ticket["job_id"] == job.id
+        assert ticket["node"] in ("n0", "n1")
+        pump_until_done(router, nodes, job)
+        assert job.state == "done"
+        assert job.result["kind"] == "tune"
+        assert router.stats.completed == 1
+
+    def test_identical_specs_land_on_the_same_node(self, router, nodes):
+        first, _ = router.submit(tune_body(seed=1))
+        owners = {first.node_id}
+        for _ in range(4):
+            job, _ = router.submit(tune_body(seed=1))
+            owners.add(job.node_id)
+        assert owners == {first.node_id}
+
+    def test_concurrent_identical_specs_coalesce_on_the_shard(self, router, nodes):
+        for server in nodes:
+            server.scheduler.pause()  # park jobs so the second overlaps
+        try:
+            primary, _ = router.submit(tune_body(seed=2))
+            follower, ticket = router.submit(tune_body(seed=2))
+            assert follower.node_id == primary.node_id
+            assert ticket["coalesced_into"] == primary.id
+        finally:
+            for server in nodes:
+                server.scheduler.resume()
+        pump_until_done(router, nodes, primary)
+        pump_until_done(router, nodes, follower)
+        assert primary.result == follower.result
+
+    def test_no_nodes_is_no_capacity(self):
+        router = Router(metrics=False)
+        with pytest.raises(NoCapacityError):
+            router.submit(tune_body())
+        assert router.stats.no_capacity == 1
+        assert router.stats.submitted == 0  # rejected submits don't count
+
+    def test_invalid_spec_is_value_error(self, router):
+        with pytest.raises(ValueError):
+            router.submit({"kind": "tune"})  # no input, no target
+
+    def test_submit_reroutes_around_refused_connection(self, nodes):
+        router = Router(metrics=False)
+        # A registered node that refuses TCP: nothing listens there.
+        router.register_node("bogus", "http://127.0.0.1:9")
+        router.register_node("real", nodes[0].url)
+        for seed in range(6):  # some keys will hash onto bogus first
+            router.submit(tune_body(seed=seed))
+        assert all(j.node_id == "real" for j in router._jobs.values())
+        if router.stats.reroutes == 0:
+            pytest.skip("no key happened to own the bogus node first")
+
+    def test_backpressure_propagates_to_caller(self, nodes):
+        tiny = ServiceServer(port=0, workers=1, executor="thread",
+                             queue_size=1, cache=False).start()
+        try:
+            tiny.scheduler.pause()
+            router = Router(metrics=False)
+            router.register_node("tiny", tiny.url)
+            router.submit(tune_body(seed=10))  # paused: occupies the 1 slot
+            with pytest.raises(BackpressureError):
+                router.submit(tune_body(seed=11))
+            assert router.stats.submitted == 1
+        finally:
+            tiny.scheduler.resume()
+            tiny.shutdown()
+
+
+class TestAckProtocol:
+    def test_heartbeat_ack_fetches_and_caches_result(self, router, nodes):
+        job, _ = router.submit(tune_body(seed=3))
+        node_idx = int(job.node_id[1:])
+        client = ServiceClient(nodes[node_idx].url)
+        client.result(job.node_job_id, timeout=30.0)  # wait node-side
+        answer = router.node_heartbeat(
+            job.node_id, finished=[job.node_job_id])
+        assert job.node_job_id in answer["acked"]
+        assert job.state == "done"
+        # The node can now forget the job; the gateway serves its cache.
+        code, body = router.job_result(job.id)
+        assert code == 200 and body["state"] == "done"
+
+    def test_unknown_finished_ids_are_acked_away(self, router):
+        answer = router.node_heartbeat("n0", finished=["jb999999"])
+        assert answer["acked"] == ["jb999999"]
+
+    def test_client_poll_also_finishes_the_job(self, router, nodes):
+        job, _ = router.submit(tune_body(seed=4))
+        deadline = time.monotonic() + 30
+        while True:
+            code, body = router.job_result(job.id)
+            if code == 200:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert body["state"] == "done"
+        assert job.state == "done"
+
+    def test_job_status_includes_live_node_view(self, router, nodes):
+        for server in nodes:
+            server.scheduler.pause()
+        try:
+            job, _ = router.submit(tune_body(seed=5))
+            payload = router.job_status(job.id)
+            assert payload["state"] == "routed"
+            assert payload["node_status"]["job_id"] == job.node_job_id
+        finally:
+            for server in nodes:
+                server.scheduler.resume()
+        assert router.job_status("g999999") is None
+
+
+class TestFailover:
+    def test_dead_node_jobs_requeue_and_complete(self, router, nodes):
+        for server in nodes:
+            server.scheduler.pause()  # hold jobs so death strikes mid-job
+        job, _ = router.submit(tune_body(seed=6))
+        victim = job.node_id
+        survivor = "n1" if victim == "n0" else "n0"
+        time.sleep(0.5)  # > dead_after with no heartbeats at all
+        router.node_heartbeat(survivor)  # only the survivor checks in
+        for server in nodes:
+            server.scheduler.resume()
+        dead = router.check_nodes()
+        assert victim in dead
+        assert router.stats.node_failures == 1
+        assert router.stats.requeued == 1
+        assert job.failovers == 1
+        assert job.node_id == survivor
+        pump_until_done(router, nodes, job, only={survivor})
+        assert job.state == "done"
+        assert router.registry.get(victim).state == NodeState.DEAD
+
+    def test_acked_jobs_do_not_requeue_on_death(self, router, nodes):
+        job, _ = router.submit(tune_body(seed=7))
+        pump_until_done(router, nodes, job)
+        result_before = job.result
+        time.sleep(0.5)
+        router.check_nodes()  # everyone is dead now
+        assert router.stats.requeued == 0
+        assert job.result is result_before
+
+    def test_retry_budget_exhaustion_fails_the_job(self, nodes):
+        router = Router(dead_after=0.1, metrics=False)
+        router.register_node("n0", nodes[0].url)
+        nodes[0].scheduler.pause()
+        try:
+            body = dict(tune_body(seed=8), max_retries=0)
+            job, _ = router.submit(body)
+            time.sleep(0.2)
+            router.check_nodes()
+        finally:
+            nodes[0].scheduler.resume()
+        assert job.state == "failed"
+        assert "retry budget exhausted" in job.error
+        assert job.failovers == 0
+
+    def test_no_survivor_keeps_job_pending_until_capacity_returns(self, nodes):
+        router = Router(dead_after=0.1, metrics=False)
+        router.register_node("n0", nodes[0].url)
+        nodes[0].scheduler.pause()
+        job, _ = router.submit(tune_body(seed=9))
+        time.sleep(0.2)
+        router.check_nodes()
+        assert job.state == "pending"  # requeued, nowhere to go — not failed
+        code, _ = router.job_result(job.id)
+        assert code == 202
+        # Capacity returns: the node re-registers and the next tick re-homes.
+        nodes[0].scheduler.resume()
+        router.register_node("n0", nodes[0].url)
+        router.check_nodes()
+        assert job.state == "routed"
+        pump_until_done(router, nodes, job)
+        assert job.state == "done"
+
+    def test_unregister_requeues_owed_jobs(self, router, nodes):
+        for server in nodes:
+            server.scheduler.pause()
+        job, _ = router.submit(tune_body(seed=12))
+        victim = job.node_id
+        router.unregister_node(victim)
+        for server in nodes:
+            server.scheduler.resume()
+        assert job.failovers == 1
+        assert job.node_id != victim
+        pump_until_done(router, nodes, job)
+        assert job.state == "done"
+
+    def test_resurrected_node_routes_again(self, router, nodes):
+        time.sleep(0.5)
+        router.node_heartbeat("n1")
+        assert "n0" in router.check_nodes()
+        answer = router.node_heartbeat("n0")  # the partition heals
+        assert answer["state"] == NodeState.ACTIVE
+        job, _ = router.submit(tune_body(seed=13))
+        assert job.node_id in ("n0", "n1")
+        pump_until_done(router, nodes, job)
+        assert job.state == "done"
+
+
+class TestIntrospection:
+    def test_stats_payload_shape(self, router, nodes):
+        job, _ = router.submit(tune_body(seed=14))
+        pump_until_done(router, nodes, job)
+        payload = router.stats_payload()
+        assert payload["jobs"]["submitted"] == 1
+        assert payload["jobs"]["completed"] == 1
+        assert payload["inflight"] == 0
+        assert {n["node_id"] for n in payload["fleet"]["nodes"]} == {"n0", "n1"}
+        assert payload["metrics"] is not None
+
+    def test_metrics_exposition(self, router, nodes):
+        job, _ = router.submit(tune_body(seed=15))
+        pump_until_done(router, nodes, job)
+        router.check_nodes()  # refresh the heartbeat-age gauges
+        text = router.metrics_text()
+        assert f'repro_gateway_routed_total{{node="{job.node_id}"}} 1' in text
+        assert "repro_gateway_completed_total 1" in text
+        assert "repro_gateway_nodes_active 2" in text
+        assert 'repro_gateway_heartbeat_age_seconds{node="n0"}' in text
+
+    def test_history_bound_evicts_finished_jobs(self, nodes):
+        router = Router(metrics=False, history=2)
+        router.register_node("n0", nodes[0].url)
+        jobs = []
+        for seed in range(4):
+            job, _ = router.submit(tune_body(seed=20 + seed))
+            code = 202
+            deadline = time.monotonic() + 30
+            while code == 202:
+                assert time.monotonic() < deadline
+                code, _ = router.job_result(job.id)
+                time.sleep(0.02)
+            jobs.append(job)
+        assert router.get(jobs[0].id) is None  # evicted
+        assert router.get(jobs[-1].id) is jobs[-1]

@@ -6,16 +6,27 @@ without any real scheduler (or timing luck) involved: suggested delays
 are honoured, the ``backpressure_wait`` deadline expires promptly instead
 of hanging, and a terminal error after retries surfaces as the right
 exception type.
+
+The companion distinction — the regression the gateway depends on — is
+between *backpressure* (429: the service is up, wait as told) and
+*unavailability* (connection refused: the host is down, never wait):
+see :class:`TestUnavailable`.
 """
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
-from repro.serve import BackpressureError, ServiceClient, ServiceError
+from repro.serve import (
+    BackpressureError,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
 
 
 class _ScriptedServer:
@@ -134,3 +145,69 @@ class TestBackoff:
             client = ServiceClient(server.url)
             assert client.submit(_BODY)["job_id"] == "j000009"
             assert len(server.requests) == 1
+
+
+def _refused_url() -> str:
+    """A URL that deterministically refuses connections (nothing bound)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+    return f"http://127.0.0.1:{port}"
+
+
+class TestUnavailable:
+    """Connection refused is *not* backpressure — the node is down.
+
+    Regression tests for the gateway's routing contract: a refused
+    connection must raise :class:`ServiceUnavailableError` immediately
+    (the gateway re-routes to another shard), never sleep a Retry-After
+    that no live server suggested, and never masquerade as the 429 path.
+    """
+
+    def test_refused_connection_raises_immediately(self):
+        client = ServiceClient(_refused_url(), backpressure_wait=30.0)
+        t0 = time.monotonic()
+        with pytest.raises(ServiceUnavailableError):
+            client.submit(_BODY)
+        # A large backpressure budget must NOT be spent on a dead host.
+        assert time.monotonic() - t0 < 2.0
+
+    def test_unavailable_is_a_service_error_but_not_backpressure(self):
+        # Callers that catch ServiceError still see the failure; callers
+        # that branch on the two subtypes can tell down from overloaded.
+        with pytest.raises(ServiceError):
+            ServiceClient(_refused_url()).submit(_BODY)
+        with pytest.raises(ServiceUnavailableError) as exc:
+            ServiceClient(_refused_url()).submit(_BODY)
+        assert not isinstance(exc.value, BackpressureError)
+
+    def test_429_still_takes_the_backpressure_path(self):
+        # The flip side: a live-but-full server must keep raising
+        # BackpressureError, not ServiceUnavailableError.
+        script = [(429, {"error": "queue full", "retry_after": 0.01})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=0.0)
+            with pytest.raises(BackpressureError) as exc:
+                client.submit(_BODY)
+            assert not isinstance(exc.value, ServiceUnavailableError)
+
+    def test_server_death_between_requests_is_unavailable(self):
+        # First request succeeds; then the server goes away; the next
+        # call must surface unavailability, not a protocol error.
+        script = [(202, {"job_id": "j000001", "state": "queued",
+                         "coalesced_into": None})]
+        server = _ScriptedServer(script)
+        with server:
+            client = ServiceClient(server.url)
+            client.submit(_BODY)
+        with pytest.raises(ServiceUnavailableError):
+            client.submit(_BODY)
+
+    def test_other_endpoints_raise_unavailable_too(self):
+        client = ServiceClient(_refused_url())
+        with pytest.raises(ServiceUnavailableError):
+            client.stats()
+        with pytest.raises(ServiceUnavailableError):
+            client.metrics_text()
+        with pytest.raises(ServiceUnavailableError):
+            client.poll_result("j000001")

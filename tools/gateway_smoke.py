@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""CI smoke test for the sharded gateway: route, coalesce, kill, recover.
+
+Starts ``repro gateway`` plus three ``repro serve --register`` worker
+nodes — all real subprocesses on random free ports — then drives the
+fleet over HTTP with :class:`repro.serve.ServiceClient`:
+
+1. a burst of compress jobs through the gateway, one deliberately large
+   so it is provably still executing when the fault lands;
+2. ``SIGKILL`` of the node that owns the large job, mid-execution;
+3. every job still completes, and the recomputed outputs are
+   **bit-identical** to a serial run in this process;
+4. the failover is visible in the gateway's ``/metrics``
+   (``repro_gateway_requeued_total``, ``repro_gateway_node_failures_total``)
+   and ``/stats`` fleet counts.
+
+The whole script enforces a hard deadline (default 120 s) and always
+tears the fleet down, printing every process log on failure.
+
+Run it locally with::
+
+    PYTHONPATH=src python tools/gateway_smoke.py
+
+Exit status is non-zero on any failure; the CI ``gateway-smoke`` job
+runs exactly this under a matching external timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEADLINE_SECONDS = 120.0
+N_NODES = 3
+
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api.execute import execute  # noqa: E402
+from repro.api.plan import plan  # noqa: E402
+from repro.api.request import CompressionRequest  # noqa: E402
+from repro.serve import ServiceClient  # noqa: E402
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_until(predicate, deadline: float, message: str) -> None:
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise TimeoutError(f"timed out waiting for {message}")
+
+
+def spawn(argv: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def running_on(node_url: str) -> int:
+    """Jobs currently executing on a node (0 if unreachable)."""
+    try:
+        return int(ServiceClient(node_url, timeout=5.0)
+                   .stats()["jobs"]["running"])
+    except Exception:  # noqa: BLE001 - a dead node is simply "not running"
+        return 0
+
+
+def metric_value(client: ServiceClient, prefix: str) -> float:
+    for line in client.metrics_text().splitlines():
+        if line.startswith(prefix):
+            return float(line.rsplit(" ", 1)[1])
+    raise KeyError(f"no metric sample starts with {prefix!r}")
+
+
+def run_smoke(deadline: float) -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-gw-smoke-"))
+
+    # Inputs on disk + serial-run reference bytes: compress is a pure
+    # function of the spec, so whatever node ends up executing a job
+    # must reproduce these exactly.
+    sizes = [2**18, 2**16, 2**16, 2**16]  # [0] is seconds of work
+    specs: list[tuple[Path, bytes]] = []
+    for i, size in enumerate(sizes):
+        rng = np.random.default_rng(100 + i)
+        data = rng.normal(size=size).astype(np.float32).cumsum()
+        src = workdir / f"in{i}.npy"
+        np.save(src, data)
+        ref = workdir / f"ref{i}.frz"
+        execute(plan(CompressionRequest(kind="compress", input=str(src),
+                                        output=str(ref), error_bound=1e-3)))
+        specs.append((src, ref.read_bytes()))
+
+    gw_port = free_port()
+    gw_url = f"http://127.0.0.1:{gw_port}"
+    procs: dict[str, subprocess.Popen] = {}
+    node_urls: dict[str, str] = {}
+    failures = 0
+    try:
+        procs["gateway"] = spawn([
+            "gateway", "--port", str(gw_port), "--heartbeat-interval", "0.25",
+            "--dead-after", "1.5", "--check-interval", "0.1"])
+        for i in range(N_NODES):
+            port = free_port()
+            node_urls[f"n{i}"] = f"http://127.0.0.1:{port}"
+            procs[f"n{i}"] = spawn([
+                "serve", "--port", str(port), "--workers", "1",
+                "--executor", "thread", "--no-cache",
+                "--register", gw_url, "--node-id", f"n{i}"])
+
+        client = ServiceClient(gw_url, timeout=10.0)
+        wait_until(lambda: _active(client) == N_NODES, deadline,
+                   f"{N_NODES} registered nodes")
+        print(f"fleet up: gateway {gw_url}, nodes "
+              f"{', '.join(sorted(node_urls))}")
+
+        # 1. the burst
+        tickets = [
+            client.submit(kind="compress", error_bound=1e-3,
+                          input=str(src), output=str(workdir / f"out{i}.frz"))
+            for i, (src, _) in enumerate(specs)
+        ]
+        victim = tickets[0]["node"]
+        print(f"routed: {[t['node'] for t in tickets]}; victim {victim}")
+
+        # 2. kill the owner of the large job only once it is provably
+        #    mid-execution, so the failover is a genuine crash recovery.
+        wait_until(lambda: running_on(node_urls[victim]) >= 1, deadline,
+                   "victim mid-job")
+        procs[victim].send_signal(signal.SIGKILL)
+        procs[victim].wait(10)
+        print(f"killed {victim} mid-job")
+
+        # 3. zero jobs lost, bit-identical outputs
+        for i, ticket in enumerate(tickets):
+            result = client.result(ticket["job_id"], timeout=90.0)
+            assert result["kind"] == "compress", result
+            produced = (workdir / f"out{i}.frz").read_bytes()
+            assert produced == specs[i][1], f"job {i} differs from serial run"
+        final = client.status(tickets[0]["job_id"])
+        assert final["state"] == "done", final
+        assert final["node"] != victim, final
+        assert final["failovers"] >= 1, final
+        print(f"all {len(tickets)} jobs completed bit-identically; "
+              f"job 0 failed over {victim} -> {final['node']}")
+
+        # 4. the control plane saw it
+        assert metric_value(client, "repro_gateway_node_failures_total") >= 1
+        assert metric_value(client, "repro_gateway_requeued_total") >= 1
+        assert metric_value(client, "repro_gateway_completed_total") == len(tickets)
+        counts = client.stats()["fleet"]["counts"]
+        assert counts["dead"] == 1 and counts["active"] == N_NODES - 1, counts
+        print(f"metrics ok: fleet counts {counts}")
+        print("SMOKE OK (gateway)")
+    except Exception as exc:  # noqa: BLE001 - report and fail the job
+        failures = 1
+        print(f"SMOKE FAILED (gateway): {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+    finally:
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for name, proc in procs.items():
+            try:
+                proc.wait(10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(10)
+            log = proc.stdout.read() if proc.stdout else ""
+            if log and failures:
+                print(f"--- {name} log ---")
+                print(log)
+    return failures
+
+
+def _active(client: ServiceClient) -> int:
+    try:
+        return int(client.health().get("nodes_active", 0))
+    except Exception:  # noqa: BLE001 - gateway still booting
+        return 0
+
+
+def main() -> int:
+    deadline = time.monotonic() + DEADLINE_SECONDS
+    # Belt and braces: SIGALRM kills the whole script if assertions hang.
+    if hasattr(signal, "SIGALRM"):
+        signal.alarm(int(DEADLINE_SECONDS) + 5)
+    return 1 if run_smoke(deadline) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
