@@ -37,6 +37,7 @@ from repro.api.request import CompressionRequest
 from repro.cache.evalcache import EvalCache
 from repro.core.fraz import FRaZ
 from repro.io.files import load_field, save_field
+from repro.obs.trace import span as _trace_span
 from repro.pressio.registry import make_compressor
 
 __all__ = ["execute", "run"]
@@ -139,8 +140,9 @@ def _fraz(request: CompressionRequest, *, cache, executor, workers, seed) -> FRa
 
 def _execute_tune(request, *, cache, own_cache, executor, workers, seed) -> TuneReport:
     data = request.load_array()
-    result = _fraz(request, cache=cache, executor=executor,
-                   workers=workers, seed=seed).tune(data)
+    with _trace_span("search", {"target_ratio": request.target_ratio}):
+        result = _fraz(request, cache=cache, executor=executor,
+                       workers=workers, seed=seed).tune(data)
     return TuneReport.from_training(
         result,
         compressor=request.compressor,
@@ -158,7 +160,8 @@ def _execute_compress(request, *, cache, own_cache, executor, workers,
         configured = make_compressor(
             request.compressor, error_bound=request.error_bound, **request.options
         )
-        payload = save_field(request.output, data, configured)
+        with _trace_span("encode", {"error_bound": request.error_bound}):
+            payload = save_field(request.output, data, configured)
         return CompressReport.from_field(
             payload,
             compressor=request.compressor,
@@ -168,14 +171,17 @@ def _execute_compress(request, *, cache, own_cache, executor, workers,
             wall_seconds=time.perf_counter() - t0,
         )
     fraz = _fraz(request, cache=cache, executor=executor, workers=workers, seed=seed)
-    payload, result = fraz.compress(data)
+    with _trace_span("search", {"target_ratio": request.target_ratio}):
+        payload, result = fraz.compress(data)
     configured = make_compressor(
         request.compressor, error_bound=result.error_bound, **request.options
     )
-    save_field(
-        request.output, payload, configured,
-        metadata={"target_ratio": request.target_ratio, "feasible": result.feasible},
-    )
+    with _trace_span("encode", {"error_bound": result.error_bound}):
+        save_field(
+            request.output, payload, configured,
+            metadata={"target_ratio": request.target_ratio,
+                      "feasible": result.feasible},
+        )
     return CompressReport.from_field(
         payload,
         compressor=request.compressor,
@@ -199,26 +205,27 @@ def _execute_stream(request, *, cache, own_cache, executor, workers,
 
     opts = request.stream_options
     configured = make_compressor(request.compressor, **request.options)
-    result = stream_compress(
-        request.input if request.input is not None else request.load_array(),
-        request.output,
-        compressor=configured,
-        target_ratio=request.target_ratio,
-        error_bound=request.error_bound,
-        tolerance=request.tolerance,
-        max_error_bound=request.max_error_bound,
-        chunk_shape=opts.get("chunk_shape"),
-        max_memory=max_memory,
-        workers=workers if workers is not None else 1,
-        executor=executor,
-        train_chunks=opts.get("train_chunks", 4),
-        drift_margin=opts.get("drift_margin", 0.0),
-        drift_window=opts.get("drift_window", 4),
-        seed=seed,
-        cache=cache if cache is not None else False,
-        shape=opts.get("shape"),
-        dtype=opts.get("dtype"),
-    )
+    with _trace_span("train", {"target_ratio": request.target_ratio}):
+        result = stream_compress(
+            request.input if request.input is not None else request.load_array(),
+            request.output,
+            compressor=configured,
+            target_ratio=request.target_ratio,
+            error_bound=request.error_bound,
+            tolerance=request.tolerance,
+            max_error_bound=request.max_error_bound,
+            chunk_shape=opts.get("chunk_shape"),
+            max_memory=max_memory,
+            workers=workers if workers is not None else 1,
+            executor=executor,
+            train_chunks=opts.get("train_chunks", 4),
+            drift_margin=opts.get("drift_margin", 0.0),
+            drift_window=opts.get("drift_window", 4),
+            seed=seed,
+            cache=cache if cache is not None else False,
+            shape=opts.get("shape"),
+            dtype=opts.get("dtype"),
+        )
     return result.to_report(compressor=request.compressor, input=request.input,
                             cache=own_cache)
 
@@ -231,7 +238,8 @@ def _execute_decompress(request) -> DecompressReport:
         out = request.output
         if not out.endswith(".npy"):
             out += ".npy"
-        with StreamedField(request.input) as field:
+        with _trace_span("decode", {"from_stream": True}), \
+                StreamedField(request.input) as field:
             field.decompress(out)
             return DecompressReport(
                 compressor=field.meta["compressor"],
@@ -244,7 +252,8 @@ def _execute_decompress(request) -> DecompressReport:
                 n_chunks=field.n_chunks,
                 wall_seconds=round(time.perf_counter() - t0, 6),
             )
-    data, meta = load_field(request.input)
+    with _trace_span("decode", {"from_stream": False}):
+        data, meta = load_field(request.input)
     out = request.output if request.output.endswith(".npy") else request.output + ".npy"
     np.save(request.output, data)  # np.save appends .npy itself when missing
     return DecompressReport(

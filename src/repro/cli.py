@@ -21,6 +21,8 @@ Commands
 ``gateway``     front N ``serve`` nodes with one endpoint: consistent-hash
                 routing, heartbeats, draining, failover
 ``submit``      send one job to a running ``serve`` instance
+``trace``       fetch a job's span tree from a service/gateway and render
+                it as a waterfall (see docs/TRACING.md)
 ``load``        open-loop load harness with SLO gating (``BENCH_*`` snapshots)
 ``info``        show a ``.frz``/``.frzs`` file's metadata
 ``datasets``    print the Table III analog of the bundled synthetic datasets
@@ -273,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="heartbeat cadence override (with --register; default: "
                         "whatever the gateway's registration response says)")
+    p.add_argument("--trace-sample", type=float, default=1.0, metavar="RATE",
+                   help="fraction of jobs traced end to end (head-based "
+                        "sampling in [0, 1]; default 1.0 — failed jobs are "
+                        "always recorded regardless; see docs/TRACING.md)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit structured JSON log lines (one object per "
+                        "event, stamped with trace_id/job_id/node_id) "
+                        "to stderr")
     add_cache_args(p)
 
     p = sub.add_parser(
@@ -303,6 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action=argparse.BooleanOptionalAction, default=True,
                    help="expose GET /metrics (repro_gateway_* series; "
                         "default on)")
+    p.add_argument("--trace-sample", type=float, default=1.0, metavar="RATE",
+                   help="fraction of jobs traced end to end (the gateway's "
+                        "head decision propagates to the owning shard via "
+                        "the traceparent header; default 1.0)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit structured JSON log lines (one object per "
+                        "event, stamped with trace_id/job_id) to stderr")
 
     p = sub.add_parser(
         "submit",
@@ -336,6 +353,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the job ticket and exit without waiting")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="seconds to wait for the result (default 300)")
+
+    p = sub.add_parser(
+        "trace",
+        help="fetch and render a job's span tree",
+        description="Fetch the distributed trace of a job from a running "
+                    "`repro serve` node or `repro gateway` (GET /trace/<id>) "
+                    "and render it as an indented waterfall with self-times "
+                    "— down to one span per FRaZ search iteration.  Accepts "
+                    "a job id (node `j...`, gateway `g...`) or a raw 32-hex "
+                    "trace id.  See docs/TRACING.md.",
+    )
+    p.add_argument("job_id", help="job id or 32-hex trace id")
+    p.add_argument("--url", default="http://127.0.0.1:8077",
+                   help="service or gateway endpoint "
+                        "(default http://127.0.0.1:8077)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw span dicts instead of the waterfall")
+    p.add_argument("--width", type=int, default=32,
+                   help="waterfall bar width in characters (default 32)")
 
     p = sub.add_parser(
         "load",
@@ -521,8 +557,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs.tracelog import TraceLogger
     from repro.serve import ServiceServer
 
+    logger = (TraceLogger("node", json_lines=True) if args.log_json else None)
     server = ServiceServer(
         host=args.host,
         port=args.port,
@@ -538,6 +576,8 @@ def _cmd_serve(args) -> int:
         spill_threshold=args.spill_threshold,
         max_memory=args.max_memory,
         metrics=args.metrics,
+        trace_sample=args.trace_sample,
+        logger=logger,
         register=args.register,
         node_id=args.node_id,
         advertise_url=args.advertise_url,
@@ -558,7 +598,9 @@ def _cmd_serve(args) -> int:
 
 def _cmd_gateway(args) -> int:
     from repro.gateway import GatewayServer
+    from repro.obs.tracelog import TraceLogger
 
+    logger = (TraceLogger("gateway", json_lines=True) if args.log_json else None)
     server = GatewayServer(
         host=args.host,
         port=args.port,
@@ -568,6 +610,8 @@ def _cmd_gateway(args) -> int:
         check_interval=args.check_interval,
         replicas=args.replicas,
         metrics=args.metrics,
+        trace_sample=args.trace_sample,
+        logger=logger,
     )
     print(f"repro gateway listening on {server.url} "
           f"(heartbeat {args.heartbeat_interval:g}s, dead after "
@@ -635,6 +679,26 @@ def _cmd_submit(args) -> int:
     return _report_exit_code(result)
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import render_waterfall
+    from repro.serve import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.trace(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(render_waterfall(payload.get("spans") or [], width=args.width))
+    if not payload.get("complete"):
+        print("note: job still in flight — the tree above is partial",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.stream import is_streamed_file
 
@@ -673,6 +737,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gateway(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "load":
         from repro.obs.load import run_from_args
 

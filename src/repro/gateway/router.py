@@ -43,9 +43,12 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import __version__
 from repro.gateway.registry import NodeRecord, NodeRegistry, NodeState
 from repro.gateway.ring import DEFAULT_REPLICAS
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanStore, TraceContext, Tracer
+from repro.obs.tracelog import TraceLogger
 from repro.serve.client import (
     BackpressureError,
     ServiceClient,
@@ -109,6 +112,10 @@ class RoutedJob:
     finished_mono: float | None = field(default=None, repr=False)
     result: dict | None = None
     error: str | None = None
+    #: Trace identity shared with the owning node (the traceparent the
+    #: gateway injected at forward time carries the same trace id).
+    trace_id: str | None = None
+    trace_root: object = field(default=None, repr=False)
     _finished_event: threading.Event = field(default_factory=threading.Event,
                                              repr=False)
 
@@ -128,6 +135,7 @@ class RoutedJob:
             "coalesced_into": self.coalesced_into,
             "failovers": self.failovers,
             "submitted_at": self.submitted_at,
+            "trace_id": self.trace_id,
             "error": self.error,
         }
 
@@ -165,6 +173,9 @@ class Router:
         history: int = 4096,
         client_timeout: float = 30.0,
         metrics: MetricsRegistry | bool = True,
+        trace_sample: float = 1.0,
+        trace_exemplars: int = 5,
+        logger: TraceLogger | None = None,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -191,6 +202,12 @@ class Router:
             self.metrics: MetricsRegistry | None = metrics
         else:
             self.metrics = MetricsRegistry() if metrics else None
+        # Gateway spans carry node_id="gateway" so a stitched tree shows
+        # at a glance which tier each span ran on.
+        self.tracer = Tracer(store=SpanStore(exemplars=trace_exemplars),
+                             sample_rate=trace_sample, node_id="gateway")
+        self.logger = logger if logger is not None else TraceLogger(
+            "gateway", enabled=False)
         self._routed_total = None
         self._heartbeat_age = None
         if self.metrics is not None:
@@ -199,6 +216,9 @@ class Router:
     # -- observability -----------------------------------------------------
     def _build_metrics(self, reg: MetricsRegistry) -> None:
         stats = self.stats
+        reg.gauge("build_info",
+                  "Build metadata carried in labels (value is always 1)",
+                  labels=("version",)).labels(version=__version__).set(1)
         self._routed_total = reg.counter(
             "gateway_routed_total", "Jobs forwarded to each node",
             labels=("node",))
@@ -311,7 +331,8 @@ class Router:
         }
 
     # -- client-facing protocol --------------------------------------------
-    def submit(self, body: dict) -> tuple[RoutedJob, dict]:
+    def submit(self, body: dict,
+               trace_context: TraceContext | None = None) -> tuple[RoutedJob, dict]:
         """Admit one job: validate, route by coalesce key, forward.
 
         Returns ``(job, ticket)`` where ``ticket`` is the JSON body for
@@ -319,6 +340,10 @@ class Router:
         :class:`NoCapacityError` (no routable node), or
         :class:`~repro.serve.client.BackpressureError` (the owning shard
         answered 429 — propagated so the caller sees honest overload).
+
+        ``trace_context`` continues the caller's trace; otherwise the
+        gateway roots a new one here — every downstream hop (route,
+        node queue/run, stage and search-iteration spans) shares its id.
         """
         spec = JobSpec.from_dict(body)
         key = spec.coalesce_key()
@@ -328,18 +353,29 @@ class Router:
                             max_retries=spec.max_retries)
             self._jobs[gid] = job
             self.stats.submitted += 1
+        root = self.tracer.start_trace(
+            "gateway_job", context=trace_context,
+            attrs={"job_id": gid, "kind": spec.kind})
+        job.trace_root = root
+        job.trace_id = root.trace_id
+        self.logger.event("job_submitted", trace_id=job.trace_id, job_id=gid,
+                          kind=spec.kind)
         try:
             self._forward(job)
-        except (NoCapacityError, BackpressureError):
+        except (NoCapacityError, BackpressureError) as exc:
             with self._lock:
                 del self._jobs[gid]
                 self.stats.submitted -= 1
+            if root.is_recording:
+                root.record_error(exc)
+                self.tracer.finish_span(root)
             raise
         ticket = {
             "job_id": job.id,
             "state": "queued",
             "node": job.node_id,
             "coalesced_into": job.coalesced_into,
+            "trace_id": job.trace_id,
         }
         return job, ticket
 
@@ -431,40 +467,60 @@ class Router:
         loop).  Raises :class:`NoCapacityError` once no candidate
         remains, and lets a 429 (:class:`BackpressureError`) propagate:
         the shard's backpressure is the gateway's backpressure.
+
+        The whole walk happens inside one ``route`` span (child of the
+        job's gateway root), and the winning node's submit carries the
+        route span's context as a ``traceparent`` header — which is what
+        stitches the node's queue/run/stage spans into the same trace.
+        The header travels even when the trace is unsampled (flag ``00``)
+        so the node honours the gateway's head decision.
         """
         refused: set[str] = set()
-        while True:
-            record = self.registry.route_avoiding(job.key, job.avoid | refused)
-            if record is None and job.avoid:
-                record = self.registry.route_avoiding(job.key, refused)
-            if record is None:
+        with self.tracer.span("route", parent=job.trace_root) as route_span:
+            traceparent = route_span.context.to_traceparent()
+            while True:
+                record = self.registry.route_avoiding(job.key, job.avoid | refused)
+                if record is None and job.avoid:
+                    record = self.registry.route_avoiding(job.key, refused)
+                if record is None:
+                    with self._lock:
+                        self.stats.no_capacity += 1
+                    raise NoCapacityError(
+                        "no routable worker node (register nodes, or undrain one)")
+                try:
+                    ticket = self._client(record).submit(
+                        job.body, traceparent=traceparent)
+                except ServiceUnavailableError:
+                    # Connection-level failure: route around it now; the
+                    # reaper declares it dead on heartbeat silence.
+                    refused.add(record.node_id)
+                    with self._lock:
+                        self.stats.reroutes += 1
+                    continue
                 with self._lock:
-                    self.stats.no_capacity += 1
-                raise NoCapacityError(
-                    "no routable worker node (register nodes, or undrain one)")
-            try:
-                ticket = self._client(record).submit(job.body)
-            except ServiceUnavailableError:
-                # Connection-level failure: route around it now; the
-                # reaper declares it dead on heartbeat silence.
-                refused.add(record.node_id)
-                with self._lock:
-                    self.stats.reroutes += 1
-                continue
-            with self._lock:
-                job.state = "routed"
-                job.node_id = record.node_id
-                job.node_job_id = ticket["job_id"]
-                self._node_index[(record.node_id, ticket["job_id"])] = job.id
-                self._owed.setdefault(record.node_id, set()).add(job.id)
-                coalesced = ticket.get("coalesced_into")
-                if coalesced:
-                    primary_gid = self._node_index.get((record.node_id, coalesced))
-                    job.coalesced_into = primary_gid
-                self.stats.routed += 1
-            if self._routed_total is not None:
-                self._routed_total.labels(node=record.node_id).inc()
-            return
+                    job.state = "routed"
+                    job.node_id = record.node_id
+                    job.node_job_id = ticket["job_id"]
+                    self._node_index[(record.node_id, ticket["job_id"])] = job.id
+                    self._owed.setdefault(record.node_id, set()).add(job.id)
+                    coalesced = ticket.get("coalesced_into")
+                    if coalesced:
+                        primary_gid = self._node_index.get(
+                            (record.node_id, coalesced))
+                        job.coalesced_into = primary_gid
+                    self.stats.routed += 1
+                if route_span.is_recording:
+                    route_span.set_attr("node", record.node_id)
+                    if refused:
+                        route_span.set_attr("rerouted_around", sorted(refused))
+                    if job.failovers:
+                        route_span.set_attr("failover", job.failovers)
+                if self._routed_total is not None:
+                    self._routed_total.labels(node=record.node_id).inc()
+                self.logger.event(
+                    "job_routed", trace_id=job.trace_id, job_id=job.id,
+                    node=record.node_id, node_job_id=job.node_job_id)
+                return
 
     def _fetch_result(self, job: RoutedJob, record: NodeRecord,
                       only_if_done: bool = False) -> bool:
@@ -513,6 +569,42 @@ class Router:
                 self.stats.failed += 1
             self._remember(job)
         job._finished_event.set()
+        self._finish_job_trace(job)
+
+    def _finish_job_trace(self, job: RoutedJob) -> None:
+        """Close the gateway root span and settle the trace's bookkeeping.
+
+        Mirrors the scheduler's version: a failed-but-unsampled job still
+        gets a minimal forced span (*always sample on error*), and every
+        sampled trace enters the slow-trace exemplar contest with its
+        full gateway-side latency.
+        """
+        root = job.trace_root
+        if root is None:
+            return
+        elapsed = (job.finished_mono - job.submitted_mono
+                   if job.finished_mono is not None else None)
+        if root.is_recording:
+            if job.state == "failed":
+                root.record_error(job.error or "failed")
+            if job.failovers:
+                root.set_attr("failovers", job.failovers)
+            self.tracer.finish_span(root)
+        elif job.state == "failed" and job.trace_id is not None:
+            self.tracer.record_span(
+                "gateway_job", trace_id=job.trace_id,
+                start=job.submitted_at, duration=elapsed,
+                status="error", error=job.error,
+                attrs={"job_id": job.id, "forced_sample": True})
+        if job.trace_id is not None:
+            self.tracer.store.finish_trace(job.trace_id, elapsed, job.id)
+        if job.state == "failed":
+            self.logger.error("job_failed", trace_id=job.trace_id,
+                              job_id=job.id, node=job.node_id, error=job.error)
+        else:
+            self.logger.event("job_finished", trace_id=job.trace_id,
+                              job_id=job.id, node=job.node_id,
+                              seconds=round(elapsed, 6) if elapsed else None)
 
     def _remember(self, job: RoutedJob) -> None:
         self._history.append(job.id)
@@ -570,6 +662,21 @@ class Router:
                     job.failovers += 1
                     job.state = "pending"
                     self.stats.requeued += 1
+            root = job.trace_root
+            if (root is not None and root.is_recording
+                    and root.trace_id is not None):
+                # Retro span: the dead node's own spans died with it, so
+                # the gateway records the failover evidence itself.
+                self.tracer.record_span(
+                    "failover_requeue", trace_id=root.trace_id,
+                    parent_id=root.span_id,
+                    attrs={"node": node_id, "reason": reason,
+                           "requeued": job.state == "pending",
+                           "failover": job.failovers})
+            self.logger.event(
+                "job_requeued" if job.state == "pending" else "job_abandoned",
+                level="warning", trace_id=job.trace_id, job_id=job.id,
+                node=node_id, reason=reason, failovers=job.failovers)
             if job.state != "pending":
                 self._finish(job, "failed",
                              error=f"{reason}; retry budget exhausted "
@@ -596,6 +703,49 @@ class Router:
             self._try_requeue(job)
 
     # -- introspection -----------------------------------------------------
+    def trace_payload(self, ref: str) -> dict | None:
+        """Stitched span tree for a gateway job id (or raw 32-hex trace id).
+
+        The gateway's own spans (root, routing, failover evidence) are
+        merged with the owning node's ``/trace`` answer — same trace id,
+        deduplicated by span id — so one read shows the whole journey:
+        gateway admission → route → node queue/run → executor dispatch →
+        stage spans → per-search-iteration spans.  A dead or unreachable
+        node degrades to the gateway-side spans alone (its routing spans
+        still say which node the job died on).  ``None`` when the
+        reference is unknown, unsampled, or evicted.
+        """
+        job = self.get(ref)
+        if job is None and len(ref) == 32:
+            with self._lock:
+                job = next((j for j in self._jobs.values()
+                            if j.trace_id == ref), None)
+        trace_id = job.trace_id if job is not None else (
+            ref if len(ref) == 32 else None)
+        if trace_id is None:
+            return None
+        spans = self.tracer.store.get(trace_id)
+        if spans is None:
+            return None
+        if job is not None and job.node_id is not None \
+                and job.node_job_id is not None:
+            record = self.registry.get(job.node_id)
+            if record is not None and record.state in NodeState.ALIVE:
+                try:
+                    remote = self._client(record).trace(job.node_job_id)
+                except ServiceError:
+                    remote = None  # evicted/unknown there; gateway view stands
+                if remote and remote.get("trace_id") == trace_id:
+                    seen = {s.get("span_id") for s in spans}
+                    spans.extend(s for s in remote.get("spans", [])
+                                 if s.get("span_id") not in seen)
+        return {
+            "trace_id": trace_id,
+            "job_id": job.id if job is not None else None,
+            "complete": job.finished if job is not None else False,
+            "spans": spans,
+        }
+
     def stats_payload(self) -> dict:
         payload = {
             "uptime_seconds": round(time.time() - self._started_at, 3),
@@ -603,6 +753,7 @@ class Router:
             "jobs": self.stats.as_dict(),
             "inflight": self._inflight_count(),
             "fleet": self.registry.stats_dict(),
+            "trace": self.tracer.stats_dict(),
             "metrics": None,
         }
         if self.metrics is not None:

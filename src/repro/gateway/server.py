@@ -17,9 +17,16 @@ Client-facing endpoints
 ``GET /status/<id>``      gateway routing record (+ live node view).
 ``GET /result/<id>``      cached/proxied result; ``202`` while pending
                           (including mid-failover).
+``GET /trace/<id>``       stitched span tree: gateway spans merged with
+                          the owning shard's (``404`` when unknown,
+                          unsampled, or evicted).
 ``GET /stats``            fleet membership, routing counters, metrics.
 ``GET /metrics``          Prometheus text (``repro_gateway_*``).
-``GET /health``           liveness probe.
+``GET /health``           liveness probe (includes the package version).
+
+Submits may carry a W3C ``traceparent`` header; the extracted context
+ties the whole routed journey into the caller's trace, and the 202
+ticket reports the ``trace_id`` either way.
 
 Fleet-facing endpoints (worker nodes + operators)
 -------------------------------------------------
@@ -38,7 +45,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import __version__
 from repro.gateway.router import NoCapacityError, Router
+from repro.obs.trace import TRACEPARENT_HEADER, TraceContext
 from repro.serve.client import BackpressureError
 
 __all__ = ["GatewayServer", "DEFAULT_GATEWAY_PORT"]
@@ -121,8 +130,10 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(404, {"error": f"unknown endpoint {self.path!r}"})
 
     def _submit(self, body: dict) -> None:
+        context = TraceContext.from_traceparent(
+            self.headers.get(TRACEPARENT_HEADER))
         try:
-            _, ticket = self.router.submit(body)
+            _, ticket = self.router.submit(body, trace_context=context)
         except ValueError as exc:
             self._send(400, {"error": str(exc)})
             return
@@ -191,7 +202,16 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/health":
             counts = self.router.registry.counts()
-            self._send(200, {"status": "ok", "nodes_active": counts["active"]})
+            self._send(200, {"status": "ok", "nodes_active": counts["active"],
+                             "version": __version__})
+            return
+        if self.path.startswith("/trace/"):
+            payload = self.router.trace_payload(self.path[len("/trace/"):])
+            if payload is None:
+                self._send(404, {"error": "unknown job/trace id "
+                                          "(unsampled or evicted traces 404)"})
+            else:
+                self._send(200, payload)
             return
         if self.path.startswith("/status/"):
             payload = self.router.job_status(self.path[len("/status/"):])

@@ -1,10 +1,12 @@
-"""Observability layer: metrics registry, exposition, load harness.
+"""Observability layer: metrics, tracing, exposition, load harness.
 
 Dependency-free instrumentation for the resident service — counters,
 gauges and mergeable fixed-bucket latency histograms
 (:mod:`repro.obs.metrics`), the Prometheus text exposition and its
-parser (:mod:`repro.obs.exposition`), and an open-loop load harness
-with SLO gating (:mod:`repro.obs.load`).
+parser (:mod:`repro.obs.exposition`), distributed tracing with
+W3C-``traceparent`` propagation (:mod:`repro.obs.trace`), correlated
+structured logging (:mod:`repro.obs.tracelog`), and an open-loop load
+harness with SLO gating (:mod:`repro.obs.load`).
 """
 
 from repro.obs.exposition import (
@@ -22,6 +24,19 @@ from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    NullSpan,
+    Span,
+    SpanStore,
+    TraceContext,
+    Tracer,
+    current_context,
+    current_span,
+    render_waterfall,
+    span,
+)
+from repro.obs.tracelog import TraceLogger
 
 __all__ = [
     "CONTENT_TYPE",
@@ -33,6 +48,17 @@ __all__ = [
     "MetricFamily",
     "MetricSample",
     "MetricsRegistry",
+    "NullSpan",
+    "Span",
+    "SpanStore",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "TraceLogger",
+    "Tracer",
+    "current_context",
+    "current_span",
     "parse_prometheus",
     "render_prometheus",
+    "render_waterfall",
+    "span",
 ]

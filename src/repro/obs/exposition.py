@@ -12,10 +12,11 @@ Grafana Agent, ``promtool``) understands:
 :func:`parse_prometheus` is the inverse for the subset this package
 emits.  It exists so the test suite can assert the endpoint's output is
 well-formed *by parsing it*, and so the load harness can scrape a live
-service without pulling in a client library.  It is not a general
-Prometheus parser (no escaped label values with embedded quotes, no
-exemplars) — it parses exactly what :func:`render_prometheus` writes and
-rejects lines that don't scan.
+service without pulling in a client library.  It understands the full
+label-value escaping rules of the format (``\\``, ``\"``, ``\n`` —
+including commas and braces inside quoted values) and rejects anything
+that doesn't scan, duplicate ``# TYPE`` declarations included; it is
+still not a general Prometheus parser (no exemplars, no timestamps).
 """
 
 from __future__ import annotations
@@ -35,6 +36,8 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 def _fmt(value: float) -> str:
     """Prometheus number formatting: integers bare, floats repr-stable."""
+    if value != value:  # NaN: int(value) would raise, and repr says "nan"
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
     if value == float("-inf"):
@@ -43,10 +46,17 @@ def _fmt(value: float) -> str:
     return str(as_int) if as_int == value else repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label escaping: ``\\``, ``\"``, ``\n``."""
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
 def _labels(pairs: list[tuple[str, str]]) -> str:
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(f'{name}="{_escape_label_value(str(value))}"'
+                    for name, value in pairs)
     return "{" + body + "}"
 
 
@@ -84,12 +94,57 @@ class MetricSample:
     value: float = 0.0
 
 
-_SAMPLE_RE = re.compile(
-    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)$"
-)
-_LABEL_RE = re.compile(r'^(?P<name>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>[^"]*)"$')
+_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_labels(line: str, pos: int, lineno: int) -> tuple[dict[str, str], int]:
+    """Scan a ``{...}`` label block starting at ``line[pos] == "{"``.
+
+    A character scanner rather than a regex because quoted values may
+    contain anything — commas, ``}``, escaped quotes — and only the
+    escaping rules decide where the value ends.  Returns the parsed
+    labels and the index just past the closing ``}``.
+    """
+    labels: dict[str, str] = {}
+    pos += 1  # past "{"
+    while True:
+        if pos >= len(line):
+            raise ValueError(f"line {lineno}: unterminated label block")
+        if line[pos] == "}":  # also accepts the empty block "{}"
+            return labels, pos + 1
+        m = _LABEL_NAME_RE.match(line, pos)
+        if m is None:
+            raise ValueError(
+                f"line {lineno}: malformed label name at column {pos + 1}")
+        name = m.group(0)
+        pos = m.end()
+        if not line.startswith('="', pos):
+            raise ValueError(
+                f"line {lineno}: expected '=\"' after label {name!r}")
+        pos += 2
+        chars: list[str] = []
+        while True:
+            if pos >= len(line):
+                raise ValueError(
+                    f"line {lineno}: unterminated value for label {name!r}")
+            ch = line[pos]
+            if ch == '"':
+                pos += 1
+                break
+            if ch == "\\":
+                if pos + 1 >= len(line) or line[pos + 1] not in _ESCAPES:
+                    raise ValueError(
+                        f"line {lineno}: bad escape in label {name!r}")
+                chars.append(_ESCAPES[line[pos + 1]])
+                pos += 2
+                continue
+            chars.append(ch)
+            pos += 1
+        labels[name] = "".join(chars)
+        if pos < len(line) and line[pos] == ",":
+            pos += 1  # next pair (trailing comma before "}" also scans)
 
 
 def parse_prometheus(text: str) -> dict[str, list[MetricSample]]:
@@ -99,10 +154,13 @@ def parse_prometheus(text: str) -> dict[str, list[MetricSample]]:
     as a single pseudo-sample list (``labels={"type": ...}`` per family),
     so callers can assert a name was declared a counter/gauge/histogram.
     Raises :class:`ValueError` on any line that does not scan — the test
-    suite uses that to prove the endpoint emits only well-formed text.
+    suite uses that to prove the endpoint emits only well-formed text —
+    and on a family whose ``# TYPE`` is declared twice (the exposition
+    format requires one block per family).
     """
     samples: dict[str, list[MetricSample]] = {}
     types: list[MetricSample] = []
+    declared: set[str] = set()
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line:
@@ -114,28 +172,32 @@ def parse_prometheus(text: str) -> dict[str, list[MetricSample]]:
             if parts[1] == "TYPE":
                 if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
                     raise ValueError(f"line {lineno}: malformed TYPE {raw!r}")
+                if parts[2] in declared:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for metric {parts[2]!r}")
+                declared.add(parts[2])
                 types.append(MetricSample(parts[2], {"type": parts[3]}))
             continue
-        m = _SAMPLE_RE.match(line)
+        m = _NAME_RE.match(line)
         if m is None:
             raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = m.group(0)
+        pos = m.end()
         labels: dict[str, str] = {}
-        body = m.group("labels")
-        if body:
-            for pair in body.split(","):
-                lm = _LABEL_RE.match(pair.strip())
-                if lm is None:
-                    raise ValueError(f"line {lineno}: malformed label {pair!r}")
-                labels[lm.group("name")] = lm.group("value")
-        value_text = m.group("value")
+        if pos < len(line) and line[pos] == "{":
+            labels, pos = _parse_labels(line, pos, lineno)
+        rest = line[pos:]
+        if not rest or not rest[0].isspace():
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        value_text = rest.strip()
+        if not value_text or len(value_text.split()) != 1:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
         try:
             value = float("inf") if value_text == "+Inf" else float(value_text)
         except ValueError:
             raise ValueError(
                 f"line {lineno}: malformed value {value_text!r}"
             ) from None
-        samples.setdefault(m.group("name"), []).append(
-            MetricSample(m.group("name"), labels, value)
-        )
+        samples.setdefault(name, []).append(MetricSample(name, labels, value))
     samples["__types__"] = types
     return samples

@@ -276,6 +276,17 @@ def _scrape_service(client) -> dict:
         "coalesce_rate": round(jobs.get("coalesced", 0) / submitted, 4)
         if submitted else 0.0,
     }
+    trace = stats.get("trace")
+    if isinstance(trace, dict):
+        # Slowest-request exemplars: the job ids an operator would feed
+        # to `repro trace`.  Sorted (not slowest-first) and without the
+        # raw seconds/trace ids so the BENCH snapshot stays diffable.
+        exemplars = trace.get("exemplars") or []
+        view["trace_exemplars"] = {
+            "count": len(exemplars),
+            "job_ids": sorted(str(e["job_id"]) for e in exemplars
+                              if e.get("job_id")),
+        }
     metrics = stats.get("metrics") or {}
     stages = {}
     for key, snap in metrics.items():
@@ -351,18 +362,21 @@ def write_bench(path: str | Path, summary: dict) -> None:
 
 @contextlib.contextmanager
 def embedded_endpoint(topology: str, *, workers: int, executor: str,
-                      nodes: int = 2):
+                      nodes: int = 2, trace_sample: float = 1.0):
     """Start an in-process service endpoint for a load run; yields its URL.
 
     ``topology="serve"`` is a single :class:`ServiceServer`;
     ``topology="gateway"`` is a :class:`GatewayServer` fronting ``nodes``
     agent-registered workers (each with ``workers`` threads/processes),
-    torn down nodes-first so agents unregister cleanly.
+    torn down nodes-first so agents unregister cleanly.  ``trace_sample``
+    reaches every tier, so a run can measure tracing fully on (1.0,
+    the default — the SLO gate then covers tracing overhead) or off (0).
     """
     from repro.serve.server import ServiceServer
 
     if topology == "serve":
-        with ServiceServer(port=0, workers=workers, executor=executor) as server:
+        with ServiceServer(port=0, workers=workers, executor=executor,
+                           trace_sample=trace_sample) as server:
             yield server.url
         return
     if topology != "gateway":
@@ -373,12 +387,14 @@ def embedded_endpoint(topology: str, *, workers: int, executor: str,
     from repro.gateway import GatewayServer
 
     gateway = GatewayServer(port=0, heartbeat_interval=0.25,
-                            dead_after=5.0, check_interval=0.1).start()
+                            dead_after=5.0, check_interval=0.1,
+                            trace_sample=trace_sample).start()
     fleet: list[ServiceServer] = []
     try:
         for i in range(nodes):
             fleet.append(ServiceServer(
                 port=0, workers=workers, executor=executor,
+                trace_sample=trace_sample,
                 register=gateway.url, node_id=f"load-n{i}").start())
         deadline = time.monotonic() + 30.0
         while gateway.router.registry.counts()["active"] < nodes:
@@ -439,6 +455,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=None,
                         help="worker nodes behind an embedded gateway "
                              "(default: the profile's 'nodes', else 2)")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        help="embedded endpoint's trace sampling rate "
+                             "(default 1.0: the SLO gate measures the "
+                             "service with tracing fully on; 0 disables)")
     parser.add_argument("--out-dir", default=".",
                         help="where BENCH_<profile>.json snapshots land "
                              "(default: current directory)")
@@ -486,11 +506,12 @@ def run_from_args(args: argparse.Namespace) -> int:
             bodies, weights = materialize_mix(mix, tmp)
             if args.url is None:
                 with embedded_endpoint(topology, workers=args.workers,
-                                       executor=args.executor,
-                                       nodes=nodes) as url:
+                                       executor=args.executor, nodes=nodes,
+                                       trace_sample=args.trace_sample) as url:
                     summary = run_load(url, bodies, weights, rps=rps,
                                        duration=duration, seed=args.seed)
                 summary["config"]["topology"] = topology
+                summary["config"]["trace_sample"] = args.trace_sample
                 if topology == "gateway":
                     summary["config"]["nodes"] = nodes
             else:

@@ -1,0 +1,84 @@
+"""Structured logging that correlates with traces.
+
+One tiny abstraction: :class:`TraceLogger.event` emits a single log
+record, either as a human-readable line (default, matches the service's
+historical ``--verbose`` output) or — under ``repro serve --log-json`` —
+as one JSON object per line with a fixed envelope::
+
+    {"ts": ..., "level": "info", "event": "job_finished",
+     "service": "node", "node_id": "n0",
+     "trace_id": "4bf9...", "job_id": "j000007", ...fields}
+
+The envelope keys are the correlation contract: every line a node or
+gateway prints about a job carries the same ``trace_id`` the span tree
+uses, so ``grep trace_id logs | jq`` and ``repro trace <job-id>`` are
+two views of the same request.  Stdlib-only, no ``logging`` module —
+the service's needs are one formatter, one stream, zero configuration
+surface, and ``logging``'s global state is a liability in tests that
+spin up many servers per process.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+__all__ = ["TraceLogger"]
+
+
+class TraceLogger:
+    """Line-oriented logger with a fixed correlation envelope.
+
+    ``service`` names the emitting tier (``node`` / ``gateway``);
+    ``node_id`` is stamped late (the agent learns it at registration).
+    ``enabled=False`` short-circuits everything — the default for
+    embedded/test servers, matching the old ``verbose=False`` silence.
+    """
+
+    def __init__(self, service: str, *, node_id: str | None = None,
+                 json_lines: bool = False, enabled: bool = True,
+                 stream=None) -> None:
+        self.service = service
+        self.node_id = node_id
+        self.json_lines = bool(json_lines)
+        self.enabled = bool(enabled)
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def event(self, event: str, *, level: str = "info",
+              trace_id: str | None = None, job_id: str | None = None,
+              **fields) -> None:
+        """Emit one record; ``fields`` must be JSON-serialisable."""
+        if not self.enabled:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        if self.json_lines:
+            record = {"ts": round(time.time(), 6), "level": level,
+                      "event": event, "service": self.service}
+            if self.node_id is not None:
+                record["node_id"] = self.node_id
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+            if job_id is not None:
+                record["job_id"] = job_id
+            record.update(fields)
+            line = json.dumps(record, sort_keys=False, default=str)
+        else:
+            parts = [f"[{self.service}"]
+            if self.node_id is not None:
+                parts[0] += f":{self.node_id}"
+            parts[0] += "]"
+            parts.append(event)
+            if job_id is not None:
+                parts.append(f"job={job_id}")
+            if trace_id is not None:
+                parts.append(f"trace={trace_id}")
+            parts.extend(f"{k}={v}" for k, v in fields.items())
+            line = " ".join(parts)
+        with self._lock:
+            print(line, file=stream, flush=True)
+
+    def error(self, event: str, **kwargs) -> None:
+        self.event(event, level="error", **kwargs)

@@ -39,10 +39,61 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "ProcessJobPool",
+    "TracedResult",
     "WorkerCrashError",
     "make_executor",
     "resolve_workers",
 ]
+
+
+class TracedResult:
+    """A task's return value plus the spans its worker process recorded.
+
+    Process-pool workers cannot write into the parent's span store, so
+    a traced task returns ``TracedResult(value, spans)`` and the caller
+    merges ``spans`` (plain span dicts) into its own store.  Callers
+    that pass ``trace_context`` to :meth:`ProcessJobPool.submit` must
+    unwrap the future's result with an ``isinstance`` check — untraced
+    submissions keep returning the bare value.
+    """
+
+    __slots__ = ("value", "spans")
+
+    def __init__(self, value: Any, spans: list) -> None:
+        self.value = value
+        self.spans = spans
+
+
+def _traced_trampoline(context_dict: dict, fn: Callable[..., Any],
+                       *args: Any) -> TracedResult:
+    """Module-level (picklable) wrapper that collects spans in a worker.
+
+    Installs an ambient collecting tracer continuing ``context_dict``,
+    runs ``fn``, and ships the recorded spans home with the result.  The
+    worker's root span is a bookkeeping shim, dropped here so the parent
+    (which owns the real ``run`` span) keeps a clean tree; the task's
+    own spans are re-parented onto the context the parent sent.
+    """
+    from repro.obs.trace import collect_spans, install_collector
+
+    tracer, root, token = install_collector(context_dict)
+    error: BaseException | None = None
+    try:
+        value = fn(*args)
+    except BaseException as exc:
+        error = exc
+        raise
+    finally:
+        spans = collect_spans(tracer, root, token, error=error)
+        parent_id = context_dict.get("span_id")
+        kept = []
+        for span_dict in spans:
+            if span_dict.get("span_id") == root.span_id:
+                continue
+            if span_dict.get("parent_id") == root.span_id:
+                span_dict = dict(span_dict, parent_id=parent_id)
+            kept.append(span_dict)
+    return TracedResult(value, kept)
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -242,13 +293,22 @@ class ProcessJobPool:
             initargs=self._initargs,
         )
 
-    def submit(self, fn: Callable[..., Any], *args: Any) -> tuple[Future, int]:
+    def submit(self, fn: Callable[..., Any], *args: Any,
+               trace_context: dict | None = None) -> tuple[Future, int]:
         """Submit one task; returns ``(future, generation)``.
 
         Pass the generation back to :meth:`crashed` if the future raises
         :class:`BrokenProcessPool`, so concurrent observers of one crash
         trigger exactly one rebuild.
+
+        ``trace_context`` (a :meth:`TraceContext.to_dict` payload) ships
+        span context across the pickle boundary: the task runs under a
+        collecting tracer in the worker and the future resolves to a
+        :class:`TracedResult` instead of the bare value.
         """
+        if trace_context is not None:
+            args = (dict(trace_context), fn, *args)
+            fn = _traced_trampoline
         with self._lock:
             if self._executor is None:
                 raise RuntimeError("pool is shut down")

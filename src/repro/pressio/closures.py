@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cache.evalcache import CacheEntry, EvalCache
 from repro.cache.keys import normalize_bound
+from repro.obs.trace import span as _trace_span
 from repro.pressio.compressor import Compressor
 
 __all__ = ["RatioFunction", "Observation"]
@@ -59,24 +60,38 @@ class RatioFunction:
     def __call__(self, error_bound: float) -> float:
         e = normalize_bound(error_bound)
         if e in self._cache:
+            # Memo hits are free re-reads of an observation already in
+            # the history — no span, or traces of revisiting searches
+            # would double-count iterations.
             return self._cache[e]
-        if self.cache is not None:
-            entry, was_hit = self.cache.evaluate(self.compressor, self.data, e)
-            elapsed = 0.0 if was_hit else entry.seconds
-            if was_hit:
-                self.cache_hits += 1
+        # One span per genuine search iteration: this closure is the
+        # single point every tuning algorithm funnels probes through, so
+        # tagging it here makes any trace a convergence log.
+        with _trace_span("search_iteration") as sp:
+            iteration = len(self.history)
+            if self.cache is not None:
+                entry, was_hit = self.cache.evaluate(self.compressor, self.data, e)
+                elapsed = 0.0 if was_hit else entry.seconds
+                if was_hit:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+                if sp.is_recording:
+                    sp.set_attr("cache_hit", was_hit)
             else:
+                start = time.perf_counter()
+                compressed = self.compressor.with_error_bound(e).compress(self.data)
+                elapsed = time.perf_counter() - start
+                entry = CacheEntry(compressed.ratio, compressed.nbytes, elapsed)
                 self.cache_misses += 1
-        else:
-            start = time.perf_counter()
-            compressed = self.compressor.with_error_bound(e).compress(self.data)
-            elapsed = time.perf_counter() - start
-            entry = CacheEntry(compressed.ratio, compressed.nbytes, elapsed)
-            self.cache_misses += 1
-        self.compress_seconds += elapsed
-        self.history.append(Observation(e, entry.ratio, entry.nbytes, elapsed))
-        self._cache[e] = entry.ratio
-        return entry.ratio
+            self.compress_seconds += elapsed
+            self.history.append(Observation(e, entry.ratio, entry.nbytes, elapsed))
+            self._cache[e] = entry.ratio
+            if sp.is_recording:
+                sp.set_attr("bound", e)
+                sp.set_attr("ratio", entry.ratio)
+                sp.set_attr("iteration", iteration)
+            return entry.ratio
 
     @property
     def evaluations(self) -> int:

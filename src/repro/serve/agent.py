@@ -77,6 +77,11 @@ class NodeAgent:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # The agent is where a scheduler learns which shard it is —
+        # stamp the identity onto its spans and log lines so a stitched
+        # gateway trace attributes every span to the node that ran it.
+        scheduler.tracer.node_id = node_id
+        scheduler.logger.node_id = node_id
         scheduler.add_finish_listener(self._on_job_finished)
         if scheduler.metrics is not None:
             reg = scheduler.metrics

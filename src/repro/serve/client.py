@@ -32,12 +32,20 @@ __all__ = [
 
 
 class ServiceError(RuntimeError):
-    """Protocol-level failure (unexpected status, malformed body)."""
+    """Protocol-level failure (unexpected status, malformed body).
 
-    def __init__(self, message: str, status: int | None = None, body: dict | None = None):
+    ``retry_after`` carries the server's suggested backoff in seconds
+    whenever the response offered one — the JSON ``retry_after`` field
+    or the HTTP ``Retry-After`` header, uniformly — and ``None`` when it
+    did not.
+    """
+
+    def __init__(self, message: str, status: int | None = None,
+                 body: dict | None = None, retry_after: float | None = None):
         super().__init__(message)
         self.status = status
         self.body = body or {}
+        self.retry_after = retry_after
 
 
 class ServiceUnavailableError(ServiceError):
@@ -77,21 +85,38 @@ class ServiceClient:
         self.poll_interval = poll_interval
 
     # -- transport ---------------------------------------------------------
-    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 headers: dict | None = None) -> tuple[int, dict]:
+        status, payload, _ = self._request_full(method, path, body, headers)
+        return status, payload
+
+    def _request_full(
+        self, method: str, path: str, body: dict | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict, dict]:
+        """One round trip returning ``(status, json body, response headers)``.
+
+        Response header names are lowercased; error-status bodies are
+        parsed the same as success bodies (empty dict when not JSON).
+        """
         data = json.dumps(body).encode("utf-8") if body is not None else None
+        send_headers = dict(headers or {})
+        if data is not None:
+            send_headers["Content-Type"] = "application/json"
         req = urllib.request.Request(
-            f"{self.url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            f"{self.url}{path}", data=data, method=method, headers=send_headers,
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, json.loads(resp.read().decode("utf-8"))
+                return (resp.status, json.loads(resp.read().decode("utf-8")),
+                        {k.lower(): v for k, v in resp.headers.items()})
         except urllib.error.HTTPError as exc:
             try:
                 payload = json.loads(exc.read().decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError):
                 payload = {}
-            return exc.code, payload
+            return (exc.code, payload,
+                    {k.lower(): v for k, v in (exc.headers or {}).items()})
         except urllib.error.URLError as exc:
             raise ServiceUnavailableError(
                 f"cannot reach {self.url}: {exc.reason}") from exc
@@ -101,11 +126,22 @@ class ServiceClient:
             raise ServiceUnavailableError(
                 f"cannot reach {self.url}: {exc}") from exc
 
+    @staticmethod
+    def _retry_after(payload: dict, headers: dict) -> float | None:
+        """The server's suggested backoff: JSON field, else HTTP header."""
+        value = payload.get("retry_after", headers.get("retry-after"))
+        try:
+            return float(value) if value is not None else None
+        except (TypeError, ValueError):
+            return None
+
     # -- submission --------------------------------------------------------
     def submit(
-        self, spec: JobSpec | CompressionRequest | dict | None = None, **fields
+        self, spec: JobSpec | CompressionRequest | dict | None = None, *,
+        traceparent: str | None = None, **fields
     ) -> dict:
-        """Submit a job; returns ``{"job_id", "state", "coalesced_into"}``.
+        """Submit a job; returns ``{"job_id", "state", "coalesced_into",
+        "trace_id"}``.
 
         Accepts a :class:`~repro.api.request.CompressionRequest` (the
         unified request type — add ``priority``/``max_retries`` as
@@ -113,11 +149,15 @@ class ServiceClient:
         spec's fields as keyword arguments.  Retries on ``429`` until
         ``backpressure_wait`` runs out.
 
-        Only genuine backpressure sleeps: a connection-level failure
-        raises :class:`ServiceUnavailableError` immediately — the node
-        is down, and the right reaction (a gateway re-routing to another
-        shard, an operator restarting the node) is never "wait politely
-        and retry the dead socket".
+        ``traceparent`` (keyword-only — it rides an HTTP header, never
+        the spec body) continues an existing trace on the server: pass a
+        :meth:`~repro.obs.trace.TraceContext.to_traceparent` value.
+
+        Only genuine backpressure sleeps: a connection-level failure —
+        or a ``503`` from a gateway with no live shard to route to —
+        raises :class:`ServiceUnavailableError` immediately.  Every
+        raised error carries the server's suggested ``retry_after``
+        (JSON field or ``Retry-After`` header) when one was offered.
         """
         if spec is None:
             body = dict(fields)
@@ -125,22 +165,31 @@ class ServiceClient:
             body = {**spec.to_dict(), **fields}
         else:
             body = {**spec, **fields}
+        send_headers = {"traceparent": traceparent} if traceparent else None
         deadline = time.monotonic() + self.backpressure_wait
         while True:
-            status, payload = self._request("POST", "/submit", body)
+            status, payload, headers = self._request_full(
+                "POST", "/submit", body, send_headers)
+            retry_after = self._retry_after(payload, headers)
             if status == 202:
                 return payload
             if status == 429:
-                delay = float(payload.get("retry_after", 1.0))
+                delay = retry_after if retry_after is not None else 1.0
                 if time.monotonic() + delay > deadline:
                     raise BackpressureError(
-                        payload.get("error", "queue full"), status=status, body=payload
+                        payload.get("error", "queue full"), status=status,
+                        body=payload, retry_after=retry_after,
                     )
                 time.sleep(delay)
                 continue
+            if status == 503:
+                raise ServiceUnavailableError(
+                    payload.get("error", f"service unavailable (HTTP {status})"),
+                    status=status, body=payload, retry_after=retry_after,
+                )
             raise ServiceError(
                 payload.get("error", f"submit rejected with HTTP {status}"),
-                status=status, body=payload,
+                status=status, body=payload, retry_after=retry_after,
             )
 
     def submit_array(self, data: np.ndarray, **fields) -> dict:
@@ -215,6 +264,19 @@ class ServiceClient:
                                status=status, body=payload)
 
     # -- service introspection ---------------------------------------------
+    def trace(self, ref: str) -> dict:
+        """Span tree for a job id or raw trace id (``GET /trace/<ref>``).
+
+        Returns ``{"trace_id", "job_id", "complete", "spans"}``.  Raises
+        :class:`ServiceError` with ``status=404`` when the reference is
+        unknown, the trace was never sampled, or it has been evicted.
+        """
+        status, payload = self._request("GET", f"/trace/{ref}")
+        if status != 200:
+            raise ServiceError(payload.get("error", f"HTTP {status}"),
+                               status=status, body=payload)
+        return payload
+
     def stats(self) -> dict:
         status, payload = self._request("GET", "/stats")
         if status != 200:

@@ -309,6 +309,10 @@ class Job:
     coalesced_into: str | None = None
     #: Set on primaries: followers to fan the result out to on completion.
     followers: list["Job"] = field(default_factory=list, repr=False)
+    #: Trace identity (set at submit when the scheduler traces): the id
+    #: clients correlate logs/spans with, and the root span record.
+    trace_id: str | None = None
+    trace_root: object = field(default=None, repr=False)
     _finished_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
@@ -367,6 +371,7 @@ class Job:
             "run_seconds": _round6(self.run_seconds),
             "total_seconds": _round6(self.total_seconds),
             "coalesced_into": self.coalesced_into,
+            "trace_id": self.trace_id,
             "error": self.error,
         }
 

@@ -70,14 +70,18 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import __version__
 from repro.api.execute import execute as execute_request
 from repro.api.plan import DEFAULT_STREAM_THRESHOLD, plan as plan_request
 from repro.api.report import stage_timings
 from repro.cache.evalcache import CacheEntry, EvalCache
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanStore, TraceContext, Tracer, current_span
+from repro.obs.tracelog import TraceLogger
 from repro.parallel.executor import (
     BaseExecutor,
     ProcessJobPool,
+    TracedResult,
     WorkerCrashError,
     make_executor,
     resolve_workers,
@@ -305,6 +309,18 @@ class Scheduler:
         larger registry); ``False`` disables the observability layer —
         :meth:`metrics_text` then raises and ``/stats`` omits the
         ``metrics`` section.
+    trace_sample:
+        Head-based sampling rate in ``[0, 1]`` for traces rooted here
+        (incoming ``traceparent`` contexts carry their own decision).
+        ``0`` disables span recording on the hot path; failed jobs still
+        leave a forced error span behind.
+    trace_exemplars:
+        How many slowest traces the span store protects from eviction
+        (surfaced under ``trace.exemplars`` in ``/stats``).
+    logger:
+        A :class:`~repro.obs.tracelog.TraceLogger` for job lifecycle
+        events stamped with ``trace_id``/``job_id``; ``None`` (default)
+        logs nothing, matching the historical quiet scheduler.
     """
 
     def __init__(
@@ -323,6 +339,9 @@ class Scheduler:
         history: int = 1024,
         paused: bool = False,
         metrics: MetricsRegistry | bool = True,
+        trace_sample: float = 1.0,
+        trace_exemplars: int = 5,
+        logger: TraceLogger | None = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.executor_mode = resolve_executor_mode(executor)
@@ -361,6 +380,12 @@ class Scheduler:
             self.metrics: MetricsRegistry | None = metrics
         else:
             self.metrics = MetricsRegistry() if metrics else None
+        # Tracing is always constructed (a Tracer with sample_rate 0 costs
+        # one NullSpan per job); the sample rate is the on/off dial.
+        self.tracer = Tracer(store=SpanStore(exemplars=trace_exemplars),
+                             sample_rate=trace_sample)
+        self.logger = logger if logger is not None else TraceLogger(
+            "node", enabled=False)
         self._stage_seconds = None
         self._job_seconds = None
         if self.metrics is not None:
@@ -378,6 +403,9 @@ class Scheduler:
         reconstruct), fed exclusively from monotonic-clock durations.
         """
         stats, queue = self.stats, self._queue
+        reg.gauge("build_info",
+                  "Build metadata carried in labels (value is always 1)",
+                  labels=("version",)).labels(version=__version__).set(1)
         reg.gauge("queue_depth", "Live (undispatched, uncancelled) queued jobs",
                   callback=lambda: len(queue))
         reg.gauge("queue_capacity", "Queue bound before 429 backpressure",
@@ -543,11 +571,16 @@ class Scheduler:
         self.close()
 
     # -- submission --------------------------------------------------------
-    def submit(self, spec: JobSpec | dict) -> Job:
+    def submit(self, spec: JobSpec | dict,
+               trace_context: TraceContext | None = None) -> Job:
         """Admit one job: coalesce, or enqueue (raising on backpressure).
 
         Returns the tracked :class:`Job`.  A coalesced job reports the
         primary's id in ``coalesced_into`` and finishes when it does.
+
+        ``trace_context`` continues an incoming trace (the extracted
+        ``traceparent`` header); without one the tracer starts a fresh
+        trace and makes the head sampling decision here.
         """
         if isinstance(spec, dict):
             spec = JobSpec.from_dict(spec)
@@ -559,17 +592,33 @@ class Scheduler:
             primary = self._inflight.get(key)
             if primary is not None and not primary.finished:
                 job = Job(id=job_id, spec=spec, coalesced_into=primary.id)
+                self._start_job_trace(job, trace_context)
                 primary.followers.append(job)
                 self._jobs[job_id] = job
                 self.stats.submitted += 1
                 self.stats.coalesced += 1
+                self.logger.event("job_coalesced", trace_id=job.trace_id,
+                                  job_id=job.id, primary=primary.id)
                 return job
             job = Job(id=job_id, spec=spec)
             self._queue.put(job)  # raises QueueFull before any registration
+            self._start_job_trace(job, trace_context)
             self._inflight[key] = job
             self._jobs[job_id] = job
             self.stats.submitted += 1
+            self.logger.event("job_submitted", trace_id=job.trace_id,
+                              job_id=job.id, kind=spec.kind)
             return job
+
+    def _start_job_trace(self, job: Job, context: TraceContext | None) -> None:
+        """Open the job's root span (one per job, followers included)."""
+        root = self.tracer.start_trace(
+            "job", context=context,
+            attrs={"job_id": job.id, "kind": job.spec.kind})
+        if root.is_recording and job.coalesced_into is not None:
+            root.set_attr("coalesced_into", job.coalesced_into)
+        job.trace_root = root
+        job.trace_id = root.trace_id
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
@@ -646,6 +695,7 @@ class Scheduler:
         job._finish(JobState.CANCELLED)
         self.stats.cancelled += 1
         self._remember(job)
+        self._finish_job_trace(job)
         self._notify_finished([job])
 
     # -- worker side -------------------------------------------------------
@@ -675,16 +725,41 @@ class Scheduler:
                 job.started_mono = time.monotonic()
                 self._observe_stage("queue_wait", job.queue_wait_seconds)
             self.stats.running += 1
+        root = job.trace_root
+        run_span = None
+        if root is not None and root.is_recording:
+            # queue_wait already happened — record it retroactively so
+            # the trace shows the wait without a span having been open.
+            self.tracer.record_span(
+                "queue_wait", trace_id=root.trace_id, parent_id=root.span_id,
+                start=job.submitted_at, duration=job.queue_wait_seconds)
+            run_span = self.tracer.start_span(
+                "run", root, attrs={"attempt": job.attempts,
+                                    "backend": self.executor_mode})
+        self.logger.event("job_started", trace_id=job.trace_id, job_id=job.id,
+                          attempt=job.attempts)
         try:
-            result, evals, calls, streamed = self._dispatch(job)
+            if run_span is not None:
+                with self.tracer.activate(run_span):
+                    result, evals, calls, streamed = self._dispatch(job)
+            else:
+                result, evals, calls, streamed = self._dispatch(job)
         except CancelledError:
             # cancel() descheduled the pool future before it started; the
             # job record was already finished as cancelled there.
+            if run_span is not None:
+                run_span.record_error("cancelled")
+                self.tracer.finish_span(run_span)
             with self._lock:
                 self.stats.running -= 1
             return
         except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
             crashed = isinstance(exc, WorkerCrashError)
+            if run_span is not None:
+                run_span.record_error(exc)
+                if crashed:
+                    run_span.set_attr("worker_crash", True)
+                self.tracer.finish_span(run_span)
             with self._lock:
                 self.stats.running -= 1
                 if crashed:
@@ -696,11 +771,17 @@ class Scheduler:
                     return
                 if job.attempts <= job.spec.max_retries and not self._stop.is_set():
                     self.stats.retried += 1
+                    self.logger.event("job_retried", level="warn",
+                                      trace_id=job.trace_id, job_id=job.id,
+                                      attempt=job.attempts,
+                                      error=f"{type(exc).__name__}: {exc}")
                     job.state = JobState.QUEUED
                     self._queue.put(job, force=True)
                     return
             self._finish(job, JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
             return
+        if run_span is not None:
+            self.tracer.finish_span(run_span)
         with self._lock:
             self.stats.running -= 1
             if job.state is JobState.CANCELLED:
@@ -765,7 +846,38 @@ class Scheduler:
                 self._observe_job(follower)
                 self.stats.completed += 1 if done else 0
                 self.stats.failed += 0 if done else 1
+        for finished in (job, *followers):
+            self._finish_job_trace(finished)
         self._notify_finished([job, *followers])
+
+    def _finish_job_trace(self, job: Job) -> None:
+        """Close a job's root span; errors force a span even when unsampled."""
+        root = job.trace_root
+        if root is None:
+            return
+        failed = job.state is JobState.FAILED
+        if root.is_recording:
+            if failed:
+                root.record_error(job.error or "failed")
+            elif job.state is JobState.CANCELLED:
+                root.record_error("cancelled")
+            self.tracer.finish_span(root)
+        elif failed and root.trace_id is not None:
+            # Always-sample-on-error: the head decision skipped this
+            # trace, but a failure must leave at least its root behind.
+            self.tracer.record_span(
+                "job", trace_id=root.trace_id, start=job.submitted_at,
+                duration=job.total_seconds, status="error", error=job.error,
+                attrs={"job_id": job.id, "kind": job.spec.kind,
+                       "forced_sample": True})
+        if job.trace_id is not None:
+            self.tracer.store.finish_trace(job.trace_id, job.total_seconds,
+                                           job.id)
+        self.logger.event(
+            "job_failed" if failed else "job_finished",
+            level="error" if failed else "info",
+            trace_id=job.trace_id, job_id=job.id, state=job.state.value,
+            seconds=round(job.total_seconds or 0.0, 6))
 
     def _drop_inflight(self, job: Job) -> None:
         key = job.spec.coalesce_key()
@@ -785,20 +897,35 @@ class Scheduler:
     def _dispatch(self, job: Job) -> tuple[dict, int, int, bool]:
         """Run one job on the configured backend."""
         if self._pool is None:
-            return self._execute(job)
+            with self.tracer.span("executor_dispatch",
+                                  attrs={"backend": "thread"}):
+                return self._execute(job)
         spec, spill = self._spill_inline(job.spec)
         snapshot = self._cache.export_entries() if self._cache is not None else None
         generation = None
+        # Ship the dispatch span's context across the pickle boundary so
+        # the worker's stage/iteration spans re-parent onto this trace.
+        # Unsampled jobs ship nothing: the worker then runs untraced.
+        dispatch_cm = self.tracer.span("executor_dispatch",
+                                       attrs={"backend": "process"})
         try:
-            with self._lock:
-                if job.state is JobState.CANCELLED:
-                    # Tombstoned between the RUNNING transition and this
-                    # point: never reaches the pool.
-                    raise CancelledError()
-                future, generation = self._pool.submit(
-                    _process_execute, spec, snapshot)
-                self._futures[job.id] = future
-            result, evals, calls, streamed, delta = future.result()
+            with dispatch_cm as dispatch_span:
+                trace_context = (dispatch_span.context.to_dict()
+                                 if dispatch_span.is_recording else None)
+                with self._lock:
+                    if job.state is JobState.CANCELLED:
+                        # Tombstoned between the RUNNING transition and this
+                        # point: never reaches the pool.
+                        raise CancelledError()
+                    future, generation = self._pool.submit(
+                        _process_execute, spec, snapshot,
+                        trace_context=trace_context)
+                    self._futures[job.id] = future
+                payload = future.result()
+                if isinstance(payload, TracedResult):
+                    self.tracer.store.add_many(payload.spans)
+                    payload = payload.value
+                result, evals, calls, streamed, delta = payload
         except BrokenProcessPool as exc:
             self._pool.crashed(generation)
             raise WorkerCrashError(f"worker process died mid-job: {exc}") from exc
@@ -854,6 +981,29 @@ class Scheduler:
         )
 
     # -- introspection -----------------------------------------------------
+    def trace_payload(self, ref: str) -> dict | None:
+        """Spans for one trace, addressed by job id *or* raw trace id.
+
+        The ``GET /trace/<ref>`` body; ``None`` when the reference is
+        unknown or the trace was never sampled/already evicted.
+        """
+        job = self.get(ref)
+        if job is not None:
+            trace_id = job.trace_id
+        else:
+            trace_id = ref if len(ref) == 32 else None
+        if trace_id is None:
+            return None
+        spans = self.tracer.store.get(trace_id)
+        if spans is None:
+            return None
+        return {
+            "trace_id": trace_id,
+            "job_id": job.id if job is not None else None,
+            "complete": job.finished if job is not None else None,
+            "spans": spans,
+        }
+
     def stats_payload(self) -> dict:
         """JSON-ready service statistics (the ``/stats`` body)."""
         with self._lock:
@@ -874,6 +1024,7 @@ class Scheduler:
                 "search": self.stats.search_dict(),
                 "cache": None,
                 "metrics": None,
+                "trace": self.tracer.stats_dict(),
             }
             if self._cache is not None:
                 payload["cache"] = {"entries": len(self._cache),

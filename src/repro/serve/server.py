@@ -23,12 +23,19 @@ Endpoints
 ``GET /status/<id>``    job lifecycle record; ``404`` for unknown ids.
 ``GET /result/<id>``    ``200`` with the result/error once finished,
                         ``202`` with the current state while pending.
-``GET /stats``          scheduler, queue, search and cache counters,
-                        plus a ``metrics`` snapshot of the registry.
+``GET /stats``          scheduler, queue, search, cache and trace
+                        counters, plus a ``metrics`` snapshot of the
+                        registry.
 ``GET /metrics``        Prometheus text exposition (version 0.0.4) of
                         the scheduler's metrics registry; ``404`` when
                         the scheduler was built with ``metrics=False``.
-``GET /health``         liveness probe.
+``GET /trace/<ref>``    span tree for a job id (or raw 32-hex trace id);
+                        ``404`` when unknown, unsampled, or evicted.
+``GET /health``         liveness probe (includes the package version).
+
+Submits may carry a W3C ``traceparent`` header; the extracted context
+makes the job's spans part of the caller's trace (and the 202 ticket
+reports the ``trace_id`` either way).
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import __version__
+from repro.obs.trace import TRACEPARENT_HEADER, TraceContext
 from repro.serve.jobs import JobSpec
 from repro.serve.queue import QueueFull
 from repro.serve.scheduler import Scheduler
@@ -131,8 +140,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send(400, {"error": str(exc)})
             return
+        context = TraceContext.from_traceparent(
+            self.headers.get(TRACEPARENT_HEADER))
         try:
-            job = self.scheduler.submit(spec)
+            job = self.scheduler.submit(spec, trace_context=context)
         except QueueFull as exc:
             self._send(
                 429,
@@ -144,6 +155,7 @@ class _Handler(BaseHTTPRequestHandler):
             "job_id": job.id,
             "state": job.state.value,
             "coalesced_into": job.coalesced_into,
+            "trace_id": job.trace_id,
         })
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -162,7 +174,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(200, self.scheduler.metrics_text(), CONTENT_TYPE)
             return
         if self.path == "/health":
-            self._send(200, {"status": "ok", "paused": self.scheduler.paused})
+            self._send(200, {"status": "ok", "paused": self.scheduler.paused,
+                             "version": __version__})
+            return
+        if self.path.startswith("/trace/"):
+            payload = self.scheduler.trace_payload(self.path[len("/trace/"):])
+            if payload is None:
+                self._send(404, {"error": "unknown job/trace id "
+                                          "(unsampled or evicted traces 404)"})
+            else:
+                self._send(200, payload)
             return
         for prefix in ("/status/", "/result/"):
             if self.path.startswith(prefix):

@@ -1,0 +1,175 @@
+"""Stitched span trees across the gateway/node boundary, over real HTTP.
+
+The gateway owns the trace root (``gateway_job`` → ``route``); the node
+it routes to records its own half (``job`` → queue/run/stage spans)
+under the *same* trace id, continued via the ``traceparent`` header the
+gateway injects.  ``GET /trace/<gid>`` on the gateway fetches the owning
+node's spans live and returns one deduplicated tree — these tests pin
+that contract, plus sampling propagation across the hop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gateway import GatewayServer
+from repro.obs.trace import TraceContext
+from repro.serve import ServiceClient, ServiceError
+from repro.serve.server import ServiceServer
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.02,
+               message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {message}"
+        time.sleep(interval)
+
+
+def make_field(seed: int = 0, size: int = 512) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=size).astype(np.float32).cumsum()
+
+
+def _cluster(gw_kwargs=None, node_kwargs=None, n_nodes=2):
+    gw = GatewayServer(port=0, heartbeat_interval=0.1, dead_after=1.0,
+                       check_interval=0.05, **(gw_kwargs or {}))
+    gw.start()
+    nodes = [
+        ServiceServer(port=0, workers=2, executor="thread", cache=False,
+                      register=gw.url, node_id=f"n{i}",
+                      **(node_kwargs or {})).start()
+        for i in range(n_nodes)
+    ]
+    wait_until(lambda: gw.router.registry.counts()["active"] == n_nodes,
+               message="nodes registered")
+    return gw, nodes
+
+
+def _teardown(gw, nodes):
+    for n in nodes:
+        n.shutdown()
+    gw.shutdown()
+
+
+@pytest.fixture
+def cluster():
+    gw, nodes = _cluster()
+    try:
+        yield gw, nodes
+    finally:
+        _teardown(gw, nodes)
+
+
+class TestStitchedTree:
+    def test_one_trace_spans_both_tiers(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(0), kind="tune",
+                                     target_ratio=4.0)
+        client.result(ticket["job_id"], timeout=60.0)
+        trace = client.trace(ticket["job_id"])
+
+        assert trace["trace_id"] == ticket["trace_id"]
+        assert trace["job_id"] == ticket["job_id"]
+        assert trace["complete"] is True
+        spans = trace["spans"]
+        assert all(s["trace_id"] == trace["trace_id"] for s in spans)
+        # No span appears twice even though the gateway merges two stores.
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids))
+
+        named = {s["name"]: s for s in spans}
+        for required in ("gateway_job", "route", "job", "queue_wait",
+                         "run", "executor_dispatch", "search",
+                         "search_iteration"):
+            assert required in named, f"missing {required!r}: {sorted(named)}"
+
+        # Tier attribution: gateway spans vs node spans, one tree.
+        tiers = {s["name"]: s.get("node_id") for s in spans}
+        assert tiers["gateway_job"] == "gateway"
+        assert tiers["route"] == "gateway"
+        assert tiers["job"] == ticket["node"]
+
+        # Parentage across the HTTP hop: route is the gateway root's
+        # child, and the node's job root is route's child — the
+        # traceparent header carried route's span id across.
+        assert named["route"]["parent_id"] == named["gateway_job"]["span_id"]
+        assert named["job"]["parent_id"] == named["route"]["span_id"]
+        assert named["route"]["attrs"]["node"] == ticket["node"]
+
+    def test_gateway_ticket_and_status_carry_trace_id(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(1), kind="tune",
+                                     target_ratio=4.0)
+        assert len(ticket["trace_id"]) == 32
+        client.result(ticket["job_id"], timeout=60.0)
+        assert client.status(ticket["job_id"])["trace_id"] == \
+            ticket["trace_id"]
+
+    def test_caller_traceparent_continues_through_both_tiers(self, cluster):
+        gw, nodes = cluster
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(2), kind="tune",
+                                     target_ratio=4.0,
+                                     traceparent=ctx.to_traceparent())
+        client.result(ticket["job_id"], timeout=60.0)
+        trace = client.trace(ticket["job_id"])
+        assert trace["trace_id"] == ctx.trace_id
+        named = {s["name"]: s for s in trace["spans"]}
+        # The caller's span is the gateway root's parent; the node's job
+        # root is two hops below — all one trace.
+        assert named["gateway_job"]["parent_id"] == ctx.span_id
+        assert named["job"]["trace_id"] == ctx.trace_id
+
+    def test_trace_by_raw_trace_id(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(3), kind="tune",
+                                     target_ratio=4.0)
+        client.result(ticket["job_id"], timeout=60.0)
+        by_trace = client.trace(ticket["trace_id"])
+        assert by_trace["job_id"] == ticket["job_id"]
+
+    def test_gateway_stats_expose_trace_exemplars(self, cluster):
+        gw, nodes = cluster
+        client = ServiceClient(gw.url)
+        ticket = client.submit_array(make_field(4), kind="tune",
+                                     target_ratio=4.0)
+        client.result(ticket["job_id"], timeout=60.0)
+        trace_stats = client.stats()["trace"]
+        assert trace_stats["sampled"] >= 1
+        assert ticket["job_id"] in \
+            [e["job_id"] for e in trace_stats["exemplars"]]
+
+    def test_gateway_health_reports_version(self, cluster):
+        from repro import __version__
+
+        gw, nodes = cluster
+        assert ServiceClient(gw.url).health()["version"] == __version__
+
+
+class TestSamplingAcrossTheHop:
+    def test_sample_zero_gateway_suppresses_node_recording(self):
+        # The gateway makes the head decision; sampled=0 must ride the
+        # traceparent to the node so *neither* tier records — but the
+        # job itself still completes.
+        gw, nodes = _cluster(gw_kwargs={"trace_sample": 0.0})
+        try:
+            client = ServiceClient(gw.url)
+            ticket = client.submit_array(make_field(5), kind="tune",
+                                         target_ratio=4.0)
+            result = client.result(ticket["job_id"], timeout=60.0)
+            assert result["kind"] == "tune"
+            with pytest.raises(ServiceError) as exc:
+                client.trace(ticket["job_id"])
+            assert exc.value.status == 404
+            for node in nodes:
+                assert len(node.scheduler.tracer.store) == 0
+        finally:
+            _teardown(gw, nodes)

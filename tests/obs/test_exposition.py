@@ -79,6 +79,121 @@ class TestRoundTrip:
         assert inf.value == count.value
 
 
+class TestLabelEscaping:
+    """Round-trip of the full label-value escaping rules.
+
+    Gauge label values come from user-controlled strings (node ids,
+    versions, file paths), so the renderer must escape ``\\``, ``\"``
+    and newlines — and the strict parser must undo exactly that,
+    including commas and braces *inside* quoted values, which break any
+    naive split-on-comma scanner.
+    """
+
+    @pytest.mark.parametrize("value", [
+        'quote " inside',
+        "back\\slash",
+        "new\nline",
+        "comma, inside",
+        "brace } inside {",
+        'all of it: \\ " \n , }',
+    ])
+    def test_roundtrip(self, value):
+        reg = MetricsRegistry()
+        reg.gauge("info", "Info", labels=("path",)).labels(path=value).set(1)
+        samples = parse_prometheus(render_prometheus(reg))
+        assert samples["repro_info"][0].labels == {"path": value}
+
+    def test_escaped_text_on_the_wire(self):
+        reg = MetricsRegistry()
+        reg.gauge("info", "Info", labels=("p",)).labels(p='a"b\\c\nd').set(1)
+        text = render_prometheus(reg)
+        assert r'p="a\"b\\c\nd"' in text
+
+    def test_multiple_labels_with_tricky_values(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("info", "Info", labels=("a", "b"))
+        fam.labels(a="x,y", b='z"w').set(2)
+        [sample] = parse_prometheus(render_prometheus(reg))["repro_info"]
+        assert sample.labels == {"a": "x,y", "b": 'z"w'}
+        assert sample.value == 2
+
+    def test_bad_escape_sequence_rejected(self):
+        with pytest.raises(ValueError, match="bad escape"):
+            parse_prometheus('name{l="bad \\t escape"} 1\n')
+
+    def test_unterminated_quoted_value_rejected(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_prometheus('name{l="never closed} 1\n')
+
+
+class TestNonFiniteValues:
+    """NaN and ±Inf sample values render and parse per the spec."""
+
+    def test_nan_gauge_renders_and_parses(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio", "Ratio").set(float("nan"))
+        text = render_prometheus(reg)
+        assert "repro_ratio NaN" in text
+        value = parse_prometheus(text)["repro_ratio"][0].value
+        assert math.isnan(value)
+
+    @pytest.mark.parametrize("raw, expected", [
+        (float("inf"), "+Inf"),
+        (float("-inf"), "-Inf"),
+    ])
+    def test_infinities_render(self, raw, expected):
+        reg = MetricsRegistry()
+        reg.gauge("edge", "Edge").set(raw)
+        text = render_prometheus(reg)
+        assert f"repro_edge {expected}" in text
+        value = parse_prometheus(text)["repro_edge"][0].value
+        assert math.isinf(value) and (value > 0) == (raw > 0)
+
+
+class TestDuplicateTypeDeclarations:
+    def test_duplicate_type_rejected(self):
+        text = ("# TYPE foo counter\n"
+                "foo 1\n"
+                "# TYPE foo counter\n"
+                "foo 2\n")
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus(text)
+
+    def test_conflicting_kind_rejected_too(self):
+        text = "# TYPE foo counter\n# TYPE foo gauge\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus(text)
+
+    def test_distinct_names_fine(self):
+        samples = parse_prometheus(
+            "# TYPE foo counter\nfoo 1\n# TYPE bar gauge\nbar 2\n")
+        declared = {s.name for s in samples["__types__"]}
+        assert declared == {"foo", "bar"}
+
+
+class TestHistogramMerge:
+    def test_mismatched_buckets_raise(self):
+        from repro.obs.metrics import Histogram
+
+        left = Histogram(buckets=(0.1, 1.0))
+        right = Histogram(buckets=(0.5, 1.0))
+        left.observe(0.05)
+        right.observe(0.7)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_matching_buckets_merge(self):
+        from repro.obs.metrics import Histogram
+
+        left = Histogram(buckets=(0.1, 1.0))
+        right = Histogram(buckets=(0.1, 1.0))
+        left.observe(0.05)
+        right.observe(0.7)
+        left.merge(right)
+        assert left.count == 2
+        assert left.sum == pytest.approx(0.75)
+
+
 class TestParserRejectsMalformed:
     @pytest.mark.parametrize("line", [
         "no_value_here",

@@ -1,0 +1,299 @@
+"""Unit tests for :mod:`repro.obs.trace`: spans, sampling, storage.
+
+The service-level behaviour (a job's stitched tree across scheduler,
+executor and gateway) lives in ``tests/serve/test_trace_e2e.py`` and
+``tests/gateway/test_trace_stitch.py``; this file pins down the
+primitives those trees are built from — context propagation, the
+head-sampling contract, the bounded store with exemplar pinning, and
+the waterfall renderer.
+"""
+
+import pytest
+
+from repro.obs.trace import (
+    NullSpan,
+    Span,
+    SpanStore,
+    TraceContext,
+    Tracer,
+    collect_spans,
+    current_span,
+    install_collector,
+    render_waterfall,
+    span,
+)
+
+
+class TestTraceContext:
+    def test_traceparent_roundtrip(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        header = ctx.to_traceparent()
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        assert TraceContext.from_traceparent(header) == ctx
+
+    def test_unsampled_flag_roundtrip(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed is not None and parsed.sampled is False
+
+    @pytest.mark.parametrize("header", [
+        None, "", "garbage", "00-abc-def-01",
+        "00-" + "g" * 32 + "-" + "cd" * 8 + "-01",   # non-hex trace id
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",   # all-zero trace id
+        "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "00-" + "ab" * 16 + "-" + "cd" * 8,          # missing flags
+        "zz-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # non-hex version
+    ])
+    def test_malformed_headers_degrade_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_dict_roundtrip(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({"nope": 1}) is None
+
+
+class TestSpan:
+    def test_lifecycle_and_dict(self):
+        sp = Span("work", "ab" * 16, attrs={"k": 1}, node_id="n1")
+        sp.set_attr("extra", "v")
+        sp.end()
+        d = sp.to_dict()
+        assert d["name"] == "work"
+        assert d["status"] == "ok"
+        assert d["duration"] >= 0
+        assert d["attrs"] == {"k": 1, "extra": "v"}
+        assert d["node_id"] == "n1"
+
+    def test_error_recording(self):
+        sp = Span("work", "ab" * 16)
+        sp.record_error(ValueError("boom"))
+        sp.end()
+        d = sp.to_dict()
+        assert d["status"] == "error"
+        assert "ValueError: boom" in d["error"]
+
+    def test_end_is_idempotent(self):
+        sp = Span("work", "ab" * 16)
+        sp.end()
+        first = sp.duration
+        sp.end()
+        assert sp.duration == first
+
+    def test_nullspan_is_inert_but_propagates(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        null = NullSpan(ctx)
+        null.set_attr("k", 1)
+        null.record_error("x")
+        null.end()
+        assert null.is_recording is False
+        assert null.context is ctx
+        assert null.trace_id == ctx.trace_id
+        # Without a context it still yields a usable (unsampled) one.
+        fresh = NullSpan().context
+        assert fresh.sampled is False and len(fresh.trace_id) == 32
+
+
+class TestSpanStore:
+    def test_per_trace_assembly_and_lookup(self):
+        store = SpanStore()
+        store.add({"trace_id": "t1", "span_id": "a", "name": "x"})
+        store.add({"trace_id": "t1", "span_id": "b", "name": "y"})
+        store.add({"trace_id": "t2", "span_id": "c", "name": "z"})
+        assert [s["span_id"] for s in store.get("t1")] == ["a", "b"]
+        assert store.get("missing") is None
+        assert len(store) == 2
+
+    def test_span_cap_per_trace(self):
+        store = SpanStore(max_spans_per_trace=2)
+        for i in range(5):
+            store.add({"trace_id": "t", "span_id": str(i)})
+        assert len(store.get("t")) == 2
+        assert store.stats_dict()["dropped_spans"] == 3
+
+    def test_trace_eviction_is_oldest_first(self):
+        store = SpanStore(max_traces=2, exemplars=0)
+        for tid in ("t1", "t2", "t3"):
+            store.add({"trace_id": tid, "span_id": "s"})
+        assert store.get("t1") is None
+        assert store.get("t2") is not None and store.get("t3") is not None
+
+    def test_exemplars_pin_slowest_against_eviction(self):
+        store = SpanStore(max_traces=2, exemplars=1)
+        store.add({"trace_id": "slow", "span_id": "s"})
+        store.finish_trace("slow", 9.0, job_id="j1")
+        for tid in ("t2", "t3", "t4"):
+            store.add({"trace_id": tid, "span_id": "s"})
+        # "slow" survived although it is the oldest trace in the store.
+        assert store.get("slow") is not None
+        exemplars = store.exemplars()
+        assert exemplars[0]["job_id"] == "j1"
+        assert exemplars[0]["seconds"] == 9.0
+
+    def test_exemplar_contest_keeps_the_slowest_n(self):
+        store = SpanStore(exemplars=2)
+        for tid, secs in (("a", 1.0), ("b", 5.0), ("c", 3.0), ("d", 0.1)):
+            store.add({"trace_id": tid, "span_id": "s"})
+            store.finish_trace(tid, secs, job_id=tid)
+        kept = [e["trace_id"] for e in store.exemplars()]
+        assert kept == ["b", "c"]  # slowest first
+
+    def test_finish_trace_for_unknown_trace_is_a_noop(self):
+        store = SpanStore()
+        store.finish_trace("ghost", 1.0)
+        assert store.exemplars() == []
+
+
+class TestTracerSampling:
+    def test_sample_rate_one_records(self):
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.start_trace("job")
+        assert root.is_recording
+        tracer.finish_span(root)
+        assert tracer.store.get(root.trace_id) is not None
+        assert tracer.stats_dict()["sampled"] == 1
+
+    def test_sample_rate_zero_yields_nullspan_with_context(self):
+        tracer = Tracer(sample_rate=0.0)
+        root = tracer.start_trace("job")
+        assert isinstance(root, NullSpan)
+        ctx = root.context
+        assert ctx.sampled is False and len(ctx.trace_id) == 32
+        assert len(tracer.store) == 0
+        assert tracer.stats_dict() == {
+            "started": 1, "sampled": 0, "sample_rate": 0.0,
+            "traces": 0, "max_traces": tracer.store.max_traces,
+            "dropped_spans": 0, "exemplars": []}
+
+    def test_incoming_context_overrides_local_decision(self):
+        # A sampled caller forces recording even at rate 0 — the head
+        # decision is made exactly once, at the true root.
+        tracer = Tracer(sample_rate=0.0)
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        root = tracer.start_trace("job", context=ctx)
+        assert root.is_recording
+        assert root.trace_id == ctx.trace_id
+        assert root.parent_id == ctx.span_id
+        # ... and an unsampled caller suppresses recording at rate 1.
+        tracer2 = Tracer(sample_rate=1.0)
+        unsampled = TraceContext("ef" * 16, "cd" * 8, sampled=False)
+        null = tracer2.start_trace("job", context=unsampled)
+        assert not null.is_recording
+        assert null.context.trace_id == unsampled.trace_id
+
+    def test_null_parent_begets_null_children(self):
+        tracer = Tracer(sample_rate=0.0)
+        root = tracer.start_trace("job")
+        child = tracer.start_span("stage", root)
+        assert not child.is_recording
+        assert child.context.trace_id == root.context.trace_id
+
+    def test_tracer_span_without_parent_or_ambient_is_a_noop(self):
+        # The invariant that keeps sampled=0 honest: a convenience span
+        # with no lineage must NOT root a fresh (re-sampled) trace.
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("orphan") as sp:
+            assert not sp.is_recording
+        assert len(tracer.store) == 0
+
+    def test_record_span_bypasses_sampling(self):
+        tracer = Tracer(sample_rate=0.0, node_id="n1")
+        tracer.record_span("job", trace_id="t" * 32, start=1.0, duration=2.0,
+                           status="error", error="boom",
+                           attrs={"forced_sample": True})
+        [recorded] = tracer.store.get("t" * 32)
+        assert recorded["status"] == "error"
+        assert recorded["node_id"] == "n1"
+        assert recorded["attrs"] == {"forced_sample": True}
+
+    def test_seeded_sampling_is_deterministic(self):
+        decisions = [
+            [Tracer(sample_rate=0.5, seed=42).start_trace("j").is_recording
+             for _ in range(1)][0]
+            for _ in range(3)
+        ]
+        assert len(set(decisions)) == 1
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestAmbient:
+    def test_span_without_active_tracer_is_inert(self):
+        assert current_span() is None
+        with span("deep") as sp:
+            assert not sp.is_recording
+        assert current_span() is None
+
+    def test_activate_threads_ambient_children(self):
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        with tracer.activate(root):
+            assert current_span() is root
+            with span("stage") as stage:
+                assert stage.is_recording
+                assert stage.parent_id == root.span_id
+                with span("inner") as inner:
+                    assert inner.parent_id == stage.span_id
+        tracer.finish_span(root)
+        names = {s["name"] for s in tracer.store.get(root.trace_id)}
+        assert names == {"job", "stage", "inner"}
+
+    def test_ambient_exception_marks_span_error(self):
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        with tracer.activate(root), pytest.raises(RuntimeError):
+            with span("stage"):
+                raise RuntimeError("boom")
+        [stage] = [s for s in tracer.store.get(root.trace_id) or []
+                   if s["name"] == "stage"]
+        assert stage["status"] == "error"
+
+
+class TestCollector:
+    def test_worker_side_collection_reparents_to_caller(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        tracer, root, token = install_collector(ctx.to_dict())
+        with span("stage") as sp:
+            assert sp.is_recording
+        spans = collect_spans(tracer, root, token)
+        assert {s["name"] for s in spans} == {"worker", "stage"}
+        assert all(s["trace_id"] == ctx.trace_id for s in spans)
+        worker = next(s for s in spans if s["name"] == "worker")
+        assert worker["parent_id"] == ctx.span_id
+
+    def test_unsampled_context_collects_nothing(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        tracer, root, token = install_collector(ctx.to_dict())
+        with span("stage"):
+            pass
+        assert collect_spans(tracer, root, token) == []
+
+
+class TestWaterfall:
+    def test_renders_tree_with_self_times(self):
+        spans = [
+            {"trace_id": "t", "span_id": "a", "parent_id": None, "name": "job",
+             "start": 0.0, "duration": 1.0, "status": "ok", "node_id": "n1"},
+            {"trace_id": "t", "span_id": "b", "parent_id": "a", "name": "run",
+             "start": 0.2, "duration": 0.6, "status": "ok",
+             "attrs": {"bound": 0.5}},
+        ]
+        out = render_waterfall(spans)
+        lines = out.splitlines()
+        assert "trace t (2 spans" in lines[0]
+        assert "job @n1" in lines[1]
+        assert "(self   400.0 ms)" in lines[1]  # 1.0 - 0.6 of the child
+        assert "  run [bound=0.5]" in lines[2]
+
+    def test_orphans_render_as_roots(self):
+        spans = [{"trace_id": "t", "span_id": "x", "parent_id": "gone",
+                  "name": "lost", "start": 0.0, "duration": 0.1,
+                  "status": "error", "error": "boom"}]
+        out = render_waterfall(spans)
+        assert "lost" in out and "!boom" in out
+
+    def test_empty_input(self):
+        assert render_waterfall([]) == "(no spans)"

@@ -1,0 +1,92 @@
+"""Tests for :class:`repro.obs.tracelog.TraceLogger`.
+
+The JSON envelope is a correlation contract — ``trace_id``/``job_id``
+on a log line must match what ``/trace`` serves — so these tests pin
+the exact key set and ordering-insensitive content of both formats.
+"""
+
+import io
+import json
+
+from repro.obs.tracelog import TraceLogger
+
+
+def _lines(stream: io.StringIO) -> list[str]:
+    return [ln for ln in stream.getvalue().splitlines() if ln]
+
+
+class TestJsonLines:
+    def test_envelope_keys_and_correlation_ids(self):
+        stream = io.StringIO()
+        log = TraceLogger("node", node_id="n0", json_lines=True,
+                          stream=stream)
+        log.event("job_finished", trace_id="ab" * 16, job_id="j000007",
+                  elapsed=1.25)
+        [line] = _lines(stream)
+        record = json.loads(line)
+        assert record["level"] == "info"
+        assert record["event"] == "job_finished"
+        assert record["service"] == "node"
+        assert record["node_id"] == "n0"
+        assert record["trace_id"] == "ab" * 16
+        assert record["job_id"] == "j000007"
+        assert record["elapsed"] == 1.25
+        assert isinstance(record["ts"], float)
+
+    def test_optional_ids_omitted_not_nulled(self):
+        stream = io.StringIO()
+        TraceLogger("gateway", json_lines=True, stream=stream).event("boot")
+        record = json.loads(_lines(stream)[0])
+        assert "node_id" not in record
+        assert "trace_id" not in record
+        assert "job_id" not in record
+
+    def test_error_shorthand_sets_level(self):
+        stream = io.StringIO()
+        log = TraceLogger("node", json_lines=True, stream=stream)
+        log.error("job_failed", job_id="j1", error="boom")
+        record = json.loads(_lines(stream)[0])
+        assert record["level"] == "error"
+        assert record["error"] == "boom"
+
+    def test_non_serialisable_fields_degrade_to_str(self):
+        stream = io.StringIO()
+        log = TraceLogger("node", json_lines=True, stream=stream)
+        log.event("weird", obj={1, 2})  # a set is not JSON-serialisable
+        record = json.loads(_lines(stream)[0])  # must not raise
+        assert "1" in record["obj"] and "2" in record["obj"]
+
+    def test_one_record_per_line(self):
+        stream = io.StringIO()
+        log = TraceLogger("node", json_lines=True, stream=stream)
+        for i in range(3):
+            log.event("tick", i=i)
+        records = [json.loads(ln) for ln in _lines(stream)]
+        assert [r["i"] for r in records] == [0, 1, 2]
+
+
+class TestHumanFormat:
+    def test_line_shape(self):
+        stream = io.StringIO()
+        log = TraceLogger("node", node_id="n2", stream=stream)
+        log.event("job_routed", job_id="j1", trace_id="t" * 32, node="n2")
+        [line] = _lines(stream)
+        assert line.startswith("[node:n2] job_routed")
+        assert "job=j1" in line
+        assert f"trace={'t' * 32}" in line
+        assert "node=n2" in line
+
+    def test_service_tag_without_node_id(self):
+        stream = io.StringIO()
+        TraceLogger("gateway", stream=stream).event("boot", port=8077)
+        assert _lines(stream)[0] == "[gateway] boot port=8077"
+
+
+class TestDisabled:
+    def test_disabled_logger_emits_nothing(self):
+        stream = io.StringIO()
+        log = TraceLogger("node", enabled=False, json_lines=True,
+                          stream=stream)
+        log.event("job_finished", job_id="j1")
+        log.error("job_failed", job_id="j1")
+        assert stream.getvalue() == ""

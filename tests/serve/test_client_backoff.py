@@ -30,9 +30,14 @@ from repro.serve import (
 
 
 class _ScriptedServer:
-    """HTTP server answering POST /submit from a fixed response script."""
+    """HTTP server answering POST /submit from a fixed response script.
 
-    def __init__(self, script: list[tuple[int, dict]]) -> None:
+    Script entries are ``(status, payload)`` or ``(status, payload,
+    headers)`` — the third element sends extra response headers, which is
+    how the Retry-After-header-only cases are scripted.
+    """
+
+    def __init__(self, script: list[tuple]) -> None:
         self.script = list(script)
         self.requests: list[float] = []  # monotonic arrival times
         outer = self
@@ -47,14 +52,19 @@ class _ScriptedServer:
                 length = int(self.headers.get("Content-Length", 0))
                 self.rfile.read(length)
                 outer.requests.append(time.monotonic())
-                status, payload = (outer.script.pop(0) if outer.script
-                                   else (500, {"error": "script exhausted"}))
+                entry = (outer.script.pop(0) if outer.script
+                         else (500, {"error": "script exhausted"}))
+                status, payload = entry[0], entry[1]
+                headers = dict(entry[2]) if len(entry) > 2 else {}
                 body = json.dumps(payload).encode()
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
-                if status == 429 and "retry_after" in payload:
-                    self.send_header("Retry-After", str(payload["retry_after"]))
+                if (status == 429 and "retry_after" in payload
+                        and "Retry-After" not in headers):
+                    headers["Retry-After"] = str(payload["retry_after"])
+                for name, value in headers.items():
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
 
@@ -145,6 +155,89 @@ class TestBackoff:
             client = ServiceClient(server.url)
             assert client.submit(_BODY)["job_id"] == "j000009"
             assert len(server.requests) == 1
+
+
+class TestRetryAfterSurfacing:
+    """Every raised error carries the server's suggested backoff uniformly.
+
+    Regression tests for the ``retry_after`` attribute: the JSON
+    ``retry_after`` field and the HTTP ``Retry-After`` header must both
+    surface (field preferred when present), on 429, 503, and generic
+    protocol errors alike — so a caller backing off after *any* failure
+    never has to re-parse headers itself.
+    """
+
+    def test_backpressure_error_carries_json_field(self):
+        script = [(429, {"error": "queue full", "retry_after": 7.5})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=0.0)
+            with pytest.raises(BackpressureError) as exc:
+                client.submit(_BODY)
+            assert exc.value.retry_after == 7.5
+
+    def test_header_only_429_still_surfaces_and_is_honoured(self):
+        # No JSON field at all: the Retry-After header alone must drive
+        # both the retry sleep and the surfaced attribute.
+        script = [
+            (429, {"error": "queue full"}, {"Retry-After": "0.05"}),
+            (202, {"job_id": "j000001", "state": "queued",
+                   "coalesced_into": None}),
+        ]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=5.0)
+            t0 = time.monotonic()
+            ticket = client.submit(_BODY)
+            assert ticket["job_id"] == "j000001"
+            assert time.monotonic() - t0 >= 0.045
+            assert len(server.requests) == 2
+
+    def test_json_field_wins_over_header(self):
+        script = [(429, {"error": "queue full", "retry_after": 3.0},
+                   {"Retry-After": "60"})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=0.0)
+            with pytest.raises(BackpressureError) as exc:
+                client.submit(_BODY)
+            assert exc.value.retry_after == 3.0
+
+    def test_503_maps_to_unavailable_with_retry_after(self):
+        # A gateway with no routable shard answers 503 + Retry-After:
+        # that's "try me later", not backpressure — and not a sleep.
+        script = [(503, {"error": "no routable worker node"},
+                   {"Retry-After": "1"})]
+        with _ScriptedServer(script) as server:
+            client = ServiceClient(server.url, backpressure_wait=30.0)
+            t0 = time.monotonic()
+            with pytest.raises(ServiceUnavailableError) as exc:
+                client.submit(_BODY)
+            assert time.monotonic() - t0 < 2.0  # budget NOT spent on a 503
+            assert exc.value.status == 503
+            assert exc.value.retry_after == 1.0
+            assert len(server.requests) == 1
+
+    def test_503_without_hint_has_none(self):
+        script = [(503, {"error": "unavailable"})]
+        with _ScriptedServer(script) as server:
+            with pytest.raises(ServiceUnavailableError) as exc:
+                ServiceClient(server.url).submit(_BODY)
+            assert exc.value.retry_after is None
+
+    def test_generic_error_carries_retry_after_too(self):
+        script = [(500, {"error": "briefly broken", "retry_after": 2.0})]
+        with _ScriptedServer(script) as server:
+            with pytest.raises(ServiceError) as exc:
+                ServiceClient(server.url).submit(_BODY)
+            assert exc.value.status == 500
+            assert exc.value.retry_after == 2.0
+
+    def test_malformed_header_degrades_to_none(self):
+        # An HTTP-date Retry-After (or garbage) must not crash the client.
+        script = [(503, {"error": "unavailable"},
+                   {"Retry-After": "Wed, 21 Oct 2026 07:28:00 GMT"})]
+        with _ScriptedServer(script) as server:
+            with pytest.raises(ServiceUnavailableError) as exc:
+                ServiceClient(server.url).submit(_BODY)
+            assert exc.value.retry_after is None
 
 
 def _refused_url() -> str:

@@ -12,7 +12,11 @@ fleet over HTTP with :class:`repro.serve.ServiceClient`:
    **bit-identical** to a serial run in this process;
 4. the failover is visible in the gateway's ``/metrics``
    (``repro_gateway_requeued_total``, ``repro_gateway_node_failures_total``)
-   and ``/stats`` fleet counts.
+   and ``/stats`` fleet counts;
+5. the killed job's **stitched trace** (``GET /trace/<id>`` on the
+   gateway) tells the whole story: gateway routing spans naming the
+   dead node, the ``failover_requeue`` evidence span, and the
+   recovering node's queue/run/stage spans — one tree, one trace id.
 
 The whole script enforces a hard deadline (default 120 s) and always
 tears the fleet down, printing every process log on failure.
@@ -167,6 +171,26 @@ def run_smoke(deadline: float) -> int:
         counts = client.stats()["fleet"]["counts"]
         assert counts["dead"] == 1 and counts["active"] == N_NODES - 1, counts
         print(f"metrics ok: fleet counts {counts}")
+
+        # 5. the stitched trace narrates the failover end to end
+        trace = client.trace(tickets[0]["job_id"])
+        assert trace["trace_id"] == tickets[0]["trace_id"], trace
+        assert trace["complete"], "job finished but trace says incomplete"
+        names = {s["name"] for s in trace["spans"]}
+        for expected in ("gateway_job", "route", "failover_requeue",
+                         "job", "queue_wait", "run", "executor_dispatch",
+                         "encode"):
+            assert expected in names, f"missing {expected!r} in {sorted(names)}"
+        routed_to = {s.get("attrs", {}).get("node") for s in trace["spans"]
+                     if s["name"] in ("route", "failover_requeue")}
+        assert victim in routed_to, \
+            f"no routing span names the dead node {victim}: {routed_to}"
+        span_nodes = {s.get("node_id") for s in trace["spans"]}
+        assert final["node"] in span_nodes, \
+            f"no spans from the recovering node {final['node']}: {span_nodes}"
+        assert "gateway" in span_nodes, span_nodes
+        print(f"trace ok: {len(trace['spans'])} spans stitched "
+              f"(gateway + {final['node']}), failover via {victim} recorded")
         print("SMOKE OK (gateway)")
     except Exception as exc:  # noqa: BLE001 - report and fail the job
         failures = 1
