@@ -1,12 +1,25 @@
-"""Analysis helpers: ratio/quality sweeps and feasibility probing.
+"""Analysis helpers: ratio/quality sweeps, feasibility probing, and lint.
 
 The paper's evaluation revolves around three curve families — ratio vs
 bound (Figs. 3/4), rate distortion (Figs. 1/9) and achievable-ratio ranges
 (the feasibility question behind Figs. 6/7).  This package provides them
 as first-class library calls so downstream users don't rebuild sweep loops
 around the compressors.
+
+It also hosts the ``repro check`` static-analysis suite
+(:mod:`repro.analysis.engine` plus the checker modules ``locks``,
+``clocks``, ``wire``, ``banned``) — dependency-free ``ast``-based lint
+for the service tier's concurrency, clock, and wire-protocol
+conventions.  See ``docs/STATIC_ANALYSIS.md``.
 """
 
+from repro.analysis.engine import (
+    CheckReport,
+    Finding,
+    checker,
+    rule_catalogue,
+    run_checks,
+)
 from repro.analysis.export import (
     write_csv,
     write_rate_distortion_csv,
@@ -29,4 +42,9 @@ __all__ = [
     "write_csv",
     "write_rate_distortion_csv",
     "write_ratio_curve_csv",
+    "CheckReport",
+    "Finding",
+    "checker",
+    "rule_catalogue",
+    "run_checks",
 ]

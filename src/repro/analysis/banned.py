@@ -1,0 +1,80 @@
+"""Banned-pattern checker: constructs this codebase never allows.
+
+``BAN001``
+    Bare ``except:`` — swallows ``KeyboardInterrupt``/``SystemExit``
+    and masks scheduler shutdown; name the exceptions (worst case
+    ``except Exception:``).
+``BAN002``
+    ``pickle.loads``/``pickle.load`` outside ``parallel/executor.py``.
+    Pickle is how the process pool moves work between *our own*
+    processes; anywhere else (and especially on network-sourced bytes)
+    it is an arbitrary-code-execution hole.  The wire protocol is JSON.
+``BAN003``
+    Mutable default argument (``def f(x=[])``) — the default is shared
+    across calls, a classic aliasing bug in long-lived services.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ParsedFile, checker
+
+__all__ = ["RULES"]
+
+RULES = {
+    "BAN001": "bare except: — name the exceptions",
+    "BAN002": "pickle.load(s) outside parallel/executor.py",
+    "BAN003": "mutable default argument",
+}
+
+#: The one module allowed to unpickle: the process pool's own plumbing.
+PICKLE_ALLOWED_SUFFIX = "parallel/executor.py"
+
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "deque", "defaultdict",
+                  "Counter", "OrderedDict"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None)
+        return name in _MUTABLE_CTORS
+    return False
+
+
+@checker("banned-patterns", scope="file", rules=RULES)
+def check_banned(pf: ParsedFile) -> list[Finding]:
+    findings: list[Finding] = []
+    pickle_allowed = pf.path.endswith(PICKLE_ALLOWED_SUFFIX)
+    for node in ast.walk(pf.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(pf.finding(
+                "BAN001", node,
+                "bare except: swallows KeyboardInterrupt/SystemExit; "
+                "name the exceptions"))
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr in ("loads", "load")
+              and isinstance(node.func.value, ast.Name)
+              and node.func.value.id == "pickle"
+              and not pickle_allowed):
+            findings.append(pf.finding(
+                "BAN002", node,
+                f"pickle.{node.func.attr} outside {PICKLE_ALLOWED_SUFFIX}: "
+                "unpickling untrusted bytes executes arbitrary code; "
+                "the wire protocol is JSON"))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    findings.append(pf.finding(
+                        "BAN003", default,
+                        f"mutable default argument in {node.name}(): "
+                        "the default object is shared across calls"))
+    return findings

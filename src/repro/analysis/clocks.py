@@ -1,0 +1,72 @@
+"""Monotonic-clock lint: wall time must never measure durations.
+
+The service tier's convention (PR 6/8): ``time.time()`` is only for
+human-facing wall *stamps* (trace spans, log lines); every duration is
+computed from ``time.monotonic()``/``time.perf_counter()``, and fields
+holding monotonic readings carry the ``*_mono`` suffix.  NTP steps and
+leap smearing make wall-clock differences lie — a negative "latency"
+poisons a histogram forever.
+
+``MONO001``
+    ``time.time()`` appears in subtraction (duration arithmetic).
+``MONO002``
+    ``time.time()`` appears in a ``.observe(...)`` argument (recording
+    a wall stamp into a latency histogram).
+
+Plain assignments (``self._started_at = time.time()``) are fine — the
+rules only fire where a wall reading is *used as a duration*.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ParsedFile, checker
+
+__all__ = ["RULES"]
+
+RULES = {
+    "MONO001": "time.time() used in duration arithmetic; use time.monotonic()",
+    "MONO002": "time.time() observed into a histogram; observe a monotonic delta",
+}
+
+
+def _is_wall_clock_call(node: ast.AST) -> bool:
+    """``time.time()`` (the only wall-clock spelling in this codebase)."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "time"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time")
+
+
+def _contains_wall_clock(node: ast.AST) -> ast.Call | None:
+    for child in ast.walk(node):
+        if _is_wall_clock_call(child):
+            return child
+    return None
+
+
+@checker("monotonic-clock", scope="file", rules=RULES)
+def check_clocks(pf: ParsedFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(pf.tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+            for side in (node.left, node.right):
+                hit = _contains_wall_clock(side)
+                if hit is not None:
+                    findings.append(pf.finding(
+                        "MONO001", hit,
+                        "wall-clock time.time() in duration arithmetic; "
+                        "use time.monotonic() (keep the *_mono convention)"))
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "observe"):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                hit = _contains_wall_clock(arg)
+                if hit is not None:
+                    findings.append(pf.finding(
+                        "MONO002", hit,
+                        "wall-clock time.time() recorded into a histogram; "
+                        "observe a monotonic delta instead"))
+    return findings

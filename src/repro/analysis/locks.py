@@ -1,0 +1,339 @@
+"""Lock-discipline checkers: guarded attributes and lock ordering.
+
+Reads the :func:`repro.util.concurrency.guarded_by` declarations off
+class decorators (from the AST — nothing is imported) and enforces:
+
+``LOCK001`` (file scope)
+    Every read/write of a guarded attribute (``self.<field>``) happens
+    while the declared lock is held — inside ``with self.<lock>:`` — or
+    inside a ``*_locked`` method, whose name promises the caller holds
+    the lock.  Calling a ``*_locked`` method of ``self`` *without*
+    holding any class lock is flagged too.  ``__init__``, ``__del__``
+    and ``__setstate__`` are exempt: the object is not shared yet (or
+    no longer).  Nested functions and lambdas are analyzed as if no
+    lock were held — they typically run later, on another thread
+    (metrics callbacks); suppress deliberate torn reads with
+    ``# repro: ignore[LOCK001]``.
+
+``LOCK002`` (project scope)
+    Builds the cross-class lock-acquisition graph and rejects ordering
+    cycles (static deadlock detection).  An edge ``A.l1 -> B.l2`` is
+    recorded when, with ``l1`` held, code calls a method on an
+    attribute whose type (inferred from ``self.x = ClassName(...)``
+    assignments) is a guarded class ``B`` and that method acquires
+    ``l2`` — or when a second lock of the same class is taken while the
+    first is held.
+
+Known approximations (documented in ``docs/STATIC_ANALYSIS.md``):
+attribute types are only inferred from direct constructor assignments;
+acquisition is only seen through literal ``with self.<lock>:`` blocks;
+classes are keyed by name.  These fit this codebase's conventions —
+the point is catching regressions in real discipline, not solving
+aliasing in general.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import Finding, ParsedFile, Project, checker
+
+__all__ = ["RULES"]
+
+RULES = {
+    "LOCK001": "guarded attribute accessed without holding its declared lock",
+    "LOCK002": "lock-acquisition ordering cycle (potential deadlock)",
+}
+
+#: Methods where the instance is not yet (or no longer) shared.
+EXEMPT_METHODS = {"__init__", "__del__", "__setstate__"}
+
+
+def _decorated_guards(cls: ast.ClassDef) -> tuple[dict[str, str], list[str]]:
+    """``guarded_by`` declarations on a class: (field -> lock, lock order)."""
+    guards: dict[str, str] = {}
+    locks: list[str] = []
+    for dec in cls.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        fn = dec.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None)
+        if name != "guarded_by" or not dec.args:
+            continue
+        if not all(isinstance(a, ast.Constant) and isinstance(a.value, str)
+                   for a in dec.args):
+            continue
+        lock = dec.args[0].value
+        if lock not in locks:
+            locks.append(lock)
+        for arg in dec.args[1:]:
+            guards[arg.value] = lock
+    return guards, locks
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _methods(cls: ast.ClassDef):
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+@dataclass
+class _ClassInfo:
+    """Everything the checkers need to know about one guarded class."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    guards: dict[str, str]       # field -> lock
+    locks: list[str]             # declared lock attribute names
+    #: method name -> set of class locks its body acquires via ``with``.
+    acquires: dict[str, set[str]] = field(default_factory=dict)
+    #: attribute name -> guarded class name (from ``self.x = Cls(...)``).
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+def _collect_guarded_classes(pf: ParsedFile) -> list[_ClassInfo]:
+    out = []
+    for node in ast.walk(pf.tree):
+        if isinstance(node, ast.ClassDef):
+            guards, locks = _decorated_guards(node)
+            if locks:
+                out.append(_ClassInfo(name=node.name, path=pf.path,
+                                      node=node, guards=guards, locks=locks))
+    return out
+
+
+def _with_locks(node: ast.With, lock_names: set[str]) -> set[str]:
+    """Class locks acquired by one ``with`` statement."""
+    taken = set()
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None and attr in lock_names:
+            taken.add(attr)
+    return taken
+
+
+def _acquired_locks(method: ast.AST, lock_names: set[str]) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.With):
+            out |= _with_locks(node, lock_names)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# LOCK001: guarded-attribute discipline (file scope)
+
+
+class _DisciplineVisitor:
+    """Walks one method body tracking which class locks are held."""
+
+    def __init__(self, pf: ParsedFile, info: _ClassInfo) -> None:
+        self.pf = pf
+        self.info = info
+        self.lock_names = set(info.locks)
+        self.findings: list[Finding] = []
+
+    def scan(self, node: ast.AST, held: frozenset) -> None:
+        if isinstance(node, ast.With):
+            for item in node.items:
+                self.scan(item.context_expr, held)
+            inner = held | _with_locks(node, self.lock_names)
+            for stmt in node.body:
+                self.scan(stmt, frozenset(inner))
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested callables (metrics callbacks, worker thunks) run
+            # later, possibly on another thread: assume nothing is held.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self.scan(stmt, frozenset())
+            return
+        attr = _self_attr(node)
+        if attr is not None:
+            lock = self.info.guards.get(attr)
+            if lock is not None and lock not in held:
+                self.findings.append(self.pf.finding(
+                    "LOCK001", node,
+                    f"{self.info.name}.{attr} is guarded by "
+                    f"{self.info.name}.{lock} but accessed without it"))
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and _self_attr(node.func) is not None
+                and node.func.attr.endswith("_locked")
+                and not held):
+            self.findings.append(self.pf.finding(
+                "LOCK001", node,
+                f"{self.info.name}.{node.func.attr}() requires a held lock "
+                f"(\"_locked\" convention) but none of "
+                f"{sorted(self.lock_names)} is held"))
+        for child in ast.iter_child_nodes(node):
+            self.scan(child, held)
+
+
+@checker("lock-discipline", scope="file", rules={"LOCK001": RULES["LOCK001"]})
+def check_lock_discipline(pf: ParsedFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for info in _collect_guarded_classes(pf):
+        for method in _methods(info.node):
+            if method.name in EXEMPT_METHODS or method.name.endswith("_locked"):
+                continue
+            visitor = _DisciplineVisitor(pf, info)
+            for stmt in method.body:
+                visitor.scan(stmt, frozenset())
+            findings.extend(visitor.findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# LOCK002: cross-class lock-acquisition graph (project scope)
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: str   # "Class.lock"
+    dst: str
+    path: str
+    line: int
+    col: int
+
+
+def _infer_attr_types(info: _ClassInfo, guarded_names: set[str]) -> None:
+    """``self.x = GuardedClass(...)`` anywhere in the class body."""
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        fn = node.value.func
+        cls_name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None)
+        if cls_name not in guarded_names:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                info.attr_types[attr] = cls_name
+
+
+class _EdgeCollector:
+    """Records lock-order edges from one method of one guarded class."""
+
+    def __init__(self, pf: ParsedFile, info: _ClassInfo,
+                 classes: dict[str, _ClassInfo], edges: list[_Edge]) -> None:
+        self.pf = pf
+        self.info = info
+        self.classes = classes
+        self.edges = edges
+        self.lock_names = set(info.locks)
+
+    def scan(self, node: ast.AST, held: tuple) -> None:
+        if isinstance(node, ast.With):
+            for item in node.items:
+                self.scan(item.context_expr, held)
+            taken = _with_locks(node, self.lock_names)
+            inner = held
+            for lock in sorted(taken):
+                name = f"{self.info.name}.{lock}"
+                if name in inner:  # re-entrant (RLock): not an ordering edge
+                    continue
+                if inner:
+                    self._edge(inner[-1], name, node)
+                inner = inner + (name,)
+            for stmt in node.body:
+                self.scan(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self.scan(stmt, ())
+            return
+        if held and isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            target = node.func.value  # self.<attr> in self.<attr>.method(...)
+            attr = _self_attr(target)
+            if attr is not None:
+                other_name = self.info.attr_types.get(attr)
+                other = self.classes.get(other_name) if other_name else None
+                if other is not None:
+                    for lock in sorted(other.acquires.get(node.func.attr, ())):
+                        self._edge(held[-1], f"{other.name}.{lock}", node)
+        for child in ast.iter_child_nodes(node):
+            self.scan(child, held)
+
+    def _edge(self, src: str, dst: str, node: ast.AST) -> None:
+        if src == dst:  # re-entrant acquisition (RLock) is not an ordering edge
+            return
+        self.edges.append(_Edge(src=src, dst=dst, path=self.pf.path,
+                                line=node.lineno, col=node.col_offset))
+
+
+def _find_cycles(edges: list[_Edge]) -> list[list[_Edge]]:
+    """Elementary cycles in the edge list (DFS; deduped by node set)."""
+    graph: dict[str, list[_Edge]] = {}
+    for e in edges:
+        graph.setdefault(e.src, []).append(e)
+    cycles: list[list[_Edge]] = []
+    seen_cycles: set[frozenset] = set()
+
+    def dfs(node: str, path: list[_Edge], on_path: dict[str, int]) -> None:
+        for edge in graph.get(node, ()):
+            if edge.dst in on_path:
+                cycle = path[on_path[edge.dst]:] + [edge]
+                key = frozenset(e.src for e in cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(cycle)
+                continue
+            on_path[edge.dst] = len(path) + 1
+            dfs(edge.dst, path + [edge], on_path)
+            del on_path[edge.dst]
+
+    for start in sorted(graph):
+        dfs(start, [], {start: 0})
+    return cycles
+
+
+@checker("lock-order", scope="project", rules={"LOCK002": RULES["LOCK002"]})
+def check_lock_order(project: Project) -> list[Finding]:
+    classes: dict[str, _ClassInfo] = {}
+    owners: dict[str, ParsedFile] = {}
+    for pf in project.files:
+        for info in _collect_guarded_classes(pf):
+            classes[info.name] = info
+            owners[info.name] = pf
+    if not classes:
+        return []
+    guarded_names = set(classes)
+    for info in classes.values():
+        lock_names = set(info.locks)
+        for method in _methods(info.node):
+            info.acquires[method.name] = _acquired_locks(method, lock_names)
+        _infer_attr_types(info, guarded_names)
+
+    edges: list[_Edge] = []
+    for info in classes.values():
+        pf = owners[info.name]
+        collector = _EdgeCollector(pf, info, classes, edges)
+        for method in _methods(info.node):
+            for stmt in method.body:
+                collector.scan(stmt, ())
+
+    findings: list[Finding] = []
+    for cycle in _find_cycles(edges):
+        chain = " -> ".join([cycle[0].src] + [e.dst for e in cycle])
+        sites = ", ".join(f"{e.path}:{e.line}" for e in cycle)
+        anchor = cycle[0]
+        findings.append(Finding(
+            rule="LOCK002", path=anchor.path, line=anchor.line,
+            col=anchor.col,
+            message=f"lock-order cycle {chain} (acquisition sites: {sites})"))
+    return findings

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.cache.keys import config_hash, fingerprint_array, make_key
+from repro.util.concurrency import guarded_by
 
 if TYPE_CHECKING:  # import cycle: pressio.closures consults this package
     from repro.parallel.executor import BaseExecutor
@@ -116,6 +117,7 @@ def _evaluate_probe(payload: tuple) -> tuple[str, float, int, float]:
     return (key, compressed.ratio, compressed.nbytes, elapsed)
 
 
+@guarded_by("_lock", "_entries", "_new", "stats", "_fp_cache")
 class EvalCache:
     """Process-safe LRU cache of compressor evaluations, keyed by
     ``(data fingerprint, config hash, normalised bound)``.
@@ -159,16 +161,20 @@ class EvalCache:
         collection can never alias two different arrays.
         """
         arr = np.asarray(data)
-        memo = self._fp_cache.get(id(arr))
-        if memo is not None and memo[0]() is arr:
-            return memo[1]
+        with self._lock:
+            memo = self._fp_cache.get(id(arr))
+            if memo is not None and memo[0]() is arr:
+                return memo[1]
+        # Hash outside the lock: fingerprinting a large buffer is the
+        # expensive part, and concurrent duplicate hashes are harmless.
         fp = fingerprint_array(arr)
-        if len(self._fp_cache) > 256:
-            self._fp_cache.clear()
-        try:
-            self._fp_cache[id(arr)] = (weakref.ref(arr), fp)
-        except TypeError:
-            pass  # some array subclasses refuse weakrefs; just skip the memo
+        with self._lock:
+            if len(self._fp_cache) > 256:
+                self._fp_cache.clear()
+            try:
+                self._fp_cache[id(arr)] = (weakref.ref(arr), fp)
+            except TypeError:
+                pass  # some array subclasses refuse weakrefs; just skip the memo
         return fp
 
     # -- core get/put -----------------------------------------------------
@@ -433,7 +439,8 @@ class EvalCache:
         self.save()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"EvalCache(entries={len(self)}, hits={self.stats.hits}, "
-            f"misses={self.stats.misses}, dir={self.cache_dir!r})"
-        )
+        with self._lock:
+            return (
+                f"EvalCache(entries={len(self._entries)}, hits={self.stats.hits}, "
+                f"misses={self.stats.misses}, dir={self.cache_dir!r})"
+            )

@@ -24,6 +24,8 @@ Commands
 ``trace``       fetch a job's span tree from a service/gateway and render
                 it as a waterfall (see docs/TRACING.md)
 ``load``        open-loop load harness with SLO gating (``BENCH_*`` snapshots)
+``check``       run the static-analysis suite (lock discipline, clock
+                convention, wire-protocol drift; see docs/STATIC_ANALYSIS.md)
 ``info``        show a ``.frz``/``.frzs`` file's metadata
 ``datasets``    print the Table III analog of the bundled synthetic datasets
 """
@@ -387,6 +389,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_load_arguments(p)
 
+    p = sub.add_parser(
+        "check",
+        help="static analysis: locks, clocks, wire protocol, banned patterns",
+        description="Dependency-free AST lint over src/repro: guarded-by "
+                    "lock discipline and lock-order cycles (LOCK*), the "
+                    "monotonic-clock convention (MONO*), wire-protocol "
+                    "drift between server/gateway/client (WIRE*), and "
+                    "banned patterns (BAN*).  Exits 1 on any new finding. "
+                    "See docs/STATIC_ANALYSIS.md.",
+    )
+    from repro.analysis.engine import build_check_parser
+
+    build_check_parser(p)
+
     p = sub.add_parser("info", help="show .frz metadata")
     p.add_argument("input", help="input .frz file")
 
@@ -741,6 +757,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "load":
         from repro.obs.load import run_from_args
+
+        return run_from_args(args)
+    if args.command == "check":
+        from repro.analysis.engine import run_from_args
 
         return run_from_args(args)
     if args.command == "info":

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.gateway.ring import DEFAULT_REPLICAS, HashRing
+from repro.util.concurrency import guarded_by
 
 __all__ = ["NodeState", "NodeRecord", "NodeRegistry"]
 
@@ -83,6 +84,7 @@ class NodeRecord:
         }
 
 
+@guarded_by("_lock", "_nodes", "_ring")
 class NodeRegistry:
     """Thread-safe fleet membership + the ring that routes over it."""
 

@@ -56,6 +56,7 @@ from repro.serve.client import (
     ServiceUnavailableError,
 )
 from repro.serve.jobs import JobSpec
+from repro.util.concurrency import guarded_by
 
 __all__ = ["Router", "RoutedJob", "RouterStats", "NoCapacityError"]
 
@@ -140,6 +141,8 @@ class RoutedJob:
         }
 
 
+@guarded_by("_lock", "_jobs", "_node_index", "_owed", "_history",
+            "_clients", "stats")
 class Router:
     """Fleet routing + failover; the gateway server's engine.
 
@@ -215,7 +218,10 @@ class Router:
 
     # -- observability -----------------------------------------------------
     def _build_metrics(self, reg: MetricsRegistry) -> None:
-        stats = self.stats
+        # Callback counters take torn reads by design (registration
+        # happens before the router is shared; monitoring tolerates
+        # mid-update values).
+        stats = self.stats  # repro: ignore[LOCK001]
         reg.gauge("build_info",
                   "Build metadata carried in labels (value is always 1)",
                   labels=("version",)).labels(version=__version__).set(1)
@@ -567,7 +573,7 @@ class Router:
                 self.stats.acked += 1
             else:
                 self.stats.failed += 1
-            self._remember(job)
+            self._remember_locked(job)
         job._finished_event.set()
         self._finish_job_trace(job)
 
@@ -606,7 +612,7 @@ class Router:
                               job_id=job.id, node=job.node_id,
                               seconds=round(elapsed, 6) if elapsed else None)
 
-    def _remember(self, job: RoutedJob) -> None:
+    def _remember_locked(self, job: RoutedJob) -> None:
         self._history.append(job.id)
         while len(self._history) > self._history_limit:
             old = self._history.popleft()
@@ -747,11 +753,19 @@ class Router:
         }
 
     def stats_payload(self) -> dict:
+        with self._lock:
+            # Ledger reads under the lock: job states and counters move
+            # together, so /stats never shows a torn snapshot.
+            jobs = self.stats.as_dict()
+            inflight = sum(1 for j in self._jobs.values() if not j.finished)
         payload = {
-            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "uptime_seconds": round(time.monotonic() - self._started_mono, 3),
             "heartbeat_interval": self.heartbeat_interval,
-            "jobs": self.stats.as_dict(),
-            "inflight": self._inflight_count(),
+            "jobs": jobs,
+            "inflight": inflight,
+            # Fleet/trace/metrics snapshots are taken outside the router
+            # lock: each has its own lock, and holding ours across them
+            # would order Router._lock before theirs for no benefit.
             "fleet": self.registry.stats_dict(),
             "trace": self.tracer.stats_dict(),
             "metrics": None,

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import math
 import threading
+
+from repro.util.concurrency import guarded_by
 from bisect import bisect_left
 from typing import Callable, Iterable
 
@@ -64,6 +66,7 @@ DEFAULT_LATENCY_BUCKETS = (
 DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
 
 
+@guarded_by("_lock", "_value")
 class Counter:
     """Monotonically increasing count.
 
@@ -95,6 +98,7 @@ class Counter:
             return self._value
 
 
+@guarded_by("_lock", "_value")
 class Gauge:
     """A value that goes up and down (or is sampled via ``callback``)."""
 
@@ -126,6 +130,7 @@ class Gauge:
             return self._value
 
 
+@guarded_by("_lock", "_counts", "_sum", "_count", "_min", "_max")
 class Histogram:
     """Fixed-bucket histogram with mergeable counts and quantile estimates.
 
@@ -171,7 +176,7 @@ class Histogram:
                 f"cannot merge histograms with different buckets: "
                 f"{self.bounds!r} vs {other.bounds!r}"
             )
-        counts, total, subtotal, lo, hi = other._snapshot_locked()
+        counts, total, subtotal, lo, hi = other._atomic_snapshot()
         with self._lock:
             for i, c in enumerate(counts):
                 self._counts[i] += c
@@ -180,7 +185,7 @@ class Histogram:
             self._min = min(self._min, lo)
             self._max = max(self._max, hi)
 
-    def _snapshot_locked(self) -> tuple[list[int], int, float, float, float]:
+    def _atomic_snapshot(self) -> tuple[list[int], int, float, float, float]:
         with self._lock:
             return list(self._counts), self._count, self._sum, self._min, self._max
 
@@ -229,7 +234,7 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
-        counts, total, _, lo, hi = self._snapshot_locked()
+        counts, total, _, lo, hi = self._atomic_snapshot()
         if total == 0:
             return None
         rank = q * total
@@ -247,7 +252,7 @@ class Histogram:
 
     def snapshot(self, quantiles: Iterable[float] = DEFAULT_QUANTILES) -> dict:
         """JSON-ready summary (the ``/stats`` shape for one histogram)."""
-        counts, total, subtotal, lo, hi = self._snapshot_locked()
+        counts, total, subtotal, lo, hi = self._atomic_snapshot()
         out = {
             "count": total,
             "sum": round(subtotal, 6),
@@ -260,6 +265,7 @@ class Histogram:
         return out
 
 
+@guarded_by("_lock", "_children")
 class MetricFamily:
     """One named metric plus its labelled children.
 
@@ -307,7 +313,8 @@ class MetricFamily:
     def _solo(self) -> Counter | Gauge | Histogram:
         if self.labelnames:
             raise ValueError(f"metric {self.name} requires labels {self.labelnames}")
-        return self._children[()]
+        with self._lock:
+            return self._children[()]
 
     def inc(self, amount: float = 1.0) -> None:
         self._solo().inc(amount)
@@ -337,6 +344,7 @@ def _check_name(name: str) -> str:
     return name
 
 
+@guarded_by("_lock", "_families")
 class MetricsRegistry:
     """Owns a set of metric families; the unit ``/metrics`` renders.
 

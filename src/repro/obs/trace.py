@@ -51,6 +51,8 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.util.concurrency import guarded_by
+
 __all__ = [
     "TRACEPARENT_HEADER",
     "TraceContext",
@@ -256,6 +258,7 @@ class NullSpan:
         return {}
 
 
+@guarded_by("_lock", "_traces", "_exemplars", "_dropped")
 class SpanStore:
     """Bounded per-trace span assembly with slow-trace exemplar retention.
 

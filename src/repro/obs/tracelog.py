@@ -25,9 +25,12 @@ import sys
 import threading
 import time
 
+from repro.util.concurrency import guarded_by
+
 __all__ = ["TraceLogger"]
 
 
+@guarded_by("_lock", "_stream")
 class TraceLogger:
     """Line-oriented logger with a fixed correlation envelope.
 
@@ -53,7 +56,6 @@ class TraceLogger:
         """Emit one record; ``fields`` must be JSON-serialisable."""
         if not self.enabled:
             return
-        stream = self._stream if self._stream is not None else sys.stderr
         if self.json_lines:
             record = {"ts": round(time.time(), 6), "level": level,
                       "event": event, "service": self.service}
@@ -78,6 +80,9 @@ class TraceLogger:
             parts.extend(f"{k}={v}" for k, v in fields.items())
             line = " ".join(parts)
         with self._lock:
+            # Resolve the stream under the lock: reconfiguration must
+            # never race a half-written record onto the old stream.
+            stream = self._stream if self._stream is not None else sys.stderr
             print(line, file=stream, flush=True)
 
     def error(self, event: str, **kwargs) -> None:

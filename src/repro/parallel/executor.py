@@ -33,6 +33,8 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
+from repro.util.concurrency import guarded_by
+
 __all__ = [
     "BaseExecutor",
     "SerialExecutor",
@@ -226,6 +228,8 @@ class WorkerCrashError(RuntimeError):
     """
 
 
+@guarded_by("_lock", "_executor", "_generation", "crashes", "rebuilds")
+@guarded_by("_count_lock", "tasks_submitted", "tasks_completed", "tasks_cancelled")
 class ProcessJobPool:
     """Persistent process pool with crash detection and rebuild.
 

@@ -23,6 +23,7 @@ from repro.serve.agent import NodeAgent
 from repro.serve.client import (
     BackpressureError,
     JobFailedError,
+    ProtocolError,
     ServiceClient,
     ServiceError,
     ServiceUnavailableError,
@@ -60,6 +61,7 @@ __all__ = [
     "BackpressureError",
     "NodeAgent",
     "JobFailedError",
+    "ProtocolError",
     "DEFAULT_PORT",
     "DEFAULT_STREAM_THRESHOLD",
     "DEFAULT_SPILL_THRESHOLD",

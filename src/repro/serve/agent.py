@@ -35,7 +35,9 @@ import urllib.error
 import urllib.request
 from collections import deque
 
+from repro.serve.client import ProtocolError
 from repro.serve.scheduler import Scheduler
+from repro.util.concurrency import guarded_by
 
 __all__ = ["NodeAgent", "DEFAULT_HEARTBEAT_INTERVAL"]
 
@@ -46,6 +48,7 @@ DEFAULT_HEARTBEAT_INTERVAL = 1.0
 MAX_PENDING_ACKS = 4096
 
 
+@guarded_by("_lock", "_pending", "_pending_set")
 class NodeAgent:
     """One node's registration + heartbeat client against a gateway."""
 
@@ -72,6 +75,9 @@ class NodeAgent:
         self.heartbeats_sent = 0
         self.acked_jobs = 0
         self.register_failures = 0
+        #: Gateway responses that broke the protocol (bad field types);
+        #: the agent falls back to safe defaults but keeps count.
+        self.protocol_errors = 0
         self._pending: deque[str] = deque()
         self._pending_set: set[str] = set()
         self._lock = threading.Lock()
@@ -157,8 +163,13 @@ class NodeAgent:
             return min(1.0, self._interval())
         self.registered = True
         if self.heartbeat_interval is None:
-            self.heartbeat_interval = float(
-                body.get("heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL))
+            try:
+                self.heartbeat_interval = self._parse_interval(body)
+            except ProtocolError:
+                # A gateway that mangles the interval still accepted us;
+                # heartbeat at the default rate rather than crash the loop.
+                self.protocol_errors += 1
+                self.heartbeat_interval = DEFAULT_HEARTBEAT_INTERVAL
         # Heartbeat immediately: registration already proved liveness,
         # but the first report/ack cycle should not wait a full interval.
         return 0.0
@@ -181,7 +192,11 @@ class NodeAgent:
             return self._interval()
         self.heartbeats_sent += 1
         self.draining = body.get("state") == "draining"
-        acked = body.get("acked") or []
+        try:
+            acked = self._parse_acked(body)
+        except ProtocolError:
+            self.protocol_errors += 1
+            acked = []  # treat as "nothing acked"; ids stay pending
         if acked:
             with self._lock:
                 for job_id in acked:
@@ -191,6 +206,34 @@ class NodeAgent:
                 self._pending = deque(
                     j for j in self._pending if j in self._pending_set)
         return self._interval()
+
+    @staticmethod
+    def _parse_interval(body: dict) -> float:
+        """``heartbeat_interval`` from a register response, type-checked.
+
+        Raises :class:`~repro.serve.client.ProtocolError` (not
+        ``TypeError``/``ValueError`` mid-``float()``) when the gateway
+        sends garbage, so callers can distinguish a broken gateway from
+        an agent bug.
+        """
+        value = body.get("heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL)
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or value <= 0:
+            raise ProtocolError(
+                "register response: field 'heartbeat_interval' must be a "
+                f"positive number, got {value!r}", body=body)
+        return float(value)
+
+    @staticmethod
+    def _parse_acked(body: dict) -> list[str]:
+        """``acked`` from a heartbeat response: a list of job-id strings."""
+        acked = body.get("acked") or []
+        if not isinstance(acked, list) \
+                or not all(isinstance(j, str) for j in acked):
+            raise ProtocolError(
+                "heartbeat response: field 'acked' must be a list of job "
+                "ids", body=body)
+        return acked
 
     def _report(self) -> dict:
         """The small self-description that rides in each heartbeat."""
@@ -238,4 +281,5 @@ class NodeAgent:
             "acked_jobs": self.acked_jobs,
             "pending_acks": pending,
             "register_failures": self.register_failures,
+            "protocol_errors": self.protocol_errors,
         }

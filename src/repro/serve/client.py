@@ -28,6 +28,7 @@ __all__ = [
     "ServiceUnavailableError",
     "BackpressureError",
     "JobFailedError",
+    "ProtocolError",
 ]
 
 
@@ -67,6 +68,33 @@ class BackpressureError(ServiceError):
 
 class JobFailedError(ServiceError):
     """A waited-on job finished in ``failed`` or ``cancelled`` state."""
+
+
+class ProtocolError(ServiceError):
+    """The server answered with a well-formed HTTP response whose JSON
+    body is missing (or mistypes) a field the protocol requires.
+
+    Raised instead of ``KeyError`` so callers can tell "the service
+    broke its contract" apart from their own bugs, and so the offending
+    ``body`` travels with the exception.  The ``repro check`` wire-drift
+    checker (``WIRE001``/``WIRE002``) guards the same contract at lint
+    time; this is the runtime backstop for servers outside this tree.
+    """
+
+
+def _require_field(payload: dict, key: str, types, *, context: str,
+                   status: int | None = None):
+    """``payload[key]`` with a typed error instead of ``KeyError``."""
+    value = payload.get(key)
+    if not isinstance(value, types):
+        expected = getattr(types, "__name__", None) or "/".join(
+            t.__name__ for t in types)
+        raise ProtocolError(
+            f"{context}: field {key!r} missing or not {expected} "
+            f"(got {type(value).__name__})",
+            status=status, body=payload,
+        )
+    return value
 
 
 class ServiceClient:
@@ -172,6 +200,10 @@ class ServiceClient:
                 "POST", "/submit", body, send_headers)
             retry_after = self._retry_after(payload, headers)
             if status == 202:
+                _require_field(payload, "job_id", str,
+                               context="submit ticket", status=status)
+                _require_field(payload, "state", str,
+                               context="submit ticket", status=status)
                 return payload
             if status == 429:
                 delay = retry_after if retry_after is not None else 1.0
@@ -247,12 +279,15 @@ class ServiceClient:
         while True:
             status, payload = self._request("GET", f"/result/{job_id}")
             if status == 200:
-                if payload.get("state") != "done":
+                state = _require_field(payload, "state", str,
+                                       context="result payload", status=status)
+                if state != "done":
                     raise JobFailedError(
-                        payload.get("error") or f"job {job_id} {payload.get('state')}",
+                        payload.get("error") or f"job {job_id} {state}",
                         status=status, body=payload,
                     )
-                return payload["result"]
+                return _require_field(payload, "result", dict,
+                                      context="result payload", status=status)
             if status == 202 and wait:
                 if time.monotonic() > deadline:
                     raise TimeoutError(f"job {job_id} still pending after {timeout}s")

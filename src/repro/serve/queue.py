@@ -29,6 +29,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.serve.jobs import Job, JobState
+from repro.util.concurrency import guarded_by
 
 __all__ = ["JobQueue", "QueueFull", "QueueStats"]
 
@@ -64,6 +65,7 @@ class QueueStats:
         }
 
 
+@guarded_by("_cond", "_heap", "_members", "_cancelled_ids", "stats")
 class JobQueue:
     """Thread-safe bounded priority queue of :class:`Job` records."""
 

@@ -89,6 +89,7 @@ from repro.parallel.executor import (
 from repro.serve import schema
 from repro.serve.jobs import Job, JobSpec, JobState
 from repro.serve.queue import JobQueue, QueueFull  # noqa: F401  (re-exported)
+from repro.util.concurrency import guarded_by
 
 __all__ = [
     "Scheduler",
@@ -260,6 +261,7 @@ class SchedulerStats:
         }
 
 
+@guarded_by("_lock", "_jobs", "_inflight", "_futures", "_history", "stats")
 class Scheduler:
     """Resident job scheduler over the FRaZ/stream/cache layers.
 
@@ -402,7 +404,10 @@ class Scheduler:
         event-driven (an observation is information a counter cannot
         reconstruct), fed exclusively from monotonic-clock durations.
         """
-        stats, queue = self.stats, self._queue
+        # Callback gauges take torn reads by design (monitoring may
+        # observe mid-update values; registration happens before the
+        # scheduler is shared).
+        stats, queue = self.stats, self._queue  # repro: ignore[LOCK001]
         reg.gauge("build_info",
                   "Build metadata carried in labels (value is always 1)",
                   labels=("version",)).labels(version=__version__).set(1)
@@ -517,6 +522,7 @@ class Scheduler:
             return self
         self._stop.clear()
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
         if self.executor_mode == "process" and self._pool is None:
             self._pool = ProcessJobPool(
                 self.workers,
@@ -670,7 +676,7 @@ class Scheduler:
                 primary = self._jobs.get(job.coalesced_into)
                 if primary is not None and job in primary.followers:
                     primary.followers.remove(job)
-                self._cancel_one(job)
+                self._cancel_one_locked(job)
                 return True
             if job.state is JobState.RUNNING:
                 if self._pool is None:
@@ -682,19 +688,19 @@ class Scheduler:
                 # job RUNNING and submitting to the pool; the tombstone set
                 # below makes _dispatch refuse the submission.
             for follower in job.followers[:]:
-                self._cancel_one(follower)
+                self._cancel_one_locked(follower)
             job.followers.clear()
-            self._drop_inflight(job)
+            self._drop_inflight_locked(job)
             was_queued = job.state is JobState.QUEUED
-            self._cancel_one(job)
+            self._cancel_one_locked(job)
             if was_queued:
                 self._queue.cancelled(job)
             return True
 
-    def _cancel_one(self, job: Job) -> None:
+    def _cancel_one_locked(self, job: Job) -> None:
         job._finish(JobState.CANCELLED)
         self.stats.cancelled += 1
-        self._remember(job)
+        self._remember_locked(job)
         self._finish_job_trace(job)
         self._notify_finished([job])
 
@@ -821,11 +827,11 @@ class Scheduler:
     def _finish(self, job: Job, state: JobState, *, result: dict | None = None,
                 error: str | None = None) -> None:
         with self._lock:
-            self._drop_inflight(job)
+            self._drop_inflight_locked(job)
             followers = job.followers[:]
             job.followers.clear()
             job._finish(state, result=result, error=error)
-            self._remember(job)
+            self._remember_locked(job)
             done = state is JobState.DONE
             self.stats.completed += 1 if done else 0
             self.stats.failed += 0 if done else 1
@@ -840,7 +846,7 @@ class Scheduler:
                 follower.started_at = job.started_at
                 follower.started_mono = job.started_mono
                 follower._finish(state, result=result, error=error)
-                self._remember(follower)
+                self._remember_locked(follower)
                 # Followers share the primary's computation (stage timings
                 # counted once, above) but each felt its own latency.
                 self._observe_job(follower)
@@ -879,12 +885,12 @@ class Scheduler:
             trace_id=job.trace_id, job_id=job.id, state=job.state.value,
             seconds=round(job.total_seconds or 0.0, 6))
 
-    def _drop_inflight(self, job: Job) -> None:
+    def _drop_inflight_locked(self, job: Job) -> None:
         key = job.spec.coalesce_key()
         if self._inflight.get(key) is job:
             del self._inflight[key]
 
-    def _remember(self, job: Job) -> None:
+    def _remember_locked(self, job: Job) -> None:
         """Bound the finished-job registry to the history limit."""
         self._history.append(job.id)
         while len(self._history) > self._history_limit:
@@ -1008,7 +1014,7 @@ class Scheduler:
         """JSON-ready service statistics (the ``/stats`` body)."""
         with self._lock:
             payload = {
-                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "uptime_seconds": round(time.monotonic() - self._started_mono, 3),
                 "workers": self.workers,
                 "paused": self.paused,
                 "executor": schema.executor_payload(

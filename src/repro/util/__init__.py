@@ -1,0 +1,10 @@
+"""Small shared utilities with no dependencies on the rest of the package.
+
+Currently just :mod:`repro.util.concurrency` — the ``guarded_by``
+annotation that declares which lock protects which attributes, read at
+lint time by ``repro check`` (see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from repro.util.concurrency import guarded_by
+
+__all__ = ["guarded_by"]

@@ -1,0 +1,63 @@
+"""Concurrency annotations for the threaded subsystems.
+
+The service tier keeps its invariants with plain ``threading`` locks and
+a naming convention; this module makes the convention *machine-checkable*
+without adding any runtime cost:
+
+* :func:`guarded_by` declares, on the class, which lock attribute guards
+  which instance attributes.  The decorator only records metadata
+  (``__guarded_fields__`` / ``__guard_locks__``) — it installs no
+  wrappers, so annotated classes behave exactly as before.
+* The ``repro check`` lock-discipline checker (``LOCK001``/``LOCK002``,
+  see ``docs/STATIC_ANALYSIS.md``) reads the same declaration from the
+  AST and verifies every access to a guarded attribute happens inside
+  ``with self.<lock>:`` or a ``*_locked`` method (whose name promises
+  the caller already holds the lock).
+
+Conventions the checker understands:
+
+* ``__init__``/``__setstate__``/``__del__`` are exempt — the object is
+  not shared yet (or no longer).
+* Methods named ``*_locked`` are exempt bodies, but *calling* one
+  without holding a class lock is itself a finding.
+* A class may declare several locks by stacking decorators::
+
+      @guarded_by("_lock", "_executor", "crashes")
+      @guarded_by("_count_lock", "tasks_submitted")
+      class ProcessJobPool: ...
+"""
+
+from __future__ import annotations
+
+__all__ = ["guarded_by"]
+
+
+def guarded_by(lock: str, *fields: str):
+    """Class decorator: declare that ``lock`` guards ``fields``.
+
+    Purely declarative — the returned class is the input class with two
+    metadata attributes merged in:
+
+    * ``__guarded_fields__``: ``{field_name: lock_name}``
+    * ``__guard_locks__``: tuple of declared lock attribute names
+
+    Stacking multiple ``guarded_by`` decorators merges the maps, so one
+    class can partition its state across several locks.
+    """
+    if not lock.isidentifier():
+        raise ValueError(f"lock must be an attribute name, got {lock!r}")
+    for field in fields:
+        if not field.isidentifier():
+            raise ValueError(f"guarded field must be an attribute name, got {field!r}")
+
+    def decorate(cls):
+        guards = dict(getattr(cls, "__guarded_fields__", {}))
+        for field in fields:
+            guards[field] = lock
+        cls.__guarded_fields__ = guards
+        locks = tuple(getattr(cls, "__guard_locks__", ()))
+        if lock not in locks:
+            cls.__guard_locks__ = locks + (lock,)
+        return cls
+
+    return decorate

@@ -1,0 +1,15 @@
+"""Seeded banned patterns (checker fixture — never run)."""
+
+import pickle
+
+
+def risky(raw):
+    try:
+        return pickle.loads(raw)  # SEEDED: pickle-loads
+    except:  # SEEDED: bare-except  # noqa: E722
+        return None
+
+
+def collect(item, bucket=[]):  # SEEDED: mutable-default
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,16 @@
+"""Seeded monotonic-clock violations (checker fixture — never run)."""
+
+import time
+
+
+def elapsed_wall(t0):
+    return time.time() - t0  # SEEDED: wall-clock-duration
+
+
+def observe_stamp(histogram):
+    histogram.observe(time.time())  # SEEDED: wall-clock-observe
+
+
+def stamp_only():
+    # A plain wall stamp is fine — must NOT be flagged.
+    return {"started_at": time.time()}

@@ -1,0 +1,31 @@
+"""Seeded A->B / B->A lock-order cycle (checker fixture — never run)."""
+
+import threading
+
+from repro.util.concurrency import guarded_by
+
+
+@guarded_by("_lock", "value")
+class Alpha:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self.beta = Beta()
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            self.beta.bump()  # SEEDED: Alpha._lock -> Beta._lock
+
+
+@guarded_by("_lock", "value")
+class Beta:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self.alpha = Alpha()
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            self.alpha.bump()  # SEEDED: Beta._lock -> Alpha._lock

@@ -1,0 +1,32 @@
+"""Seeded LOCK001 violations (checker fixture — never imported at runtime)."""
+
+import threading
+
+from repro.util.concurrency import guarded_by
+
+
+@guarded_by("_lock", "items", "total")
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+        self.total = 0
+
+    def add(self, x):
+        with self._lock:
+            self.items.append(x)
+            self.total += x
+
+    def peek(self):
+        return self.total  # SEEDED: unguarded-read
+
+    def peek_suppressed(self):
+        return self.total  # repro: ignore[LOCK001]
+
+    def drain_locked(self):
+        out = list(self.items)
+        self.items.clear()
+        return out
+
+    def drain(self):
+        return self.drain_locked()  # SEEDED: locked-call-without-lock

@@ -1,0 +1,10 @@
+"""Drifted-endpoint fixture: a client using a route the server lacks."""
+
+
+class Client:
+    def submit(self):
+        status, ticket = self._request("POST", "/submit")
+        return ticket["node"]  # SEEDED: ticket-key-drift
+
+    def result(self, job_id):
+        return self._request("GET", f"/resultz/{job_id}")  # SEEDED: route-drift

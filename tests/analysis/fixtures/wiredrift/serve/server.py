@@ -1,0 +1,15 @@
+"""Drifted-endpoint fixture: a node server missing routes the client uses."""
+
+
+class _Handler:
+    def do_POST(self):
+        if self.path == "/submit":
+            self._send(202, {"job_id": "j-1", "state": "queued"})
+            return
+        self._send(404, {"error": "unknown"})
+
+    def do_GET(self):
+        if self.path.startswith("/status/"):
+            self._send(200, {"job_id": "j-1", "state": "queued"})
+            return
+        self._send(404, {"error": "unknown"})

@@ -1,0 +1,29 @@
+"""MONO001/MONO002: wall-clock readings must not measure durations."""
+
+from __future__ import annotations
+
+from analysis_helpers import FIXTURES, check_paths, findings_for, line_of
+
+CLOCKVIOL = FIXTURES / "clockviol.py"
+
+
+def test_wall_clock_subtraction_flagged():
+    report = check_paths(CLOCKVIOL)
+    findings = findings_for("MONO001", report)
+    assert len(findings) == 1
+    assert findings[0].line == line_of(CLOCKVIOL, "SEEDED: wall-clock-duration")
+    assert findings[0].path == "tests/analysis/fixtures/clockviol.py"
+    assert "time.monotonic" in findings[0].message
+
+
+def test_wall_clock_observe_flagged():
+    report = check_paths(CLOCKVIOL)
+    findings = findings_for("MONO002", report)
+    assert len(findings) == 1
+    assert findings[0].line == line_of(CLOCKVIOL, "SEEDED: wall-clock-observe")
+
+
+def test_plain_wall_stamp_not_flagged():
+    report = check_paths(CLOCKVIOL)
+    stamp_line = line_of(CLOCKVIOL, '"started_at": time.time()')
+    assert stamp_line not in {f.line for f in report.findings}

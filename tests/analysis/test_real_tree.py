@@ -1,0 +1,62 @@
+"""The real source tree passes its own static analysis.
+
+This is the acceptance gate CI enforces (`repro check --strict`): every
+guarded class obeys its declared lock, no wall-clock duration math, the
+three wire-protocol copies agree, the lock graph is acyclic, and the
+committed baseline is empty (no grandfathered findings).
+"""
+
+from __future__ import annotations
+
+from analysis_helpers import REPO_ROOT, SRC, check_paths
+
+from repro.analysis.engine import load_baseline
+
+
+def test_repo_tree_is_clean():
+    report = check_paths(SRC)
+    assert report.findings == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in report.findings)
+    assert report.files_checked > 100  # the whole package was actually walked
+
+
+def test_committed_baseline_is_empty_and_fresh():
+    baseline = load_baseline(str(REPO_ROOT / "tools" / "check_baseline.json"))
+    assert baseline == set()
+
+
+def test_lock_graph_sees_the_real_cross_class_edges():
+    """Guard against the checker passing vacuously: the scheduler really
+    does take the queue/pool locks inside its own, and that must show up
+    as graph edges (just not as a cycle)."""
+    import ast
+    import os
+
+    from repro.analysis import locks
+    from repro.analysis.engine import ParsedFile, discover_files
+
+    files = [ParsedFile(str(REPO_ROOT), p)
+             for p in discover_files([str(SRC)])]
+    classes, owners = {}, {}
+    for pf in files:
+        for info in locks._collect_guarded_classes(pf):
+            classes[info.name] = info
+            owners[info.name] = pf
+    assert {"Scheduler", "JobQueue", "Router", "NodeRegistry", "EvalCache",
+            "NodeAgent", "SpanStore", "TraceLogger", "ProcessJobPool",
+            "Counter", "Gauge", "Histogram", "MetricFamily",
+            "MetricsRegistry"} <= set(classes)
+    for info in classes.values():
+        for m in locks._methods(info.node):
+            info.acquires[m.name] = locks._acquired_locks(m, set(info.locks))
+        locks._infer_attr_types(info, set(classes))
+    edges = []
+    for info in classes.values():
+        collector = locks._EdgeCollector(owners[info.name], info, classes, edges)
+        for m in locks._methods(info.node):
+            for stmt in m.body:
+                collector.scan(stmt, ())
+    edge_set = {(e.src, e.dst) for e in edges}
+    assert ("Scheduler._lock", "JobQueue._cond") in edge_set
+    assert ("Scheduler._lock", "ProcessJobPool._lock") in edge_set
+    assert locks._find_cycles(edges) == []

@@ -1,0 +1,61 @@
+"""WIRE001/WIRE002/WIRE003: wire-protocol drift detection."""
+
+from __future__ import annotations
+
+from analysis_helpers import FIXTURES, check_paths, findings_for, line_of
+
+WIREDRIFT = FIXTURES / "wiredrift"
+DRIFT_CLIENT = WIREDRIFT / "serve" / "client.py"
+
+
+def test_drifted_route_flagged_at_client_call_site():
+    report = check_paths(WIREDRIFT)
+    findings = findings_for("WIRE001", report)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path == "tests/analysis/fixtures/wiredrift/serve/client.py"
+    assert finding.line == line_of(DRIFT_CLIENT, "SEEDED: route-drift")
+    assert "/resultz/" in finding.message
+
+
+def test_consumed_ticket_key_missing_from_producer_flagged():
+    report = check_paths(WIREDRIFT)
+    findings = findings_for("WIRE002", report)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.line == line_of(DRIFT_CLIENT, "SEEDED: ticket-key-drift")
+    assert '"node"' in finding.message
+
+
+def test_handled_route_not_flagged():
+    # /submit exists on both sides: no finding may mention it.
+    report = check_paths(WIREDRIFT)
+    assert not any("'/submit'" in f.message
+                   for f in findings_for("WIRE001", report))
+
+
+def test_report_schema_agreement_on_real_tree(tmp_path):
+    """WIRE003 is quiet on api/report.py and loud when a field is dropped."""
+    from analysis_helpers import SRC
+
+    report = check_paths(SRC / "api" / "report.py")
+    assert findings_for("WIRE003", report) == []
+
+    broken = tmp_path / "api" / "report.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class TinyReport:\n"
+        "    ratio: float\n"
+        "    error_bound: float\n"
+        "    def to_dict(self):\n"
+        '        return {"kind": "tiny", "ratio": self.ratio}\n'
+    )
+    from repro.analysis.engine import run_checks
+
+    broken_report = run_checks([str(tmp_path)], root=str(tmp_path),
+                               use_cache=False)
+    wire3 = [f for f in broken_report.findings if f.rule == "WIRE003"]
+    assert len(wire3) == 1
+    assert "error_bound" in wire3[0].message

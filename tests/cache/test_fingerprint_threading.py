@@ -1,0 +1,49 @@
+"""The fingerprint memo is safe under concurrent access.
+
+Regression test for the LOCK001 finding the static checker surfaced:
+``EvalCache.data_fingerprint`` read and wrote ``_fp_cache`` without the
+cache lock, so two threads fingerprinting at once could race the
+size-triggered ``clear()`` against an insert mid-iteration.  The memo is
+now guarded; the expensive buffer hash still happens outside the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.cache.evalcache import EvalCache, fingerprint_array
+
+
+def test_concurrent_fingerprints_are_stable_and_correct():
+    cache = EvalCache()
+    rng = np.random.default_rng(0)
+    # More than 256 distinct arrays forces the memo's clear() path to
+    # fire repeatedly while other threads are mid-lookup.
+    arrays = [rng.normal(size=64) for _ in range(300)]
+    expected = [fingerprint_array(a) for a in arrays]
+    errors: list[BaseException] = []
+
+    def worker() -> None:
+        try:
+            for _ in range(5):
+                for arr, want in zip(arrays, expected):
+                    assert cache.data_fingerprint(arr) == want
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_memo_hit_returns_same_fingerprint_as_miss():
+    cache = EvalCache()
+    arr = np.arange(128, dtype=np.float64)
+    first = cache.data_fingerprint(arr)   # miss: hashes the buffer
+    second = cache.data_fingerprint(arr)  # hit: served from the memo
+    assert first == second == fingerprint_array(arr)

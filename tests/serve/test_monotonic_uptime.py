@@ -1,0 +1,40 @@
+"""Uptime must come from the monotonic clock.
+
+Regression tests for the MONO001 findings the static checker surfaced:
+``stats_payload`` in both the scheduler and the gateway router used to
+compute uptime as ``time.time() - self._started_at``, so an NTP step (or
+a test warping the wall clock) produced negative or wildly wrong uptime.
+Both now keep a ``time.monotonic()`` anchor.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.gateway.router import Router
+from repro.serve.scheduler import Scheduler
+
+
+def test_scheduler_uptime_survives_wall_clock_jump(monkeypatch):
+    sched = Scheduler(workers=1, cache=False, metrics=False)
+    frozen = time.time()
+    # Warp the wall clock an hour into the past; monotonic is untouched.
+    monkeypatch.setattr(time, "time", lambda: frozen - 3600.0)
+    uptime = sched.stats_payload()["uptime_seconds"]
+    assert 0.0 <= uptime < 60.0
+
+
+def test_router_uptime_survives_wall_clock_jump(monkeypatch):
+    router = Router(metrics=False)
+    frozen = time.time()
+    monkeypatch.setattr(time, "time", lambda: frozen - 3600.0)
+    uptime = router.stats_payload()["uptime_seconds"]
+    assert 0.0 <= uptime < 60.0
+
+
+def test_scheduler_start_resets_monotonic_anchor():
+    with Scheduler(workers=1, executor="thread", cache=False,
+                   metrics=False) as sched:
+        # start() re-anchors the monotonic base alongside the wall stamp.
+        assert sched.stats_payload()["uptime_seconds"] >= 0.0
+        assert sched._started_mono <= time.monotonic()

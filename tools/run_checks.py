@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""CI entry point for the static-analysis suite (``repro check``).
+
+Equivalent to ``PYTHONPATH=src python -m repro.cli check`` but
+self-contained: fixes up ``sys.path`` so a bare checkout works.
+
+    python tools/run_checks.py --strict
+
+Exit codes: 0 clean, 1 new findings (or stale baseline under
+``--strict``), 2 usage error.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.analysis.engine import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
