@@ -20,8 +20,6 @@ import ast
 
 from repro.analysis.engine import Finding, ParsedFile, checker
 
-__all__ = ["RULES"]
-
 RULES = {
     "BAN001": "bare except: — name the exceptions",
     "BAN002": "pickle.load(s) outside parallel/executor.py",
@@ -47,7 +45,17 @@ def _is_mutable_default(node: ast.AST) -> bool:
     return False
 
 
-@checker("banned-patterns", scope="file", rules=RULES)
+EXAMPLES = {
+    "BAN001": ("try:\n    risky()\nexcept:\n    pass",
+               "try:\n    risky()\nexcept OSError:\n    recover()"),
+    "BAN002": ("payload = pickle.loads(blob)",
+               "payload = json.loads(blob)  # or move into parallel/executor.py"),
+    "BAN003": ("def add(item, bucket=[]):\n    bucket.append(item)",
+               "def add(item, bucket=None):\n    bucket = [] if bucket is None else bucket"),
+}
+
+
+@checker("banned-patterns", scope="file", rules=RULES, examples=EXAMPLES)
 def check_banned(pf: ParsedFile) -> list[Finding]:
     findings: list[Finding] = []
     pickle_allowed = pf.path.endswith(PICKLE_ALLOWED_SUFFIX)

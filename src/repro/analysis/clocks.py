@@ -23,8 +23,6 @@ import ast
 
 from repro.analysis.engine import Finding, ParsedFile, checker
 
-__all__ = ["RULES"]
-
 RULES = {
     "MONO001": "time.time() used in duration arithmetic; use time.monotonic()",
     "MONO002": "time.time() observed into a histogram; observe a monotonic delta",
@@ -47,7 +45,15 @@ def _contains_wall_clock(node: ast.AST) -> ast.Call | None:
     return None
 
 
-@checker("monotonic-clock", scope="file", rules=RULES)
+EXAMPLES = {
+    "MONO001": ("start = time.time()\n...\nelapsed = time.time() - start",
+                "start = time.monotonic()\n...\nelapsed = time.monotonic() - start"),
+    "MONO002": ("histogram.observe(time.time())",
+                "histogram.observe(time.monotonic() - started_mono)"),
+}
+
+
+@checker("monotonic-clock", scope="file", rules=RULES, examples=EXAMPLES)
 def check_clocks(pf: ParsedFile) -> list[Finding]:
     findings: list[Finding] = []
     for node in ast.walk(pf.tree):

@@ -182,25 +182,31 @@ class Checker:
     rules: dict  # rule id -> one-line description
     version: int
     fn: Callable
+    examples: dict  # rule id -> (violating snippet, clean snippet)
 
 
 _CHECKERS: dict[str, Checker] = {}
 
 
-def checker(name: str, *, scope: str, rules: dict, version: int = 1):
+def checker(name: str, *, scope: str, rules: dict, version: int = 1,
+            examples: dict | None = None):
     """Register a checker.
 
     ``scope="file"``: ``fn(pf: ParsedFile) -> list[Finding]`` — results
     are cached per file by content hash.
     ``scope="project"``: ``fn(project: Project) -> list[Finding]`` —
     always runs (cross-file facts cannot be cached per file).
+    ``examples`` maps each rule id to a ``(violating, clean)`` snippet
+    pair shown by ``repro check --explain RULE``; examples are docs, not
+    behaviour, so they do not participate in the cache fingerprint.
     """
     if scope not in ("file", "project"):
         raise ValueError(f"scope must be 'file' or 'project', got {scope!r}")
 
     def register(fn):
         _CHECKERS[name] = Checker(name=name, scope=scope, rules=dict(rules),
-                                  version=version, fn=fn)
+                                  version=version, fn=fn,
+                                  examples=dict(examples or {}))
         return fn
 
     return register
@@ -219,9 +225,27 @@ def rule_catalogue() -> dict[str, str]:
     return dict(sorted(out.items()))
 
 
+def rule_examples() -> dict[str, tuple[str, str]]:
+    """rule id -> (violating, clean) snippet pair, where provided."""
+    out: dict[str, tuple[str, str]] = {}
+    for chk in registered_checkers().values():
+        for rule, pair in chk.examples.items():
+            out[rule] = (str(pair[0]), str(pair[1]))
+    return dict(sorted(out.items()))
+
+
 def _load_builtin_checkers() -> None:
     # Import for side effect: each module registers via @checker.
-    from repro.analysis import banned, clocks, locks, wire  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        banned,
+        clocks,
+        exceptions,
+        exports,
+        locks,
+        resources,
+        wire,
+    )
+    from repro.analysis.sanitizer import check  # noqa: F401
 
 
 # ---------------------------------------------------------------------------
@@ -251,7 +275,7 @@ def _write_cache(path: str, fingerprint: str, files: dict) -> None:
     try:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
-    except OSError:  # read-only checkout: caching is best-effort
+    except OSError:  # read-only checkout: caching is best-effort  # repro: ignore[EXC002]
         pass
 
 
@@ -466,11 +490,36 @@ def build_check_parser(parser: argparse.ArgumentParser | None = None,
                         help=f"baseline file (default: {DEFAULT_BASELINE})")
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept current findings into the baseline and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline in place: keep only entries "
+                             "that still fire (sorted, stable); new findings "
+                             "are NOT accepted and still fail the run")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-file result cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print one rule's catalogue entry plus a minimal "
+                             "violating and clean example, then exit")
     return parser
+
+
+def explain_rule(rule: str) -> tuple[str, int]:
+    """The ``--explain RULE`` text and exit code."""
+    catalogue = rule_catalogue()
+    if rule not in catalogue:
+        known = ", ".join(catalogue)
+        return f"unknown rule {rule!r}; known rules: {known}", 1
+    out = [f"{rule}  {catalogue[rule]}"]
+    pair = rule_examples().get(rule)
+    if pair is not None:
+        bad, good = pair
+        out.append("")
+        out.append("violates:")
+        out.extend(f"    {line}" for line in bad.strip("\n").splitlines())
+        out.append("clean:")
+        out.extend(f"    {line}" for line in good.strip("\n").splitlines())
+    return "\n".join(out), 0
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -478,24 +527,35 @@ def run_from_args(args: argparse.Namespace) -> int:
         for rule, description in rule_catalogue().items():
             print(f"{rule}  {description}")
         return 0
+    if args.explain is not None:
+        text, code = explain_rule(args.explain)
+        print(text)
+        return code
     root = os.path.abspath(args.root or default_root())
     baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
     paths = [os.path.abspath(p) for p in args.paths] or None
-    report = run_checks(paths, root=root,
-                        baseline=load_baseline(baseline_path),
+    baseline = load_baseline(baseline_path)
+    report = run_checks(paths, root=root, baseline=baseline,
                         use_cache=not args.no_cache)
     if args.write_baseline:
         write_baseline(baseline_path, report.findings)
         print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
         return 0
+    if args.update_baseline:
+        stale = set(report.stale_baseline)
+        kept = [f for f in report.findings if f.key in baseline]
+        write_baseline(baseline_path, kept)
+        print(f"baseline rewritten: {len({f.key for f in kept})} entr(ies) "
+              f"kept, {len(stale)} stale pruned")
+        # fall through: new findings still fail the run below
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(format_human(report, root, strict=args.strict))
     if report.new:
         return 1
-    if args.strict and report.stale_baseline:
-        return 1
+    if args.strict and report.stale_baseline and not args.update_baseline:
+        return 1  # --update-baseline just pruned the stale entries
     return 0
 
 

@@ -1,0 +1,179 @@
+"""Exception-flow checkers: typed raises on the public surface.
+
+``EXC001`` (project scope)
+    A *public* entry point in ``repro/serve``, ``repro/gateway`` or
+    ``repro/api`` (module-level function or method of a public class,
+    neither name starting with ``_``) may only ``raise`` exception types
+    rooted in :class:`repro.errors.ReproError` — so callers catch one
+    documented hierarchy instead of guessing which stdlib type a failure
+    mode maps to.  The typed set is computed from the project itself:
+    classes defined in ``src/repro/errors.py`` plus any class anywhere
+    in ``src`` that (transitively, by name) inherits from one.  Allowed
+    regardless: ``NotImplementedError``, bare ``raise``, and re-raising
+    a caught variable (``raise exc`` / ``raise exc from ...``).
+
+``EXC002`` (file scope)
+    An ``except`` handler whose body does nothing at all — only
+    ``pass``/``continue``/``...`` — swallows the error without logging,
+    re-raising, or counting it.  Deliberate best-effort swallows carry a
+    same-line ``# repro: ignore[EXC002]`` with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ParsedFile, Project, checker
+
+__all__ = ["typed_exception_names"]
+
+RULES = {
+    "EXC001": "public serve/gateway/api entry point raises an untyped exception",
+    "EXC002": "except clause swallows the error without logging or re-raising",
+}
+
+#: Directory segments whose public surface must raise typed errors.
+#: (Segment matching, like the wire checker's suffix matching, lets the
+#: fixture packages under tests/analysis/fixtures exercise the rule.)
+PUBLIC_SEGMENTS = ("serve", "gateway", "api")
+
+#: The module (by suffix) that roots the hierarchy.
+ERRORS_SUFFIX = "errors.py"
+
+#: Raises always allowed on the public surface.
+ALWAYS_ALLOWED = {"NotImplementedError", "AssertionError"}
+
+
+def _class_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _handler_label(node: ast.expr | None) -> str:
+    """Human-readable label for an ``except`` clause's type expression."""
+    if node is None:
+        return "all"
+    if isinstance(node, ast.Tuple):
+        parts = [_class_name(elt) or "?" for elt in node.elts]
+        return f"({', '.join(parts)})"
+    return _class_name(node) or "?"
+
+
+def typed_exception_names(project: Project) -> set[str]:
+    """Names of every class rooted (by name, transitively) in ReproError.
+
+    Class-to-base edges are collected from all project files; the roots
+    are the classes defined in ``src/repro/errors.py``.  Name-keyed, like
+    the rest of the suite — fine for this codebase's flat namespace.
+    """
+    bases: dict[str, set[str]] = {}
+    roots: set[str] = set()
+    for pf in project.files:
+        is_errors = pf.path.endswith(ERRORS_SUFFIX)
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names = {b for b in (_class_name(base) for base in node.bases) if b}
+            bases.setdefault(node.name, set()).update(names)
+            if is_errors:
+                roots.add(node.name)
+    typed = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in typed and parents & typed:
+                typed.add(name)
+                changed = True
+    return typed
+
+
+def _public_raises(tree: ast.Module):
+    """Yield (entry_point_name, Raise) for each public-surface raise."""
+
+    def walk_body(owner: str, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    found.append((owner, node))
+
+    found: list[tuple[str, ast.Raise]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                walk_body(node.name, node.body)
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and not item.name.startswith("_")):
+                    walk_body(f"{node.name}.{item.name}", item.body)
+    return found
+
+
+EXAMPLES = {
+    "EXC001": ('def from_dict(cls, payload):\n    raise ValueError("bad payload")',
+               'from repro.errors import RequestError\n\ndef from_dict(cls, payload):\n    raise RequestError("bad payload")'),
+    "EXC002": ("try:\n    listener(job)\nexcept Exception:\n    pass",
+               "try:\n    listener(job)\nexcept Exception as exc:\n    logger.event(\"listener_failed\", error=str(exc))"),
+}
+
+
+@checker("exception-flow", scope="project", rules={"EXC001": RULES["EXC001"]},
+         examples={"EXC001": EXAMPLES["EXC001"]})
+def check_exception_flow(project: Project) -> list[Finding]:
+    typed = typed_exception_names(project) | ALWAYS_ALLOWED
+    findings: list[Finding] = []
+    for pf in project.files:
+        segments = pf.path.split("/")[:-1]
+        if not any(seg in segments for seg in PUBLIC_SEGMENTS):
+            continue
+        for owner, node in _public_raises(pf.tree):
+            if node.exc is None:
+                continue  # bare re-raise
+            exc = node.exc
+            if isinstance(exc, ast.Name) and not isinstance(exc.ctx, ast.Store):
+                # ``raise exc`` — re-raising a caught/constructed variable;
+                # lowercase names are locals, CamelCase a class reference.
+                if not exc.id[:1].isupper():
+                    continue
+                name = exc.id
+            elif isinstance(exc, ast.Call):
+                name = _class_name(exc.func)
+                if name is not None and not name[:1].isupper():
+                    continue  # factory/helper call returning an exception
+            else:
+                continue  # attribute re-raise etc.: out of scope
+            if name is None or name in typed:
+                continue
+            findings.append(pf.finding(
+                "EXC001", node,
+                f"{owner}() raises {name}; public serve/gateway/api entry "
+                f"points must raise ReproError subclasses (see repro/errors.py)"))
+    return findings
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ``...``
+        return False
+    return True
+
+
+@checker("exception-swallow", scope="file", rules={"EXC002": RULES["EXC002"]},
+         examples={"EXC002": EXAMPLES["EXC002"]})
+def check_exception_swallow(pf: ParsedFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(pf.tree):
+        if isinstance(node, ast.ExceptHandler) and _swallows(node):
+            caught = _handler_label(node.type)
+            findings.append(pf.finding(
+                "EXC002", node,
+                f"except {caught}: swallows the error without logging, "
+                f"re-raising, or counting it"))
+    return findings

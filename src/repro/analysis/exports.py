@@ -1,0 +1,172 @@
+"""Export-drift checker: ``__all__`` must match reality.
+
+``DEAD001`` (project scope)
+    A name listed in a module's ``__all__`` that either
+
+    * is not defined in (or imported into) that module at all — a typo
+      or leftover from a refactor; ``from m import missing`` raises at
+      runtime and ``import *`` silently exports less than promised —
+      (modules with a PEP 562 module-level ``__getattr__`` are exempt
+      from this half: their definition set is dynamic) — or
+    * is defined but referenced *nowhere else*: no project module and no
+      file under ``tests/`` imports it (``from m import name``) or
+      touches it as an attribute (``anything.name``) — an export nothing
+      consumes.  The tests tree is parsed from disk for the usage pass
+      (the checked path set usually covers only ``src``), because a
+      library export exercised only by its test suite is still alive.
+
+    Package ``__init__`` modules are exempt from the *unused* half: a
+    facade ``__init__`` exists to re-export names for consumers outside
+    the repository, so "nothing in-tree uses it" is expected there (the
+    *undefined* half still applies — a facade must not promise names it
+    cannot deliver).  Elsewhere, names kept exported for external
+    consumers get a same-line ``# repro: ignore[DEAD001]`` on their
+    ``__all__`` entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.engine import Finding, Project, checker, discover_files
+
+RULES = {
+    "DEAD001": "__all__ exports a name nothing defines or imports",
+}
+
+
+def _all_entries(tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    """(name, node) for each string in module-level ``__all__`` lists."""
+    out: list[tuple[str, ast.AST]] = []
+    for stmt in tree.body:
+        target = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+        elif isinstance(stmt, ast.AugAssign):
+            target = stmt.target
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            continue
+        value = stmt.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    out.append((elt.value, elt))
+    return out
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Names bound at module level (defs, classes, imports, assignments)."""
+    names: set[str] = set()
+
+    def bind_target(node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                bind_target(elt)
+
+    def walk(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(stmt.target)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                walk(stmt.body)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(handler.body)
+                walk(stmt.orelse)
+                walk(getattr(stmt, "finalbody", []))
+    walk(tree.body)
+    return names
+
+
+def _is_test_path(path: str) -> bool:
+    return path.startswith("tests/") or "/tests/" in path
+
+
+def _has_module_getattr(tree: ast.Module) -> bool:
+    """PEP 562: a module-level ``__getattr__`` makes definitions dynamic."""
+    return any(isinstance(stmt, ast.FunctionDef) and stmt.name == "__getattr__"
+               for stmt in tree.body)
+
+
+def _collect_uses(tree: ast.Module, into: dict[str, set[str]],
+                  path: str) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    into.setdefault(alias.name, set()).add(path)
+        elif isinstance(node, ast.Attribute):
+            into.setdefault(node.attr, set()).add(path)
+
+
+def _tests_tree_uses(root: str, into: dict[str, set[str]]) -> None:
+    """Fold the tests tree (parsed from disk) into the usage universe.
+
+    The checked path set usually covers only ``src``, but an export
+    consumed by the test suite is not dead — the suite is its consumer.
+    """
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.isdir(tests_dir):
+        return
+    for path in discover_files([tests_dir]):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                tree = ast.parse(fh.read())
+        except (OSError, SyntaxError, ValueError):  # repro: ignore[EXC002]
+            continue  # unreadable/unparseable test file: not a usage source
+        _collect_uses(tree, into, path)
+
+
+EXAMPLES = {
+    "DEAD001": ('__all__ = ["Reader", "Writer"]  # Writer was renamed away\n\nclass Reader: ...',
+                '__all__ = ["Reader"]\n\nclass Reader: ...'),
+}
+
+
+@checker("export-drift", scope="project", rules=RULES, examples=EXAMPLES)
+def check_export_drift(project: Project) -> list[Finding]:
+    # Pass 1: every name referenced anywhere — project modules plus the
+    # tests tree parsed from disk — as an import target or attribute.
+    referenced_by: dict[str, set[str]] = {}
+    for pf in project.files:
+        _collect_uses(pf.tree, referenced_by, pf.path)
+    _tests_tree_uses(project.root, referenced_by)
+
+    findings: list[Finding] = []
+    for pf in project.files:
+        if _is_test_path(pf.path):
+            continue
+        entries = _all_entries(pf.tree)
+        if not entries:
+            continue
+        defined = _defined_names(pf.tree)
+        dynamic = _has_module_getattr(pf.tree)
+        facade = pf.path.endswith("__init__.py")
+        for name, node in entries:
+            if name not in defined and not dynamic:
+                findings.append(pf.finding(
+                    "DEAD001", node,
+                    f"__all__ exports {name!r} but the module never defines "
+                    f"or imports it"))
+                continue
+            if facade:
+                continue
+            if not referenced_by.get(name, set()) - {pf.path}:
+                findings.append(pf.finding(
+                    "DEAD001", node,
+                    f"__all__ exports {name!r} but nothing else in the "
+                    f"project or its tests imports or references it"))
+    return findings

@@ -18,18 +18,30 @@ class decorators (from the AST — nothing is imported) and enforces:
 ``LOCK002`` (project scope)
     Builds the cross-class lock-acquisition graph and rejects ordering
     cycles (static deadlock detection).  An edge ``A.l1 -> B.l2`` is
-    recorded when, with ``l1`` held, code calls a method on an
-    attribute whose type (inferred from ``self.x = ClassName(...)``
-    assignments) is a guarded class ``B`` and that method acquires
-    ``l2`` — or when a second lock of the same class is taken while the
-    first is held.
+    recorded when, with ``l1`` held, code may reach an acquisition of
+    ``l2`` — directly (a second ``with self.<lock>:``), through a call
+    on a typed attribute (``self.x.m()``), through a same-class helper
+    (``self.m()``), through an *unguarded* intermediate class, or
+    through a chained call whose return annotation names a guarded
+    class (``self.family.labels(...).observe(...)``).  Method
+    acquisition sets are closed transitively (fixpoint), so locks taken
+    deep inside a call chain still produce the edge the runtime
+    sanitizer would observe from the top of its held stack.
+
+    Attribute types are inferred from constructor assignments
+    (``self.x = ClassName(...)``, including inside conditional
+    expressions), from ``AnnAssign`` annotations
+    (``self._cache: EvalCache | None = ...``), from annotated
+    ``__init__`` parameters assigned to ``self``, and from return
+    annotations of (name-keyed) methods.  The observed runtime graph
+    (``SAN001``, see the sanitizer docs) is checked to be a subset of
+    this static graph, so the approximations cannot silently rot.
 
 Known approximations (documented in ``docs/STATIC_ANALYSIS.md``):
-attribute types are only inferred from direct constructor assignments;
 acquisition is only seen through literal ``with self.<lock>:`` blocks;
-classes are keyed by name.  These fit this codebase's conventions —
-the point is catching regressions in real discipline, not solving
-aliasing in general.
+classes and methods are keyed by name; locals are untyped.  These fit
+this codebase's conventions — the point is catching regressions in
+real discipline, not solving aliasing in general.
 """
 
 from __future__ import annotations
@@ -39,7 +51,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.engine import Finding, ParsedFile, Project, checker
 
-__all__ = ["RULES"]
+__all__ = ["collect_lock_edges"]
 
 RULES = {
     "LOCK001": "guarded attribute accessed without holding its declared lock",
@@ -97,10 +109,6 @@ class _ClassInfo:
     node: ast.ClassDef
     guards: dict[str, str]       # field -> lock
     locks: list[str]             # declared lock attribute names
-    #: method name -> set of class locks its body acquires via ``with``.
-    acquires: dict[str, set[str]] = field(default_factory=dict)
-    #: attribute name -> guarded class name (from ``self.x = Cls(...)``).
-    attr_types: dict[str, str] = field(default_factory=dict)
 
 
 def _collect_guarded_classes(pf: ParsedFile) -> list[_ClassInfo]:
@@ -122,14 +130,6 @@ def _with_locks(node: ast.With, lock_names: set[str]) -> set[str]:
         if attr is not None and attr in lock_names:
             taken.add(attr)
     return taken
-
-
-def _acquired_locks(method: ast.AST, lock_names: set[str]) -> set[str]:
-    out: set[str] = set()
-    for node in ast.walk(method):
-        if isinstance(node, ast.With):
-            out |= _with_locks(node, lock_names)
-    return out
 
 
 # ---------------------------------------------------------------------------
@@ -182,7 +182,18 @@ class _DisciplineVisitor:
             self.scan(child, held)
 
 
-@checker("lock-discipline", scope="file", rules={"LOCK001": RULES["LOCK001"]})
+EXAMPLES = {
+    "LOCK001": ('@guarded_by("_lock", "_jobs")\nclass S:\n    def get(self, k):\n        return self._jobs.get(k)',
+                '@guarded_by("_lock", "_jobs")\nclass S:\n    def get(self, k):\n        with self._lock:\n            return self._jobs.get(k)'),
+    "LOCK002": ("# thread A: A._lock -> B._lock   (A.ping calls b.pong)\n"
+                "# thread B: B._lock -> A._lock   (B.pong calls a.ping)",
+                "# acquire the two locks in one global order, or drop the\n"
+                "# nested call out of the locked region"),
+}
+
+
+@checker("lock-discipline", scope="file", rules={"LOCK001": RULES["LOCK001"]},
+         examples={"LOCK001": EXAMPLES["LOCK001"]})
 def check_lock_discipline(pf: ParsedFile) -> list[Finding]:
     findings: list[Finding] = []
     for info in _collect_guarded_classes(pf):
@@ -209,30 +220,216 @@ class _Edge:
     col: int
 
 
-def _infer_attr_types(info: _ClassInfo, guarded_names: set[str]) -> None:
-    """``self.x = GuardedClass(...)`` anywhere in the class body."""
-    for node in ast.walk(info.node):
-        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+def _annotation_classes(node: ast.expr | None, universe: set[str]) -> set[str]:
+    """Class names a type annotation may denote (unions, Optional, ...)."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Name):
+        return {node.id} & universe
+    if isinstance(node, ast.Attribute):
+        return {node.attr} & universe
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return (_annotation_classes(node.left, universe)
+                | _annotation_classes(node.right, universe))
+    if isinstance(node, ast.Subscript):  # Optional[X], list[X]: take inner
+        return _annotation_classes(node.slice, universe)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:  # string annotation: "EvalCache | None"
+            return _annotation_classes(
+                ast.parse(node.value, mode="eval").body, universe)
+        except SyntaxError:
+            return set()
+    return set()
+
+
+@dataclass
+class _TypeInfo:
+    """Name-keyed type facts for one class (guarded or not)."""
+
+    name: str
+    node: ast.ClassDef
+    #: attr -> possible class names.
+    attr_types: dict[str, set[str]] = field(default_factory=dict)
+    #: method name -> method node.
+    methods: dict[str, ast.AST] = field(default_factory=dict)
+
+
+class _Universe:
+    """Every class in the project + name-keyed inference tables."""
+
+    def __init__(self, project: Project) -> None:
+        self.types: dict[str, _TypeInfo] = {}
+        self.owners: dict[str, ParsedFile] = {}
+        for pf in project.files:
+            for node in ast.walk(pf.tree):
+                if isinstance(node, ast.ClassDef) and node.name not in self.types:
+                    info = _TypeInfo(name=node.name, node=node)
+                    for method in _methods(node):
+                        info.methods.setdefault(method.name, method)
+                    self.types[node.name] = info
+                    self.owners[node.name] = pf
+        names = set(self.types)
+        #: method name -> class names its return annotation may denote.
+        self.method_returns: dict[str, set[str]] = {}
+        for info in self.types.values():
+            for mname, method in info.methods.items():
+                returned = _annotation_classes(
+                    getattr(method, "returns", None), names)
+                if returned:
+                    self.method_returns.setdefault(mname, set()).update(returned)
+        for info in self.types.values():
+            self._infer_attr_types(info, names)
+
+    def _value_classes(self, value: ast.expr, names: set[str],
+                       param_ann: dict[str, set[str]]) -> set[str]:
+        """Class names an assigned expression may produce."""
+        if isinstance(value, ast.Call):
+            fn = value.func
+            if isinstance(fn, ast.Name) and fn.id in names:
+                return {fn.id}
+            if isinstance(fn, ast.Attribute):
+                if fn.attr in names:
+                    return {fn.attr}
+                return set(self.method_returns.get(fn.attr, ()))
+            return set()
+        if isinstance(value, ast.Name):
+            return param_ann.get(value.id, set())
+        if isinstance(value, ast.IfExp):
+            return (self._value_classes(value.body, names, param_ann)
+                    | self._value_classes(value.orelse, names, param_ann))
+        if isinstance(value, ast.BoolOp):
+            out: set[str] = set()
+            for operand in value.values:
+                out |= self._value_classes(operand, names, param_ann)
+            return out
+        return set()
+
+    def _infer_attr_types(self, info: _TypeInfo, names: set[str]) -> None:
+        for method in info.methods.values():
+            args = getattr(method, "args", None)
+            param_ann: dict[str, set[str]] = {}
+            if args is not None:
+                for arg in (list(args.posonlyargs) + list(args.args)
+                            + list(args.kwonlyargs)):
+                    classes = _annotation_classes(arg.annotation, names)
+                    if classes:
+                        param_ann[arg.arg] = classes
+            for node in ast.walk(method):
+                if isinstance(node, ast.AnnAssign):
+                    attr = _self_attr(node.target)
+                    if attr is not None:
+                        classes = _annotation_classes(node.annotation, names)
+                        if classes:
+                            info.attr_types.setdefault(attr, set()).update(classes)
+                elif isinstance(node, ast.Assign) and node.value is not None:
+                    classes = self._value_classes(node.value, names, param_ann)
+                    if not classes:
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            info.attr_types.setdefault(attr, set()).update(classes)
+
+    # -- receiver resolution ---------------------------------------------
+    def receiver_classes(self, cls: str, expr: ast.expr) -> set[str]:
+        """Possible classes of the receiver expression in class ``cls``."""
+        if isinstance(expr, ast.Name):
+            return {cls} if expr.id == "self" else set()
+        if isinstance(expr, ast.Attribute):
+            bases = self.receiver_classes(cls, expr.value)
+            out: set[str] = set()
+            for base in bases:
+                info = self.types.get(base)
+                if info is not None:
+                    out |= info.attr_types.get(expr.attr, set())
+            return out
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            return set(self.method_returns.get(expr.func.attr, ()))
+        return set()
+
+    def call_targets(self, cls: str, call: ast.Call) -> set[tuple[str, str]]:
+        """(class, method) pairs one call may dispatch to, from ``cls``."""
+        fn = call.func
+        if not isinstance(fn, ast.Attribute):
+            if isinstance(fn, ast.Name) and fn.id in self.types:
+                return {(fn.id, "__init__")}
+            return set()
+        out = set()
+        for rcls in self.receiver_classes(cls, fn.value):
+            info = self.types.get(rcls)
+            if info is not None and fn.attr in info.methods:
+                out.add((rcls, fn.attr))
+        return out
+
+
+def _effective_acquires(universe: _Universe,
+                        guarded: dict[str, _ClassInfo],
+                        ) -> dict[tuple[str, str], set[str]]:
+    """Fixpoint: qualified locks each (class, method) may acquire.
+
+    Direct ``with self.<lock>:`` acquisitions plus, transitively, those
+    of every method a call may reach — through typed attributes,
+    same-class helpers, unguarded intermediates, and chained calls.
+    Nested functions/lambdas are excluded (they run later, elsewhere).
+    """
+    direct: dict[tuple[str, str], set[str]] = {}
+    calls: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    for cname, tinfo in universe.types.items():
+        locks = set(guarded[cname].locks) if cname in guarded else set()
+        for mname, method in tinfo.methods.items():
+            key = (cname, mname)
+            direct[key] = {f"{cname}.{lock}"
+                           for lock in _acquired_locks_shallow(method, locks)}
+            out: set[tuple[str, str]] = set()
+            for node in _walk_shallow(method):
+                if isinstance(node, ast.Call):
+                    out |= universe.call_targets(cname, node)
+            calls[key] = out
+
+    eff = {key: set(val) for key, val in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, targets in calls.items():
+            acc = eff[key]
+            before = len(acc)
+            for target in targets:
+                acc |= eff.get(target, set())
+            if len(acc) != before:
+                changed = True
+    return eff
+
+
+def _walk_shallow(method: ast.AST):
+    """Walk a method body without descending into nested callables."""
+    stack = list(ast.iter_child_nodes(method))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
             continue
-        fn = node.value.func
-        cls_name = fn.id if isinstance(fn, ast.Name) else (
-            fn.attr if isinstance(fn, ast.Attribute) else None)
-        if cls_name not in guarded_names:
-            continue
-        for target in node.targets:
-            attr = _self_attr(target)
-            if attr is not None:
-                info.attr_types[attr] = cls_name
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _acquired_locks_shallow(method: ast.AST, lock_names: set[str]) -> set[str]:
+    out: set[str] = set()
+    for node in _walk_shallow(method):
+        if isinstance(node, ast.With):
+            out |= _with_locks(node, lock_names)
+    return out
 
 
 class _EdgeCollector:
     """Records lock-order edges from one method of one guarded class."""
 
     def __init__(self, pf: ParsedFile, info: _ClassInfo,
-                 classes: dict[str, _ClassInfo], edges: list[_Edge]) -> None:
+                 universe: _Universe,
+                 eff: dict[tuple[str, str], set[str]],
+                 edges: list[_Edge]) -> None:
         self.pf = pf
         self.info = info
-        self.classes = classes
+        self.universe = universe
+        self.eff = eff
         self.edges = edges
         self.lock_names = set(info.locks)
 
@@ -257,15 +454,12 @@ class _EdgeCollector:
             for stmt in body:
                 self.scan(stmt, ())
             return
-        if held and isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            target = node.func.value  # self.<attr> in self.<attr>.method(...)
-            attr = _self_attr(target)
-            if attr is not None:
-                other_name = self.info.attr_types.get(attr)
-                other = self.classes.get(other_name) if other_name else None
-                if other is not None:
-                    for lock in sorted(other.acquires.get(node.func.attr, ())):
-                        self._edge(held[-1], f"{other.name}.{lock}", node)
+        if held and isinstance(node, ast.Call):
+            for target in self.universe.call_targets(self.info.name, node):
+                for lock in sorted(self.eff.get(target, ())):
+                    if lock in held:
+                        continue  # re-entrant through the chain
+                    self._edge(held[-1], lock, node)
         for child in ast.iter_child_nodes(node):
             self.scan(child, held)
 
@@ -302,8 +496,12 @@ def _find_cycles(edges: list[_Edge]) -> list[list[_Edge]]:
     return cycles
 
 
-@checker("lock-order", scope="project", rules={"LOCK002": RULES["LOCK002"]})
-def check_lock_order(project: Project) -> list[Finding]:
+def collect_lock_edges(project: Project) -> list[_Edge]:
+    """The static lock-order edge list (the LOCK002 graph).
+
+    Exposed for the ``SAN001`` checker, which verifies the *observed*
+    runtime graph is a subset of this one.
+    """
     classes: dict[str, _ClassInfo] = {}
     owners: dict[str, ParsedFile] = {}
     for pf in project.files:
@@ -312,21 +510,23 @@ def check_lock_order(project: Project) -> list[Finding]:
             owners[info.name] = pf
     if not classes:
         return []
-    guarded_names = set(classes)
-    for info in classes.values():
-        lock_names = set(info.locks)
-        for method in _methods(info.node):
-            info.acquires[method.name] = _acquired_locks(method, lock_names)
-        _infer_attr_types(info, guarded_names)
+    universe = _Universe(project)
+    eff = _effective_acquires(universe, classes)
 
     edges: list[_Edge] = []
     for info in classes.values():
         pf = owners[info.name]
-        collector = _EdgeCollector(pf, info, classes, edges)
+        collector = _EdgeCollector(pf, info, universe, eff, edges)
         for method in _methods(info.node):
             for stmt in method.body:
                 collector.scan(stmt, ())
+    return edges
 
+
+@checker("lock-order", scope="project", rules={"LOCK002": RULES["LOCK002"]},
+         version=2, examples={"LOCK002": EXAMPLES["LOCK002"]})
+def check_lock_order(project: Project) -> list[Finding]:
+    edges = collect_lock_edges(project)
     findings: list[Finding] = []
     for cycle in _find_cycles(edges):
         chain = " -> ".join([cycle[0].src] + [e.dst for e in cycle])

@@ -1,0 +1,207 @@
+"""Resource-lifecycle checker: handles must be closed on all paths.
+
+``RES001`` (file scope)
+    A call that produces an OS-backed handle — builtin ``open()``,
+    ``np.memmap(...)``, ``np.lib.format.open_memmap(...)``,
+    ``urllib.request.urlopen(...)``, ``socket.socket(...)`` — whose
+    result is not deterministically released.  Accepted lifecycles:
+
+    * the call is a ``with`` item (directly, or wrapped in another call
+      such as ``contextlib.closing(...)``);
+    * the result is assigned to ``self.<attr>`` of a class that defines
+      ``close()`` or ``__exit__`` (the instance owns the handle);
+    * the result is bound to a local that is later used as a ``with``
+      context, has ``.close()`` called on it in the same scope, is
+      returned, or is yielded (ownership transfer);
+    * the call itself is directly returned.
+
+    Anything else relies on garbage collection to drop the handle —
+    nondeterministic, and on platforms with mandatory file locking it
+    blocks directory cleanup (the original symptom in the stream tests).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ParsedFile, checker
+
+RULES = {
+    "RES001": "OS handle (open/memmap/urlopen/socket) not closed on all paths",
+}
+
+#: Attribute callees that produce handles (``x.memmap``, ``x.urlopen`` ...).
+_ATTR_PRODUCERS = {"memmap", "open_memmap", "urlopen"}
+
+#: Bare-name callees that produce handles.
+_NAME_PRODUCERS = {"open", "open_memmap", "urlopen"}
+
+
+def _producer_name(call: ast.Call) -> str | None:
+    fn = call.func
+    if isinstance(fn, ast.Name) and fn.id in _NAME_PRODUCERS:
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        if fn.attr in _ATTR_PRODUCERS:
+            return fn.attr
+        # socket.socket(...) — require the module prefix so methods named
+        # ``socket`` elsewhere don't trip the rule.
+        if (fn.attr == "socket" and isinstance(fn.value, ast.Name)
+                and fn.value.id == "socket"):
+            return "socket.socket"
+    return None
+
+
+class _ScopeFacts(ast.NodeVisitor):
+    """Names released somewhere in one function/module scope."""
+
+    def __init__(self) -> None:
+        self.with_names: set[str] = set()
+        self.closed_names: set[str] = set()
+        self.returned_names: set[str] = set()
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                self.with_names.add(expr.id)
+            elif (isinstance(expr, ast.Call) and
+                  all(isinstance(a, ast.Name) for a in expr.args)):
+                for a in expr.args:
+                    self.with_names.add(a.id)
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if (isinstance(fn, ast.Attribute) and fn.attr == "close"
+                and isinstance(fn.value, ast.Name)):
+            self.closed_names.add(fn.value.id)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if isinstance(node.value, ast.Name):
+            self.returned_names.add(node.value.id)
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if isinstance(node.value, ast.Name):
+            self.returned_names.add(node.value.id)
+        self.generic_visit(node)
+
+    def released(self) -> set[str]:
+        return self.with_names | self.closed_names | self.returned_names
+
+    # Inner functions are separate scopes.
+    def visit_FunctionDef(self, node) -> None:  # noqa: D102
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node) -> None:  # noqa: D102
+        pass
+
+
+def _owning_classes(tree: ast.Module) -> set[str]:
+    """Classes that define ``close`` or ``__exit__`` (handle owners)."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name in ("close", "__exit__")):
+                    out.add(node.name)
+                    break
+    return out
+
+
+def _scopes(tree: ast.Module):
+    """Yield (scope_body, owner_class_name | None) for every scope."""
+    yield tree.body, None
+    stack: list[tuple[ast.AST, str | None]] = [(tree, None)]
+    while stack:
+        node, owner = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                stack.append((child, child.name))
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child.body, owner
+                stack.append((child, owner))
+            else:
+                stack.append((child, owner))
+
+
+def _check_scope(pf: ParsedFile, body: list[ast.stmt], owner: str | None,
+                 owners_with_close: set[str]) -> list[Finding]:
+    facts = _ScopeFacts()
+    for stmt in body:
+        facts.visit(stmt)
+    released = facts.released()
+
+    findings: list[Finding] = []
+    seen_calls: set[int] = set()
+
+    def leak(call: ast.Call, name: str) -> None:
+        findings.append(pf.finding(
+            "RES001", call,
+            f"{name}(...) result is not closed on all paths; use `with`, "
+            f"`try/finally` + close(), or store it on a close()-owning class"))
+
+    def scan(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            return  # separate scope
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Call):
+                        seen_calls.add(id(sub))  # with-managed, incl. wrapped
+            for stmt in node.body:
+                scan(stmt)
+            return
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+            seen_calls.add(id(node.value))  # ownership transferred to caller
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if isinstance(value, ast.Call) and _producer_name(value) is not None:
+                seen_calls.add(id(value))
+                ok = False
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in released:
+                        ok = True
+                    elif (isinstance(target, ast.Attribute)
+                          and isinstance(target.value, ast.Name)
+                          and target.value.id == "self"
+                          and owner in owners_with_close):
+                        ok = True
+                if not ok:
+                    leak(value, _producer_name(value))
+        for child in ast.iter_child_nodes(node):
+            scan(child)
+        if isinstance(node, ast.Call) and id(node) not in seen_calls:
+            name = _producer_name(node)
+            if name is not None:
+                seen_calls.add(id(node))
+                leak(node, name)
+
+    for stmt in body:
+        scan(stmt)
+    return findings
+
+
+EXAMPLES = {
+    "RES001": ('data = np.memmap(path, mode="r", shape=shape, dtype=dtype)\nreturn data.sum()',
+               'with contextlib.closing(\n        np.memmap(path, mode="r", shape=shape, dtype=dtype)) as data:\n    return data.sum()'),
+}
+
+
+@checker("resource-lifecycle", scope="file", rules=RULES, examples=EXAMPLES)
+def check_resource_lifecycle(pf: ParsedFile) -> list[Finding]:
+    owners_with_close = _owning_classes(pf.tree)
+    findings: list[Finding] = []
+    for body, owner in _scopes(pf.tree):
+        findings.extend(_check_scope(pf, body, owner, owners_with_close))
+    return findings

@@ -1,0 +1,40 @@
+"""Runtime concurrency sanitizer (opt-in via ``REPRO_SANITIZE=1``).
+
+The static ``LOCK001``/``LOCK002`` checkers approximate lock discipline
+from the AST; this package enforces the same :func:`guarded_by` model on
+*real executions*: data descriptors assert the declared lock is held on
+every guarded-field access, and a lock-acquisition recorder builds the
+observed cross-thread lock-order graph whose edges the ``SAN001``
+project checker diffs against the static graph.
+
+See ``docs/STATIC_ANALYSIS.md`` ("Runtime sanitizer") for activation,
+conventions, and overhead notes.
+"""
+
+from repro.analysis.sanitizer.runtime import (
+    DEFAULT_REPORT,
+    REPORT_ENV,
+    SANITIZE_ENV,
+    drain_violations,
+    instrument_class,
+    is_active,
+    observed_edges,
+    reset,
+    set_active,
+    violations,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_REPORT",
+    "REPORT_ENV",
+    "SANITIZE_ENV",
+    "drain_violations",
+    "instrument_class",
+    "is_active",
+    "observed_edges",
+    "reset",
+    "set_active",
+    "violations",
+    "write_report",
+]

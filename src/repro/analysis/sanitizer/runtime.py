@@ -1,0 +1,514 @@
+"""Runtime half of the concurrency sanitizer: descriptors + recorder.
+
+Activated by ``REPRO_SANITIZE=1`` in the environment (checked when
+:func:`repro.util.concurrency.guarded_by` decorates a class) or
+programmatically via :func:`set_active` before the guarded modules are
+imported.  Dependency-free and stdlib-only; when inactive this module is
+never imported and annotated classes carry zero overhead.
+
+What instrumentation does
+-------------------------
+* Every *declared lock attribute* becomes a data descriptor that wraps
+  whatever lock the class assigns (``Lock``/``RLock``/``Condition``) in
+  a :class:`_LockProxy` recording per-thread ownership and, on each
+  acquisition, a thread-local held-stack used to build the observed
+  lock-order graph.
+* Every *guarded field* becomes a data descriptor that, on each read or
+  write, asserts the declared lock is owned by the current thread —
+  honouring the same conventions the static ``LOCK001`` checker
+  understands (``__init__``/``__del__``/``__setstate__`` frames and
+  ``*_locked`` methods of the same instance are exempt, and a same-line
+  ``# repro: ignore[...]`` comment silences the runtime check too).
+  Frames outside ``src/repro`` (tests poking internals) are exempt.
+
+Violations are *recorded*, not raised: raising from an arbitrary worker
+thread would change control flow and mask the very schedules we want to
+observe.  The pytest plugin in ``tests/conftest.py`` fails the session
+if any violation was recorded, and :func:`write_report` emits the
+observed graph + violations as JSON for the ``SAN001`` static diff.
+
+Runtime rule ids (reported in the JSON and by the pytest plugin):
+
+* ``SAN101`` — guarded field accessed without its declared lock held
+* ``SAN102`` — observed lock-order cycle (runtime inversion)
+"""
+
+from __future__ import annotations
+
+import json
+import linecache
+import os
+import re
+import sys
+import threading
+
+__all__ = [
+    "SANITIZE_ENV",
+    "REPORT_ENV",
+    "DEFAULT_REPORT",
+    "RULES",
+    "is_active",
+    "set_active",
+    "instrument_class",
+    "add_root",
+    "remove_root",
+    "violations",
+    "drain_violations",
+    "observed_edges",
+    "reset",
+    "write_report",
+]
+
+SANITIZE_ENV = "REPRO_SANITIZE"
+REPORT_ENV = "REPRO_SANITIZE_REPORT"
+DEFAULT_REPORT = ".repro_sanitize_report.json"
+
+RULES = {
+    "SAN101": "guarded field accessed at runtime without its declared lock",
+    "SAN102": "observed lock-order cycle at runtime (lock inversion)",
+}
+
+#: Mirrors ``repro.analysis.engine._SUPPRESS_RE`` (kept in sync by a
+#: static-analysis test) so static suppressions also apply at runtime.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+#: Method names where the instance is not yet (or no longer) shared.
+_EXEMPT_METHODS = {"__init__", "__del__", "__setstate__", "__getstate__",
+                   "__reduce__", "__repr__"}
+
+#: ``src/repro`` package root — frames outside every sanitized root are
+#: exempt (tests poking internals).  Fixture packages with seeded
+#: violations register their directory via :func:`add_root`.
+_PKG_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+_SELF_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_PKG_ROOT))
+_ROOTS: list[str] = [_PKG_ROOT]
+
+
+def add_root(path: str) -> None:
+    """Treat frames under ``path`` as sanitized code (not white-box tests)."""
+    path = os.path.abspath(path)
+    if path not in _ROOTS:
+        _ROOTS.append(path)
+
+
+def remove_root(path: str) -> None:
+    path = os.path.abspath(path)
+    if path in _ROOTS and path != _PKG_ROOT:
+        _ROOTS.remove(path)
+
+
+def _in_roots(filename: str) -> bool:
+    return any(filename.startswith(root) for root in _ROOTS)
+
+_active: bool | None = None  # None -> consult the environment
+
+
+def is_active() -> bool:
+    """Is the sanitizer enabled for classes decorated from now on?"""
+    if _active is not None:
+        return _active
+    return os.environ.get(SANITIZE_ENV, "").strip() not in ("", "0", "false")
+
+
+def set_active(value: bool | None) -> None:
+    """Programmatic override (``None`` -> back to the environment)."""
+    global _active
+    _active = value
+
+
+# ---------------------------------------------------------------------------
+# global recording state
+
+
+class _Recorder:
+    """Global registry: observed lock-order edges + violations."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._tls = threading.local()
+        #: (src, dst) -> {"count": int, "sites": set[str]}
+        self.edges: dict[tuple[str, str], dict] = {}
+        #: src -> set of dst (adjacency view of ``edges``)
+        self.graph: dict[str, set[str]] = {}
+        self.violations: list[dict] = []
+        self._cycle_keys: set[frozenset] = set()
+        self._violation_keys: set[tuple] = set()
+
+    # -- held stack (thread local) ---------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def push(self, proxy: "_LockProxy") -> None:
+        stack = self._stack()
+        prev = stack[-1] if stack else None
+        stack.append(proxy)
+        if prev is None or prev.san_name == proxy.san_name:
+            # Re-entrant by name mirrors the static re-entrant skip.
+            return
+        self._record_edge(prev.san_name, proxy.san_name)
+
+    def pop(self, proxy: "_LockProxy") -> None:
+        stack = self._stack()
+        # Locks are usually released LIFO, but hand-over-hand release is
+        # legal: remove the most recent entry for this proxy.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is proxy:
+                del stack[i]
+                return
+
+    # -- edges + cycles ---------------------------------------------------
+    def _record_edge(self, src: str, dst: str) -> None:
+        site = _caller_site()
+        with self._mu:
+            entry = self.edges.get((src, dst))
+            is_new = entry is None
+            if entry is None:
+                entry = {"count": 0, "sites": set()}
+                self.edges[(src, dst)] = entry
+                self.graph.setdefault(src, set()).add(dst)
+            entry["count"] += 1
+            if site is not None and len(entry["sites"]) < 8:
+                entry["sites"].add(site)
+            if is_new:
+                cycle = self._find_cycle_locked(dst, src)
+                if cycle is not None:
+                    key = frozenset(cycle)
+                    if key not in self._cycle_keys:
+                        self._cycle_keys.add(key)
+                        chain = " -> ".join([src] + cycle)
+                        self.violations.append({
+                            "rule": "SAN102",
+                            "site": site or "<unknown>",
+                            "message": f"observed lock-order cycle {chain}",
+                        })
+
+    def _find_cycle_locked(self, start: str, goal: str) -> list[str] | None:
+        """Path start -> ... -> goal in the observed graph (DFS)."""
+        seen = {start}
+        path: list[str] = [start]
+
+        def dfs(node: str) -> bool:
+            if node == goal:
+                return True
+            for nxt in sorted(self.graph.get(node, ())):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                if dfs(nxt):
+                    return True
+                path.pop()
+            return False
+
+        return path if dfs(start) else None
+
+    # -- violations -------------------------------------------------------
+    def record_violation(self, rule: str, message: str, site: str | None) -> None:
+        key = (rule, message, site)
+        with self._mu:
+            if key in self._violation_keys:
+                return
+            self._violation_keys.add(key)
+            self.violations.append({
+                "rule": rule,
+                "site": site or "<unknown>",
+                "message": message,
+            })
+
+    def snapshot(self) -> dict:
+        with self._mu:
+            edges = [
+                {"src": src, "dst": dst, "count": entry["count"],
+                 "sites": sorted(entry["sites"])}
+                for (src, dst), entry in sorted(self.edges.items())
+            ]
+            return {"edges": edges, "violations": list(self.violations)}
+
+    def reset(self) -> None:
+        with self._mu:
+            self.edges.clear()
+            self.graph.clear()
+            self.violations.clear()
+            self._cycle_keys.clear()
+            self._violation_keys.clear()
+
+
+_RECORDER = _Recorder()
+
+
+def violations() -> list[dict]:
+    """Copy of every recorded violation so far."""
+    return list(_RECORDER.snapshot()["violations"])
+
+
+def drain_violations() -> list[dict]:
+    """Return and clear recorded violations (edges are kept)."""
+    with _RECORDER._mu:
+        out = list(_RECORDER.violations)
+        _RECORDER.violations.clear()
+        _RECORDER._violation_keys.clear()
+        _RECORDER._cycle_keys.clear()
+        return out
+
+
+def observed_edges() -> list[dict]:
+    return list(_RECORDER.snapshot()["edges"])
+
+
+def reset() -> None:
+    """Clear all recorded edges and violations (tests)."""
+    _RECORDER.reset()
+
+
+def write_report(path: str | None = None) -> str:
+    """Write the observed graph + violations as JSON; returns the path."""
+    path = path or os.environ.get(REPORT_ENV) or DEFAULT_REPORT
+    payload = _RECORDER.snapshot()
+    payload["comment"] = (
+        "Observed lock-order graph from a REPRO_SANITIZE run; "
+        "diffed against the static LOCK002 graph by `repro check` (SAN001).")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# frame inspection
+
+
+def _site_of(frame) -> str:
+    rel = os.path.relpath(frame.f_code.co_filename, _REPO_ROOT)
+    return f"{rel.replace(os.sep, '/')}:{frame.f_lineno}"
+
+
+def _caller_site() -> str | None:
+    """``path:lineno`` of the nearest frame inside a sanitized root."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        if _in_roots(fname) and not fname.startswith(_SELF_DIR):
+            return _site_of(frame)
+        frame = frame.f_back
+    return None
+
+
+def _line_suppressed(filename: str, lineno: int, rule: str) -> bool:
+    text = linecache.getline(filename, lineno)
+    if "#" not in text:
+        return False
+    match = _SUPPRESS_RE.search(text)
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    ids = {r.strip() for r in rules.split(",")}
+    # A static LOCK001 suppression acknowledges the torn access; the
+    # runtime check honours it so one comment silences both layers.
+    return rule in ids or "LOCK001" in ids
+
+
+def _access_exempt(obj: object, rule: str) -> tuple[bool, str | None]:
+    """(exempt?, site) for the guarded access two frames up."""
+    frame = sys._getframe(2)
+    # Skip sanitizer-internal frames (descriptor __get__/__set__).
+    while frame is not None and frame.f_code.co_filename.startswith(_SELF_DIR):
+        frame = frame.f_back
+    if frame is None:
+        return True, None
+    fname = frame.f_code.co_filename
+    if not _in_roots(fname):
+        return True, None  # frame outside sanitized roots: white-box access
+    name = frame.f_code.co_name
+    if name in _EXEMPT_METHODS or name.endswith("_locked"):
+        if frame.f_locals.get("self") is obj:
+            return True, None
+    if _line_suppressed(fname, frame.f_lineno, rule):
+        return True, None
+    return False, _site_of(frame)
+
+
+# ---------------------------------------------------------------------------
+# lock proxy
+
+
+class _LockProxy:
+    """Wraps a declared lock, tracking per-thread ownership + ordering.
+
+    Works for ``Lock``, ``RLock`` and ``Condition`` alike: only the
+    acquire/release/context-manager surface is intercepted; everything
+    else (``wait``, ``notify``, ...) forwards to the wrapped object.  A
+    thread blocked in ``Condition.wait`` keeps its ownership mark — it
+    is not running user code, so guarded-field checks (which only ask
+    about the *current* thread) are unaffected.
+    """
+
+    __slots__ = ("_wrapped", "san_name", "_owners")
+
+    def __init__(self, wrapped, san_name: str) -> None:
+        self._wrapped = wrapped
+        self.san_name = san_name
+        #: thread ident -> recursion count.  Mutated only by the thread
+        #: that owns (or is acquiring) the lock; dict ops are atomic
+        #: under the GIL.
+        self._owners: dict[int, int] = {}
+
+    # -- core surface ------------------------------------------------------
+    def acquire(self, *args, **kwargs):
+        got = self._wrapped.acquire(*args, **kwargs)
+        if got:
+            self._note_acquired()
+        return got
+
+    def release(self) -> None:
+        self._note_released()
+        self._wrapped.release()
+
+    def __enter__(self):
+        self._wrapped.__enter__()
+        self._note_acquired()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._note_released()
+        return self._wrapped.__exit__(exc_type, exc, tb)
+
+    def owned_by_current_thread(self) -> bool:
+        return threading.get_ident() in self._owners
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_wrapped"), name)
+
+    def __repr__(self) -> str:
+        return f"<sanitized {self.san_name} wrapping {self._wrapped!r}>"
+
+    # -- bookkeeping -------------------------------------------------------
+    def _note_acquired(self) -> None:
+        ident = threading.get_ident()
+        count = self._owners.get(ident, 0)
+        self._owners[ident] = count + 1
+        if count == 0:
+            _RECORDER.push(self)
+
+    def _note_released(self) -> None:
+        ident = threading.get_ident()
+        count = self._owners.get(ident, 0)
+        if count <= 1:
+            self._owners.pop(ident, None)
+            _RECORDER.pop(self)
+        else:
+            self._owners[ident] = count - 1
+
+
+# ---------------------------------------------------------------------------
+# descriptors
+
+
+class GuardedLockAttr:
+    """Data descriptor for a declared lock attribute.
+
+    Wraps whatever lock object the class assigns in a :class:`_LockProxy`
+    so every acquisition is observed.  Reassignment (e.g. ``__setstate__``
+    rebuilding a lock after unpickling) re-wraps transparently.
+    """
+
+    def __init__(self, name: str, san_name: str) -> None:
+        self.name = name
+        self.san_name = san_name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+    def __set__(self, obj, value) -> None:
+        if value is not None and not isinstance(value, _LockProxy):
+            value = _LockProxy(value, self.san_name)
+        obj.__dict__[self.name] = value
+
+    def __delete__(self, obj) -> None:
+        obj.__dict__.pop(self.name, None)
+
+
+class GuardedFieldAttr:
+    """Data descriptor asserting the declared lock is held on access."""
+
+    def __init__(self, name: str, lock_attr: str, cls_name: str) -> None:
+        self.name = name
+        self.lock_attr = lock_attr
+        self.cls_name = cls_name
+
+    def _check(self, obj, verb: str) -> None:
+        proxy = obj.__dict__.get(self.lock_attr)
+        if isinstance(proxy, _LockProxy) and proxy.owned_by_current_thread():
+            return
+        exempt, site = _access_exempt(obj, "SAN101")
+        if exempt:
+            return
+        _RECORDER.record_violation(
+            "SAN101",
+            f"{self.cls_name}.{self.name} {verb} without holding "
+            f"{self.cls_name}.{self.lock_attr}",
+            site)
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        try:
+            value = obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+        self._check(obj, "read")
+        return value
+
+    def __set__(self, obj, value) -> None:
+        self._check(obj, "write")
+        obj.__dict__[self.name] = value
+
+    def __delete__(self, obj) -> None:
+        self._check(obj, "delete")
+        obj.__dict__.pop(self.name, None)
+
+
+# ---------------------------------------------------------------------------
+# class instrumentation
+
+
+def instrument_class(cls, lock: str, fields: tuple[str, ...]):
+    """Install sanitizer descriptors for one ``guarded_by`` declaration.
+
+    Called once per decorator application (stacked decorators call it
+    once per lock).  Idempotent per attribute; raises if a guarded name
+    collides with an existing non-sanitizer class attribute (e.g. a
+    property), which would make the static model unenforceable.
+    """
+    san_lock_name = f"{cls.__name__}.{lock}"
+    existing = cls.__dict__.get(lock)
+    if existing is None:
+        setattr(cls, lock, GuardedLockAttr(lock, san_lock_name))
+    elif not isinstance(existing, GuardedLockAttr):
+        raise TypeError(
+            f"cannot sanitize {san_lock_name}: class attribute already "
+            f"defined as {type(existing).__name__}")
+    for field in fields:
+        existing = cls.__dict__.get(field)
+        if existing is None:
+            setattr(cls, field, GuardedFieldAttr(field, lock, cls.__name__))
+        elif isinstance(existing, GuardedFieldAttr):
+            continue  # re-declared under a second decorator: keep first
+        else:
+            raise TypeError(
+                f"cannot sanitize {cls.__name__}.{field}: class attribute "
+                f"already defined as {type(existing).__name__}")
+    return cls

@@ -36,8 +36,6 @@ import ast
 
 from repro.analysis.engine import Finding, ParsedFile, Project, checker
 
-__all__ = ["RULES"]
-
 RULES = {
     "WIRE001": "endpoint route drift between handler, proxy, and client",
     "WIRE002": "JSON payload field drift between producer and consumer",
@@ -350,6 +348,16 @@ def _check_reports(project: Project) -> list[Finding]:
     return findings
 
 
-@checker("wire-protocol", scope="project", rules=RULES)
+EXAMPLES = {
+    "WIRE001": ('# client.py\nself._request("GET", f"/stat/{job_id}")  # server routes /status/',
+                '# client.py\nself._request("GET", f"/status/{job_id}")'),
+    "WIRE002": ('payload["jobid"]  # producer writes "job_id"',
+                'payload["job_id"]'),
+    "WIRE003": ('def to_dict(self):\n    return {"ratio": self.ratio}  # dataclass also has "seconds"',
+                'def to_dict(self):\n    return {"ratio": self.ratio, "seconds": self.seconds}'),
+}
+
+
+@checker("wire-protocol", scope="project", rules=RULES, examples=EXAMPLES)
 def check_wire(project: Project) -> list[Finding]:
     return _check_routes(project) + _check_payloads(project) + _check_reports(project)

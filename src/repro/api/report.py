@@ -21,6 +21,8 @@ Four shapes, all JSON-ready and parseable back via
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.errors import RequestError
 from typing import TYPE_CHECKING, ClassVar
 
 if TYPE_CHECKING:
@@ -45,7 +47,7 @@ def cache_section(cache: "EvalCache | None") -> dict | None:
     """The ``"cache"`` block of a report (``None`` when caching is off)."""
     if cache is None:
         return None
-    return {"entries": len(cache), **cache.stats.as_dict()}
+    return cache.stats_dict()  # snapshot under the cache lock, not ours
 
 
 def _round(value: float | None, digits: int) -> float | None:
@@ -152,7 +154,7 @@ class TuneReport(Report):
     def from_dict(cls, payload: dict) -> "TuneReport":
         data = dict(payload)
         if data.pop("kind", "tune") != "tune":
-            raise ValueError("not a tune report")
+            raise RequestError("not a tune report")
         return cls(**data)
 
 
@@ -235,7 +237,7 @@ class CompressReport(Report):
     def from_dict(cls, payload: dict) -> "CompressReport":
         data = dict(payload)
         if data.pop("kind", "compress") != "compress" or data.pop("streamed", False):
-            raise ValueError("not an in-memory compress report")
+            raise RequestError("not an in-memory compress report")
         if data.get("tuning") is not None:
             data["tuning"] = TuneReport.from_dict(data["tuning"])
         return cls(**data)
@@ -336,7 +338,7 @@ class StreamReport(Report):
     def from_dict(cls, payload: dict) -> "StreamReport":
         data = dict(payload)
         if data.pop("kind", "compress") != "compress" or not data.pop("streamed", True):
-            raise ValueError("not a streamed compress report")
+            raise RequestError("not a streamed compress report")
         return cls(**data)
 
 
@@ -381,7 +383,7 @@ class DecompressReport(Report):
     def from_dict(cls, payload: dict) -> "DecompressReport":
         data = dict(payload)
         if data.pop("kind", "decompress") != "decompress":
-            raise ValueError("not a decompress report")
+            raise RequestError("not a decompress report")
         data["from_stream"] = data.pop("streamed", False)
         return cls(**data)
 
@@ -440,7 +442,7 @@ def stage_timings(payload: dict | Report) -> dict[str, float]:
 def report_from_dict(payload: dict) -> Report:
     """Parse any report wire dict back into its typed class."""
     if not isinstance(payload, dict):
-        raise ValueError(f"report must be a JSON object, got {type(payload).__name__}")
+        raise RequestError(f"report must be a JSON object, got {type(payload).__name__}")
     kind = payload.get("kind")
     if kind == "tune":
         return TuneReport.from_dict(payload)
@@ -450,4 +452,4 @@ def report_from_dict(payload: dict) -> Report:
         if payload.get("streamed"):
             return StreamReport.from_dict(payload)
         return CompressReport.from_dict(payload)
-    raise ValueError(f"unknown report kind {kind!r}")
+    raise RequestError(f"unknown report kind {kind!r}")

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+from repro.errors import RequestError
 from repro.pressio.registry import available_compressors, compressor_option_names
 
 __all__ = ["REQUEST_KINDS", "Resources", "CompressionRequest", "encode_array"]
@@ -69,9 +70,9 @@ def _shape_tuple(value, label: str) -> tuple[int, ...]:
     try:
         shape = tuple(int(c) for c in value)
     except (TypeError, ValueError):
-        raise ValueError(f"{label} must be a sequence of ints, got {value!r}") from None
+        raise RequestError(f"{label} must be a sequence of ints, got {value!r}") from None
     if not shape or any(c < 1 for c in shape):
-        raise ValueError(f"{label} must be positive ints, got {value!r}")
+        raise RequestError(f"{label} must be positive ints, got {value!r}")
     return shape
 
 
@@ -97,22 +98,22 @@ class Resources:
         if self.workers is not None and (
             isinstance(self.workers, bool) or not isinstance(self.workers, int)
         ):
-            raise ValueError(f"resources.workers must be an int, got {self.workers!r}")
+            raise RequestError(f"resources.workers must be an int, got {self.workers!r}")
         if self.executor is not None and self.executor not in _EXECUTORS:
-            raise ValueError(
+            raise RequestError(
                 f"resources.executor must be one of {_EXECUTORS}, got {self.executor!r}"
             )
         if self.max_memory is not None:
             if isinstance(self.max_memory, bool) or not isinstance(self.max_memory, int):
-                raise ValueError(
+                raise RequestError(
                     f"resources.max_memory must be an int, got {self.max_memory!r}"
                 )
             if self.max_memory <= 0:
-                raise ValueError(
+                raise RequestError(
                     f"resources.max_memory must be positive, got {self.max_memory}"
                 )
         if not isinstance(self.cache, bool):
-            raise ValueError(f"resources.cache must be a bool, got {self.cache!r}")
+            raise RequestError(f"resources.cache must be a bool, got {self.cache!r}")
 
     @classmethod
     def coerce(cls, value: "Resources | dict | None") -> "Resources":
@@ -122,11 +123,11 @@ class Resources:
         if isinstance(value, cls):
             return value
         if not isinstance(value, dict):
-            raise ValueError(f"resources must be an object, got {type(value).__name__}")
+            raise RequestError(f"resources must be an object, got {type(value).__name__}")
         known = {f.name for f in fields(cls)}
         unknown = set(value) - known
         if unknown:
-            raise ValueError(f"unknown resources fields: {sorted(unknown)}")
+            raise RequestError(f"unknown resources fields: {sorted(unknown)}")
         return cls(**value)
 
     def to_dict(self) -> dict:
@@ -154,7 +155,7 @@ class CompressionRequest:
     # -- validation --------------------------------------------------------
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
-            raise ValueError(f"kind must be one of {REQUEST_KINDS}, got {self.kind!r}")
+            raise RequestError(f"kind must be one of {REQUEST_KINDS}, got {self.kind!r}")
         object.__setattr__(self, "resources", Resources.coerce(self.resources))
         self._validate_field_types()
         self._validate_compressor_options()
@@ -166,23 +167,23 @@ class CompressionRequest:
         if not isinstance(self.options, dict) or any(
             not isinstance(k, str) for k in self.options
         ):
-            raise ValueError("options must be a dict with string keys")
+            raise RequestError("options must be a dict with string keys")
         reserved = sorted(set(self.options) & set(_RESERVED_OPTIONS))
         if reserved:
-            raise ValueError(
+            raise RequestError(
                 f"pass {reserved} as top-level request fields, not compressor options"
             )
         try:
             valid = compressor_option_names(self.compressor)
         except KeyError:
-            raise ValueError(
+            raise RequestError(
                 f"unknown compressor {self.compressor!r}; "
                 f"available: {available_compressors()}"
             ) from None
         if valid is not None:
             unknown = sorted(set(self.options) - set(valid))
             if unknown:
-                raise ValueError(
+                raise RequestError(
                     f"unknown option(s) {unknown} for compressor "
                     f"{self.compressor!r}; valid options: {sorted(valid)}"
                 )
@@ -190,16 +191,16 @@ class CompressionRequest:
     def _validate_data_fields(self) -> None:
         if self.kind == "decompress":
             if self.input is None or self.data_b64 is not None:
-                raise ValueError("decompress requests take input (a path), not inline data")
+                raise RequestError("decompress requests take input (a path), not inline data")
         elif (self.input is None) == (self.data_b64 is None):
-            raise ValueError("pass exactly one of input (a path) or data_b64 (inline)")
+            raise RequestError("pass exactly one of input (a path) or data_b64 (inline)")
         if self.kind == "stream" and self.input is None:
-            raise ValueError("stream requests require a file input, not inline data")
+            raise RequestError("stream requests require a file input, not inline data")
         if self.kind == "tune":
             if self.output is not None:
-                raise ValueError("tune requests take no output path")
+                raise RequestError("tune requests take no output path")
         elif self.output is None:
-            raise ValueError(f"{self.kind} requests require an output path")
+            raise RequestError(f"{self.kind} requests require an output path")
 
     def _validate_field_types(self) -> None:
         # Wire payloads arrive as arbitrary JSON; mistyped fields must be
@@ -207,62 +208,62 @@ class CompressionRequest:
         for name in ("target_ratio", "error_bound", "max_error_bound", "tolerance"):
             value = getattr(self, name)
             if name == "tolerance" and value is None:
-                raise ValueError("tolerance must be a number in (0, 1), got None")
+                raise RequestError("tolerance must be a number in (0, 1), got None")
             if value is not None and (
                 isinstance(value, bool) or not isinstance(value, (int, float))
             ):
-                raise ValueError(f"{name} must be a number, got {value!r}")
+                raise RequestError(f"{name} must be a number, got {value!r}")
         if not isinstance(self.compressor, str):
-            raise ValueError(f"compressor must be a string, got {self.compressor!r}")
+            raise RequestError(f"compressor must be a string, got {self.compressor!r}")
         for name in ("input", "data_b64", "output"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, str):
-                raise ValueError(f"{name} must be a string, got {value!r}")
+                raise RequestError(f"{name} must be a string, got {value!r}")
 
     def _validate_objective(self) -> None:
         if self.kind == "tune":
             if self.target_ratio is None:
-                raise ValueError("tune requests require target_ratio")
+                raise RequestError("tune requests require target_ratio")
             if self.error_bound is not None:
-                raise ValueError("tune requests take target_ratio, not error_bound")
+                raise RequestError("tune requests take target_ratio, not error_bound")
         elif self.kind == "decompress":
             if self.target_ratio is not None or self.error_bound is not None:
-                raise ValueError(
+                raise RequestError(
                     "decompress requests take no target_ratio or error_bound"
                 )
         elif (self.target_ratio is None) == (self.error_bound is None):
-            raise ValueError(
+            raise RequestError(
                 f"{self.kind} requests require exactly one of target_ratio or error_bound"
             )
         if self.target_ratio is not None and not self.target_ratio > 0:
-            raise ValueError(f"target_ratio must be positive, got {self.target_ratio}")
+            raise RequestError(f"target_ratio must be positive, got {self.target_ratio}")
         if self.error_bound is not None and not self.error_bound > 0:
-            raise ValueError(f"error_bound must be positive, got {self.error_bound}")
+            raise RequestError(f"error_bound must be positive, got {self.error_bound}")
         if self.max_error_bound is not None and not self.max_error_bound > 0:
-            raise ValueError(
+            raise RequestError(
                 f"max_error_bound must be positive, got {self.max_error_bound}"
             )
         if not 0 < self.tolerance < 1:
-            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+            raise RequestError(f"tolerance must be in (0, 1), got {self.tolerance}")
 
     def _validate_stream_fields(self) -> None:
         if self.stream is not None:
             if self.kind != "compress":
-                raise ValueError(
+                raise RequestError(
                     "the stream routing hint applies to compress requests only "
                     "(use kind='stream' to force the out-of-core pipeline)"
                 )
             if not isinstance(self.stream, bool):
-                raise ValueError(f"stream must be a bool or None, got {self.stream!r}")
+                raise RequestError(f"stream must be a bool or None, got {self.stream!r}")
             if self.stream and self.input is None:
-                raise ValueError("stream=True requires a file input, not inline data")
+                raise RequestError("stream=True requires a file input, not inline data")
         if not isinstance(self.stream_options, dict):
-            raise ValueError("stream_options must be a dict")
+            raise RequestError("stream_options must be a dict")
         if self.stream_options and self.kind not in ("compress", "stream"):
-            raise ValueError(f"stream_options do not apply to {self.kind} requests")
+            raise RequestError(f"stream_options do not apply to {self.kind} requests")
         unknown = sorted(set(self.stream_options) - set(STREAM_OPTION_KEYS))
         if unknown:
-            raise ValueError(
+            raise RequestError(
                 f"unknown stream_options {unknown}; valid: {sorted(STREAM_OPTION_KEYS)}"
             )
         normalized = dict(self.stream_options)
@@ -275,7 +276,7 @@ class CompressionRequest:
                 or not isinstance(normalized[key], int)
                 or normalized[key] < 1
             ):
-                raise ValueError(
+                raise RequestError(
                     f"stream_options.{key} must be a positive int, got {normalized[key]!r}"
                 )
         object.__setattr__(self, "stream_options", normalized)
@@ -310,15 +311,15 @@ class CompressionRequest:
     def from_dict(cls, payload: dict) -> "CompressionRequest":
         """Build a request from a JSON body, rejecting unknown keys."""
         if not isinstance(payload, dict):
-            raise ValueError(
+            raise RequestError(
                 f"request must be a JSON object, got {type(payload).__name__}"
             )
         known = {f.name for f in fields(cls)}
         unknown = set(payload) - known
         if unknown:
-            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+            raise RequestError(f"unknown request fields: {sorted(unknown)}")
         if "kind" not in payload:
-            raise ValueError(f"request requires a kind (one of {REQUEST_KINDS})")
+            raise RequestError(f"request requires a kind (one of {REQUEST_KINDS})")
         return cls(**payload)
 
     def to_json(self, indent: int | None = None) -> str:
@@ -329,5 +330,5 @@ class CompressionRequest:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"request is not valid JSON: {exc}") from None
+            raise RequestError(f"request is not valid JSON: {exc}") from None
         return cls.from_dict(payload)

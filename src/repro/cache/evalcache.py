@@ -173,7 +173,7 @@ class EvalCache:
                 self._fp_cache.clear()
             try:
                 self._fp_cache[id(arr)] = (weakref.ref(arr), fp)
-            except TypeError:
+            except TypeError:  # repro: ignore[EXC002]
                 pass  # some array subclasses refuse weakrefs; just skip the memo
         return fp
 
@@ -235,6 +235,17 @@ class EvalCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def stats_dict(self) -> dict:
+        """Entry count + counters, snapshotted under the cache lock.
+
+        The ``/stats`` endpoints use this instead of reading ``.stats``
+        directly: the raw field is guarded by the cache lock, and a torn
+        multi-field read would pair hit/miss counts from different
+        moments.
+        """
+        with self._lock:
+            return {"entries": len(self._entries), **self.stats.as_dict()}
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

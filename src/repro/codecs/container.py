@@ -209,29 +209,33 @@ class ContainerReader:
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = Path(path)
         self._fh: BinaryIO | None = open(self._path, "rb")
-        head = self._fh.read(5)
-        if head[:4] != _MAGIC:
-            raise ValueError("not a FRZC container")
-        if len(head) < 5 or head[4] != _STREAM_VERSION:
-            raise ValueError(
-                f"not a streamed container (version "
-                f"{head[4] if len(head) == 5 else '?'}, expected "
-                f"{_STREAM_VERSION}); use Container.frombytes for version 1"
-            )
-        if self._fh.seek(0, io.SEEK_END) < 5 + _FOOTER_STRUCT.size:
-            raise ValueError("streamed container has no footer (truncated write?)")
-        self._fh.seek(-_FOOTER_STRUCT.size, io.SEEK_END)
-        index_offset, magic = _FOOTER_STRUCT.unpack(self._fh.read(_FOOTER_STRUCT.size))
-        if magic != _FOOTER_MAGIC:
-            raise ValueError("streamed container has no footer (truncated write?)")
-        end = self._fh.seek(0, io.SEEK_END) - _FOOTER_STRUCT.size
-        self._fh.seek(index_offset)
-        self._index: dict[str, tuple[int, int]] = {
-            name: (int(off), int(length))
-            for name, (off, length) in json.loads(
-                self._fh.read(end - index_offset).decode("utf-8")
-            ).items()
-        }
+        try:
+            head = self._fh.read(5)
+            if head[:4] != _MAGIC:
+                raise ValueError("not a FRZC container")
+            if len(head) < 5 or head[4] != _STREAM_VERSION:
+                raise ValueError(
+                    f"not a streamed container (version "
+                    f"{head[4] if len(head) == 5 else '?'}, expected "
+                    f"{_STREAM_VERSION}); use Container.frombytes for version 1"
+                )
+            if self._fh.seek(0, io.SEEK_END) < 5 + _FOOTER_STRUCT.size:
+                raise ValueError("streamed container has no footer (truncated write?)")
+            self._fh.seek(-_FOOTER_STRUCT.size, io.SEEK_END)
+            index_offset, magic = _FOOTER_STRUCT.unpack(self._fh.read(_FOOTER_STRUCT.size))
+            if magic != _FOOTER_MAGIC:
+                raise ValueError("streamed container has no footer (truncated write?)")
+            end = self._fh.seek(0, io.SEEK_END) - _FOOTER_STRUCT.size
+            self._fh.seek(index_offset)
+            self._index: dict[str, tuple[int, int]] = {
+                name: (int(off), int(length))
+                for name, (off, length) in json.loads(
+                    self._fh.read(end - index_offset).decode("utf-8")
+                ).items()
+            }
+        except BaseException:
+            self.close()  # a rejected container must not leak its fh
+            raise
 
     def names(self) -> list[str]:
         return list(self._index)

@@ -40,7 +40,7 @@ from repro.metrics import psnr, ssim
 from repro.optimize import find_global_min
 from repro.pressio.compressor import Compressor
 
-__all__ = ["QualityResult", "tune_quality", "max_ratio_at_quality", "QUALITY_METRICS"]
+__all__ = ["QualityResult", "tune_quality", "max_ratio_at_quality"]
 
 QUALITY_METRICS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
     "ssim": ssim,

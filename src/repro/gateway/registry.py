@@ -32,6 +32,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import RequestError
 from repro.gateway.ring import DEFAULT_REPLICAS, HashRing
 from repro.util.concurrency import guarded_by
 
@@ -94,7 +95,7 @@ class NodeRegistry:
         replicas: int = DEFAULT_REPLICAS,
     ) -> None:
         if dead_after <= 0:
-            raise ValueError(f"dead_after must be positive, got {dead_after!r}")
+            raise RequestError(f"dead_after must be positive, got {dead_after!r}")
         self.dead_after = float(dead_after)
         self._ring = HashRing(replicas)
         self._nodes: dict[str, NodeRecord] = {}
@@ -109,10 +110,10 @@ class NodeRegistry:
         heartbeat stamp.
         """
         if not node_id or "/" in node_id:
-            raise ValueError(f"invalid node id {node_id!r}")
+            raise RequestError(f"invalid node id {node_id!r}")
         url = url.rstrip("/")
         if not url.startswith(("http://", "https://")):
-            raise ValueError(f"invalid node url {url!r}")
+            raise RequestError(f"invalid node url {url!r}")
         with self._lock:
             record = self._nodes.get(node_id)
             if record is None:

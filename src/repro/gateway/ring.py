@@ -30,7 +30,7 @@ import hashlib
 from bisect import bisect_right
 from collections.abc import Iterable
 
-__all__ = ["HashRing", "DEFAULT_REPLICAS", "hash_key"]
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
 
 #: Virtual points per node; enough to hold per-node share within
 #: tolerance (see tests/gateway/test_ring.py) while keeping the ring

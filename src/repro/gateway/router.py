@@ -44,6 +44,11 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro import __version__
+from repro.errors import (
+    JobTimeoutError,
+    StateError,
+    UnknownJobError,
+)
 from repro.gateway.registry import NodeRecord, NodeRegistry, NodeState
 from repro.gateway.ring import DEFAULT_REPLICAS
 from repro.obs.metrics import MetricsRegistry
@@ -61,7 +66,7 @@ from repro.util.concurrency import guarded_by
 __all__ = ["Router", "RoutedJob", "RouterStats", "NoCapacityError"]
 
 
-class NoCapacityError(RuntimeError):
+class NoCapacityError(StateError):
     """No routable node exists (empty fleet, or everything drained/dead)."""
 
 
@@ -258,7 +263,7 @@ class Router:
 
     def metrics_text(self) -> str:
         if self.metrics is None:
-            raise RuntimeError("gateway was built with metrics disabled")
+            raise StateError("gateway was built with metrics disabled")
         return self.metrics.render()
 
     # -- lifecycle ---------------------------------------------------------
@@ -402,7 +407,7 @@ class Router:
                     status, body = self._client(record).poll_status(job.node_job_id)
                     if status == 200:
                         payload["node_status"] = body
-                except ServiceError:
+                except ServiceError:  # repro: ignore[EXC002] optional enrichment
                     pass  # the monitor will deal with the node
         return payload
 
@@ -443,9 +448,10 @@ class Router:
     def wait(self, gid: str, timeout: float | None = None) -> RoutedJob:
         job = self.get(gid)
         if job is None:
-            raise KeyError(f"unknown job {gid!r}")
+            raise UnknownJobError(f"unknown job {gid!r}")
         if not job.wait(timeout):
-            raise TimeoutError(f"job {gid} still {job.state} after {timeout}s")
+            raise JobTimeoutError(
+                f"job {gid} still {job.state} after {timeout}s")
         return job
 
     # -- forwarding --------------------------------------------------------
@@ -694,9 +700,9 @@ class Router:
         """Forward a pending job; stays pending on 429 for the next tick."""
         try:
             self._forward(job)
-        except BackpressureError:
+        except BackpressureError:  # repro: ignore[EXC002]
             pass  # every candidate shard is full: retry next monitor tick
-        except NoCapacityError:
+        except NoCapacityError:  # repro: ignore[EXC002]
             # Nothing routable *right now*; a node may yet register or
             # resurrect before the budget question even arises, so the
             # job stays pending rather than failing on a transient.

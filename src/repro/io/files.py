@@ -56,7 +56,7 @@ def _atomic_write_bytes(path: str | Path, data: bytes) -> None:
     except BaseException:
         try:
             os.unlink(tmp)
-        except OSError:
+        except OSError:  # repro: ignore[EXC002] cleanup of a temp we may not have made
             pass
         raise
 

@@ -56,7 +56,6 @@ __all__ = [
     "run_load",
     "check_slo",
     "write_bench",
-    "embedded_endpoint",
     "main",
 ]
 

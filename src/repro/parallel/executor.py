@@ -33,6 +33,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
+from repro.errors import StateError
 from repro.util.concurrency import guarded_by
 
 __all__ = [
@@ -219,7 +220,7 @@ class ProcessExecutor(_PoolExecutor):
     shares_memory = False
 
 
-class WorkerCrashError(RuntimeError):
+class WorkerCrashError(StateError):
     """A process-pool worker died mid-job (killed, OOM, segfault).
 
     Distinct from an exception *raised by* the job: the job never got to
@@ -335,6 +336,11 @@ class ProcessJobPool:
                 self.tasks_cancelled += 1
             else:
                 self.tasks_completed += 1
+
+    def rebuild_count(self) -> int:
+        """Pool rebuilds so far, read under the pool lock."""
+        with self._lock:
+            return self.rebuilds
 
     def task_counts(self) -> dict:
         """Lifetime task-flow counters (the ``/stats`` executor block)."""

@@ -31,7 +31,7 @@ from repro.cache.keys import normalize_bound
 from repro.obs.trace import span as _trace_span
 from repro.pressio.compressor import Compressor
 
-__all__ = ["RatioFunction", "Observation"]
+__all__ = ["RatioFunction"]
 
 
 @dataclass(frozen=True)

@@ -103,7 +103,7 @@ class NodeAgent:
                         "Finished jobs the gateway has fetched and acknowledged",
                         callback=lambda: self.acked_jobs)
             reg.gauge("node_pending_acks", "Finished jobs awaiting gateway ack",
-                      callback=lambda: len(self._pending_set))
+                      callback=lambda: len(self._pending_set))  # repro: ignore[SAN101] torn read by design
 
     # -- scheduler hook ----------------------------------------------------
     def _on_job_finished(self, job) -> None:
@@ -135,7 +135,7 @@ class NodeAgent:
         if self.registered:
             try:
                 self._post(f"/unregister/{self.node_id}", {})
-            except OSError:
+            except OSError:  # repro: ignore[EXC002]
                 pass  # the death timer handles it
             self.registered = False
 
@@ -237,7 +237,7 @@ class NodeAgent:
 
     def _report(self) -> dict:
         """The small self-description that rides in each heartbeat."""
-        stats = self.scheduler.stats
+        stats = self.scheduler.stats_snapshot()
         return {
             "running": stats.running,
             "submitted": stats.submitted,

@@ -20,6 +20,7 @@ import urllib.request
 import numpy as np
 
 from repro.api.request import CompressionRequest
+from repro.errors import JobTimeoutError, ReproError
 from repro.serve.jobs import JobSpec
 
 __all__ = [
@@ -32,7 +33,7 @@ __all__ = [
 ]
 
 
-class ServiceError(RuntimeError):
+class ServiceError(ReproError, RuntimeError):
     """Protocol-level failure (unexpected status, malformed body).
 
     ``retry_after`` carries the server's suggested backoff in seconds
@@ -139,10 +140,14 @@ class ServiceClient:
                 return (resp.status, json.loads(resp.read().decode("utf-8")),
                         {k.lower(): v for k, v in resp.headers.items()})
         except urllib.error.HTTPError as exc:
+            # HTTPError doubles as the (open) response object: close it on
+            # every path or the socket lingers until GC.
             try:
                 payload = json.loads(exc.read().decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError):
                 payload = {}
+            finally:
+                exc.close()
             return (exc.code, payload,
                     {k.lower(): v for k, v in (exc.headers or {}).items()})
         except urllib.error.URLError as exc:
@@ -272,8 +277,9 @@ class ServiceClient:
 
         Returns the result payload (the shared schema of
         :mod:`repro.serve.schema`).  Raises :class:`JobFailedError` if
-        the job failed or was cancelled, :class:`TimeoutError` if it is
-        still pending after ``timeout`` seconds.
+        the job failed or was cancelled, :class:`JobTimeoutError` (a
+        ``TimeoutError``) if it is still pending after ``timeout``
+        seconds.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -290,7 +296,8 @@ class ServiceClient:
                                       context="result payload", status=status)
             if status == 202 and wait:
                 if time.monotonic() > deadline:
-                    raise TimeoutError(f"job {job_id} still pending after {timeout}s")
+                    raise JobTimeoutError(
+                        f"job {job_id} still pending after {timeout}s")
                 time.sleep(self.poll_interval)
                 continue
             if status == 202:
@@ -331,6 +338,7 @@ class ServiceClient:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 return resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
+            exc.close()
             raise ServiceError(f"/metrics returned HTTP {exc.code}",
                                status=exc.code) from exc
         except urllib.error.URLError as exc:

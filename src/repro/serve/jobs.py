@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.api.request import CompressionRequest, Resources, encode_array
+from repro.errors import RequestError
 
 __all__ = [
     "JobState",
@@ -143,9 +144,9 @@ class JobSpec:
         object.__setattr__(self, "resources", request.resources)
         object.__setattr__(self, "_request", request)
         if isinstance(self.priority, bool) or not isinstance(self.priority, int):
-            raise ValueError(f"priority must be an int, got {self.priority!r}")
+            raise RequestError(f"priority must be an int, got {self.priority!r}")
         if not isinstance(self.max_retries, int) or self.max_retries < 0:
-            raise ValueError(f"max_retries must be an int >= 0, got {self.max_retries!r}")
+            raise RequestError(f"max_retries must be an int >= 0, got {self.max_retries!r}")
 
     # -- the shared request ------------------------------------------------
     @property
@@ -252,24 +253,24 @@ class JobSpec:
         fields on top.
         """
         if not isinstance(payload, dict):
-            raise ValueError(f"job spec must be a JSON object, got {type(payload).__name__}")
+            raise RequestError(f"job spec must be a JSON object, got {type(payload).__name__}")
         request_fields = {f.name for f in fields(CompressionRequest)}
         known = request_fields | set(_SCHEDULING_FIELDS)
         unknown = set(payload) - known
         if unknown:
-            raise ValueError(f"unknown job spec fields: {sorted(unknown)}")
+            raise RequestError(f"unknown job spec fields: {sorted(unknown)}")
         data = dict(payload)
         prio = data.get("priority")
         if isinstance(prio, str):
             try:
                 data["priority"] = PRIORITY_NAMES[prio.lower()]
             except KeyError:
-                raise ValueError(
+                raise RequestError(
                     f"priority must be an int or one of {sorted(PRIORITY_NAMES)}, "
                     f"got {prio!r}"
                 ) from None
         if "kind" not in data:
-            raise ValueError(
+            raise RequestError(
                 "job spec requires a kind ('tune', 'compress', 'decompress' or 'stream')"
             )
         scheduling = {k: data.pop(k) for k in _SCHEDULING_FIELDS if k in data}

@@ -28,13 +28,14 @@ import itertools
 import threading
 from dataclasses import dataclass
 
+from repro.errors import StateError
 from repro.serve.jobs import Job, JobState
 from repro.util.concurrency import guarded_by
 
-__all__ = ["JobQueue", "QueueFull", "QueueStats"]
+__all__ = ["JobQueue", "QueueFull"]
 
 
-class QueueFull(RuntimeError):
+class QueueFull(StateError):
     """Raised by :meth:`JobQueue.put` when the queue is at capacity.
 
     ``retry_after`` is the server's suggested client backoff in seconds.

@@ -58,6 +58,7 @@ deterministic.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import os
 import tempfile
@@ -75,6 +76,13 @@ from repro.api.execute import execute as execute_request
 from repro.api.plan import DEFAULT_STREAM_THRESHOLD, plan as plan_request
 from repro.api.report import stage_timings
 from repro.cache.evalcache import CacheEntry, EvalCache
+from repro.errors import (
+    JobTimeoutError,
+    RequestError,
+    SchedulerStoppedError,
+    StateError,
+    UnknownJobError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import SpanStore, TraceContext, Tracer, current_span
 from repro.obs.tracelog import TraceLogger
@@ -119,7 +127,7 @@ def resolve_executor_mode(executor: str | None) -> str:
     if executor is None:
         executor = "auto"
     if executor not in _EXECUTOR_MODES:
-        raise ValueError(
+        raise RequestError(
             f"executor must be one of {_EXECUTOR_MODES}, got {executor!r}"
         )
     if executor == "auto":
@@ -433,16 +441,16 @@ class Scheduler:
             reg.counter(f"jobs_{attr}_total", help_text,
                         callback=lambda a=attr: getattr(stats, a))
         reg.counter("queue_enqueued_total", "Jobs that entered the queue",
-                    callback=lambda: queue.stats.enqueued)
+                    callback=lambda: queue.stats.enqueued)  # repro: ignore[SAN101] torn read by design
         reg.counter("queue_rejected_total", "Submissions refused with backpressure",
-                    callback=lambda: queue.stats.rejected)
+                    callback=lambda: queue.stats.rejected)  # repro: ignore[SAN101] torn read by design
         reg.counter("worker_crashes_total", "Attempts lost to a dying worker process",
                     callback=lambda: stats.crashes)
         reg.counter("discarded_results_total",
                     "Results thrown away because their job was tombstoned",
                     callback=lambda: stats.discarded)
         reg.counter("pool_rebuilds_total", "Process-pool reconstructions after crashes",
-                    callback=lambda: self._pool.rebuilds if self._pool else 0)
+                    callback=lambda: self._pool.rebuilds if self._pool else 0)  # repro: ignore[SAN101] torn read by design
         for attr, name, help_text in (
             ("tasks_submitted", "pool_tasks_submitted_total",
              "Tasks shipped to the process pool"),
@@ -452,7 +460,7 @@ class Scheduler:
              "Pool tasks descheduled before starting"),
         ):
             reg.counter(name, help_text,
-                        callback=lambda a=attr: getattr(self._pool, a) if self._pool else 0)
+                        callback=lambda a=attr: getattr(self._pool, a) if self._pool else 0)  # repro: ignore[SAN101] torn read by design
         reg.counter("search_evaluations_total",
                     "Compressor evaluations requested by searches",
                     callback=lambda: stats.evaluations)
@@ -479,7 +487,7 @@ class Scheduler:
                 register = reg.counter if kind == "counter" else reg.gauge
                 register(f"evalcache_{attr}_total",
                          f"Shared-cache {attr.replace('_', ' ')} (parent-process view)",
-                         callback=lambda a=attr: getattr(cache.stats, a))
+                         callback=lambda a=attr: getattr(cache.stats, a))  # repro: ignore[SAN101] torn read by design
         self._stage_seconds = reg.histogram(
             "stage_seconds",
             "Per-stage latency: queue_wait/run from the scheduler's monotonic "
@@ -503,7 +511,7 @@ class Scheduler:
     def metrics_text(self) -> str:
         """The Prometheus text exposition (the ``GET /metrics`` body)."""
         if self.metrics is None:
-            raise RuntimeError("scheduler was built with metrics disabled")
+            raise StateError("scheduler was built with metrics disabled")
         return self.metrics.render()
 
     # -- lifecycle ---------------------------------------------------------
@@ -593,7 +601,7 @@ class Scheduler:
         key = spec.coalesce_key()
         with self._lock:
             if self._stop.is_set() and not self._threads:
-                raise RuntimeError("scheduler is stopped")
+                raise SchedulerStoppedError
             job_id = f"j{next(self._ids):06d}"
             primary = self._inflight.get(key)
             if primary is not None and not primary.finished:
@@ -639,9 +647,10 @@ class Scheduler:
         """Block until ``job_id`` finishes; returns the job record."""
         job = self.get(job_id)
         if job is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            raise UnknownJobError(f"unknown job {job_id!r}")
         if not job.wait(timeout):
-            raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
+            raise JobTimeoutError(
+                f"job {job_id} still {job.state.value} after {timeout}s")
         return job
 
     def drain(self, timeout: float = 60.0, poll: float = 0.01) -> None:
@@ -653,7 +662,7 @@ class Scheduler:
             if idle:
                 return
             time.sleep(poll)
-        raise TimeoutError(f"jobs still pending after {timeout}s")
+        raise JobTimeoutError(f"jobs still pending after {timeout}s")
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued job — or, on the process backend, a running one.
@@ -821,8 +830,11 @@ class Scheduler:
             for job in jobs:
                 try:
                     listener(job)
-                except Exception:  # noqa: BLE001 - listeners never kill workers
-                    pass
+                except Exception as exc:  # noqa: BLE001 - listeners never kill workers
+                    self.logger.event(
+                        "finish_listener_failed", level="warning",
+                        trace_id=job.trace_id, job_id=job.id,
+                        error=f"{type(exc).__name__}: {exc}")
 
     def _finish(self, job: Job, state: JobState, *, result: dict | None = None,
                 error: str | None = None) -> None:
@@ -941,7 +953,7 @@ class Scheduler:
             if spill is not None:
                 try:
                     os.unlink(spill)
-                except OSError:
+                except OSError:  # repro: ignore[EXC002] temp may already be gone
                     pass
         if self._cache is not None:
             self._cache.merge_entries(delta)
@@ -1010,6 +1022,16 @@ class Scheduler:
             "spans": spans,
         }
 
+    def stats_snapshot(self) -> "SchedulerStats":
+        """A point-in-time copy of the counters, taken under the lock.
+
+        Heartbeat agents and other out-of-process readers use this
+        instead of the live ``stats`` field (which the scheduler lock
+        guards).
+        """
+        with self._lock:
+            return copy.copy(self.stats)
+
     def stats_payload(self) -> dict:
         """JSON-ready service statistics (the ``/stats`` body)."""
         with self._lock:
@@ -1021,7 +1043,8 @@ class Scheduler:
                     mode=self.executor_mode,
                     intra=self.intra_kind,
                     crashes=self.stats.crashes,
-                    rebuilds=self._pool.rebuilds if self._pool is not None else 0,
+                    rebuilds=(self._pool.rebuild_count()
+                              if self._pool is not None else 0),
                     discarded=self.stats.discarded,
                     tasks=self._pool.task_counts() if self._pool is not None else None,
                 ),
@@ -1033,8 +1056,7 @@ class Scheduler:
                 "trace": self.tracer.stats_dict(),
             }
             if self._cache is not None:
-                payload["cache"] = {"entries": len(self._cache),
-                                    **self._cache.stats.as_dict()}
+                payload["cache"] = self._cache.stats_dict()
         # Snapshot outside the scheduler lock: the registry has its own
         # lock, and callback gauges re-enter queue/pool locks.
         if self.metrics is not None:

@@ -30,7 +30,7 @@ if TYPE_CHECKING:
     from repro.pressio.compressor import CompressedField
     from repro.stream.pipeline import StreamResult
 
-__all__ = ["tune_payload", "compress_payload", "stream_payload", "executor_payload"]
+__all__ = ["tune_payload", "compress_payload", "executor_payload"]
 
 
 def executor_payload(

@@ -50,7 +50,7 @@ from repro.serve.jobs import JobSpec
 from repro.serve.queue import QueueFull
 from repro.serve.scheduler import Scheduler
 
-__all__ = ["ServiceServer", "DEFAULT_PORT", "MAX_BODY_BYTES"]
+__all__ = ["ServiceServer", "DEFAULT_PORT"]
 
 DEFAULT_PORT = 8077
 

@@ -126,6 +126,12 @@ class ChunkReader:
     in-memory **copy** of the block, so downstream compression never holds
     a reference that pins the map and peak memory stays one chunk per
     in-flight task.
+
+    A reader opened on a path owns a memory map; :meth:`close` (or use as
+    a context manager) drops it deterministically — on platforms with
+    mandatory file locking a lingering map blocks directory cleanup until
+    GC happens to run.  Readers over in-memory arrays close to a no-op.
+    ``read`` after ``close`` raises :class:`ValueError`.
     """
 
     def __init__(
@@ -148,32 +154,58 @@ class ChunkReader:
                         "raw binary sources need explicit shape= and dtype="
                     )
                 self._data = np.memmap(path, mode="r", shape=tuple(shape), dtype=dtype)
-        if self._data.ndim < 1:
-            raise ValueError("cannot chunk a 0-d array")
+        self._owns_map = not isinstance(source, np.ndarray)
+        try:
+            if self._data.ndim < 1:
+                raise ValueError("cannot chunk a 0-d array")
+            if chunk_shape is not None and max_chunk_bytes is not None:
+                raise ValueError("pass chunk_shape or max_chunk_bytes, not both")
+            self._shape = tuple(int(s) for s in self._data.shape)
+            self._dtype = self._data.dtype
+            self._nbytes = int(self._data.nbytes)
+            if chunk_shape is None:
+                if max_chunk_bytes is None:
+                    chunk_shape = self.shape  # one chunk: the whole array
+                else:
+                    chunk_shape = chunk_shape_for_budget(
+                        self.shape, self._data.dtype.itemsize, max_chunk_bytes
+                    )
+            self.chunk_shape = tuple(int(c) for c in chunk_shape)
+            self.specs = plan_chunks(self.shape, self.chunk_shape)
+        except BaseException:
+            self.close()  # a half-built reader must not pin the map
+            raise
 
-        if chunk_shape is not None and max_chunk_bytes is not None:
-            raise ValueError("pass chunk_shape or max_chunk_bytes, not both")
-        if chunk_shape is None:
-            if max_chunk_bytes is None:
-                chunk_shape = self.shape  # one chunk: the whole array
-            else:
-                chunk_shape = chunk_shape_for_budget(
-                    self.shape, self._data.dtype.itemsize, max_chunk_bytes
-                )
-        self.chunk_shape = tuple(int(c) for c in chunk_shape)
-        self.specs = plan_chunks(self.shape, self.chunk_shape)
+    def close(self) -> None:
+        """Release the underlying memory map (idempotent)."""
+        data, self._data = self._data, None
+        if data is None or not self._owns_map:
+            return
+        mm = getattr(data, "_mmap", None)
+        if mm is not None:
+            mm.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._data is None
+
+    def __enter__(self) -> "ChunkReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def shape(self) -> tuple[int, ...]:
-        return tuple(self._data.shape)
+        return self._shape
 
     @property
     def dtype(self) -> np.dtype:
-        return self._data.dtype
+        return self._dtype
 
     @property
     def nbytes(self) -> int:
-        return int(self._data.nbytes)
+        return self._nbytes
 
     @property
     def n_chunks(self) -> int:
@@ -181,6 +213,8 @@ class ChunkReader:
 
     def read(self, spec: ChunkSpec) -> np.ndarray:
         """Materialise one block as an in-memory array."""
+        if self._data is None:
+            raise ValueError("read on a closed ChunkReader")
         return np.array(self._data[spec.slices])
 
     def __iter__(self) -> Iterator[tuple[ChunkSpec, np.ndarray]]:

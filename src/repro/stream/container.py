@@ -120,13 +120,17 @@ class StreamedField:
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = Path(path)
         self._reader = ContainerReader(self._path)
-        self.meta = json.loads(self._reader.get("meta").decode("utf-8"))
-        if self.meta.get("kind") != "streamed-field":
-            raise ValueError(f"{self._path} is not a streamed field container")
-        self.shape = tuple(int(s) for s in self.meta["shape"])
-        self.dtype = np.dtype(self.meta["dtype"])
-        self.chunk_shape = tuple(int(c) for c in self.meta["chunk_shape"])
-        self._compressor = make_compressor(self.meta["compressor"])
+        try:
+            self.meta = json.loads(self._reader.get("meta").decode("utf-8"))
+            if self.meta.get("kind") != "streamed-field":
+                raise ValueError(f"{self._path} is not a streamed field container")
+            self.shape = tuple(int(s) for s in self.meta["shape"])
+            self.dtype = np.dtype(self.meta["dtype"])
+            self.chunk_shape = tuple(int(c) for c in self.meta["chunk_shape"])
+            self._compressor = make_compressor(self.meta["compressor"])
+        except BaseException:
+            self._reader.close()  # a rejected field must not leak the file
+            raise
 
     @property
     def n_chunks(self) -> int:

@@ -164,101 +164,104 @@ def stream_compress(
         dtype=dtype,
     )
 
-    if isinstance(cache, EvalCache):
-        eval_cache: EvalCache | None = cache
-    elif cache:
-        eval_cache = EvalCache(cache_dir=cache_dir)
-    else:
-        eval_cache = None
-    pool = _resolve_executor(executor, workers)
+    try:
+        if isinstance(cache, EvalCache):
+            eval_cache: EvalCache | None = cache
+        elif cache:
+            eval_cache = EvalCache(cache_dir=cache_dir)
+        else:
+            eval_cache = None
+        pool = _resolve_executor(executor, workers)
 
-    t0 = time.perf_counter()
-    train_seconds = 0.0
-    tuner: ChunkTuner | None = None
-    if target_ratio is not None:
-        tuner = ChunkTuner(
-            compressor=comp,
-            target_ratio=target_ratio,
-            tolerance=tolerance,
-            max_error_bound=max_error_bound,
-            regions=regions,
-            overlap=overlap,
-            max_calls_per_region=max_calls_per_region,
-            executor=pool,
-            cache=eval_cache,
-            seed=seed,
-            drift_margin=drift_margin,
-            drift_window=drift_window,
-        )
-        n_train = max(1, min(train_chunks, reader.n_chunks))
-        # Sampled prefix: blocks are read (and released) one at a time.
-        tuner.fit(reader.read(spec) for spec in reader.specs[:n_train])
-        train_seconds = time.perf_counter() - t0
-        bound = tuner.current_bound
-    else:
-        bound = float(error_bound)
+        t0 = time.perf_counter()
+        train_seconds = 0.0
+        tuner: ChunkTuner | None = None
+        if target_ratio is not None:
+            tuner = ChunkTuner(
+                compressor=comp,
+                target_ratio=target_ratio,
+                tolerance=tolerance,
+                max_error_bound=max_error_bound,
+                regions=regions,
+                overlap=overlap,
+                max_calls_per_region=max_calls_per_region,
+                executor=pool,
+                cache=eval_cache,
+                seed=seed,
+                drift_margin=drift_margin,
+                drift_window=drift_window,
+            )
+            n_train = max(1, min(train_chunks, reader.n_chunks))
+            # Sampled prefix: blocks are read (and released) one at a time.
+            tuner.fit(reader.read(spec) for spec in reader.specs[:n_train])
+            train_seconds = time.perf_counter() - t0
+            bound = tuner.current_bound
+        else:
+            bound = float(error_bound)
 
-    in_band = 0
-    batch = max(1, workers)
-    with ShardWriter(
-        output, reader.shape, reader.dtype, reader.chunk_shape,
-        comp.name, metadata=metadata,
-    ) as writer:
-        for lo in range(0, reader.n_chunks, batch):
-            specs = reader.specs[lo : lo + batch]
-            blocks = [reader.read(s) for s in specs]
-            # A retrain mid-batch invalidates the bound the rest of the
-            # batch was compressed at, so the batch is processed as a
-            # queue: on a bound change, the remainder is re-fanned at the
-            # new bound.  Every written payload therefore carries exactly
-            # the bound it was compressed with.
-            i = 0
-            while i < len(specs):
-                configured = comp.with_error_bound(bound)
-                batch_bound = bound
-                outputs = pool.map_all(
-                    _compress_chunk, [(configured, b) for b in blocks[i:]]
-                )
-                rewound = False
-                for j, (payload, _orig, ratio, seconds) in enumerate(outputs, start=i):
-                    spec, block = specs[j], blocks[j]
-                    if eval_cache is not None and tuner is not None:
-                        # The streamed compression *is* a probe at this
-                        # bound; recording it lets a retrain verify free.
-                        # (Pointless without a tuner — nothing re-probes.)
-                        key = eval_cache.key_for(comp, block, batch_bound)
-                        if eval_cache.peek(key) is None:
-                            eval_cache.put(key, CacheEntry(ratio, len(payload), seconds))
-                    retrained = False
-                    if tuner is not None:
-                        tuner.observe(ratio)
-                        if tuner.should_retrain(ratio):
-                            retrained = True
-                            new_bound = tuner.retrain(block)
-                            if new_bound != batch_bound:
-                                bound = new_bound
-                                payload, _orig, ratio, seconds = _compress_chunk(
-                                    (comp.with_error_bound(bound), block)
-                                )
-                                writer.write_chunk(
-                                    spec, payload, error_bound=bound,
-                                    ratio=ratio, retrained=True,
-                                )
-                                if tuner.in_band(ratio):
-                                    in_band += 1
-                                i = j + 1
-                                rewound = True
-                                break
-                        if tuner.in_band(ratio):
-                            in_band += 1
-                    writer.write_chunk(
-                        spec, payload, error_bound=batch_bound,
-                        ratio=ratio, retrained=retrained,
+        in_band = 0
+        batch = max(1, workers)
+        with ShardWriter(
+            output, reader.shape, reader.dtype, reader.chunk_shape,
+            comp.name, metadata=metadata,
+        ) as writer:
+            for lo in range(0, reader.n_chunks, batch):
+                specs = reader.specs[lo : lo + batch]
+                blocks = [reader.read(s) for s in specs]
+                # A retrain mid-batch invalidates the bound the rest of the
+                # batch was compressed at, so the batch is processed as a
+                # queue: on a bound change, the remainder is re-fanned at the
+                # new bound.  Every written payload therefore carries exactly
+                # the bound it was compressed with.
+                i = 0
+                while i < len(specs):
+                    configured = comp.with_error_bound(bound)
+                    batch_bound = bound
+                    outputs = pool.map_all(
+                        _compress_chunk, [(configured, b) for b in blocks[i:]]
                     )
-                if not rewound:
-                    i = len(specs)
-            del blocks
-    compressed_nbytes = os.stat(output).st_size
+                    rewound = False
+                    for j, (payload, _orig, ratio, seconds) in enumerate(outputs, start=i):
+                        spec, block = specs[j], blocks[j]
+                        if eval_cache is not None and tuner is not None:
+                            # The streamed compression *is* a probe at this
+                            # bound; recording it lets a retrain verify free.
+                            # (Pointless without a tuner — nothing re-probes.)
+                            key = eval_cache.key_for(comp, block, batch_bound)
+                            if eval_cache.peek(key) is None:
+                                eval_cache.put(key, CacheEntry(ratio, len(payload), seconds))
+                        retrained = False
+                        if tuner is not None:
+                            tuner.observe(ratio)
+                            if tuner.should_retrain(ratio):
+                                retrained = True
+                                new_bound = tuner.retrain(block)
+                                if new_bound != batch_bound:
+                                    bound = new_bound
+                                    payload, _orig, ratio, seconds = _compress_chunk(
+                                        (comp.with_error_bound(bound), block)
+                                    )
+                                    writer.write_chunk(
+                                        spec, payload, error_bound=bound,
+                                        ratio=ratio, retrained=True,
+                                    )
+                                    if tuner.in_band(ratio):
+                                        in_band += 1
+                                    i = j + 1
+                                    rewound = True
+                                    break
+                            if tuner.in_band(ratio):
+                                in_band += 1
+                        writer.write_chunk(
+                            spec, payload, error_bound=batch_bound,
+                            ratio=ratio, retrained=retrained,
+                        )
+                    if not rewound:
+                        i = len(specs)
+                del blocks
+        compressed_nbytes = os.stat(output).st_size
+    finally:
+        reader.close()  # drop the map even when tuning/compression dies
 
     return StreamResult(
         path=os.fspath(output),

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["QuantizeResult", "quantize", "dequantize"]
+__all__ = ["quantize", "dequantize"]
 
 
 @dataclass(frozen=True)

@@ -5,14 +5,19 @@ a naming convention; this module makes the convention *machine-checkable*
 without adding any runtime cost:
 
 * :func:`guarded_by` declares, on the class, which lock attribute guards
-  which instance attributes.  The decorator only records metadata
-  (``__guarded_fields__`` / ``__guard_locks__``) — it installs no
-  wrappers, so annotated classes behave exactly as before.
+  which instance attributes.  By default the decorator only records
+  metadata (``__guarded_fields__`` / ``__guard_locks__``) — it installs
+  no wrappers, so annotated classes behave exactly as before.
 * The ``repro check`` lock-discipline checker (``LOCK001``/``LOCK002``,
   see ``docs/STATIC_ANALYSIS.md``) reads the same declaration from the
   AST and verifies every access to a guarded attribute happens inside
   ``with self.<lock>:`` or a ``*_locked`` method (whose name promises
   the caller already holds the lock).
+* With ``REPRO_SANITIZE=1`` in the environment (opt-in; test-only), the
+  same declaration additionally installs the runtime concurrency
+  sanitizer from :mod:`repro.analysis.sanitizer`: data descriptors that
+  assert the declared lock is held on every guarded access and record
+  the observed lock-order graph.  See docs/STATIC_ANALYSIS.md.
 
 Conventions the checker understands:
 
@@ -58,6 +63,25 @@ def guarded_by(lock: str, *fields: str):
         locks = tuple(getattr(cls, "__guard_locks__", ()))
         if lock not in locks:
             cls.__guard_locks__ = locks + (lock,)
+        if _sanitizer_active():
+            from repro.analysis.sanitizer import instrument_class
+            instrument_class(cls, lock, fields)
         return cls
 
     return decorate
+
+
+def _sanitizer_active() -> bool:
+    """Lazy check so the sanitizer import cost is only paid when opted in."""
+    import sys
+
+    runtime = sys.modules.get("repro.analysis.sanitizer.runtime")
+    if runtime is not None:
+        return runtime.is_active()
+    import os
+
+    if os.environ.get("REPRO_SANITIZE", "").strip() in ("", "0", "false"):
+        return False
+    from repro.analysis.sanitizer import runtime as _runtime
+
+    return _runtime.is_active()

@@ -1,0 +1,5 @@
+"""Typed-error roots for the exception-flow fixture project."""
+
+
+class FixtureError(Exception):
+    """Root of the fixture's typed hierarchy (plays the ReproError role)."""

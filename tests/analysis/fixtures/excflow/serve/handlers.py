@@ -1,0 +1,44 @@
+"""Seeded EXC001/EXC002 violations — parsed by the checker, never imported."""
+
+from ..errors import FixtureError
+
+
+class TypedChild(FixtureError):
+    """Typed transitively: FixtureError is defined in the fixture errors.py."""
+
+
+class Handler:
+    def submit(self, payload):
+        if not payload:
+            raise ValueError("empty payload")  # SEEDED: untyped-valueerror
+        return payload
+
+    def wait(self, job_id):
+        raise KeyError(job_id)  # SEEDED: untyped-keyerror
+
+    def typed_ok(self):
+        raise TypedChild("typed subclasses are fine")
+
+    def rethrow(self, exc):
+        raise exc  # lowercase variable re-raise: allowed
+
+    def unimplemented(self):
+        raise NotImplementedError("always allowed")
+
+    def _private(self):
+        raise RuntimeError("private methods are not public surface")
+
+
+def swallow_demo():
+    try:
+        1 / 0
+    except ZeroDivisionError:  # SEEDED: swallowed-single
+        pass
+    try:
+        1 / 0
+    except (OSError, ValueError):  # SEEDED: swallowed-tuple
+        pass
+    try:
+        1 / 0
+    except KeyError:  # repro: ignore[EXC002] deliberate best-effort swallow
+        pass

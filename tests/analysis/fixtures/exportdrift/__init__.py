@@ -1,0 +1,8 @@
+"""Facade __init__: unused re-exports are exempt, undefined ones are not."""
+
+from .mod import QophUsed
+
+__all__ = [
+    "QophUsed",
+    "qoph_ghost",  # SEEDED: facade-undefined
+]

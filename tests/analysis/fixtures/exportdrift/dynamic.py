@@ -1,0 +1,7 @@
+"""PEP 562 lazy module: the undefined half of DEAD001 must not fire here."""
+
+__all__ = ["qoph_lazy"]
+
+
+def __getattr__(name):
+    raise AttributeError(name)

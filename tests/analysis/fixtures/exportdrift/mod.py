@@ -1,0 +1,20 @@
+"""Seeded DEAD001 violations — parsed by the checker, never imported."""
+
+__all__ = [
+    "QophUsed",
+    "qoph_missing",  # SEEDED: undefined-export
+    "QophUnused",  # SEEDED: unused-export
+    "QophKept",  # repro: ignore[DEAD001] kept for external consumers
+]
+
+
+class QophUsed:
+    """Imported by user.py and the package facade: alive."""
+
+
+class QophUnused:
+    """Exported but referenced nowhere: dead."""
+
+
+class QophKept:
+    """Unused too, but its __all__ entry carries a suppression."""

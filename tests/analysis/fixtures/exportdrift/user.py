@@ -1,0 +1,8 @@
+"""References that keep the 'used' exports alive in the usage pass."""
+
+from .dynamic import qoph_lazy
+from .mod import QophUsed
+
+
+def use_them():
+    return QophUsed, qoph_lazy

@@ -1,0 +1,57 @@
+"""Seeded RES001 violations — parsed by the checker, never imported."""
+
+import contextlib
+import socket
+
+import numpy as np
+
+
+def leak_open(path):
+    fh = open(path)  # SEEDED: leaked-open
+    return fh.read()
+
+
+def leak_expr(path):
+    return open(path).read()  # SEEDED: leaked-call-expr
+
+
+def leak_socket():
+    s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)  # SEEDED: leaked-socket
+    s.connect(("localhost", 1))
+
+
+def ok_with(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def ok_closing(path, shape, dtype):
+    with contextlib.closing(np.memmap(path, mode="r", shape=shape, dtype=dtype)) as data:
+        return float(data.sum())
+
+
+def ok_try_finally(path):
+    fh = open(path)
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def ok_return(path):
+    return open(path)  # ownership transferred to the caller
+
+
+def ok_yield(path):
+    fh = open(path)
+    yield fh  # ownership transferred to the consumer
+
+
+class Owner:
+    """self-assignment to a close()-owning class is an accepted lifecycle."""
+
+    def __init__(self, path):
+        self._fh = open(path)
+
+    def close(self):
+        self._fh.close()

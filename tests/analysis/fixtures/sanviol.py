@@ -1,0 +1,64 @@
+"""Runtime-sanitizer fixture: seeded guarded-field and lock-order abuses.
+
+Imported (not just parsed) by test_sanitizer_runtime.py with the sanitizer
+forced active, so ``guarded_by`` instruments the classes at import time.
+The seeded accesses below violate the declared discipline on purpose; the
+tests assert the exact rule ids the recorder produces.  This module is
+never statically checked, so the deliberate LOCK001 violations stay out
+of the repo-tree findings.
+"""
+
+import threading
+
+from repro.util.concurrency import guarded_by
+
+
+@guarded_by("_lock", "count", "items")
+class SanLedger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.items = []
+
+    def bump_unguarded(self):
+        self.count += 1  # SEEDED: SAN101 augassign (read + write)
+
+    def read_unguarded(self):
+        return len(self.items)  # SEEDED: SAN101 read
+
+    def bump_guarded(self):
+        with self._lock:
+            self.count += 1
+
+    def read_suppressed(self):
+        return self.count  # repro: ignore[SAN101] torn read by design
+
+    def read_locked(self):
+        # ``*_locked`` suffix: caller promises the lock is already held.
+        return self.count
+
+
+@guarded_by("_alpha_lock", "alpha_value")
+class SanAlpha:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self.alpha_value = 0
+
+
+@guarded_by("_beta_lock", "beta_value")
+class SanBeta:
+    def __init__(self):
+        self._beta_lock = threading.Lock()
+        self.beta_value = 0
+
+
+def order_ab(a, b):
+    with a._alpha_lock:
+        with b._beta_lock:
+            pass
+
+
+def order_ba(a, b):
+    with b._beta_lock:
+        with a._alpha_lock:
+            pass  # SEEDED: SAN102 — reverses the A->B order above

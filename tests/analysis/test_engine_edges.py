@@ -1,0 +1,145 @@
+"""Engine edge cases: suppression/baseline overlap, --update-baseline,
+--explain, and checker-version cache invalidation."""
+
+from __future__ import annotations
+
+import json
+
+from analysis_helpers import FIXTURES, REPO_ROOT
+
+from repro.analysis import engine
+from repro.analysis.engine import (
+    CheckReport,
+    checker,
+    load_baseline,
+    main,
+    run_checks,
+    write_baseline,
+)
+
+LOCKVIOL = FIXTURES / "lockviol.py"
+
+_ONE_VIOLATION = "import time\n\ndef f(t0):\n    return time.time() - t0\n"
+
+
+def _two_files(tmp_path):
+    """Two files with one violation each: two distinct baseline keys
+    (keys are rule:path:message, so same-file duplicates would collapse)."""
+    a, b = tmp_path / "mod_a.py", tmp_path / "mod_b.py"
+    a.write_text(_ONE_VIOLATION)
+    b.write_text(_ONE_VIOLATION)
+    return a, b
+
+
+def test_suppressed_finding_turns_its_baseline_entry_stale(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text("import time\n\ndef f(t0):\n    return time.time() - t0\n")
+    report = run_checks([str(src)], root=str(tmp_path), use_cache=False)
+    assert len(report.findings) == 1
+    baseline = {report.findings[0].key}
+
+    # Add a same-line suppression: the finding disappears entirely — it is
+    # neither new nor baselined, and its baseline entry is now stale.
+    src.write_text("import time\n\ndef f(t0):\n"
+                   "    return time.time() - t0  # repro: ignore[MONO001]\n")
+    after = run_checks([str(src)], root=str(tmp_path), use_cache=False,
+                       baseline=baseline)
+    assert after.findings == []
+    assert after.baselined == []
+    assert after.stale_baseline == sorted(baseline)
+
+
+def test_update_baseline_prunes_stale_but_rejects_new(tmp_path, capsys):
+    a, b = _two_files(tmp_path)
+    report = run_checks([str(a), str(b)], root=str(tmp_path), use_cache=False)
+    keys = sorted({f.key for f in report.findings})
+    assert len(keys) == 2
+
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "findings": [keys[0], "MONO001:gone.py:never fires"]}))
+
+    argv = [str(a), str(b), "--root", str(tmp_path), "--no-cache",
+            "--baseline", str(baseline), "--update-baseline"]
+    # The un-baselined second violation still fails the run...
+    assert main(argv) == 1
+    out = capsys.readouterr().out
+    assert "baseline rewritten: 1 entr(ies) kept, 1 stale pruned" in out
+    # ...but the stale entry is gone and the new finding was NOT accepted.
+    assert load_baseline(str(baseline)) == {keys[0]}
+
+
+def test_update_baseline_clean_run_exits_zero(tmp_path, capsys):
+    a, b = _two_files(tmp_path)
+    report = run_checks([str(a), str(b)], root=str(tmp_path), use_cache=False)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(str(baseline), report.findings)
+    stale = load_baseline(str(baseline)) | {"MONO001:gone.py:never fires"}
+    baseline.write_text(json.dumps({"findings": sorted(stale)}))
+
+    argv = [str(a), str(b), "--root", str(tmp_path), "--no-cache",
+            "--baseline", str(baseline), "--update-baseline", "--strict"]
+    assert main(argv) == 0  # strict would fail on stale; the rewrite fixed it first
+    capsys.readouterr()
+    assert load_baseline(str(baseline)) == {f.key for f in report.findings}
+
+
+def test_explain_known_rule_prints_examples_and_exits_zero(capsys):
+    assert main(["--explain", "RES001"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("RES001  ")
+    assert "violates:" in out and "clean:" in out
+
+
+def test_explain_unknown_rule_lists_catalogue_and_exits_one(capsys):
+    assert main(["--explain", "NOPE999"]) == 1
+    out = capsys.readouterr().out
+    assert "unknown rule 'NOPE999'" in out
+    assert "LOCK001" in out  # the catalogue is offered as a hint
+
+
+def test_every_rule_has_an_explain_example():
+    missing = [rule for rule in engine.rule_catalogue()
+               if rule not in engine.rule_examples()]
+    assert missing == []
+
+
+def test_checker_version_bump_invalidates_cache(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text("x = 1\n")
+    cache = tmp_path / "cache.json"
+    calls: list[int] = []
+
+    def register(version: int):
+        @checker("tmp-version-probe", scope="file",
+                 rules={"TMP001": "test probe"}, version=version)
+        def probe(pf):
+            calls.append(version)
+            return []
+        return probe
+
+    try:
+        register(1)
+        run_checks([str(src)], root=str(tmp_path),
+                   use_cache=True, cache_path=str(cache))
+        assert calls == [1]
+        cached = run_checks([str(src)], root=str(tmp_path),
+                            use_cache=True, cache_path=str(cache))
+        assert cached.cache_hits == 1
+        assert calls == [1]  # cache hit: the checker body never ran
+
+        register(2)  # same name, bumped version -> new fingerprint
+        bumped = run_checks([str(src)], root=str(tmp_path),
+                            use_cache=True, cache_path=str(cache))
+        assert bumped.cache_hits == 0
+        assert calls == [1, 2]
+    finally:
+        engine._CHECKERS.pop("tmp-version-probe", None)
+
+
+def test_check_report_shape_is_stable():
+    report = run_checks([str(LOCKVIOL)], root=str(REPO_ROOT), use_cache=False)
+    assert isinstance(report, CheckReport)
+    payload = report.to_dict()
+    assert set(payload) == {"findings", "new", "baselined", "stale_baseline",
+                            "files_checked", "cache_hits", "counts_by_rule"}

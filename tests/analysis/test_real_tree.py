@@ -13,7 +13,11 @@ from analysis_helpers import REPO_ROOT, SRC, check_paths
 from repro.analysis.engine import load_baseline
 
 
-def test_repo_tree_is_clean():
+def test_repo_tree_is_clean(tmp_path, monkeypatch):
+    # Pin the sanitizer report to a path that does not exist, so a stale
+    # local .repro_sanitize_report.json (e.g. from a sanitize run that
+    # exercised the fixture packages) cannot skew the SAN001 diff here.
+    monkeypatch.setenv("REPRO_SANITIZE_REPORT", str(tmp_path / "absent.json"))
     report = check_paths(SRC)
     assert report.findings == [], "\n".join(
         f"{f.path}:{f.line} {f.rule} {f.message}" for f in report.findings)
@@ -29,33 +33,19 @@ def test_lock_graph_sees_the_real_cross_class_edges():
     """Guard against the checker passing vacuously: the scheduler really
     does take the queue/pool locks inside its own, and that must show up
     as graph edges (just not as a cycle)."""
-    import ast
-    import os
-
     from repro.analysis import locks
-    from repro.analysis.engine import ParsedFile, discover_files
+    from repro.analysis.engine import ParsedFile, Project, discover_files
 
     files = [ParsedFile(str(REPO_ROOT), p)
              for p in discover_files([str(SRC)])]
-    classes, owners = {}, {}
-    for pf in files:
-        for info in locks._collect_guarded_classes(pf):
-            classes[info.name] = info
-            owners[info.name] = pf
+    project = Project(str(REPO_ROOT), files)
+    classes = {info.name
+               for pf in files for info in locks._collect_guarded_classes(pf)}
     assert {"Scheduler", "JobQueue", "Router", "NodeRegistry", "EvalCache",
             "NodeAgent", "SpanStore", "TraceLogger", "ProcessJobPool",
             "Counter", "Gauge", "Histogram", "MetricFamily",
-            "MetricsRegistry"} <= set(classes)
-    for info in classes.values():
-        for m in locks._methods(info.node):
-            info.acquires[m.name] = locks._acquired_locks(m, set(info.locks))
-        locks._infer_attr_types(info, set(classes))
-    edges = []
-    for info in classes.values():
-        collector = locks._EdgeCollector(owners[info.name], info, classes, edges)
-        for m in locks._methods(info.node):
-            for stmt in m.body:
-                collector.scan(stmt, ())
+            "MetricsRegistry"} <= classes
+    edges = locks.collect_lock_edges(project)
     edge_set = {(e.src, e.dst) for e in edges}
     assert ("Scheduler._lock", "JobQueue._cond") in edge_set
     assert ("Scheduler._lock", "ProcessJobPool._lock") in edge_set

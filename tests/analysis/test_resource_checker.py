@@ -1,0 +1,106 @@
+"""RES001 (leaked OS handles) plus the ChunkReader lifecycle it motivated."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from analysis_helpers import FIXTURES, check_paths, findings_for, line_of
+
+from repro.stream.chunks import ChunkReader
+
+RESVIOL = FIXTURES / "resourceviol.py"
+
+
+def _res_findings():
+    return findings_for("RES001", check_paths(RESVIOL))
+
+
+def test_res001_flags_exactly_the_seeded_leaks():
+    found = _res_findings()
+    lines = {f.line for f in found}
+    assert lines == {
+        line_of(RESVIOL, "SEEDED: leaked-open"),
+        line_of(RESVIOL, "SEEDED: leaked-call-expr"),
+        line_of(RESVIOL, "SEEDED: leaked-socket"),
+    }, [f"{f.line}: {f.message}" for f in found]
+
+
+def test_res001_names_the_producer_in_the_message():
+    by_line = {f.line: f for f in _res_findings()}
+    assert "open(...)" in by_line[line_of(RESVIOL, "SEEDED: leaked-open")].message
+    assert "socket.socket(...)" in by_line[line_of(RESVIOL, "SEEDED: leaked-socket")].message
+
+
+# --- ChunkReader regression tests (the real fix behind the rule) ---------
+
+
+@pytest.fixture()
+def npy_field(tmp_path):
+    data = np.arange(48, dtype=np.float32).reshape(6, 8)
+    path = tmp_path / "field.npy"
+    np.save(path, data)
+    return path, data
+
+
+def test_chunkreader_close_is_idempotent_and_observable(npy_field):
+    path, _ = npy_field
+    reader = ChunkReader(path, chunk_shape=(3, 8))
+    assert not reader.closed
+    reader.close()
+    assert reader.closed
+    reader.close()  # idempotent
+    assert reader.closed
+
+
+def test_chunkreader_context_manager_closes(npy_field):
+    path, data = npy_field
+    with ChunkReader(path, chunk_shape=(3, 8)) as reader:
+        spec = reader.specs[0]
+        np.testing.assert_array_equal(reader.read(spec), data[spec.slices])
+    assert reader.closed
+
+
+def test_chunkreader_read_after_close_raises(npy_field):
+    path, _ = npy_field
+    reader = ChunkReader(path, chunk_shape=(3, 8))
+    spec = reader.specs[0]
+    reader.close()
+    with pytest.raises(ValueError, match="closed ChunkReader"):
+        reader.read(spec)
+
+
+def test_chunkreader_geometry_survives_close(npy_field):
+    path, data = npy_field
+    reader = ChunkReader(path, chunk_shape=(3, 8))
+    reader.close()
+    assert reader.shape == data.shape
+    assert reader.dtype == data.dtype
+    assert reader.nbytes == data.nbytes
+
+
+def test_chunkreader_raw_memmap_closes(tmp_path):
+    data = np.arange(24, dtype=np.float64).reshape(4, 6)
+    path = tmp_path / "field.bin"
+    data.tofile(path)
+    with ChunkReader(path, shape=(4, 6), dtype=np.float64) as reader:
+        np.testing.assert_array_equal(reader.read(reader.specs[0]), data)
+    assert reader.closed
+
+
+def test_chunkreader_init_failure_does_not_leak(npy_field):
+    path, _ = npy_field
+    # Bad chunk geometry: validation fails *after* the map is opened; the
+    # constructor must release it on the way out.
+    with pytest.raises(ValueError):
+        ChunkReader(path, chunk_shape=(3,))  # dimensionality mismatch
+    with pytest.raises(ValueError):
+        ChunkReader(path, chunk_shape=(3, 8), max_chunk_bytes=64)  # both args
+
+
+def test_chunkreader_in_memory_array_close_is_noop():
+    data = np.arange(10, dtype=np.float32)
+    reader = ChunkReader(data, chunk_shape=(4,))
+    reader.close()
+    assert reader.closed  # and the caller's array is untouched
+    np.testing.assert_array_equal(data, np.arange(10, dtype=np.float32))

@@ -1,0 +1,239 @@
+"""Runtime concurrency sanitizer: seeded violations, exact rule ids.
+
+The fixture module (``fixtures/sanviol.py``) is *imported* with the
+sanitizer forced active, so ``guarded_by`` installs the descriptors at
+import time; its directory is registered as a sanitized root so the
+seeded accesses count (frames outside the roots are white-box-exempt).
+
+Every test starts from a clean recorder and drains it afterwards so a
+``REPRO_SANITIZE=1`` run of the whole suite does not fail the session on
+the violations these tests seed on purpose.  (The sanitizer CI job runs
+the serve/gateway/obs/cache shards only, so the resets here never drop
+edges that job is collecting.)
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import threading
+
+import pytest
+
+from analysis_helpers import FIXTURES, check_paths, findings_for, line_of
+from repro.analysis.sanitizer import runtime
+from repro.analysis.sanitizer.check import load_observed_edges
+
+SANVIOL = FIXTURES / "sanviol.py"
+
+
+@pytest.fixture(scope="module")
+def sanviol():
+    """The fixture module, imported with the sanitizer forced active."""
+    runtime.set_active(True)
+    runtime.add_root(str(FIXTURES))
+    spec = importlib.util.spec_from_file_location("sanviol_fixture", SANVIOL)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    try:
+        spec.loader.exec_module(mod)
+        yield mod
+    finally:
+        runtime.reset()  # fixture edges must not leak into session reports
+        runtime.remove_root(str(FIXTURES))
+        runtime.set_active(None)
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder(sanviol):
+    runtime.reset()
+    yield
+    runtime.drain_violations()
+
+
+def test_unguarded_augassign_records_read_and_write(sanviol):
+    ledger = sanviol.SanLedger()
+    ledger.bump_unguarded()
+    found = runtime.drain_violations()
+    assert [v["rule"] for v in found] == ["SAN101", "SAN101"]
+    verbs = {v["message"].split()[1] for v in found}
+    assert verbs == {"read", "write"}
+    site = f"tests/analysis/fixtures/sanviol.py:{line_of(SANVIOL, 'SEEDED: SAN101 augassign')}"
+    assert all(v["site"] == site for v in found)
+    assert all("SanLedger.count" in v["message"] and "SanLedger._lock" in v["message"]
+               for v in found)
+
+
+def test_unguarded_read_records_one_violation(sanviol):
+    ledger = sanviol.SanLedger()
+    ledger.read_unguarded()
+    found = runtime.drain_violations()
+    assert len(found) == 1
+    assert found[0]["rule"] == "SAN101"
+    assert "SanLedger.items read" in found[0]["message"]
+
+
+def test_guarded_access_is_clean(sanviol):
+    ledger = sanviol.SanLedger()
+    ledger.bump_guarded()
+    assert runtime.violations() == []
+
+
+def test_same_line_suppression_applies_at_runtime(sanviol):
+    ledger = sanviol.SanLedger()
+    ledger.read_suppressed()
+    assert runtime.violations() == []
+
+
+def test_locked_suffix_method_is_exempt(sanviol):
+    ledger = sanviol.SanLedger()
+    ledger.read_locked()
+    assert runtime.violations() == []
+
+
+def test_init_frames_are_exempt(sanviol):
+    sanviol.SanLedger()  # __init__ writes every guarded field unlocked
+    assert runtime.violations() == []
+
+
+def test_frames_outside_roots_are_exempt(sanviol):
+    ledger = sanviol.SanLedger()
+    assert ledger.count == 0  # this test file is not a sanitized root
+    runtime.remove_root(str(FIXTURES))
+    try:
+        ledger.bump_unguarded()  # fixture frames no longer sanitized either
+    finally:
+        runtime.add_root(str(FIXTURES))
+    assert runtime.violations() == []
+
+
+def test_remove_root_refuses_package_root(sanviol):
+    runtime.remove_root(runtime._PKG_ROOT)
+    assert runtime._PKG_ROOT in runtime._ROOTS
+
+
+def test_duplicate_violations_dedup(sanviol):
+    ledger = sanviol.SanLedger()
+    ledger.read_unguarded()
+    ledger.read_unguarded()
+    assert len(runtime.drain_violations()) == 1
+
+
+def test_lock_order_cycle_records_san102(sanviol):
+    a, b = sanviol.SanAlpha(), sanviol.SanBeta()
+    sanviol.order_ab(a, b)
+    assert runtime.violations() == []  # one direction alone is fine
+    sanviol.order_ba(a, b)
+    found = runtime.drain_violations()
+    assert [v["rule"] for v in found] == ["SAN102"]
+    assert "SanAlpha._alpha_lock" in found[0]["message"]
+    assert "SanBeta._beta_lock" in found[0]["message"]
+    keys = {(e["src"], e["dst"]) for e in runtime.observed_edges()}
+    assert ("SanAlpha._alpha_lock", "SanBeta._beta_lock") in keys
+    assert ("SanBeta._beta_lock", "SanAlpha._alpha_lock") in keys
+
+
+def test_cross_thread_edges_merge_into_one_graph(sanviol):
+    a, b = sanviol.SanAlpha(), sanviol.SanBeta()
+    t1 = threading.Thread(target=sanviol.order_ab, args=(a, b))
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=sanviol.order_ba, args=(a, b))
+    t2.start()
+    t2.join()
+    assert [v["rule"] for v in runtime.drain_violations()] == ["SAN102"]
+
+
+def test_drain_keeps_edges(sanviol):
+    a, b = sanviol.SanAlpha(), sanviol.SanBeta()
+    sanviol.order_ab(a, b)
+    assert runtime.drain_violations() == []
+    assert runtime.violations() == []
+    assert len(runtime.observed_edges()) == 1
+
+
+def test_same_name_nesting_records_no_edge(sanviol):
+    # Two instances of one class share the lock *name*; nesting them is
+    # the re-entrant pattern the static checker also skips.
+    first, second = sanviol.SanLedger(), sanviol.SanLedger()
+    with first._lock:
+        with second._lock:
+            pass
+    assert runtime.observed_edges() == []
+
+
+def test_lock_proxy_ownership(sanviol):
+    ledger = sanviol.SanLedger()
+    assert not ledger._lock.owned_by_current_thread()
+    with ledger._lock:
+        assert ledger._lock.owned_by_current_thread()
+    assert not ledger._lock.owned_by_current_thread()
+
+
+def test_instrument_collision_raises(sanviol):
+    class Clashing:
+        @property
+        def count(self):
+            return 0
+
+    with pytest.raises(TypeError):
+        runtime.instrument_class(Clashing, "_lock", ("count",))
+
+
+def test_write_report_round_trips_through_loader(sanviol, tmp_path, monkeypatch):
+    a, b = sanviol.SanAlpha(), sanviol.SanBeta()
+    sanviol.order_ab(a, b)
+    report = tmp_path / "san_report.json"
+    written = runtime.write_report(str(report))
+    assert written == str(report)
+    payload = json.loads(report.read_text())
+    assert payload["edges"][0]["src"] == "SanAlpha._alpha_lock"
+    assert payload["edges"][0]["count"] == 1
+    monkeypatch.setenv(runtime.REPORT_ENV, str(report))
+    edges = load_observed_edges("unused-root")
+    assert [(e["src"], e["dst"]) for e in edges] == [
+        ("SanAlpha._alpha_lock", "SanBeta._beta_lock")]
+
+
+def test_load_observed_edges_tolerates_missing_and_garbage(tmp_path, monkeypatch):
+    monkeypatch.delenv(runtime.REPORT_ENV, raising=False)
+    assert load_observed_edges(str(tmp_path)) == []
+    bad = tmp_path / runtime.DEFAULT_REPORT
+    bad.write_text("not json {")
+    assert load_observed_edges(str(tmp_path)) == []
+    bad.write_text(json.dumps({"edges": "nope"}))
+    assert load_observed_edges(str(tmp_path)) == []
+
+
+def test_san001_flags_edge_missing_from_static_graph(tmp_path, monkeypatch):
+    report = tmp_path / "report.json"
+    report.write_text(json.dumps({"edges": [
+        {"src": "Ghost._lock", "dst": "Phantom._lock", "count": 3,
+         "sites": ["tests/analysis/fixtures/lockcycle.py:18"]},
+    ]}))
+    monkeypatch.setenv(runtime.REPORT_ENV, str(report))
+    rep = check_paths(FIXTURES / "lockcycle.py")
+    found = findings_for("SAN001", rep)
+    assert len(found) == 1
+    assert "Ghost._lock -> Phantom._lock" in found[0].message
+    # anchored at the first site that resolves inside the project
+    assert found[0].path == "tests/analysis/fixtures/lockcycle.py"
+    assert found[0].line == 18
+
+
+def test_san001_clean_when_observed_subset_of_static(tmp_path, monkeypatch):
+    report = tmp_path / "report.json"
+    report.write_text(json.dumps({"edges": [
+        {"src": "Alpha._lock", "dst": "Beta._lock", "count": 1, "sites": []},
+    ]}))
+    monkeypatch.setenv(runtime.REPORT_ENV, str(report))
+    rep = check_paths(FIXTURES / "lockcycle.py")
+    assert findings_for("SAN001", rep) == []
+
+
+def test_suppress_regex_stays_in_sync_with_engine():
+    from repro.analysis import engine
+
+    assert engine._SUPPRESS_RE.pattern == runtime._SUPPRESS_RE.pattern

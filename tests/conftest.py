@@ -1,9 +1,56 @@
-"""Shared fixtures: deterministic sample fields of every supported shape."""
+"""Shared fixtures: deterministic sample fields of every supported shape.
+
+Also the pytest half of the runtime concurrency sanitizer: when the
+suite runs with ``REPRO_SANITIZE=1``, guarded classes are instrumented
+at import time (see ``repro.util.concurrency.guarded_by``); this plugin
+writes the observed lock-order graph to the ``REPRO_SANITIZE_REPORT``
+path at session end and fails the session if any guarded-access or
+lock-inversion violation was recorded.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+def _sanitizer_runtime():
+    """The sanitizer runtime module, or None when not opted in."""
+    if os.environ.get("REPRO_SANITIZE", "").strip() in ("", "0", "false"):
+        return None
+    from repro.analysis.sanitizer import runtime
+
+    return runtime if runtime.is_active() else None
+
+
+def pytest_sessionstart(session):
+    runtime = _sanitizer_runtime()
+    if runtime is not None:
+        runtime.reset()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    runtime = _sanitizer_runtime()
+    if runtime is None:
+        return
+    path = runtime.write_report()
+    found = runtime.violations()
+    terminalreporter.write_line(
+        f"repro sanitizer: {len(runtime.observed_edges())} observed "
+        f"lock-order edge(s), {len(found)} violation(s) -> {path}")
+    for v in found:
+        terminalreporter.write_line(
+            f"  {v['rule']} {v['site']}: {v['message']}", red=True)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    runtime = _sanitizer_runtime()
+    if runtime is None:
+        return
+    if runtime.violations() and session.exitstatus == 0:
+        session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")
